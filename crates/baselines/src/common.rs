@@ -1,0 +1,110 @@
+//! Shared harness: run any trace-selection policy over a program and
+//! measure it with the standard trace-dispatch monitor.
+
+use jvm_bytecode::{BlockId, Program};
+use jvm_vm::{ExecStats, Value, Vm, VmError};
+use trace_cache::{CacheStats, TraceCache, TraceExecStats, TraceRuntime};
+
+/// A trace-selection policy driven by the dynamic block stream.
+///
+/// Implementations observe every dispatch and may install traces into the
+/// shared cache at any point; the harness measures the resulting cache
+/// with the same monitor used for the BCG system, making coverage and
+/// completion numbers directly comparable.
+pub trait TraceSelector {
+    /// Short display name ("net", "replay", "bcg").
+    fn name(&self) -> &'static str;
+
+    /// Observes one dispatched block; may mutate the cache.
+    fn on_block(&mut self, block: BlockId, cache: &mut TraceCache, program: &Program);
+}
+
+/// Measurements from one [`run_with_selector`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectorReport {
+    /// Interpreter counters.
+    pub exec: ExecStats,
+    /// Trace execution counters.
+    pub traces: TraceExecStats,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Checksum produced by the program (for validation).
+    pub checksum: u64,
+}
+
+impl SelectorReport {
+    /// Instruction-stream coverage by completed traces.
+    pub fn coverage_completed(&self) -> f64 {
+        self.traces.coverage_completed(self.exec.instructions)
+    }
+
+    /// Dynamic trace completion rate.
+    pub fn completion_rate(&self) -> f64 {
+        self.traces.completion_rate()
+    }
+}
+
+/// Runs `program` once with `selector` building traces and the standard
+/// monitor measuring them.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn run_with_selector<S: TraceSelector>(
+    program: &Program,
+    args: &[Value],
+    selector: &mut S,
+) -> Result<SelectorReport, VmError> {
+    let mut vm = Vm::new(program);
+    let mut cache = TraceCache::new();
+    let mut runtime = TraceRuntime::new();
+    {
+        let mut observer = |block: BlockId| {
+            runtime.on_block(block, &cache, program);
+            selector.on_block(block, &mut cache, program);
+        };
+        vm.run(args, &mut observer)?;
+    }
+    runtime.finish_stream();
+    Ok(SelectorReport {
+        exec: vm.stats(),
+        traces: runtime.stats(),
+        cache: cache.stats(),
+        checksum: vm.checksum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{CmpOp, ProgramBuilder};
+
+    struct NullSelector;
+    impl TraceSelector for NullSelector {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn on_block(&mut self, _: BlockId, _: &mut TraceCache, _: &Program) {}
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        let program = pb.build(f).unwrap();
+        let report = run_with_selector(&program, &[Value::Int(100)], &mut NullSelector).unwrap();
+        assert!(report.exec.instructions > 0);
+        assert_eq!(report.traces.entered, 0);
+        assert_eq!(report.coverage_completed(), 0.0);
+    }
+}

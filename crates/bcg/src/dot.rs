@@ -1,0 +1,150 @@
+//! Graphviz export of the branch correlation graph.
+//!
+//! Renders the BCG in `dot` format for inspection: one node per branch
+//! `N_XY`, shaded by state, with edges labelled by their correlation
+//! ratio. Feed the output to `dot -Tsvg` to see what the profiler
+//! believes about a program.
+
+use std::fmt::Write as _;
+
+use crate::graph::BranchCorrelationGraph;
+use crate::state::NodeState;
+
+fn state_color(state: NodeState) -> &'static str {
+    match state {
+        NodeState::NewlyCreated => "gray80",
+        NodeState::Weak => "khaki",
+        NodeState::Strong => "palegreen",
+        NodeState::Unique => "skyblue",
+    }
+}
+
+/// Renders the graph as Graphviz `dot`, omitting nodes with fewer than
+/// `min_executions` lifetime executions (rare code clutters the picture).
+///
+/// ```
+/// use jvm_bytecode::{BlockId, FuncId};
+/// use trace_bcg::{BranchCorrelationGraph, BcgConfig, dot};
+///
+/// let mut bcg = BranchCorrelationGraph::new(BcgConfig::default().with_start_delay(1));
+/// for _ in 0..32 {
+///     bcg.observe(BlockId::new(FuncId(0), 0));
+///     bcg.observe(BlockId::new(FuncId(0), 1));
+/// }
+/// let out = dot::to_dot(&bcg, 1);
+/// assert!(out.starts_with("digraph bcg {"));
+/// assert!(out.contains("->"));
+/// ```
+pub fn to_dot(bcg: &BranchCorrelationGraph, min_executions: u64) -> String {
+    let mut out = String::from(
+        "digraph bcg {\n  rankdir=LR;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n",
+    );
+    let included: Vec<bool> = bcg
+        .iter()
+        .map(|(_, n)| n.executions() >= min_executions)
+        .collect();
+    for (idx, node) in bcg.iter() {
+        if !included[idx.index()] {
+            continue;
+        }
+        let (x, y) = node.branch();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{} -> {}\\n{} x{}\", fillcolor={}];",
+            idx.index(),
+            x,
+            y,
+            node.state(),
+            node.executions(),
+            state_color(node.state()),
+        );
+    }
+    for (idx, node) in bcg.iter() {
+        if !included[idx.index()] {
+            continue;
+        }
+        for s in node.successors() {
+            if !included[s.node.index()] {
+                continue;
+            }
+            let corr = node.correlation(s);
+            let bold = node.predicted().is_some_and(|p| p.to_block == s.to_block);
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{:.0}%\"{}];",
+                idx.index(),
+                s.node.index(),
+                corr * 100.0,
+                if bold { ", penwidth=2" } else { "" },
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BcgConfig;
+    use jvm_bytecode::{BlockId, FuncId};
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    fn warm_graph() -> BranchCorrelationGraph {
+        let mut bcg = BranchCorrelationGraph::new(BcgConfig::default().with_start_delay(1));
+        for i in 0..300 {
+            bcg.observe(blk(0));
+            bcg.observe(blk(1));
+            bcg.observe(blk(if i % 10 == 9 { 3 } else { 2 }));
+        }
+        bcg
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let bcg = warm_graph();
+        let out = to_dot(&bcg, 1);
+        assert!(out.starts_with("digraph bcg {"));
+        assert!(out.trim_end().ends_with('}'));
+        // Every node and at least one edge present.
+        assert_eq!(
+            out.matches("fillcolor").count(),
+            bcg.len(),
+            "one styled node per BCG node"
+        );
+        assert!(out.contains("->"));
+        assert!(out.contains('%'));
+    }
+
+    #[test]
+    fn min_executions_filters_rare_nodes() {
+        let bcg = warm_graph();
+        let all = to_dot(&bcg, 1);
+        let hot_only = to_dot(&bcg, 100);
+        assert!(hot_only.matches("fillcolor").count() < all.matches("fillcolor").count());
+    }
+
+    #[test]
+    fn predicted_edges_are_emphasised() {
+        let bcg = warm_graph();
+        let out = to_dot(&bcg, 1);
+        assert!(out.contains("penwidth=2"));
+    }
+
+    #[test]
+    fn state_colors_are_distinct() {
+        let colors: std::collections::HashSet<_> = [
+            NodeState::NewlyCreated,
+            NodeState::Weak,
+            NodeState::Strong,
+            NodeState::Unique,
+        ]
+        .into_iter()
+        .map(state_color)
+        .collect();
+        assert_eq!(colors.len(), 4);
+    }
+}

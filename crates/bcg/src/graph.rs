@@ -1,0 +1,614 @@
+//! The branch correlation graph itself.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use jvm_bytecode::BlockId;
+
+use crate::config::BcgConfig;
+use crate::node::{Node, Successor};
+use crate::signal::{Signal, SignalKind};
+use crate::stats::ProfilerStats;
+use crate::Branch;
+
+/// Index of a node within a [`BranchCorrelationGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// Raw index into the node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The profiler: consumes the dynamic block stream one dispatch at a time
+/// and maintains the branch correlation graph.
+///
+/// Feed it with [`BranchCorrelationGraph::observe`] — typically from a
+/// [`jvm_vm::DispatchObserver`](https://docs.rs/jvm-vm) hook — then drain
+/// pending [`Signal`]s with [`BranchCorrelationGraph::take_signals`].
+///
+/// The per-dispatch cost model mirrors §4.1.2 of the paper:
+///
+/// * **fast path** (expected): the dispatched block matches the context
+///   node's cached prediction — two comparisons, one counter bump, and the
+///   edge's embedded target index becomes the new context;
+/// * **slow path**: a linear scan of the context's known successors,
+///   possibly constructing a new edge and node (lazy construction);
+/// * **periodic work**: every `decay_interval` executions of a node its
+///   counters decay and its state/prediction are rechecked.
+#[derive(Debug)]
+pub struct BranchCorrelationGraph {
+    config: BcgConfig,
+    nodes: Vec<Node>,
+    index: HashMap<Branch, NodeIdx>,
+    /// The block most recently dispatched.
+    last_block: Option<BlockId>,
+    /// Node of the most recent branch `(X, Y)` — the "branch context
+    /// pointer" of §4.1.2.
+    ctx_node: Option<NodeIdx>,
+    signals: Vec<Signal>,
+    stats: ProfilerStats,
+}
+
+impl BranchCorrelationGraph {
+    /// Creates an empty graph with the given configuration.
+    pub fn new(config: BcgConfig) -> Self {
+        BranchCorrelationGraph {
+            config,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            last_block: None,
+            ctx_node: None,
+            signals: Vec::new(),
+            stats: ProfilerStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BcgConfig {
+        &self.config
+    }
+
+    /// Profiler statistics so far.
+    pub fn stats(&self) -> ProfilerStats {
+        self.stats
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn node(&self, idx: NodeIdx) -> &Node {
+        &self.nodes[idx.index()]
+    }
+
+    /// Looks up the node for a branch, if it has ever been observed.
+    pub fn node_index(&self, branch: Branch) -> Option<NodeIdx> {
+        self.index.get(&branch).copied()
+    }
+
+    /// Iterates over all `(index, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeIdx, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeIdx(i as u32), n))
+    }
+
+    /// Resets the stream context (between program runs) without touching
+    /// the accumulated graph.
+    pub fn begin_stream(&mut self) {
+        self.last_block = None;
+        self.ctx_node = None;
+    }
+
+    /// Re-anchors the stream context at `block` without recording a
+    /// branch. A trace-executing VM calls this when a trace ends: the
+    /// profiling points inside the trace were eliminated (§4.1.2 — "all
+    /// of the inlined ones are removed"), so the profiler resumes from
+    /// the trace's final block rather than inventing a bogus branch from
+    /// the trace's entry.
+    pub fn set_context(&mut self, block: BlockId) {
+        self.last_block = Some(block);
+        self.ctx_node = None;
+    }
+
+    /// Drains and returns all pending signals.
+    pub fn take_signals(&mut self) -> Vec<Signal> {
+        std::mem::take(&mut self.signals)
+    }
+
+    /// Whether any signals are pending (cheaper than draining).
+    pub fn has_signals(&self) -> bool {
+        !self.signals.is_empty()
+    }
+
+    /// Stamps a node with the trace cache's generation counter. The trace
+    /// cache marks every node it incorporates while reacting to a signal,
+    /// "to prevent cascades of state changes" (§4.2).
+    pub fn mark_generation(&mut self, idx: NodeIdx, generation: u64) {
+        self.nodes[idx.index()].generation = generation;
+    }
+
+    /// Estimated heap footprint of the graph in bytes (nodes, successor
+    /// and predecessor lists, and the branch index). The paper stresses
+    /// that the BCG is memory-light — "we carefully represent blocks,
+    /// nodes, and edges to minimize memory overhead" (§3.5) — and lazy
+    /// construction keeps it proportional to the *realized* branch pairs,
+    /// not the static program size; this estimate lets harnesses report
+    /// that cost.
+    pub fn memory_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let node_fixed = self.nodes.capacity() * size_of::<Node>();
+        let lists: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.successors().len() * size_of::<Successor>()
+                    + n.predecessors().len() * size_of::<NodeIdx>()
+            })
+            .sum();
+        // HashMap entries: key + value + ~1 byte of control metadata per
+        // slot, times a conservative 8/7 load-factor headroom.
+        let index = self.index.len() * (size_of::<Branch>() + size_of::<NodeIdx>() + 2);
+        node_fixed + lists + index
+    }
+
+    /// Observes one dispatched block. This is the profiler hook executed
+    /// with every block dispatch.
+    pub fn observe(&mut self, z: BlockId) {
+        self.stats.dispatches += 1;
+        let y = match self.last_block.replace(z) {
+            None => return, // first block of the stream: no branch yet
+            Some(y) => y,
+        };
+        let next = match self.ctx_node {
+            Some(nxy) => self.record(nxy, (y, z)),
+            None => self.get_or_create((y, z)),
+        };
+        self.ctx_node = Some(next);
+    }
+
+    /// Gets or lazily creates the node for `branch`.
+    fn get_or_create(&mut self, branch: Branch) -> NodeIdx {
+        if let Some(&idx) = self.index.get(&branch) {
+            return idx;
+        }
+        let idx = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(Node::new(branch, self.config.start_delay));
+        self.index.insert(branch, idx);
+        self.stats.nodes_created += 1;
+        idx
+    }
+
+    /// Records that branch `yz` followed the branch at `nxy`, updating the
+    /// edge counter, the start delay, and the decay schedule. Returns the
+    /// node for `yz`, which becomes the new context.
+    fn record(&mut self, nxy: NodeIdx, yz: Branch) -> NodeIdx {
+        let cfg = self.config;
+        let z = yz.1;
+
+        // Fast path: cached prediction matches.
+        let mut next: Option<NodeIdx> = None;
+        {
+            let node = &mut self.nodes[nxy.index()];
+            node.executions += 1;
+            if cfg.inline_cache {
+                if let Some(ci) = node.cached {
+                    let s = &mut node.successors[ci as usize];
+                    if s.to_block == z {
+                        if s.count < cfg.max_counter {
+                            s.count += 1;
+                            node.total_weight += 1;
+                        }
+                        self.stats.cache_hits += 1;
+                        next = Some(s.node);
+                    }
+                }
+            }
+            if next.is_none() {
+                self.stats.cache_misses += 1;
+                // Slow path: scan the known correlations.
+                if let Some(i) = node.successors.iter().position(|s| s.to_block == z) {
+                    let s = &mut node.successors[i];
+                    if s.count < cfg.max_counter {
+                        s.count += 1;
+                        node.total_weight += 1;
+                    }
+                    if node.cached.is_none() {
+                        node.cached = Some(i as u32);
+                    }
+                    next = Some(s.node);
+                }
+            }
+        }
+
+        // Lazy construction: new correlation, possibly a new node.
+        let next = match next {
+            Some(n) => n,
+            None => {
+                let nyz = self.get_or_create(yz);
+                let node = &mut self.nodes[nxy.index()];
+                node.successors.push(Successor {
+                    to_block: z,
+                    count: 1,
+                    node: nyz,
+                });
+                node.total_weight += 1;
+                if node.cached.is_none() {
+                    node.cached = Some((node.successors.len() - 1) as u32);
+                }
+                self.stats.edges_created += 1;
+                let target = &mut self.nodes[nyz.index()];
+                if !target.preds.contains(&nxy) {
+                    target.preds.push(nxy);
+                }
+                nyz
+            }
+        };
+
+        // Start-state delay countdown; leaving it is a state change.
+        let mut decay_due = false;
+        {
+            let node = &mut self.nodes[nxy.index()];
+            if node.delay_remaining > 0 {
+                node.delay_remaining -= 1;
+                if node.delay_remaining == 0 {
+                    let new = node.compute_state(cfg.threshold);
+                    if new != node.state {
+                        let old = node.state;
+                        node.state = new;
+                        self.signals.push(Signal {
+                            node: nxy,
+                            branch: node.branch,
+                            kind: SignalKind::StateChange { old, new },
+                        });
+                        self.stats.state_signals += 1;
+                    }
+                }
+            }
+            node.since_decay += 1;
+            if node.since_decay >= cfg.decay_interval {
+                decay_due = true;
+            }
+        }
+        if decay_due {
+            self.decay(nxy);
+        }
+        next
+    }
+
+    /// Performs the periodic decay of one node: shifts all its correlation
+    /// counters right, prunes dead edges, re-elects the predicted
+    /// successor, and rechecks the state — signalling the trace cache if
+    /// the state or the prediction changed (§4.1.1).
+    fn decay(&mut self, idx: NodeIdx) {
+        let cfg = self.config;
+        let node = &mut self.nodes[idx.index()];
+        let old_state = node.state;
+        let old_pred = node.predicted().map(|s| s.to_block);
+
+        for s in &mut node.successors {
+            s.count >>= cfg.decay_shift;
+        }
+        node.successors.retain(|s| s.count > 0);
+        node.total_weight = node.successors.iter().map(|s| u32::from(s.count)).sum();
+
+        // Re-elect the cached prediction: the maximally correlated edge.
+        node.cached = node
+            .successors
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.count)
+            .map(|(i, _)| i as u32);
+
+        let new_state = if node.delay_remaining > 0 {
+            old_state // still filtered; no re-evaluation until hot
+        } else {
+            node.compute_state(cfg.threshold)
+        };
+        node.state = new_state;
+        node.since_decay = 0;
+        self.stats.decays += 1;
+
+        let new_pred = node.predicted().map(|s| s.to_block);
+        let branch = node.branch;
+        if new_state != old_state {
+            self.signals.push(Signal {
+                node: idx,
+                branch,
+                kind: SignalKind::StateChange {
+                    old: old_state,
+                    new: new_state,
+                },
+            });
+            self.stats.state_signals += 1;
+        } else if new_state.is_hot() && new_pred != old_pred {
+            self.signals.push(Signal {
+                node: idx,
+                branch,
+                kind: SignalKind::PredictionChange {
+                    old: old_pred,
+                    new: new_pred,
+                },
+            });
+            self.stats.prediction_signals += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NodeState;
+    use jvm_bytecode::FuncId;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    fn cfg(delay: u32, threshold: f64) -> BcgConfig {
+        BcgConfig::default()
+            .with_start_delay(delay)
+            .with_threshold(threshold)
+    }
+
+    /// Feed a repeating cyclic block pattern `n` times.
+    fn feed(bcg: &mut BranchCorrelationGraph, pattern: &[u32], reps: usize) {
+        for _ in 0..reps {
+            for &b in pattern {
+                bcg.observe(blk(b));
+            }
+        }
+    }
+
+    #[test]
+    fn first_block_creates_nothing() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        bcg.observe(blk(0));
+        assert!(bcg.is_empty());
+        assert_eq!(bcg.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn pair_stream_builds_two_nodes_and_edges() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1], 10);
+        // Branches: (0,1) and (1,0).
+        assert_eq!(bcg.len(), 2);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let n10 = bcg.node_index((blk(1), blk(0))).unwrap();
+        let node01 = bcg.node(n01);
+        assert_eq!(node01.successors().len(), 1);
+        assert_eq!(node01.successors()[0].to_block, blk(0));
+        assert_eq!(node01.successors()[0].node, n10);
+        assert_eq!(node01.state(), NodeState::Unique);
+        assert!(bcg.node(n10).predecessors().contains(&n01));
+    }
+
+    #[test]
+    fn start_delay_gates_hotness() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(64, 0.97));
+        feed(&mut bcg, &[0, 1], 30); // each branch executes < 64 times
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        assert_eq!(bcg.node(n01).state(), NodeState::NewlyCreated);
+        feed(&mut bcg, &[0, 1], 40); // crosses the 64-execution delay
+        assert_eq!(bcg.node(n01).state(), NodeState::Unique);
+        // Exactly one state-change signal for that node.
+        let sigs = bcg.take_signals();
+        let for_n01: Vec<_> = sigs.iter().filter(|s| s.node == n01).collect();
+        assert_eq!(for_n01.len(), 1);
+        assert!(matches!(
+            for_n01[0].kind,
+            SignalKind::StateChange {
+                old: NodeState::NewlyCreated,
+                new: NodeState::Unique
+            }
+        ));
+    }
+
+    #[test]
+    fn biased_branch_becomes_strong_not_unique() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.90));
+        // Context (0,1) is followed by 2 most of the time, 3 occasionally:
+        // stream 0 1 2 0 1 2 ... with a 3 every 20th round. Run past the
+        // 256-execution decay interval so the state tag is re-evaluated.
+        for i in 0..400 {
+            bcg.observe(blk(0));
+            bcg.observe(blk(1));
+            bcg.observe(blk(if i % 20 == 19 { 3 } else { 2 }));
+        }
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let node = bcg.node(n01);
+        assert_eq!(node.successors().len(), 2);
+        assert_eq!(node.state(), NodeState::Strong);
+        assert!(node.correlation_to(blk(2)) >= 0.90);
+    }
+
+    #[test]
+    fn unbiased_branch_is_weak() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        for i in 0..400 {
+            bcg.observe(blk(0));
+            bcg.observe(blk(1));
+            bcg.observe(blk(if i % 2 == 0 { 2 } else { 3 }));
+        }
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let node = bcg.node(n01);
+        assert_eq!(node.state(), NodeState::Weak);
+        let c2 = node.correlation_to(blk(2));
+        assert!((0.3..=0.7).contains(&c2), "c2 = {c2}");
+    }
+
+    #[test]
+    fn inline_cache_hits_dominate_on_regular_stream() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1, 2, 3], 1000);
+        let s = bcg.stats();
+        assert!(
+            s.cache_hit_ratio() > 0.99,
+            "hit ratio {}",
+            s.cache_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn disabling_inline_cache_preserves_graph_shape() {
+        let mut with_cache = BranchCorrelationGraph::new(cfg(1, 0.97));
+        let mut without = BranchCorrelationGraph::new(BcgConfig {
+            inline_cache: false,
+            ..cfg(1, 0.97)
+        });
+        for g in [&mut with_cache, &mut without] {
+            for i in 0..300 {
+                g.observe(blk(0));
+                g.observe(blk(1));
+                g.observe(blk(if i % 10 == 9 { 3 } else { 2 }));
+            }
+        }
+        assert_eq!(with_cache.len(), without.len());
+        assert_eq!(without.stats().cache_hits, 0);
+        let n01 = (blk(0), blk(1));
+        let a = with_cache.node(with_cache.node_index(n01).unwrap());
+        let b = without.node(without.node_index(n01).unwrap());
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.total_weight(), b.total_weight());
+    }
+
+    #[test]
+    fn decay_halves_counters_and_caps_window() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        // Run for many decay intervals; counters must stay bounded by
+        // roughly 2 * decay_interval (geometric series of halvings).
+        feed(&mut bcg, &[0, 1], 4000);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let node = bcg.node(n01);
+        let c = node.successors()[0].count;
+        assert!(c > 0);
+        assert!(
+            u32::from(c) <= 2 * bcg.config().decay_interval,
+            "counter {c} should be bounded by the decay window"
+        );
+        assert!(bcg.stats().decays > 0);
+    }
+
+    #[test]
+    fn phase_change_flips_prediction_and_signals() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        // Phase 1: (0,1) -> 2.
+        feed(&mut bcg, &[0, 1, 2], 400);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        assert_eq!(bcg.node(n01).predicted().unwrap().to_block, blk(2));
+        let _ = bcg.take_signals();
+        // Phase 2: (0,1) -> 3 forever after.
+        feed(&mut bcg, &[0, 1, 3], 4000);
+        let node = bcg.node(n01);
+        assert_eq!(node.predicted().unwrap().to_block, blk(3));
+        // The old edge must eventually decay away entirely.
+        assert_eq!(node.successors().len(), 1, "stale edge should be pruned");
+        assert_eq!(node.state(), NodeState::Unique);
+        let sigs = bcg.take_signals();
+        assert!(
+            sigs.iter().any(|s| s.node == n01),
+            "phase change must signal the trace cache"
+        );
+    }
+
+    #[test]
+    fn generation_marking_round_trips() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1], 5);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        assert_eq!(bcg.node(n01).generation(), 0);
+        bcg.mark_generation(n01, 42);
+        assert_eq!(bcg.node(n01).generation(), 42);
+    }
+
+    #[test]
+    fn begin_stream_resets_context_but_keeps_graph() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1], 10);
+        let before = bcg.len();
+        bcg.begin_stream();
+        // A fresh stream's first block forms no branch with the old one.
+        bcg.observe(blk(7));
+        assert_eq!(bcg.len(), before);
+        bcg.observe(blk(8));
+        assert_eq!(bcg.len(), before + 1);
+    }
+
+    #[test]
+    fn counters_saturate_without_overflow() {
+        let mut bcg = BranchCorrelationGraph::new(BcgConfig {
+            decay_interval: u32::MAX, // never decay: force saturation path
+            max_counter: 100,
+            ..cfg(1, 0.97)
+        });
+        feed(&mut bcg, &[0, 1], 500);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let node = bcg.node(n01);
+        assert_eq!(node.successors()[0].count, 100);
+        assert_eq!(node.total_weight(), 100);
+    }
+
+    #[test]
+    fn dispatch_count_tracks_observations() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1, 2], 7);
+        assert_eq!(bcg.stats().dispatches, 21);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_the_graph_and_stays_lazy() {
+        let mut small = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut small, &[0, 1], 50);
+        let small_mem = small.memory_estimate();
+        assert!(small_mem > 0);
+
+        let mut big = BranchCorrelationGraph::new(cfg(1, 0.97));
+        for i in 0..32u32 {
+            for _ in 0..10 {
+                big.observe(blk(i));
+                big.observe(blk(i + 32));
+            }
+        }
+        assert!(
+            big.memory_estimate() > small_mem,
+            "more realized branches must cost more memory"
+        );
+        // Lazy construction: memory tracks realized pairs (~hundreds of
+        // bytes each), not some quadratic blowup.
+        assert!(big.memory_estimate() < 64 * 1024);
+    }
+
+    #[test]
+    fn iter_visits_every_node() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        feed(&mut bcg, &[0, 1, 2, 3], 3);
+        let n = bcg.len();
+        assert_eq!(bcg.iter().count(), n);
+        for (idx, node) in bcg.iter() {
+            assert_eq!(bcg.node_index(node.branch()), Some(idx));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! BCG nodes and edges.
+
+use jvm_bytecode::BlockId;
+
+use crate::graph::NodeIdx;
+use crate::state::NodeState;
+use crate::Branch;
+
+/// An edge `E_XYZ`: from node `N_XY`, the branch `(Y, Z)` was observed
+/// `count` times (subject to decay).
+///
+/// The edge stores the index of its target node `N_YZ`, reproducing the
+/// paper's pointer-chasing fast path: "each branch correlation contains
+/// the address of its target branch context" (§4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Successor {
+    /// The block `Z` this correlation predicts.
+    pub to_block: BlockId,
+    /// Decayed 16-bit occurrence counter.
+    pub count: u16,
+    /// Index of the target node `N_YZ`.
+    pub node: NodeIdx,
+}
+
+/// A node `N_XY` of the branch correlation graph.
+///
+/// Holds the decayed successor-correlation counters, the state tag
+/// summarised to the trace cache, the start-state delay countdown, the
+/// predicted-successor inline cache, and the generation stamp the trace
+/// cache uses to suppress signal cascades (§4.2).
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) branch: Branch,
+    pub(crate) state: NodeState,
+    /// Executions remaining before the node leaves `NewlyCreated`.
+    pub(crate) delay_remaining: u32,
+    /// Executions since the last decay.
+    pub(crate) since_decay: u32,
+    /// Total executions (for diagnostics; saturating).
+    pub(crate) executions: u64,
+    /// Sum of successor counts (kept in sync with `successors`).
+    pub(crate) total_weight: u32,
+    pub(crate) successors: Vec<Successor>,
+    /// Nodes that have (or once had) an edge into this node; used for
+    /// entry-point backtracking. Entries may be stale after decay pruning
+    /// and must be re-validated by the consumer.
+    pub(crate) preds: Vec<NodeIdx>,
+    /// Index into `successors` of the cached prediction.
+    pub(crate) cached: Option<u32>,
+    /// Trace-cache generation stamp (see
+    /// [`crate::BranchCorrelationGraph::mark_generation`]).
+    pub(crate) generation: u64,
+}
+
+impl Node {
+    pub(crate) fn new(branch: Branch, start_delay: u32) -> Self {
+        Node {
+            branch,
+            state: NodeState::NewlyCreated,
+            delay_remaining: start_delay,
+            since_decay: 0,
+            executions: 0,
+            total_weight: 0,
+            successors: Vec::new(),
+            preds: Vec::new(),
+            cached: None,
+            generation: 0,
+        }
+    }
+
+    /// The branch `(X, Y)` this node represents.
+    pub fn branch(&self) -> Branch {
+        self.branch
+    }
+
+    /// Current state tag.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Lifetime execution count of this branch.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// The successor correlations, in discovery order.
+    pub fn successors(&self) -> &[Successor] {
+        &self.successors
+    }
+
+    /// Possibly-stale predecessor node indices (validate before use).
+    pub fn predecessors(&self) -> &[NodeIdx] {
+        &self.preds
+    }
+
+    /// Sum of all successor counts.
+    pub fn total_weight(&self) -> u32 {
+        self.total_weight
+    }
+
+    /// The trace-cache generation stamp.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The successor with the maximal counter, if any.
+    pub fn max_successor(&self) -> Option<&Successor> {
+        self.successors.iter().max_by_key(|s| s.count)
+    }
+
+    /// The cached (predicted) successor, if any.
+    pub fn predicted(&self) -> Option<&Successor> {
+        self.cached.map(|i| &self.successors[i as usize])
+    }
+
+    /// Correlation ratio of a successor: `count / total_weight`, in
+    /// `[0, 1]`; 0.0 when the node has no weight.
+    pub fn correlation(&self, s: &Successor) -> f64 {
+        if self.total_weight == 0 {
+            0.0
+        } else {
+            f64::from(s.count) / f64::from(self.total_weight)
+        }
+    }
+
+    /// Correlation ratio toward a specific block, 0.0 if never observed.
+    pub fn correlation_to(&self, block: BlockId) -> f64 {
+        self.successors
+            .iter()
+            .find(|s| s.to_block == block)
+            .map(|s| self.correlation(s))
+            .unwrap_or(0.0)
+    }
+
+    /// Recomputes the state tag from the current counters.
+    ///
+    /// * still inside the delay → `NewlyCreated`;
+    /// * no successors with weight → `NewlyCreated` (nothing to predict);
+    /// * exactly one successor ever observed → `Unique`;
+    /// * max correlation ≥ threshold → `Strong`;
+    /// * otherwise → `Weak`.
+    pub(crate) fn compute_state(&self, threshold: f64) -> NodeState {
+        if self.delay_remaining > 0 {
+            return NodeState::NewlyCreated;
+        }
+        if self.total_weight == 0 || self.successors.is_empty() {
+            return NodeState::NewlyCreated;
+        }
+        if self.successors.len() == 1 {
+            return NodeState::Unique;
+        }
+        let max = self.max_successor().expect("nonempty");
+        if self.correlation(max) >= threshold {
+            NodeState::Strong
+        } else {
+            NodeState::Weak
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::FuncId;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    fn node_with_counts(counts: &[(u32, u16)], delay: u32) -> Node {
+        let mut n = Node::new((blk(0), blk(1)), delay);
+        for (i, &(b, c)) in counts.iter().enumerate() {
+            n.successors.push(Successor {
+                to_block: blk(b),
+                count: c,
+                node: NodeIdx(i as u32 + 1),
+            });
+            n.total_weight += u32::from(c);
+        }
+        n.executions = u64::from(n.total_weight);
+        n
+    }
+
+    #[test]
+    fn correlation_ratios() {
+        let n = node_with_counts(&[(2, 90), (3, 10)], 0);
+        assert_eq!(n.total_weight(), 100);
+        assert_eq!(n.correlation_to(blk(2)), 0.9);
+        assert_eq!(n.correlation_to(blk(3)), 0.1);
+        assert_eq!(n.correlation_to(blk(9)), 0.0);
+        assert_eq!(n.max_successor().unwrap().to_block, blk(2));
+    }
+
+    #[test]
+    fn state_newly_created_while_delayed() {
+        let mut n = node_with_counts(&[(2, 50)], 10);
+        n.delay_remaining = 10;
+        assert_eq!(n.compute_state(0.97), NodeState::NewlyCreated);
+    }
+
+    #[test]
+    fn state_unique_with_single_successor() {
+        let n = node_with_counts(&[(2, 5)], 0);
+        assert_eq!(n.compute_state(0.97), NodeState::Unique);
+    }
+
+    #[test]
+    fn state_strong_vs_weak_at_threshold() {
+        let strong = node_with_counts(&[(2, 97), (3, 3)], 0);
+        assert_eq!(strong.compute_state(0.97), NodeState::Strong);
+        let weak = node_with_counts(&[(2, 96), (3, 4)], 0);
+        assert_eq!(weak.compute_state(0.97), NodeState::Weak);
+    }
+
+    #[test]
+    fn state_degenerates_to_newly_created_without_weight() {
+        let n = node_with_counts(&[], 0);
+        assert_eq!(n.compute_state(0.97), NodeState::NewlyCreated);
+    }
+
+    #[test]
+    fn threshold_one_requires_perfect_correlation() {
+        // Two successors where one has decayed to zero weight: total is
+        // all on one edge, so correlation is 1.0 and Strong applies even
+        // at a 100% threshold.
+        let n = node_with_counts(&[(2, 8), (3, 0)], 0);
+        assert_eq!(n.compute_state(1.0), NodeState::Strong);
+        let n2 = node_with_counts(&[(2, 7), (3, 1)], 0);
+        assert_eq!(n2.compute_state(1.0), NodeState::Weak);
+    }
+}

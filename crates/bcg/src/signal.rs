@@ -1,0 +1,70 @@
+//! Profiler → trace-cache signals.
+
+use jvm_bytecode::BlockId;
+
+use crate::graph::NodeIdx;
+use crate::state::NodeState;
+use crate::Branch;
+
+/// What changed about a node.
+///
+/// The paper (§4.1.1): "If either the maximally correlated branch or its
+/// state changes the profiler signals the trace cache to update itself."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignalKind {
+    /// The node's state tag changed (including leaving `NewlyCreated`,
+    /// which is the "became hot" event).
+    StateChange {
+        /// State before the change.
+        old: NodeState,
+        /// State after the change.
+        new: NodeState,
+    },
+    /// The maximally correlated successor changed while the state stayed
+    /// the same.
+    PredictionChange {
+        /// Previously predicted next block, if any.
+        old: Option<BlockId>,
+        /// Newly predicted next block, if any.
+        new: Option<BlockId>,
+    },
+}
+
+/// One profiler signal: the node it concerns and what changed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signal {
+    /// Index of the affected node.
+    pub node: NodeIdx,
+    /// The affected branch `(X, Y)`.
+    pub branch: Branch,
+    /// What changed.
+    pub kind: SignalKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::FuncId;
+
+    #[test]
+    fn signals_are_inspectable() {
+        let a = BlockId::new(FuncId(0), 0);
+        let b = BlockId::new(FuncId(0), 1);
+        let s = Signal {
+            node: NodeIdx(0),
+            branch: (a, b),
+            kind: SignalKind::StateChange {
+                old: NodeState::NewlyCreated,
+                new: NodeState::Unique,
+            },
+        };
+        match s.kind {
+            SignalKind::StateChange { old, new } => {
+                assert_eq!(old, NodeState::NewlyCreated);
+                assert_eq!(new, NodeState::Unique);
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert_eq!(s.branch.0, a);
+    }
+}

@@ -1,0 +1,77 @@
+//! Node states.
+
+use std::fmt;
+
+/// The correlation state of a BCG node, summarised to the trace cache.
+///
+/// The paper (§4.1.1) lists them "in descending degree of correlation:
+/// unique, strongly correlated, weakly correlated, and newly created";
+/// the `Ord` impl follows that order ascending, so
+/// `NodeState::Unique > NodeState::Strong > NodeState::Weak >
+/// NodeState::NewlyCreated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeState {
+    /// Still inside the start-state delay (or has no usable statistics);
+    /// excluded from traces.
+    NewlyCreated,
+    /// Hot, but no successor reaches the correlation threshold.
+    Weak,
+    /// The maximal successor correlation is at or above the threshold.
+    Strong,
+    /// Exactly one successor has ever been observed (probability 1 so
+    /// far) — the analogue of a rePLay assertion.
+    Unique,
+}
+
+impl NodeState {
+    /// Whether the trace constructor may extend a trace *through* this
+    /// node (i.e. follow its predicted successor).
+    #[inline]
+    pub fn is_traceable(self) -> bool {
+        matches!(self, NodeState::Strong | NodeState::Unique)
+    }
+
+    /// Whether the node has left the start-state delay.
+    #[inline]
+    pub fn is_hot(self) -> bool {
+        self != NodeState::NewlyCreated
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeState::NewlyCreated => "newly-created",
+            NodeState::Weak => "weak",
+            NodeState::Strong => "strong",
+            NodeState::Unique => "unique",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_correlation_degrees() {
+        assert!(NodeState::Unique > NodeState::Strong);
+        assert!(NodeState::Strong > NodeState::Weak);
+        assert!(NodeState::Weak > NodeState::NewlyCreated);
+    }
+
+    #[test]
+    fn traceability() {
+        assert!(NodeState::Unique.is_traceable());
+        assert!(NodeState::Strong.is_traceable());
+        assert!(!NodeState::Weak.is_traceable());
+        assert!(!NodeState::NewlyCreated.is_traceable());
+    }
+
+    #[test]
+    fn hotness() {
+        assert!(!NodeState::NewlyCreated.is_hot());
+        assert!(NodeState::Weak.is_hot());
+    }
+}

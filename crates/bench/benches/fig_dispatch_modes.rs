@@ -1,0 +1,73 @@
+//! Figures 1–2: the three dispatch models.
+//!
+//! The paper's Figure 1 shows a plain interpreter dispatching one
+//! *instruction* at a time, Figure 2 a direct-threaded-inlining
+//! interpreter dispatching one *basic block* at a time; the trace cache
+//! then dispatches one *trace* at a time. This bench times the actual
+//! interpreter under (a) no observer, (b) the attached profiler, and
+//! (c) the full trace system, and prints the dispatch-count table that
+//! regenerates the figures' content.
+//!
+//! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jvm_vm::{NullObserver, Vm};
+use trace_bcg::BranchCorrelationGraph;
+use trace_bench::parse_scale;
+use trace_jit::{tables, TraceJitConfig, TraceVm};
+use trace_workloads::{registry, Scale};
+
+fn scale() -> Scale {
+    std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale)
+        .unwrap_or(Scale::Small)
+}
+
+fn bench_dispatch_modes(c: &mut Criterion) {
+    let scale = scale();
+    let workloads = registry::all(scale);
+
+    let mut group = c.benchmark_group("fig_dispatch_modes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in &workloads {
+        group.bench_function(format!("{}/interpreter", w.name), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&w.program);
+                vm.run(black_box(&w.args), &mut NullObserver).unwrap();
+                black_box(vm.checksum())
+            })
+        });
+        group.bench_function(format!("{}/profiled", w.name), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&w.program);
+                let mut bcg =
+                    BranchCorrelationGraph::new(TraceJitConfig::paper_default().bcg_config());
+                vm.run(black_box(&w.args), &mut |blk| bcg.observe(blk))
+                    .unwrap();
+                black_box(vm.checksum())
+            })
+        });
+        group.bench_function(format!("{}/trace_vm", w.name), |b| {
+            b.iter(|| {
+                let mut tvm = TraceVm::new(&w.program, TraceJitConfig::paper_default());
+                let r = tvm.run(black_box(&w.args)).unwrap();
+                black_box(r.checksum)
+            })
+        });
+    }
+    group.finish();
+
+    // Print the figure's dispatch-count table once.
+    let rows = trace_bench::dispatch_rows(scale);
+    println!("\n{}", tables::fig_dispatch_modes(&rows).render());
+}
+
+criterion_group!(benches, bench_dispatch_modes);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table VI: profiler overhead per basic-block dispatch.
+//!
+//! Times the interpreter with and without the profiler attached to every
+//! block dispatch — the two columns of Table VI — and prints the derived
+//! per-million-dispatch overhead table.
+//!
+//! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jvm_vm::{NullObserver, Vm};
+use trace_bcg::BranchCorrelationGraph;
+use trace_bench::{overhead_rows, parse_scale};
+use trace_jit::{tables, TraceJitConfig};
+use trace_workloads::{registry, Scale};
+
+fn scale() -> Scale {
+    std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale)
+        .unwrap_or(Scale::Small)
+}
+
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let scale = scale();
+    let workloads = registry::all(scale);
+
+    let mut group = c.benchmark_group("table6_profiler_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in &workloads {
+        group.bench_function(format!("{}/no_profiler", w.name), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&w.program);
+                vm.run(black_box(&w.args), &mut NullObserver).unwrap();
+                black_box(vm.stats().block_dispatches)
+            })
+        });
+        group.bench_function(format!("{}/profiler", w.name), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&w.program);
+                let mut bcg =
+                    BranchCorrelationGraph::new(TraceJitConfig::paper_default().bcg_config());
+                vm.run(black_box(&w.args), &mut |blk| bcg.observe(blk))
+                    .unwrap();
+                black_box(bcg.stats().dispatches)
+            })
+        });
+    }
+    group.finish();
+
+    let rows = overhead_rows(scale, 3);
+    println!("\n{}", tables::table6_profiler_overhead(&rows).render());
+}
+
+criterion_group!(benches, bench_profiler_overhead);
+criterion_main!(benches);

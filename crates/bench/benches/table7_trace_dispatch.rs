@@ -1,0 +1,55 @@
+//! Table VII: expected profiling overhead under the trace-dispatch
+//! model.
+//!
+//! Follows the paper's §5.4 derivation: the per-dispatch profiler cost
+//! from the Table VI methodology is multiplied by the (much smaller)
+//! trace-model dispatch count, giving the predicted percentage overhead.
+//! The bench itself times the full trace VM so the prediction can be
+//! compared against a measured end-to-end run.
+//!
+//! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use trace_bench::{overhead_rows, parse_scale};
+use trace_jit::{tables, TraceJitConfig, TraceVm};
+use trace_workloads::{registry, Scale};
+
+fn scale() -> Scale {
+    std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale)
+        .unwrap_or(Scale::Small)
+}
+
+fn bench_trace_dispatch(c: &mut Criterion) {
+    let scale = scale();
+    let workloads = registry::all(scale);
+
+    let mut group = c.benchmark_group("table7_trace_dispatch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in &workloads {
+        group.bench_function(format!("{}/trace_vm", w.name), |b| {
+            b.iter(|| {
+                let mut tvm = TraceVm::new(&w.program, TraceJitConfig::paper_default());
+                let r = tvm.run(black_box(&w.args)).unwrap();
+                black_box(r.traces.trace_dispatches())
+            })
+        });
+    }
+    group.finish();
+
+    let rows = overhead_rows(scale, 3);
+    println!(
+        "\n{}",
+        tables::table7_trace_dispatch_overhead(&rows).render()
+    );
+}
+
+criterion_group!(benches, bench_trace_dispatch);
+criterion_main!(benches);

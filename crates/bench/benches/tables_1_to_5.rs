@@ -1,0 +1,61 @@
+//! Tables I–V: the trace-quality sweeps.
+//!
+//! Prints the five metric tables (trace length, coverage, completion
+//! rate, signal rate, event interval) exactly as `paper_tables` does,
+//! and times the underlying measurement — one full trace-VM run at the
+//! paper's chosen parameters (97% threshold, delay 64) — per workload.
+//!
+//! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use trace_bench::{named_delay_sweeps, named_threshold_sweeps, parse_scale};
+use trace_jit::experiment::run_point;
+use trace_jit::{tables, TraceJitConfig};
+use trace_workloads::{registry, Scale};
+
+fn scale() -> Scale {
+    std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale)
+        .unwrap_or(Scale::Small)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = scale();
+    let workloads = registry::all(scale);
+
+    let mut group = c.benchmark_group("tables_1_to_5");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in &workloads {
+        group.bench_function(format!("{}/run_point_97", w.name), |b| {
+            b.iter(|| {
+                let r = run_point(
+                    &w.program,
+                    black_box(&w.args),
+                    TraceJitConfig::paper_default(),
+                )
+                .unwrap();
+                black_box(r.coverage_completed())
+            })
+        });
+    }
+    group.finish();
+
+    println!("\n# regenerating Tables I-V at {scale:?} scale…");
+    let sweeps = named_threshold_sweeps(scale);
+    println!("{}", tables::table1_trace_length(&sweeps).render());
+    println!("{}", tables::table2_coverage(&sweeps).render());
+    println!("{}", tables::table3_completion(&sweeps).render());
+    println!("{}", tables::table4_signal_rate(&sweeps).render());
+    let delays = named_delay_sweeps(scale);
+    println!("{}", tables::table5_event_interval(&delays).render());
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

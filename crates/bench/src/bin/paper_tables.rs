@@ -1,0 +1,164 @@
+//! Regenerates the paper's Tables I–VII (and the Figures 1–2 dispatch
+//! comparison) over the six workload analogues.
+//!
+//! ```text
+//! paper_tables [--scale test|small|paper] [--table 1|2|3|4|5|6|7|fig|all]
+//!              [--format text|csv]
+//! ```
+//!
+//! Defaults: `--scale small --table all`. Tables I–IV share one threshold
+//! sweep (thresholds 100/99/98/97/95% at delay 64); Table V sweeps the
+//! start-state delay (1/64/4096) at the 97% threshold; Tables VI–VII time
+//! the profiler against the unmodified interpreter on this machine.
+
+use std::process::ExitCode;
+
+use trace_bench::{
+    dispatch_rows, named_delay_sweeps, named_threshold_sweeps, overhead_rows, parse_scale,
+};
+use trace_jit::tables;
+use trace_workloads::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: paper_tables [--scale test|small|paper] [--table 1..7|fig|all] [--format text|csv]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut table = "all".to_owned();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref().and_then(parse_scale) {
+                Some(s) => scale = s,
+                None => return usage(),
+            },
+            "--table" => match args.next() {
+                Some(t) => table = t,
+                None => return usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => csv = false,
+                Some("csv") => csv = true,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let emit = |t: &tables::TextTable| {
+        if csv {
+            println!("{}", t.render_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    let wants = |t: &str| table == "all" || table == t;
+    let needs_threshold_sweep = ["1", "2", "3", "4"].iter().any(|t| wants(t));
+    let needs_overhead = wants("6") || wants("7");
+
+    if !["all", "1", "2", "3", "4", "5", "6", "7", "fig", "summary"].contains(&table.as_str()) {
+        return usage();
+    }
+
+    eprintln!("# scale: {scale:?}");
+
+    if wants("fig") {
+        eprintln!("# running paper-default runs for the dispatch figure…");
+        let rows = dispatch_rows(scale);
+        emit(&tables::fig_dispatch_modes(&rows));
+    }
+
+    if needs_threshold_sweep {
+        eprintln!("# running threshold sweeps (Tables I-IV)…");
+        let sweeps = named_threshold_sweeps(scale);
+        if wants("1") {
+            emit(&tables::table1_trace_length(&sweeps));
+        }
+        if wants("2") {
+            emit(&tables::table2_coverage(&sweeps));
+        }
+        if wants("3") {
+            emit(&tables::table3_completion(&sweeps));
+        }
+        if wants("4") {
+            emit(&tables::table4_signal_rate(&sweeps));
+        }
+    }
+
+    if wants("5") {
+        eprintln!("# running delay sweeps (Table V)…");
+        let sweeps = named_delay_sweeps(scale);
+        emit(&tables::table5_event_interval(&sweeps));
+    }
+
+    if needs_overhead {
+        eprintln!("# timing profiler overhead (Tables VI-VII)…");
+        let rows = overhead_rows(scale, 3);
+        if wants("6") {
+            emit(&tables::table6_profiler_overhead(&rows));
+        }
+        if wants("7") {
+            emit(&tables::table7_trace_dispatch_overhead(&rows));
+        }
+    }
+
+    if table == "summary" {
+        eprintln!("# running paper-vs-measured summary…");
+        let sweeps = named_threshold_sweeps(scale);
+        let avg = |f: &dyn Fn(&trace_jit::RunReport) -> f64, row: usize| -> f64 {
+            let vals: Vec<f64> = sweeps.iter().map(|(_, pts)| f(&pts[row].report)).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // Row 3 of the sweep grid is the 97% threshold.
+        let overheads = overhead_rows(scale, 3);
+        let oh_avg = overheads
+            .iter()
+            .map(|(_, m)| m.expected_trace_overhead_pct())
+            .sum::<f64>()
+            / overheads.len() as f64;
+        let mut t = tables::TextTable::new(
+            "Paper vs measured: headline aggregates at threshold 97%, delay 64",
+            vec!["quantity".into(), "paper".into(), "measured".into()],
+        );
+        t.push_row(vec![
+            "avg trace length (blocks)".into(),
+            "7.5".into(),
+            format!("{:.1}", avg(&|r| r.avg_trace_length(), 3)),
+        ]);
+        t.push_row(vec![
+            "stream coverage, completed traces".into(),
+            "87.1%".into(),
+            format!("{:.1}%", 100.0 * avg(&|r| r.coverage_completed(), 3)),
+        ]);
+        t.push_row(vec![
+            "stream coverage incl. partial".into(),
+            "90.7%".into(),
+            format!("{:.1}%", 100.0 * avg(&|r| r.coverage_incl_partial(), 3)),
+        ]);
+        t.push_row(vec![
+            "trace completion rate (min over benchmarks)".into(),
+            ">= 97.2%".into(),
+            format!(
+                "{:.1}%",
+                100.0
+                    * sweeps
+                        .iter()
+                        .map(|(_, pts)| pts[3].report.completion_rate())
+                        .fold(f64::INFINITY, f64::min)
+            ),
+        ]);
+        t.push_row(vec![
+            "expected trace-dispatch overhead (avg)".into(),
+            "4.5%".into(),
+            format!("{oh_avg:.1}%"),
+        ]);
+        emit(&t);
+    }
+
+    ExitCode::SUCCESS
+}

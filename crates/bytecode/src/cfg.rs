@@ -1,0 +1,320 @@
+//! Basic-block construction.
+//!
+//! A *basic block* here follows the direct-threaded-inlining model of the
+//! paper (Piumarta & Riccardi selective inlining, as used by SableVM): a
+//! maximal straight-line instruction sequence that the interpreter can
+//! execute with a **single dispatch**. Consequently every control transfer
+//! ends a block — conditional branches, `goto`, `tableswitch`, returns,
+//! *and calls* (a call transfers control to the callee's entry block, and
+//! the continuation after the call is a fresh block reached by a fresh
+//! dispatch when the callee returns).
+//!
+//! Blocks are numbered densely per function in order of their first
+//! instruction; `(FuncId, block index)` pairs ([`crate::BlockId`]) are the
+//! vocabulary of the dynamic stream seen by the profiler.
+
+use crate::instr::Instr;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminatorKind {
+    /// Two-way conditional branch (taken target + fall-through).
+    CondBranch,
+    /// Unconditional `goto`.
+    Goto,
+    /// Multi-way `tableswitch`.
+    Switch,
+    /// Static or virtual call; control resumes at the next block.
+    Call,
+    /// Return to the caller.
+    Return,
+}
+
+/// A basic block: a half-open range `[start, end)` of instruction indices
+/// within one function, plus its terminator classification and static
+/// successors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: u32,
+    /// One past the index of the last instruction.
+    pub end: u32,
+    /// Classification of the final instruction.
+    pub kind: TerminatorKind,
+    /// Intra-function successor *block indices*. For `CondBranch` this is
+    /// `[taken, fall-through]`; for `Call` it is the continuation block;
+    /// for `Return` it is empty (the dynamic successor lives in the
+    /// caller).
+    pub successors: Vec<u32>,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the block contains no instructions. Never true
+    /// for blocks produced by [`build_blocks`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Partitions `code` into basic blocks and computes, for every instruction,
+/// the index of its containing block.
+///
+/// Returns `(blocks, block_of_instr)`. The code must be non-empty and all
+/// branch targets in range — guaranteed for verified functions; this
+/// function itself only debug-asserts those invariants.
+///
+/// Leaders are: instruction 0, every branch/switch target, and every
+/// instruction following a terminator.
+pub fn build_blocks(code: &[Instr]) -> (Vec<Block>, Vec<u32>) {
+    assert!(!code.is_empty(), "cannot build blocks for empty code");
+    let n = code.len();
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (i, ins) in code.iter().enumerate() {
+        for t in ins.branch_targets() {
+            // Out-of-range targets are a verifier error; tolerate them
+            // here so verification gets to report them.
+            if (t as usize) < n {
+                leader[t as usize] = true;
+            }
+        }
+        if ins.is_terminator() && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+
+    // First pass: block boundaries.
+    let mut starts: Vec<u32> = Vec::new();
+    for (i, &l) in leader.iter().enumerate() {
+        if l {
+            starts.push(i as u32);
+        }
+    }
+    let mut block_of_instr = vec![0u32; n];
+    let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+    for (bi, &s) in starts.iter().enumerate() {
+        let e = starts.get(bi + 1).copied().unwrap_or(n as u32);
+        for pc in s..e {
+            block_of_instr[pc as usize] = bi as u32;
+        }
+        let last = &code[(e - 1) as usize];
+        let kind = match last {
+            Instr::IfICmp(..)
+            | Instr::IfI(..)
+            | Instr::IfFCmp(..)
+            | Instr::IfNull(..)
+            | Instr::IfNonNull(..) => TerminatorKind::CondBranch,
+            Instr::Goto(..) => TerminatorKind::Goto,
+            Instr::TableSwitch { .. } => TerminatorKind::Switch,
+            Instr::InvokeStatic(..) | Instr::InvokeVirtual { .. } => TerminatorKind::Call,
+            Instr::Return | Instr::ReturnVoid => TerminatorKind::Return,
+            // A block can also end because the *next* instruction is a
+            // leader (a join point); control simply falls through. We model
+            // that as an implicit goto for dispatch-accounting purposes.
+            _ => TerminatorKind::Goto,
+        };
+        blocks.push(Block {
+            start: s,
+            end: e,
+            kind,
+            successors: Vec::new(),
+        });
+    }
+
+    // Second pass: successors (needs block_of_instr complete).
+    for bi in 0..blocks.len() {
+        let e = blocks[bi].end;
+        let last = &code[(e - 1) as usize];
+        let mut succ: Vec<u32> = Vec::new();
+        match blocks[bi].kind {
+            TerminatorKind::CondBranch => {
+                let t = last.branch_targets()[0];
+                if (t as usize) < n {
+                    succ.push(block_of_instr[t as usize]);
+                }
+                // Fall-through past the end of code is a verifier error;
+                // tolerate it here so the verifier gets to report it.
+                if (e as usize) < n {
+                    succ.push(block_of_instr[e as usize]);
+                }
+            }
+            TerminatorKind::Goto => {
+                if let Instr::Goto(t) = last {
+                    if (*t as usize) < n {
+                        succ.push(block_of_instr[*t as usize]);
+                    }
+                } else if (e as usize) < n {
+                    // Implicit fall-through into the next leader.
+                    succ.push(block_of_instr[e as usize]);
+                }
+            }
+            TerminatorKind::Switch => {
+                for t in last.branch_targets() {
+                    if (t as usize) >= n {
+                        continue;
+                    }
+                    let b = block_of_instr[t as usize];
+                    if !succ.contains(&b) {
+                        succ.push(b);
+                    }
+                }
+            }
+            TerminatorKind::Call => {
+                if (e as usize) < n {
+                    succ.push(block_of_instr[e as usize]);
+                }
+            }
+            TerminatorKind::Return => {}
+        }
+        blocks[bi].successors = succ;
+    }
+
+    (blocks, block_of_instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::CmpOp;
+    use crate::FuncId;
+
+    fn straight_line() -> Vec<Instr> {
+        vec![
+            Instr::IConst(1),
+            Instr::IConst(2),
+            Instr::IAdd,
+            Instr::Return,
+        ]
+    }
+
+    #[test]
+    fn single_block_for_straight_line_code() {
+        let (blocks, map) = build_blocks(&straight_line());
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks[0].end, 4);
+        assert_eq!(blocks[0].kind, TerminatorKind::Return);
+        assert!(blocks[0].successors.is_empty());
+        assert_eq!(map, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn conditional_branch_splits_three_ways() {
+        // 0: iconst 0
+        // 1: if_i eq -> 4
+        // 2: iconst 1
+        // 3: return
+        // 4: iconst 2
+        // 5: return
+        let code = vec![
+            Instr::IConst(0),
+            Instr::IfI(CmpOp::Eq, 4),
+            Instr::IConst(1),
+            Instr::Return,
+            Instr::IConst(2),
+            Instr::Return,
+        ];
+        let (blocks, map) = build_blocks(&code);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].kind, TerminatorKind::CondBranch);
+        // Taken target first, then fall-through.
+        assert_eq!(blocks[0].successors, vec![2, 1]);
+        assert_eq!(map, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn call_terminates_block_with_continuation_successor() {
+        let code = vec![
+            Instr::IConst(7),
+            Instr::InvokeStatic(FuncId(1)),
+            Instr::Pop,
+            Instr::ReturnVoid,
+        ];
+        let (blocks, _) = build_blocks(&code);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].kind, TerminatorKind::Call);
+        assert_eq!(blocks[0].successors, vec![1]);
+        assert_eq!(blocks[1].kind, TerminatorKind::Return);
+    }
+
+    #[test]
+    fn loop_back_edge_targets_head_block() {
+        // 0: iconst 10        (b0)
+        // 1: store 0          (b0 continues)
+        // 2: load 0           (b1: loop head, branch target)
+        // 3: if_i le -> 7
+        // 4: iinc 0, -1       (b2)
+        // 5: nop
+        // 6: goto 2
+        // 7: return_void      (b3)
+        let code = vec![
+            Instr::IConst(10),
+            Instr::Store(0),
+            Instr::Load(0),
+            Instr::IfI(CmpOp::Le, 7),
+            Instr::IInc(0, -1),
+            Instr::Nop,
+            Instr::Goto(2),
+            Instr::ReturnVoid,
+        ];
+        let (blocks, _) = build_blocks(&code);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[1].kind, TerminatorKind::CondBranch);
+        assert_eq!(blocks[1].successors, vec![3, 2]);
+        assert_eq!(blocks[2].kind, TerminatorKind::Goto);
+        assert_eq!(blocks[2].successors, vec![1]);
+    }
+
+    #[test]
+    fn switch_successors_are_deduplicated() {
+        let code = vec![
+            Instr::IConst(1),
+            Instr::TableSwitch {
+                low: 0,
+                targets: Box::new([3, 3, 5]),
+                default: 5,
+            },
+            Instr::Nop,
+            Instr::ReturnVoid,
+            Instr::Nop,
+            Instr::ReturnVoid,
+        ];
+        let (blocks, _) = build_blocks(&code);
+        assert_eq!(blocks[0].kind, TerminatorKind::Switch);
+        assert_eq!(blocks[0].successors.len(), 2);
+    }
+
+    #[test]
+    fn fall_through_join_becomes_implicit_goto() {
+        // Block split caused purely by instruction 2 being a branch target.
+        let code = vec![
+            Instr::IConst(0),
+            Instr::IfI(CmpOp::Ne, 2), // target is the very next instruction
+            Instr::IConst(1),
+            Instr::Return,
+        ];
+        let (blocks, _) = build_blocks(&code);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].successors, vec![1, 1]);
+    }
+
+    #[test]
+    fn block_len_and_emptiness() {
+        let (blocks, _) = build_blocks(&straight_line());
+        assert_eq!(blocks[0].len(), 4);
+        assert!(!blocks[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_code_panics() {
+        let _ = build_blocks(&[]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Human-readable program listings.
+//!
+//! Used by the examples and by debugging output: renders instructions in a
+//! `javap`-like layout with basic-block annotations, which is the easiest
+//! way to inspect what the trace constructor is stitching together.
+
+use std::fmt::Write as _;
+
+use crate::function::Function;
+use crate::instr::Instr;
+use crate::program::Program;
+
+/// Renders one instruction.
+///
+/// ```
+/// use jvm_bytecode::{disasm, Instr, CmpOp};
+/// assert_eq!(disasm::instr_to_string(&Instr::IConst(7)), "iconst 7");
+/// assert_eq!(disasm::instr_to_string(&Instr::IfICmp(CmpOp::Lt, 9)), "if_icmp lt -> 9");
+/// ```
+pub fn instr_to_string(ins: &Instr) -> String {
+    match ins {
+        Instr::IConst(v) => format!("iconst {v}"),
+        Instr::FConst(v) => format!("fconst {v}"),
+        Instr::ConstNull => "const_null".into(),
+        Instr::Dup => "dup".into(),
+        Instr::Dup2 => "dup2".into(),
+        Instr::Pop => "pop".into(),
+        Instr::Swap => "swap".into(),
+        Instr::Load(s) => format!("load {s}"),
+        Instr::Store(s) => format!("store {s}"),
+        Instr::IInc(s, d) => format!("iinc {s}, {d}"),
+        Instr::IAdd => "iadd".into(),
+        Instr::ISub => "isub".into(),
+        Instr::IMul => "imul".into(),
+        Instr::IDiv => "idiv".into(),
+        Instr::IRem => "irem".into(),
+        Instr::INeg => "ineg".into(),
+        Instr::IShl => "ishl".into(),
+        Instr::IShr => "ishr".into(),
+        Instr::IUShr => "iushr".into(),
+        Instr::IAnd => "iand".into(),
+        Instr::IOr => "ior".into(),
+        Instr::IXor => "ixor".into(),
+        Instr::FAdd => "fadd".into(),
+        Instr::FSub => "fsub".into(),
+        Instr::FMul => "fmul".into(),
+        Instr::FDiv => "fdiv".into(),
+        Instr::FNeg => "fneg".into(),
+        Instr::I2F => "i2f".into(),
+        Instr::F2I => "f2i".into(),
+        Instr::IfICmp(op, t) => format!("if_icmp {op} -> {t}"),
+        Instr::IfI(op, t) => format!("if {op} -> {t}"),
+        Instr::IfFCmp(op, t) => format!("if_fcmp {op} -> {t}"),
+        Instr::IfNull(t) => format!("if_null -> {t}"),
+        Instr::IfNonNull(t) => format!("if_nonnull -> {t}"),
+        Instr::Goto(t) => format!("goto -> {t}"),
+        Instr::TableSwitch {
+            low,
+            targets,
+            default,
+        } => {
+            let ts: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+            format!(
+                "tableswitch low={low} [{}] default -> {default}",
+                ts.join(", ")
+            )
+        }
+        Instr::InvokeStatic(f) => format!("invokestatic {f}"),
+        Instr::InvokeVirtual { slot, argc } => {
+            format!("invokevirtual slot={slot} argc={argc}")
+        }
+        Instr::Return => "return".into(),
+        Instr::ReturnVoid => "return_void".into(),
+        Instr::New(c) => format!("new {c}"),
+        Instr::GetField(n) => format!("getfield {n}"),
+        Instr::PutField(n) => format!("putfield {n}"),
+        Instr::NewArray => "newarray".into(),
+        Instr::ALoad => "aload".into(),
+        Instr::AStore => "astore".into(),
+        Instr::ArrayLen => "arraylen".into(),
+        Instr::Intrinsic(i) => format!("intrinsic {i}"),
+        Instr::Nop => "nop".into(),
+    }
+}
+
+/// Renders a function as a block-annotated listing.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} `{}` (params={}, locals={}, {}):",
+        func.id(),
+        func.name(),
+        func.num_params(),
+        func.num_locals(),
+        if func.returns_value() {
+            "returns value"
+        } else {
+            "void"
+        }
+    );
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let succs: Vec<String> = block.successors.iter().map(|s| format!("b{s}")).collect();
+        let _ = writeln!(out, "  b{bi} [{:?}] -> [{}]:", block.kind, succs.join(", "));
+        for pc in block.start..block.end {
+            let _ = writeln!(
+                out,
+                "    {pc:4}: {}",
+                instr_to_string(&func.code()[pc as usize])
+            );
+        }
+    }
+    out
+}
+
+/// Renders the whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for class in program.classes() {
+        let vt: Vec<String> = class.vtable().iter().map(|f| f.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{} `{}` fields={} vtable=[{}]",
+            class.id(),
+            class.name(),
+            class.num_fields(),
+            vt.join(", ")
+        );
+    }
+    for func in program.functions() {
+        out.push_str(&function_to_string(func));
+    }
+    let _ = writeln!(out, "entry: {}", program.entry());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::CmpOp;
+
+    #[test]
+    fn instr_rendering_covers_common_shapes() {
+        assert_eq!(instr_to_string(&Instr::Nop), "nop");
+        assert_eq!(instr_to_string(&Instr::Load(3)), "load 3");
+        assert_eq!(instr_to_string(&Instr::IInc(2, -1)), "iinc 2, -1");
+        let sw = Instr::TableSwitch {
+            low: 1,
+            targets: Box::new([4, 6]),
+            default: 8,
+        };
+        assert_eq!(
+            instr_to_string(&sw),
+            "tableswitch low=1 [4, 6] default -> 8"
+        );
+    }
+
+    #[test]
+    fn program_listing_mentions_every_function_and_block() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        let b = pb.function_mut(f);
+        let exit = b.new_label();
+        b.iconst(0).if_i(CmpOp::Eq, exit);
+        b.nop();
+        b.bind(exit);
+        b.ret_void();
+        let p = pb.build(f).unwrap();
+        let listing = program_to_string(&p);
+        assert!(listing.contains("`main`"));
+        assert!(listing.contains("b0"));
+        assert!(listing.contains("entry: fn#0"));
+    }
+}

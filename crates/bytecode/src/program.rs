@@ -1,0 +1,191 @@
+//! The whole-program container.
+
+use std::collections::HashMap;
+
+use crate::cfg::Block;
+use crate::class::Class;
+use crate::function::Function;
+use crate::ids::{BlockId, ClassId, FuncId};
+
+/// A complete, verified program: functions, classes and an entry point.
+///
+/// Programs are immutable once built (via [`crate::ProgramBuilder::build`]),
+/// which lets the VM, profiler and trace cache share `&Program` freely.
+#[derive(Debug, Clone)]
+pub struct Program {
+    functions: Vec<Function>,
+    classes: Vec<Class>,
+    entry: FuncId,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Program {
+    /// Assembles a program from parts. Used by the builder; callers should
+    /// prefer [`crate::ProgramBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if function ids are not dense (`functions[i].id() == i`) or
+    /// the entry id is out of range.
+    pub fn from_parts(functions: Vec<Function>, classes: Vec<Class>, entry: FuncId) -> Self {
+        for (i, f) in functions.iter().enumerate() {
+            assert_eq!(f.id().index(), i, "function ids must be dense");
+        }
+        assert!(
+            entry.index() < functions.len(),
+            "entry function out of range"
+        );
+        let by_name = functions
+            .iter()
+            .map(|f| (f.name().to_owned(), f.id()))
+            .collect();
+        Program {
+            functions,
+            classes,
+            entry,
+            by_name,
+        }
+    }
+
+    /// The entry function.
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// All functions, indexed by [`FuncId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All classes, indexed by [`ClassId`].
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The class with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&id| self.function(id))
+    }
+
+    /// The block designated by a [`BlockId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.function(id.func).block(id.block)
+    }
+
+    /// Number of instructions in the designated block.
+    #[inline]
+    pub fn block_len(&self, id: BlockId) -> u32 {
+        self.function(id.func).block_len(id.block)
+    }
+
+    /// The entry block of a function.
+    #[inline]
+    pub fn entry_block(&self, func: FuncId) -> BlockId {
+        BlockId::new(func, 0)
+    }
+
+    /// Total number of static basic blocks across all functions.
+    pub fn total_blocks(&self) -> usize {
+        self.functions.iter().map(Function::block_count).sum()
+    }
+
+    /// Total number of static instructions across all functions.
+    pub fn total_instructions(&self) -> usize {
+        self.functions.iter().map(|f| f.code().len()).sum()
+    }
+
+    /// Iterates over every [`BlockId`] in the program.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.functions
+            .iter()
+            .flat_map(|f| (0..f.block_count() as u32).map(move |b| BlockId::new(f.id(), b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    fn two_function_program() -> Program {
+        let f0 = Function::from_parts(
+            "main".into(),
+            FuncId(0),
+            0,
+            0,
+            false,
+            vec![
+                Instr::InvokeStatic(FuncId(1)),
+                Instr::Pop,
+                Instr::ReturnVoid,
+            ],
+        );
+        let f1 = Function::from_parts(
+            "leaf".into(),
+            FuncId(1),
+            0,
+            0,
+            true,
+            vec![Instr::IConst(5), Instr::Return],
+        );
+        Program::from_parts(vec![f0, f1], vec![], FuncId(0))
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let p = two_function_program();
+        assert_eq!(p.entry(), FuncId(0));
+        assert_eq!(p.function(FuncId(1)).name(), "leaf");
+        assert_eq!(p.function_by_name("main").unwrap().id(), FuncId(0));
+        assert!(p.function_by_name("absent").is_none());
+    }
+
+    #[test]
+    fn block_queries() {
+        let p = two_function_program();
+        assert_eq!(p.total_blocks(), 3);
+        assert_eq!(p.total_instructions(), 5);
+        let entry = p.entry_block(FuncId(1));
+        assert_eq!(p.block_len(entry), 2);
+        assert_eq!(p.block_ids().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let f = Function::from_parts("f".into(), FuncId(3), 0, 0, false, vec![Instr::ReturnVoid]);
+        let _ = Program::from_parts(vec![f], vec![], FuncId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry")]
+    fn bad_entry_rejected() {
+        let f = Function::from_parts("f".into(), FuncId(0), 0, 0, false, vec![Instr::ReturnVoid]);
+        let _ = Program::from_parts(vec![f], vec![], FuncId(9));
+    }
+}

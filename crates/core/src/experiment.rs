@@ -1,0 +1,142 @@
+//! Parameter sweeps over the two experiment knobs (§5.2).
+
+use jvm_bytecode::Program;
+use jvm_vm::{Value, VmError};
+
+use crate::config::TraceJitConfig;
+use crate::report::RunReport;
+use crate::tracevm::TraceVm;
+
+/// One point of a sweep: the parameter values and the resulting report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Completion threshold used.
+    pub threshold: f64,
+    /// Start-state delay used.
+    pub delay: u32,
+    /// The measured report.
+    pub report: RunReport,
+}
+
+/// Runs one fresh [`TraceVm`] over the program and returns its report.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn run_point(
+    program: &Program,
+    args: &[Value],
+    config: TraceJitConfig,
+) -> Result<RunReport, VmError> {
+    TraceVm::new(program, config).run(args)
+}
+
+/// Sweeps the completion threshold at a fixed delay (Tables I–IV use
+/// thresholds 100%, 99%, 98%, 97%, 95% at delay 64).
+///
+/// # Errors
+///
+/// Propagates the first interpreter error.
+pub fn threshold_sweep(
+    program: &Program,
+    args: &[Value],
+    thresholds: &[f64],
+    delay: u32,
+    base: TraceJitConfig,
+) -> Result<Vec<SweepPoint>, VmError> {
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let config = base.with_threshold(threshold).with_start_delay(delay);
+            Ok(SweepPoint {
+                threshold,
+                delay,
+                report: run_point(program, args, config)?,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the start-state delay at a fixed threshold (Table V uses delays
+/// 1, 64, 4096 at threshold 97%).
+///
+/// # Errors
+///
+/// Propagates the first interpreter error.
+pub fn delay_sweep(
+    program: &Program,
+    args: &[Value],
+    delays: &[u32],
+    threshold: f64,
+    base: TraceJitConfig,
+) -> Result<Vec<SweepPoint>, VmError> {
+    delays
+        .iter()
+        .map(|&delay| {
+            let config = base.with_threshold(threshold).with_start_delay(delay);
+            Ok(SweepPoint {
+                threshold,
+                delay,
+                report: run_point(program, args, config)?,
+            })
+        })
+        .collect()
+}
+
+/// The threshold grid of the paper's Tables I–IV.
+pub const PAPER_THRESHOLDS: [f64; 5] = [1.00, 0.99, 0.98, 0.97, 0.95];
+
+/// The delay grid of the paper's Table V.
+pub const PAPER_DELAYS: [u32; 3] = [1, 64, 4096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{CmpOp, ProgramBuilder};
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        pb.build(f).unwrap()
+    }
+
+    #[test]
+    fn threshold_sweep_covers_grid_and_is_deterministic() {
+        let p = loop_program();
+        let args = [Value::Int(5_000)];
+        let base = TraceJitConfig::paper_default();
+        let a = threshold_sweep(&p, &args, &PAPER_THRESHOLDS, 64, base).unwrap();
+        let b = threshold_sweep(&p, &args, &PAPER_THRESHOLDS, 64, base).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b, "sweeps must be deterministic");
+        for pt in &a {
+            assert_eq!(pt.delay, 64);
+            assert_eq!(pt.report.result, Some(Value::Int(12_502_500)));
+        }
+    }
+
+    #[test]
+    fn delay_sweep_larger_delay_never_creates_more_traces() {
+        let p = loop_program();
+        let args = [Value::Int(5_000)];
+        let base = TraceJitConfig::paper_default();
+        let pts = delay_sweep(&p, &args, &PAPER_DELAYS, 0.97, base).unwrap();
+        assert_eq!(pts.len(), 3);
+        // The 4096-delay run can trace at most as much as the 1-delay run.
+        let created: Vec<u64> = pts
+            .iter()
+            .map(|p| p.report.cache.traces_constructed)
+            .collect();
+        assert!(created[2] <= created[0]);
+    }
+}

@@ -1,0 +1,1535 @@
+//! The trace-executing virtual machine.
+//!
+//! [`TracingVm`] is the "fully integrated" system the paper names as its
+//! next step (§6): out-of-trace code is interpreted block-by-block with
+//! the profiler attached to every dispatch, while cached traces execute
+//! from compiled, guarded straight-line code with **no dispatch and no
+//! profiling points inside** ("a trace dispatch executes a single
+//! profiling statement, all of the inlined ones are removed", §5.4).
+//!
+//! Guard failures side-exit: the frame's `pc` is re-anchored at the
+//! guarded instruction (whose operands were only peeked, never popped)
+//! and the interpreter resumes there, re-executing it with full
+//! semantics. Consequently the engine is *semantically transparent*: with
+//! optimization off it executes exactly the same instruction sequence as
+//! the plain interpreter — a property the differential tests pin down on
+//! all six workloads.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use jvm_bytecode::{BlockId, FuncId, Instr, Intrinsic, Program};
+use jvm_vm::{fold_checksum, ExecStats, Heap, HeapObj, OutputItem, Value, VmError};
+use trace_bcg::{Branch, BranchCorrelationGraph};
+use trace_cache::{TraceCache, TraceConstructor, TraceExecStats, TraceId};
+use trace_jit::{RunReport, TraceJitConfig};
+
+use crate::compile::{compile, CompiledTrace, CondKind, TInstr};
+use crate::fuse::{fuse_trace, FuseStats, Fused};
+use crate::opt::{optimize_trace, OptStats};
+
+/// Sentinel forcing the next instruction to register a block entry.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Profiler/constructor/VM parameters (shared with the base system).
+    pub jit: TraceJitConfig,
+    /// Whether compiled traces are run through the peephole optimizer.
+    pub optimize: bool,
+    /// Whether compiled traces are fused into superinstructions
+    /// (accounting-transparent; on by default).
+    pub superinstructions: bool,
+}
+
+impl EngineConfig {
+    /// Paper parameters, optimizer off (pure trace execution),
+    /// superinstruction fusion on.
+    pub fn paper_default() -> Self {
+        EngineConfig {
+            jit: TraceJitConfig::paper_default(),
+            optimize: false,
+            superinstructions: true,
+        }
+    }
+
+    /// Returns this configuration with the optimizer toggled.
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
+    /// Returns this configuration with superinstruction fusion toggled.
+    pub fn with_superinstructions(mut self, on: bool) -> Self {
+        self.superinstructions = on;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug)]
+struct ExFrame {
+    func: FuncId,
+    pc: u32,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    cur_block: u32,
+}
+
+impl ExFrame {
+    fn new(func: FuncId, num_locals: u16, args: &[Value]) -> Self {
+        let mut locals = vec![Value::default(); num_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        ExFrame {
+            func,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+            cur_block: NO_BLOCK,
+        }
+    }
+}
+
+enum Step {
+    Ok,
+    Finished(Option<Value>),
+}
+
+enum TraceRun {
+    Completed,
+    SideExited,
+    Finished(Option<Value>),
+}
+
+/// The trace-executing VM: interpreter + profiler + trace cache + trace
+/// compiler + guarded trace execution, in one engine.
+#[derive(Debug)]
+pub struct TracingVm<'p> {
+    program: &'p Program,
+    config: EngineConfig,
+    bcg: BranchCorrelationGraph,
+    constructor: TraceConstructor,
+    cache: TraceCache,
+    compiled: HashMap<TraceId, Rc<CompiledTrace>>,
+    uncompilable: std::collections::HashSet<TraceId>,
+    opt_stats: OptStats,
+    fuse_stats: FuseStats,
+    // Run state.
+    heap: Heap,
+    frames: Vec<ExFrame>,
+    stats: ExecStats,
+    trace_stats: TraceExecStats,
+    checksum: u64,
+    output: Vec<OutputItem>,
+    prev_block: Option<BlockId>,
+    /// Set after a side exit so the resumed block does not instantly
+    /// re-enter the trace whose guard just failed (the real system
+    /// executes the remainder of the block in interpreter code before the
+    /// next dispatch point).
+    skip_entry_once: bool,
+    /// Monomorphic trace-entry cache: the last `(entry branch, cache
+    /// version, compiled trace)` that dispatched. Loop traces re-enter
+    /// through the same branch every iteration, so this removes the two
+    /// hash lookups from the hottest path; any cache mutation bumps the
+    /// version and falls back to the slow path.
+    hot_entry: Option<(Branch, u64, Rc<CompiledTrace>)>,
+}
+
+impl<'p> TracingVm<'p> {
+    /// Assembles the engine for a program.
+    pub fn new(program: &'p Program, config: EngineConfig) -> Self {
+        TracingVm {
+            program,
+            config,
+            bcg: BranchCorrelationGraph::new(config.jit.bcg_config()),
+            constructor: TraceConstructor::new(config.jit.constructor_config()),
+            cache: TraceCache::new(),
+            compiled: HashMap::new(),
+            uncompilable: std::collections::HashSet::new(),
+            opt_stats: OptStats::default(),
+            fuse_stats: FuseStats::default(),
+            heap: Heap::new(config.jit.vm.gc_threshold),
+            frames: Vec::new(),
+            stats: ExecStats::default(),
+            trace_stats: TraceExecStats::default(),
+            checksum: 0,
+            output: Vec::new(),
+            prev_block: None,
+            skip_entry_once: false,
+            hot_entry: None,
+        }
+    }
+
+    /// The trace cache (shared structure with the base system).
+    pub fn cache(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    /// Aggregated optimizer statistics over all compiled traces.
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
+    }
+
+    /// Aggregated superinstruction-fusion statistics over all compiled
+    /// traces.
+    pub fn fuse_stats(&self) -> FuseStats {
+        self.fuse_stats
+    }
+
+    /// Number of traces compiled so far.
+    pub fn compiled_count(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Output captured from print intrinsics during the most recent run
+    /// (when `jit.vm.capture_output` is enabled).
+    pub fn output(&self) -> &[OutputItem] {
+        &self.output
+    }
+
+    /// Executes the program, returning the same [`RunReport`] the base
+    /// system produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime traps and resource limits as [`VmError`].
+    pub fn run(&mut self, args: &[Value]) -> Result<RunReport, VmError> {
+        // Reset run state; profiler/cache/compiled traces persist.
+        self.heap = Heap::new(self.config.jit.vm.gc_threshold);
+        self.frames.clear();
+        self.stats = ExecStats::default();
+        self.checksum = 0;
+        self.output.clear();
+        self.prev_block = None;
+        self.skip_entry_once = false;
+        self.bcg.begin_stream();
+
+        let program = self.program;
+        let entry = program.entry();
+        let ef = program.function(entry);
+        if args.len() != ef.num_params() as usize {
+            return Err(VmError::BadEntryArgs {
+                func: entry,
+                expected: ef.num_params(),
+                provided: args.len(),
+            });
+        }
+        self.frames.push(ExFrame::new(entry, ef.num_locals(), args));
+        self.stats.max_frame_depth = 1;
+
+        let result = loop {
+            let depth = self.frames.len();
+            let (func_id, pc) = {
+                let f = &self.frames[depth - 1];
+                (f.func, f.pc)
+            };
+            let func = program.function(func_id);
+
+            // Block-entry detection (one dispatch per block).
+            let block = func.block_index_of(pc);
+            if block != self.frames[depth - 1].cur_block {
+                self.frames[depth - 1].cur_block = block;
+                self.stats.block_dispatches += 1;
+                let bid = BlockId::new(func_id, block);
+                self.bcg.observe(bid);
+                if self.bcg.has_signals() {
+                    let signals = self.bcg.take_signals();
+                    self.constructor
+                        .handle_batch(&signals, &mut self.bcg, &mut self.cache);
+                }
+                let prev = self.prev_block.replace(bid);
+                let at_block_start = pc == func.block(block).start;
+                if self.skip_entry_once {
+                    self.skip_entry_once = false;
+                    self.trace_stats.blocks_outside += 1;
+                } else if at_block_start {
+                    let entry = prev.map(|p| (p, bid));
+                    let ct = match (&self.hot_entry, entry) {
+                        (Some((e, v, ct)), Some(entry))
+                            if *e == entry && *v == self.cache.version() =>
+                        {
+                            Some(Rc::clone(ct))
+                        }
+                        (_, Some(entry)) => self.prepare_trace(entry),
+                        (_, None) => None,
+                    };
+                    if let Some(ct) = ct {
+                        match self.execute_trace(&ct, prev)? {
+                            TraceRun::Finished(v) => break v,
+                            TraceRun::Completed | TraceRun::SideExited => continue,
+                        }
+                    } else {
+                        self.trace_stats.blocks_outside += 1;
+                    }
+                } else {
+                    self.trace_stats.blocks_outside += 1;
+                }
+            }
+
+            self.tick()?;
+            let ins = &func.code()[pc as usize];
+            match self.exec(ins)? {
+                Step::Ok => {}
+                Step::Finished(v) => break v,
+            }
+        };
+
+        Ok(RunReport {
+            result,
+            checksum: self.checksum,
+            exec: self.stats,
+            profiler: self.bcg.stats(),
+            traces: self.trace_stats,
+            constructor: self.constructor.stats(),
+            cache: self.cache.stats(),
+        })
+    }
+
+    /// Fuel + instruction accounting, shared by interpreter and trace
+    /// execution.
+    #[inline]
+    fn tick(&mut self) -> Result<(), VmError> {
+        if self.stats.instructions >= self.config.jit.vm.max_steps {
+            return Err(VmError::OutOfFuel);
+        }
+        self.stats.instructions += 1;
+        Ok(())
+    }
+
+    /// Looks an entry branch up in the cache and compiles (optimizing and
+    /// fusing as configured) on first use; refreshes the monomorphic
+    /// entry cache on success.
+    fn prepare_trace(&mut self, entry: Branch) -> Option<Rc<CompiledTrace>> {
+        let tid = self.cache.lookup_entry(entry)?;
+        if self.uncompilable.contains(&tid) {
+            return None;
+        }
+        if !self.compiled.contains_key(&tid) {
+            match compile(self.program, self.cache.trace(tid)) {
+                Ok(mut ct) => {
+                    if self.config.optimize {
+                        let s = optimize_trace(&mut ct);
+                        self.opt_stats.before += s.before;
+                        self.opt_stats.after += s.after;
+                        self.opt_stats.folds += s.folds;
+                        self.opt_stats.eliminations += s.eliminations;
+                        self.opt_stats.identities += s.identities;
+                        self.opt_stats.reductions += s.reductions;
+                    }
+                    if self.config.superinstructions {
+                        let s = fuse_trace(&mut ct);
+                        self.fuse_stats.before += s.before;
+                        self.fuse_stats.after += s.after;
+                        self.fuse_stats.fused_groups += s.fused_groups;
+                    }
+                    self.compiled.insert(tid, Rc::new(ct));
+                }
+                Err(_) => {
+                    self.uncompilable.insert(tid);
+                    return None;
+                }
+            }
+        }
+        let ct = Rc::clone(&self.compiled[&tid]);
+        self.hot_entry = Some((entry, self.cache.version(), Rc::clone(&ct)));
+        Some(ct)
+    }
+
+    /// Executes one compiled trace.
+    fn execute_trace(
+        &mut self,
+        ct: &Rc<CompiledTrace>,
+        pre_entry: Option<BlockId>,
+    ) -> Result<TraceRun, VmError> {
+        self.trace_stats.entered += 1;
+        let mut blocks_done = 0u64;
+        let mut instrs = 0u64;
+
+        macro_rules! side_exit {
+            ($func:expr, $pc:expr) => {{
+                let f = self.frames.last_mut().expect("frame exists");
+                debug_assert_eq!(f.func, $func);
+                f.pc = $pc;
+                f.cur_block = NO_BLOCK;
+                self.trace_stats.exited_early += 1;
+                self.trace_stats.blocks_in_partial += blocks_done;
+                self.trace_stats.instrs_in_partial += instrs;
+                let prev = if blocks_done == 0 {
+                    pre_entry
+                } else {
+                    Some(ct.src_blocks[blocks_done as usize - 1])
+                };
+                if let Some(p) = prev {
+                    self.bcg.set_context(p);
+                    self.prev_block = Some(p);
+                } else {
+                    self.bcg.begin_stream();
+                    self.prev_block = None;
+                }
+                self.skip_entry_once = true;
+                return Ok(TraceRun::SideExited);
+            }};
+        }
+
+        for t in ct.code.iter() {
+            match t {
+                TInstr::Op(ins) => {
+                    self.tick()?;
+                    instrs += 1;
+                    match self.exec(ins)? {
+                        Step::Ok => {}
+                        Step::Finished(_) => unreachable!("Op is never control"),
+                    }
+                }
+                TInstr::Fused(f) => {
+                    // Accounting-transparent: the group costs its full
+                    // source width in fuel and instruction counts.
+                    let w = f.width();
+                    for _ in 0..w {
+                        self.tick()?;
+                    }
+                    instrs += w;
+                    let frame = self.frames.last_mut().expect("frame exists");
+                    match *f {
+                        Fused::LLBin { a, b, op } => {
+                            // Type errors surface in the pop order the
+                            // unfused sequence would use (right first).
+                            let vb = frame.locals[b as usize].as_int()?;
+                            let va = frame.locals[a as usize].as_int()?;
+                            frame.stack.push(Value::Int(op.apply(va, vb)));
+                        }
+                        Fused::LCBin { a, c, op } => {
+                            let va = frame.locals[a as usize].as_int()?;
+                            frame.stack.push(Value::Int(op.apply(va, c)));
+                        }
+                        Fused::BinStore { op, d } => {
+                            let vb = frame.stack.pop().expect("verified").as_int()?;
+                            let va = frame.stack.pop().expect("verified").as_int()?;
+                            frame.locals[d as usize] = Value::Int(op.apply(va, vb));
+                        }
+                        Fused::Move { a, d } => {
+                            frame.locals[d as usize] = frame.locals[a as usize];
+                        }
+                        Fused::ConstStore { c, d } => {
+                            frame.locals[d as usize] = Value::Int(c);
+                        }
+                        Fused::LoadLoad { a, b } => {
+                            let va = frame.locals[a as usize];
+                            let vb = frame.locals[b as usize];
+                            frame.stack.push(va);
+                            frame.stack.push(vb);
+                        }
+                        Fused::ArrayGet { arr, idx } => {
+                            // Checks in the unfused pop order: index, then
+                            // array reference, then element type + bounds.
+                            let iv = frame.locals[idx as usize].as_int()?;
+                            let av = frame.locals[arr as usize].as_ref_id()?;
+                            match self.heap.get(av) {
+                                HeapObj::Array { elems } => {
+                                    if iv < 0 || iv as usize >= elems.len() {
+                                        return Err(VmError::IndexOutOfBounds {
+                                            index: iv,
+                                            len: elems.len(),
+                                        });
+                                    }
+                                    frame.stack.push(elems[iv as usize]);
+                                }
+                                HeapObj::Object { .. } => {
+                                    return Err(VmError::TypeError {
+                                        expected: "array",
+                                        found: "object",
+                                    })
+                                }
+                            }
+                        }
+                        Fused::ArraySet { arr, idx, val } => {
+                            let v = frame.locals[val as usize];
+                            let iv = frame.locals[idx as usize].as_int()?;
+                            let av = frame.locals[arr as usize].as_ref_id()?;
+                            match self.heap.get_mut(av) {
+                                HeapObj::Array { elems } => {
+                                    if iv < 0 || iv as usize >= elems.len() {
+                                        return Err(VmError::IndexOutOfBounds {
+                                            index: iv,
+                                            len: elems.len(),
+                                        });
+                                    }
+                                    elems[iv as usize] = v;
+                                }
+                                HeapObj::Object { .. } => {
+                                    return Err(VmError::TypeError {
+                                        expected: "array",
+                                        found: "object",
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    frame.pc += w as u32;
+                }
+                TInstr::FallThrough => {
+                    blocks_done += 1;
+                }
+                TInstr::Jump { target, func, pc } => {
+                    let _ = (func, pc);
+                    self.tick()?;
+                    instrs += 1;
+                    let f = self.frames.last_mut().expect("frame exists");
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                    blocks_done += 1;
+                }
+                TInstr::GuardCond {
+                    kind,
+                    expected_taken,
+                    target,
+                    func,
+                    pc,
+                } => {
+                    let taken = self.eval_cond(*kind)?;
+                    if taken != *expected_taken {
+                        side_exit!(*func, *pc);
+                    }
+                    self.tick()?;
+                    instrs += 1;
+                    self.stats.branches += 1;
+                    let f = self.frames.last_mut().expect("frame exists");
+                    for _ in 0..kind.arity() {
+                        f.stack.pop();
+                    }
+                    if taken {
+                        self.stats.taken_branches += 1;
+                        f.pc = *target;
+                    } else {
+                        f.pc = *pc + 1;
+                    }
+                    f.cur_block = NO_BLOCK;
+                    blocks_done += 1;
+                }
+                TInstr::GuardSwitch {
+                    low,
+                    targets,
+                    default,
+                    expected_pc,
+                    func,
+                    pc,
+                } => {
+                    let f = self.frames.last().expect("frame exists");
+                    let v = f.stack.last().expect("verified").as_int()?;
+                    let idx = v.wrapping_sub(*low);
+                    let actual = if idx >= 0 && (idx as usize) < targets.len() {
+                        targets[idx as usize]
+                    } else {
+                        *default
+                    };
+                    if actual != *expected_pc {
+                        side_exit!(*func, *pc);
+                    }
+                    self.tick()?;
+                    instrs += 1;
+                    self.stats.branches += 1;
+                    self.stats.taken_branches += 1;
+                    let f = self.frames.last_mut().expect("frame exists");
+                    f.stack.pop();
+                    f.pc = *expected_pc;
+                    f.cur_block = NO_BLOCK;
+                    blocks_done += 1;
+                }
+                TInstr::EnterStatic { callee, func, pc } => {
+                    let _ = func;
+                    self.tick()?;
+                    instrs += 1;
+                    {
+                        let f = self.frames.last_mut().expect("frame exists");
+                        f.pc = *pc + 1;
+                    }
+                    self.push_call(*callee)?;
+                    blocks_done += 1;
+                }
+                TInstr::GuardVirtual {
+                    slot,
+                    argc,
+                    expected,
+                    func,
+                    pc,
+                } => {
+                    let f = self.frames.last().expect("frame exists");
+                    let recv_idx = f.stack.len() - *argc as usize;
+                    let recv = f.stack[recv_idx].as_ref_id()?;
+                    let class = match self.heap.get(recv) {
+                        HeapObj::Object { class, .. } => *class,
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object receiver",
+                                found: "array",
+                            })
+                        }
+                    };
+                    let callee = self.program.class(class).resolve(*slot);
+                    if callee != *expected {
+                        side_exit!(*func, *pc);
+                    }
+                    self.tick()?;
+                    instrs += 1;
+                    self.stats.virtual_calls += 1;
+                    {
+                        let f = self.frames.last_mut().expect("frame exists");
+                        f.pc = *pc + 1;
+                    }
+                    self.push_call(callee)?;
+                    blocks_done += 1;
+                }
+                TInstr::GuardReturn {
+                    expected,
+                    has_value,
+                    func,
+                    pc,
+                } => {
+                    if self.frames.len() < 2 {
+                        // Returning from the outermost frame ends the
+                        // program; hand it to the interpreter.
+                        side_exit!(*func, *pc);
+                    }
+                    let caller = &self.frames[self.frames.len() - 2];
+                    let cf = self.program.function(caller.func);
+                    let cont = BlockId::new(caller.func, cf.block_index_of(caller.pc));
+                    if cont != *expected {
+                        side_exit!(*func, *pc);
+                    }
+                    self.tick()?;
+                    instrs += 1;
+                    self.stats.returns += 1;
+                    let mut frame = self.frames.pop().expect("frame exists");
+                    if *has_value {
+                        let v = frame.stack.pop().expect("verified");
+                        self.frames.last_mut().expect("caller exists").stack.push(v);
+                    }
+                    blocks_done += 1;
+                }
+                TInstr::Finish { instr, func, pc } => {
+                    let _ = func;
+                    {
+                        let f = self.frames.last_mut().expect("frame exists");
+                        f.pc = *pc;
+                    }
+                    self.tick()?;
+                    instrs += 1;
+                    blocks_done += 1;
+                    match self.exec(instr)? {
+                        Step::Ok => {}
+                        Step::Finished(v) => {
+                            self.trace_stats.completed += 1;
+                            self.trace_stats.blocks_in_completed += blocks_done;
+                            self.trace_stats.instrs_in_completed += instrs;
+                            return Ok(TraceRun::Finished(v));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Trace ran to completion.
+        self.trace_stats.completed += 1;
+        self.trace_stats.blocks_in_completed += blocks_done;
+        self.trace_stats.instrs_in_completed += instrs;
+        let last = *ct.src_blocks.last().expect("traces are nonempty");
+        self.bcg.set_context(last);
+        self.prev_block = Some(last);
+        Ok(TraceRun::Completed)
+    }
+
+    /// Peeks the operands of a guarded conditional without popping.
+    fn eval_cond(&self, kind: CondKind) -> Result<bool, VmError> {
+        let f = self.frames.last().expect("frame exists");
+        let n = f.stack.len();
+        Ok(match kind {
+            CondKind::ICmp(op) => {
+                let b = f.stack[n - 1].as_int()?;
+                let a = f.stack[n - 2].as_int()?;
+                op.eval_i64(a, b)
+            }
+            CondKind::IZero(op) => {
+                let a = f.stack[n - 1].as_int()?;
+                op.eval_i64(a, 0)
+            }
+            CondKind::FCmp(op) => {
+                let b = f.stack[n - 1].as_float()?;
+                let a = f.stack[n - 2].as_float()?;
+                op.eval_f64(a, b)
+            }
+            CondKind::Null => matches!(f.stack[n - 1], Value::Null),
+            CondKind::NonNull => !matches!(f.stack[n - 1], Value::Null),
+        })
+    }
+
+    /// Pops arguments and pushes a callee frame; the caller's `pc` must
+    /// already point at the continuation.
+    fn push_call(&mut self, callee: FuncId) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.jit.vm.max_frames {
+            return Err(VmError::CallStackOverflow);
+        }
+        self.stats.calls += 1;
+        let cf = self.program.function(callee);
+        let argc = cf.num_params() as usize;
+        let frame = self.frames.last_mut().expect("frame exists");
+        let split = frame.stack.len() - argc;
+        let mut callee_frame = ExFrame::new(callee, cf.num_locals(), &[]);
+        callee_frame.locals[..argc].copy_from_slice(&frame.stack[split..]);
+        frame.stack.truncate(split);
+        self.frames.push(callee_frame);
+        self.stats.max_frame_depth = self.stats.max_frame_depth.max(self.frames.len());
+        Ok(())
+    }
+
+    fn maybe_collect(&mut self) {
+        if self.heap.should_collect() {
+            let TracingVm { heap, frames, .. } = self;
+            let roots = frames.iter().flat_map(|f| {
+                f.stack
+                    .iter()
+                    .chain(f.locals.iter())
+                    .filter_map(|v| match v {
+                        Value::Ref(r) => Some(*r),
+                        _ => None,
+                    })
+            });
+            heap.collect(roots);
+        }
+    }
+
+    /// Executes one instruction with full interpreter semantics. The
+    /// caller is responsible for fuel accounting ([`Self::tick`]).
+    #[inline(always)]
+    fn exec(&mut self, ins: &Instr) -> Result<Step, VmError> {
+        let program = self.program;
+        macro_rules! frame {
+            () => {
+                self.frames.last_mut().expect("frame exists")
+            };
+        }
+        macro_rules! pop {
+            ($f:expr) => {
+                $f.stack.pop().expect("verified code cannot underflow")
+            };
+        }
+        macro_rules! binop_i {
+            ($f:expr, $op:expr) => {{
+                let b = pop!($f).as_int()?;
+                let a = pop!($f).as_int()?;
+                $f.stack.push(Value::Int($op(a, b)));
+                $f.pc += 1;
+            }};
+        }
+        macro_rules! binop_f {
+            ($f:expr, $op:expr) => {{
+                let b = pop!($f).as_float()?;
+                let a = pop!($f).as_float()?;
+                $f.stack.push(Value::Float($op(a, b)));
+                $f.pc += 1;
+            }};
+        }
+
+        match ins {
+            Instr::IConst(v) => {
+                let f = frame!();
+                f.stack.push(Value::Int(*v));
+                f.pc += 1;
+            }
+            Instr::FConst(v) => {
+                let f = frame!();
+                f.stack.push(Value::Float(*v));
+                f.pc += 1;
+            }
+            Instr::ConstNull => {
+                let f = frame!();
+                f.stack.push(Value::Null);
+                f.pc += 1;
+            }
+            Instr::Dup => {
+                let f = frame!();
+                let v = *f.stack.last().expect("verified");
+                f.stack.push(v);
+                f.pc += 1;
+            }
+            Instr::Dup2 => {
+                let f = frame!();
+                let n = f.stack.len();
+                let a = f.stack[n - 2];
+                let b = f.stack[n - 1];
+                f.stack.push(a);
+                f.stack.push(b);
+                f.pc += 1;
+            }
+            Instr::Pop => {
+                let f = frame!();
+                let _ = pop!(f);
+                f.pc += 1;
+            }
+            Instr::Swap => {
+                let f = frame!();
+                let n = f.stack.len();
+                f.stack.swap(n - 1, n - 2);
+                f.pc += 1;
+            }
+            Instr::Load(slot) => {
+                let f = frame!();
+                f.stack.push(f.locals[*slot as usize]);
+                f.pc += 1;
+            }
+            Instr::Store(slot) => {
+                let f = frame!();
+                let v = pop!(f);
+                f.locals[*slot as usize] = v;
+                f.pc += 1;
+            }
+            Instr::IInc(slot, delta) => {
+                let f = frame!();
+                let v = f.locals[*slot as usize].as_int()?;
+                f.locals[*slot as usize] = Value::Int(v.wrapping_add(*delta as i64));
+                f.pc += 1;
+            }
+            Instr::IAdd => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_add(b)),
+            Instr::ISub => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_sub(b)),
+            Instr::IMul => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_mul(b)),
+            Instr::IDiv => {
+                let f = frame!();
+                let b = pop!(f).as_int()?;
+                let a = pop!(f).as_int()?;
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                f.stack.push(Value::Int(a.wrapping_div(b)));
+                f.pc += 1;
+            }
+            Instr::IRem => {
+                let f = frame!();
+                let b = pop!(f).as_int()?;
+                let a = pop!(f).as_int()?;
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                f.stack.push(Value::Int(a.wrapping_rem(b)));
+                f.pc += 1;
+            }
+            Instr::INeg => {
+                let f = frame!();
+                let a = pop!(f).as_int()?;
+                f.stack.push(Value::Int(a.wrapping_neg()));
+                f.pc += 1;
+            }
+            Instr::IShl => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+            Instr::IShr => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+            Instr::IUShr => binop_i!(frame!(), |a: i64, b: i64| ((a as u64) >> (b as u32 & 63))
+                as i64),
+            Instr::IAnd => binop_i!(frame!(), |a: i64, b: i64| a & b),
+            Instr::IOr => binop_i!(frame!(), |a: i64, b: i64| a | b),
+            Instr::IXor => binop_i!(frame!(), |a: i64, b: i64| a ^ b),
+            Instr::FAdd => binop_f!(frame!(), |a: f64, b: f64| a + b),
+            Instr::FSub => binop_f!(frame!(), |a: f64, b: f64| a - b),
+            Instr::FMul => binop_f!(frame!(), |a: f64, b: f64| a * b),
+            Instr::FDiv => binop_f!(frame!(), |a: f64, b: f64| a / b),
+            Instr::FNeg => {
+                let f = frame!();
+                let a = pop!(f).as_float()?;
+                f.stack.push(Value::Float(-a));
+                f.pc += 1;
+            }
+            Instr::I2F => {
+                let f = frame!();
+                let a = pop!(f).as_int()?;
+                f.stack.push(Value::Float(a as f64));
+                f.pc += 1;
+            }
+            Instr::F2I => {
+                let f = frame!();
+                let a = pop!(f).as_float()?;
+                f.stack.push(Value::Int(a as i64));
+                f.pc += 1;
+            }
+            Instr::IfICmp(op, target) => {
+                let f = frame!();
+                let b = pop!(f).as_int()?;
+                let a = pop!(f).as_int()?;
+                self.stats.branches += 1;
+                let f = frame!();
+                if op.eval_i64(a, b) {
+                    self.stats.taken_branches += 1;
+                    let f = frame!();
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                } else {
+                    f.pc += 1;
+                }
+            }
+            Instr::IfI(op, target) => {
+                let f = frame!();
+                let a = pop!(f).as_int()?;
+                self.stats.branches += 1;
+                if op.eval_i64(a, 0) {
+                    self.stats.taken_branches += 1;
+                    let f = frame!();
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                } else {
+                    frame!().pc += 1;
+                }
+            }
+            Instr::IfFCmp(op, target) => {
+                let f = frame!();
+                let b = pop!(f).as_float()?;
+                let a = pop!(f).as_float()?;
+                self.stats.branches += 1;
+                if op.eval_f64(a, b) {
+                    self.stats.taken_branches += 1;
+                    let f = frame!();
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                } else {
+                    frame!().pc += 1;
+                }
+            }
+            Instr::IfNull(target) => {
+                let f = frame!();
+                let v = pop!(f);
+                self.stats.branches += 1;
+                if matches!(v, Value::Null) {
+                    self.stats.taken_branches += 1;
+                    let f = frame!();
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                } else {
+                    frame!().pc += 1;
+                }
+            }
+            Instr::IfNonNull(target) => {
+                let f = frame!();
+                let v = pop!(f);
+                self.stats.branches += 1;
+                if !matches!(v, Value::Null) {
+                    self.stats.taken_branches += 1;
+                    let f = frame!();
+                    f.pc = *target;
+                    f.cur_block = NO_BLOCK;
+                } else {
+                    frame!().pc += 1;
+                }
+            }
+            Instr::Goto(target) => {
+                let f = frame!();
+                f.pc = *target;
+                f.cur_block = NO_BLOCK;
+            }
+            Instr::TableSwitch {
+                low,
+                targets,
+                default,
+            } => {
+                let f = frame!();
+                let v = pop!(f).as_int()?;
+                self.stats.branches += 1;
+                self.stats.taken_branches += 1;
+                let idx = v.wrapping_sub(*low);
+                let target = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                let f = frame!();
+                f.pc = target;
+                f.cur_block = NO_BLOCK;
+            }
+            Instr::InvokeStatic(callee) => {
+                frame!().pc += 1;
+                self.push_call(*callee)?;
+            }
+            Instr::InvokeVirtual { slot, argc } => {
+                let f = frame!();
+                let recv_idx = f.stack.len() - *argc as usize;
+                let recv = f.stack[recv_idx].as_ref_id()?;
+                let class = match self.heap.get(recv) {
+                    HeapObj::Object { class, .. } => *class,
+                    HeapObj::Array { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "object receiver",
+                            found: "array",
+                        })
+                    }
+                };
+                let callee = program.class(class).resolve(*slot);
+                self.stats.virtual_calls += 1;
+                frame!().pc += 1;
+                self.push_call(callee)?;
+            }
+            Instr::Return => {
+                let f = frame!();
+                let v = pop!(f);
+                self.stats.returns += 1;
+                self.frames.pop();
+                match self.frames.last_mut() {
+                    None => return Ok(Step::Finished(Some(v))),
+                    Some(caller) => caller.stack.push(v),
+                }
+            }
+            Instr::ReturnVoid => {
+                self.stats.returns += 1;
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    return Ok(Step::Finished(None));
+                }
+            }
+            Instr::New(class) => {
+                self.maybe_collect();
+                let num_fields = program.class(*class).num_fields();
+                let r = self.heap.alloc_object(*class, num_fields);
+                let f = frame!();
+                f.stack.push(Value::Ref(r));
+                f.pc += 1;
+            }
+            Instr::GetField(n) => {
+                let f = frame!();
+                let obj = pop!(f).as_ref_id()?;
+                match self.heap.get(obj) {
+                    HeapObj::Object { fields, .. } => {
+                        let v = *fields.get(*n as usize).ok_or(VmError::BadField {
+                            field: *n,
+                            num_fields: fields.len() as u16,
+                        })?;
+                        let f = frame!();
+                        f.stack.push(v);
+                        f.pc += 1;
+                    }
+                    HeapObj::Array { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "object",
+                            found: "array",
+                        })
+                    }
+                }
+            }
+            Instr::PutField(n) => {
+                let f = frame!();
+                let v = pop!(f);
+                let obj = pop!(f).as_ref_id()?;
+                f.pc += 1;
+                match self.heap.get_mut(obj) {
+                    HeapObj::Object { fields, .. } => {
+                        let len = fields.len();
+                        *fields.get_mut(*n as usize).ok_or(VmError::BadField {
+                            field: *n,
+                            num_fields: len as u16,
+                        })? = v;
+                    }
+                    HeapObj::Array { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "object",
+                            found: "array",
+                        })
+                    }
+                }
+            }
+            Instr::NewArray => {
+                let f = frame!();
+                let len = pop!(f).as_int()?;
+                self.maybe_collect();
+                let r = self.heap.alloc_array(len)?;
+                let f = frame!();
+                f.stack.push(Value::Ref(r));
+                f.pc += 1;
+            }
+            Instr::ALoad => {
+                let f = frame!();
+                let idx = pop!(f).as_int()?;
+                let arr = pop!(f).as_ref_id()?;
+                match self.heap.get(arr) {
+                    HeapObj::Array { elems } => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            return Err(VmError::IndexOutOfBounds {
+                                index: idx,
+                                len: elems.len(),
+                            });
+                        }
+                        let v = elems[idx as usize];
+                        let f = frame!();
+                        f.stack.push(v);
+                        f.pc += 1;
+                    }
+                    HeapObj::Object { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "array",
+                            found: "object",
+                        })
+                    }
+                }
+            }
+            Instr::AStore => {
+                let f = frame!();
+                let v = pop!(f);
+                let idx = pop!(f).as_int()?;
+                let arr = pop!(f).as_ref_id()?;
+                f.pc += 1;
+                match self.heap.get_mut(arr) {
+                    HeapObj::Array { elems } => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            return Err(VmError::IndexOutOfBounds {
+                                index: idx,
+                                len: elems.len(),
+                            });
+                        }
+                        elems[idx as usize] = v;
+                    }
+                    HeapObj::Object { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "array",
+                            found: "object",
+                        })
+                    }
+                }
+            }
+            Instr::ArrayLen => {
+                let f = frame!();
+                let arr = pop!(f).as_ref_id()?;
+                match self.heap.get(arr) {
+                    HeapObj::Array { elems } => {
+                        let len = elems.len() as i64;
+                        let f = frame!();
+                        f.stack.push(Value::Int(len));
+                        f.pc += 1;
+                    }
+                    HeapObj::Object { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "array",
+                            found: "object",
+                        })
+                    }
+                }
+            }
+            Instr::Intrinsic(i) => self.exec_intrinsic(*i)?,
+            Instr::Nop => {
+                frame!().pc += 1;
+            }
+        }
+        Ok(Step::Ok)
+    }
+
+    fn exec_intrinsic(&mut self, i: Intrinsic) -> Result<(), VmError> {
+        let capture = self.config.jit.vm.capture_output;
+        let f = self.frames.last_mut().expect("frame exists");
+        macro_rules! popv {
+            () => {
+                f.stack.pop().expect("verified code cannot underflow")
+            };
+        }
+        match i {
+            Intrinsic::Sqrt => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.sqrt()));
+            }
+            Intrinsic::Sin => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.sin()));
+            }
+            Intrinsic::Cos => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.cos()));
+            }
+            Intrinsic::Exp => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.exp()));
+            }
+            Intrinsic::Log => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.ln()));
+            }
+            Intrinsic::AbsF => {
+                let v = popv!().as_float()?;
+                f.stack.push(Value::Float(v.abs()));
+            }
+            Intrinsic::AbsI => {
+                let v = popv!().as_int()?;
+                f.stack.push(Value::Int(v.wrapping_abs()));
+            }
+            Intrinsic::MinI => {
+                let b = popv!().as_int()?;
+                let a = popv!().as_int()?;
+                f.stack.push(Value::Int(a.min(b)));
+            }
+            Intrinsic::MaxI => {
+                let b = popv!().as_int()?;
+                let a = popv!().as_int()?;
+                f.stack.push(Value::Int(a.max(b)));
+            }
+            Intrinsic::PrintInt => {
+                let v = popv!().as_int()?;
+                if capture {
+                    self.output.push(OutputItem::Int(v));
+                }
+            }
+            Intrinsic::PrintFloat => {
+                let v = popv!().as_float()?;
+                if capture {
+                    self.output.push(OutputItem::Float(v));
+                }
+            }
+            Intrinsic::Checksum => {
+                let v = popv!().as_int()?;
+                self.checksum = fold_checksum(self.checksum, v);
+            }
+        }
+        self.frames.last_mut().expect("frame exists").pc += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{CmpOp, ProgramBuilder};
+    use jvm_vm::{NullObserver, Vm};
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        pb.build(f).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_interpreter_on_hot_loop() {
+        let program = loop_program();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(20_000)], &mut NullObserver).unwrap();
+
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(20_000)]).unwrap();
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+        assert!(engine.compiled_count() > 0, "traces must actually compile");
+        assert!(report.traces.entered > 0);
+        assert!(report.traces.completed > 0);
+    }
+
+    #[test]
+    fn engine_dispatches_far_less_than_interpreter() {
+        let program = loop_program();
+        let mut plain = Vm::new(&program);
+        plain.run(&[Value::Int(20_000)], &mut NullObserver).unwrap();
+
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(20_000)]).unwrap();
+        assert!(
+            report.exec.block_dispatches * 2 < plain.stats().block_dispatches,
+            "engine {} vs interpreter {}",
+            report.exec.block_dispatches,
+            plain.stats().block_dispatches
+        );
+    }
+
+    #[test]
+    fn side_exits_preserve_semantics() {
+        // A loop whose branch flips behaviour part-way: traces built in
+        // phase 1 must side-exit cleanly in phase 2.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        let second = b.new_label();
+        let cont = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        // if i < 5000: acc += 1 else acc += 2  (phase change at 5000)
+        b.load(0).iconst(5000).if_icmp(CmpOp::Lt, second);
+        b.load(acc).iconst(2).iadd().store(acc).goto(cont);
+        b.bind(second);
+        b.load(acc).iconst(1).iadd().store(acc);
+        b.bind(cont);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        let program = pb.build(f).unwrap();
+
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(10_000)], &mut NullObserver).unwrap();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(10_000)]).unwrap();
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+        assert!(
+            report.traces.exited_early > 0,
+            "phase change must cause side exits"
+        );
+    }
+
+    #[test]
+    fn optimizer_reduces_executed_instructions() {
+        // A hot loop with foldable constant arithmetic in the body.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        // acc += (3*4) + i*1 + 0   — plenty to fold.
+        b.load(acc)
+            .iconst(3)
+            .iconst(4)
+            .imul()
+            .iadd()
+            .load(0)
+            .iconst(1)
+            .imul()
+            .iadd()
+            .iconst(0)
+            .iadd()
+            .store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        let program = pb.build(f).unwrap();
+
+        let mut base = TracingVm::new(&program, EngineConfig::paper_default());
+        let r0 = base.run(&[Value::Int(20_000)]).unwrap();
+        let mut opt = TracingVm::new(&program, EngineConfig::paper_default().with_optimizer(true));
+        let r1 = opt.run(&[Value::Int(20_000)]).unwrap();
+
+        assert_eq!(r0.result, r1.result, "optimizer must preserve semantics");
+        assert!(
+            r1.exec.instructions < r0.exec.instructions,
+            "optimized {} vs baseline {}",
+            r1.exec.instructions,
+            r0.exec.instructions
+        );
+        let s = opt.opt_stats();
+        assert!(s.folds + s.identities + s.eliminations + s.reductions > 0);
+        assert!(s.savings() > 0.0);
+    }
+
+    #[test]
+    fn engine_handles_calls_and_virtual_dispatch() {
+        let mut pb = ProgramBuilder::new();
+        let am = pb.declare_function("A.step", 2, true);
+        pb.function_mut(am).load(1).iconst(1).iadd().ret();
+        let bm = pb.declare_function("B.step", 2, true);
+        pb.function_mut(bm).load(1).iconst(2).iadd().ret();
+        let f = pb.declare_function("main", 1, true);
+        let a = pb.declare_class("A", None, 0);
+        let slot = pb.add_method(a, am);
+        let bclass = pb.declare_class("B", Some(a), 0);
+        pb.override_method(bclass, slot, bm);
+        {
+            let b = pb.function_mut(f);
+            let acc = b.alloc_local();
+            let obj = b.alloc_local();
+            b.new_obj(a).store(obj);
+            b.iconst(0).store(acc);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            b.load(0).if_i(CmpOp::Le, exit);
+            b.load(obj).load(acc).invoke_virtual(slot, 2).store(acc);
+            b.iinc(0, -1).goto(head);
+            b.bind(exit);
+            b.load(acc).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(10_000)], &mut NullObserver).unwrap();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(10_000)]).unwrap();
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+        assert!(report.traces.completed > 0, "call-crossing traces must run");
+    }
+
+    #[test]
+    fn engine_is_reusable_and_warm_cache_helps() {
+        let program = loop_program();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let r1 = engine.run(&[Value::Int(5_000)]).unwrap();
+        let r2 = engine.run(&[Value::Int(5_000)]).unwrap();
+        assert_eq!(r1.result, r2.result);
+        // Second run starts with a warm cache: at least as many trace
+        // entries in the same instruction budget.
+        assert!(r2.traces.entered >= r1.traces.entered);
+    }
+
+    #[test]
+    fn switch_guards_pass_and_side_exit() {
+        // A loop whose switch selector is 2 for the first phase and 0 for
+        // the second: traces learn the first arm, then must side-exit.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let acc = b.alloc_local();
+            b.iconst(0).store(acc);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            let c0 = b.new_label();
+            let c1 = b.new_label();
+            let c2 = b.new_label();
+            let cont = b.new_label();
+            b.load(0).if_i(CmpOp::Le, exit);
+            // selector = (i >= 5000) ? 2 : 0
+            let hi = b.new_label();
+            let sw = b.new_label();
+            b.load(0).iconst(5000).if_icmp(CmpOp::Ge, hi);
+            b.iconst(0).goto(sw);
+            b.bind(hi);
+            b.iconst(2);
+            b.bind(sw);
+            b.table_switch(0, &[c0, c1, c2], c1);
+            b.bind(c0);
+            b.load(acc).iconst(1).iadd().store(acc).goto(cont);
+            b.bind(c1);
+            b.load(acc).iconst(10).iadd().store(acc).goto(cont);
+            b.bind(c2);
+            b.load(acc).iconst(100).iadd().store(acc);
+            b.bind(cont);
+            b.iinc(0, -1).goto(head);
+            b.bind(exit);
+            b.load(acc).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(10_000)], &mut NullObserver).unwrap();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(10_000)]).unwrap();
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+        assert!(report.traces.completed > 0, "switch traces must complete");
+        assert!(
+            report.traces.exited_early > 0,
+            "selector phase change must side-exit a switch guard"
+        );
+    }
+
+    #[test]
+    fn virtual_guard_side_exits_on_megamorphic_site() {
+        // Receiver class alternates every iteration: a trace recorded for
+        // one class must side-exit when the other arrives.
+        let mut pb = ProgramBuilder::new();
+        let am = pb.declare_function("A.v", 1, true);
+        pb.function_mut(am).iconst(1).ret();
+        let bm = pb.declare_function("B.v", 1, true);
+        pb.function_mut(bm).iconst(2).ret();
+        let f = pb.declare_function("main", 1, true);
+        let a = pb.declare_class("A", None, 0);
+        let slot = pb.add_method(a, am);
+        let bc = pb.declare_class("B", Some(a), 0);
+        pb.override_method(bc, slot, bm);
+        {
+            let b = pb.function_mut(f);
+            let acc = b.alloc_local();
+            let oa = b.alloc_local();
+            let ob = b.alloc_local();
+            b.new_obj(a).store(oa);
+            b.new_obj(bc).store(ob);
+            b.iconst(0).store(acc);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            let use_b = b.new_label();
+            let call = b.new_label();
+            b.load(0).if_i(CmpOp::Le, exit);
+            b.load(0).iconst(1).iand().if_i(CmpOp::Ne, use_b);
+            b.load(oa).goto(call);
+            b.bind(use_b);
+            b.load(ob);
+            b.bind(call);
+            b.invoke_virtual(slot, 1).load(acc).iadd().store(acc);
+            b.iinc(0, -1).goto(head);
+            b.bind(exit);
+            b.load(acc).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(5_000)], &mut NullObserver).unwrap();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = engine.run(&[Value::Int(5_000)]).unwrap();
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+    }
+
+    #[test]
+    fn runtime_traps_inside_traces_propagate() {
+        // Division by a loop-carried value that reaches zero: the trap
+        // fires inside a hot (traced) loop and must surface identically.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let acc = b.alloc_local();
+            b.iconst(0).store(acc);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            b.load(0).iconst(-5000).if_icmp(CmpOp::Le, exit);
+            b.load(acc).iconst(1000).load(0).idiv().iadd().store(acc);
+            b.iinc(0, -1).goto(head);
+            b.bind(exit);
+            b.load(acc).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(10_000)], &mut NullObserver);
+        assert_eq!(want, Err(VmError::DivisionByZero));
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        assert_eq!(
+            engine.run(&[Value::Int(10_000)]),
+            Err(VmError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn print_output_matches_interpreter_through_traces() {
+        // Prints inside a hot (traced) loop must appear identically, in
+        // order, from the engine's intrinsic handling.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, false);
+        {
+            let b = pb.function_mut(f);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            b.load(0).if_i(CmpOp::Le, exit);
+            b.load(0).intrinsic(jvm_bytecode::Intrinsic::PrintInt);
+            b.iinc(0, -1).goto(head);
+            b.bind(exit);
+            b.ret_void();
+        }
+        let program = pb.build(f).unwrap();
+        let mut plain = Vm::new(&program);
+        plain.run(&[Value::Int(500)], &mut NullObserver).unwrap();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        engine.run(&[Value::Int(500)]).unwrap();
+        assert_eq!(engine.output(), plain.output());
+        assert_eq!(engine.output().len(), 500);
+    }
+
+    #[test]
+    fn fuel_limit_applies_inside_traces() {
+        let program = loop_program();
+        let mut cfg = EngineConfig::paper_default();
+        cfg.jit.vm.max_steps = 50_000;
+        let mut engine = TracingVm::new(&program, cfg);
+        assert_eq!(
+            engine.run(&[Value::Int(1_000_000)]),
+            Err(VmError::OutOfFuel)
+        );
+    }
+}

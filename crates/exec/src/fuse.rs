@@ -1,0 +1,441 @@
+//! Superinstruction fusion for compiled traces.
+//!
+//! Straight-line trace code is dominated by stack shuffling: `load a;
+//! load b; iadd; store d` pushes two values only to pop them again. This
+//! pass fuses frequent instruction groups into *superinstructions* that
+//! read locals directly and skip the operand stack — the classic
+//! threaded-code optimization (Piumarta & Riccardi's selective inlining
+//! applies the same idea at the native level), and the reason trace
+//! execution can beat per-instruction interpretation.
+//!
+//! Fusion runs after the peephole [`crate::opt`] pass, never crosses
+//! control `TInstr`s, and is **accounting-transparent**: each fused group
+//! still counts as its original number of source instructions, and
+//! runtime type errors are raised in the same operand order the unfused
+//! sequence would raise them.
+
+use jvm_bytecode::Instr;
+
+use crate::compile::{CompiledTrace, TInstr};
+
+/// Binary integer operations a fused group may perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedBin {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl FusedBin {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            FusedBin::Add => a.wrapping_add(b),
+            FusedBin::Sub => a.wrapping_sub(b),
+            FusedBin::Mul => a.wrapping_mul(b),
+            FusedBin::And => a & b,
+            FusedBin::Or => a | b,
+            FusedBin::Xor => a ^ b,
+        }
+    }
+
+    fn of(ins: &Instr) -> Option<FusedBin> {
+        Some(match ins {
+            Instr::IAdd => FusedBin::Add,
+            Instr::ISub => FusedBin::Sub,
+            Instr::IMul => FusedBin::Mul,
+            Instr::IAnd => FusedBin::And,
+            Instr::IOr => FusedBin::Or,
+            Instr::IXor => FusedBin::Xor,
+            _ => return None,
+        })
+    }
+}
+
+/// A fused superinstruction. `width` source instructions each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fused {
+    /// `load a; load b; <bin>` → push `bin(l[a], l[b])` (width 3).
+    LLBin {
+        /// Left operand slot.
+        a: u16,
+        /// Right operand slot.
+        b: u16,
+        /// Operation.
+        op: FusedBin,
+    },
+    /// `load a; iconst c; <bin>` → push `bin(l[a], c)` (width 3).
+    LCBin {
+        /// Left operand slot.
+        a: u16,
+        /// Constant right operand.
+        c: i64,
+        /// Operation.
+        op: FusedBin,
+    },
+    /// `<bin>; store d` → pop two, store result (width 2).
+    BinStore {
+        /// Operation.
+        op: FusedBin,
+        /// Destination slot.
+        d: u16,
+    },
+    /// `load a; store d` → register move (width 2).
+    Move {
+        /// Source slot.
+        a: u16,
+        /// Destination slot.
+        d: u16,
+    },
+    /// `iconst c; store d` → load immediate (width 2).
+    ConstStore {
+        /// Constant.
+        c: i64,
+        /// Destination slot.
+        d: u16,
+    },
+    /// `load a; load b` → two pushes (width 2; the fallback pair).
+    LoadLoad {
+        /// First slot.
+        a: u16,
+        /// Second slot.
+        b: u16,
+    },
+    /// `load arr; load idx; aload` → push `arr[idx]` (width 3).
+    ArrayGet {
+        /// Array-reference slot.
+        arr: u16,
+        /// Index slot.
+        idx: u16,
+    },
+    /// `load arr; load idx; load val; astore` → `arr[idx] = l[val]`
+    /// (width 4).
+    ArraySet {
+        /// Array-reference slot.
+        arr: u16,
+        /// Index slot.
+        idx: u16,
+        /// Value slot.
+        val: u16,
+    },
+}
+
+impl Fused {
+    /// Number of source instructions this group stands for (used for
+    /// instruction accounting).
+    pub fn width(self) -> u64 {
+        match self {
+            Fused::ArraySet { .. } => 4,
+            Fused::LLBin { .. } | Fused::LCBin { .. } | Fused::ArrayGet { .. } => 3,
+            Fused::BinStore { .. }
+            | Fused::Move { .. }
+            | Fused::ConstStore { .. }
+            | Fused::LoadLoad { .. } => 2,
+        }
+    }
+}
+
+/// Fusion statistics for one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Compiled instructions before fusion.
+    pub before: usize,
+    /// Compiled instructions after fusion.
+    pub after: usize,
+    /// Superinstructions created.
+    pub fused_groups: u64,
+}
+
+fn as_op(t: &TInstr) -> Option<&Instr> {
+    match t {
+        TInstr::Op(i) => Some(i),
+        _ => None,
+    }
+}
+
+/// Fuses instruction groups in place; returns the statistics.
+///
+/// Widest-match-first over each straight-line window: triples
+/// (`LLBin`/`LCBin`), then pairs.
+pub fn fuse_trace(trace: &mut CompiledTrace) -> FuseStats {
+    let code = &mut trace.code;
+    let mut stats = FuseStats {
+        before: code.len(),
+        ..FuseStats::default()
+    };
+    let mut out: Vec<TInstr> = Vec::with_capacity(code.len());
+    let mut i = 0;
+    while i < code.len() {
+        // Quads: the array-store idiom `arr[idx] = l[val]`.
+        if i + 3 < code.len() {
+            if let (Some(w), Some(x), Some(y), Some(z)) = (
+                as_op(&code[i]),
+                as_op(&code[i + 1]),
+                as_op(&code[i + 2]),
+                as_op(&code[i + 3]),
+            ) {
+                if let (Instr::Load(arr), Instr::Load(idx), Instr::Load(val), Instr::AStore) =
+                    (w, x, y, z)
+                {
+                    out.push(TInstr::Fused(Fused::ArraySet {
+                        arr: *arr,
+                        idx: *idx,
+                        val: *val,
+                    }));
+                    stats.fused_groups += 1;
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        // Triples.
+        if i + 2 < code.len() {
+            if let (Some(x), Some(y), Some(z)) =
+                (as_op(&code[i]), as_op(&code[i + 1]), as_op(&code[i + 2]))
+            {
+                let fused = match (x, y, FusedBin::of(z)) {
+                    (Instr::Load(a), Instr::Load(b), Some(op)) => {
+                        Some(Fused::LLBin { a: *a, b: *b, op })
+                    }
+                    (Instr::Load(a), Instr::IConst(c), Some(op)) => {
+                        Some(Fused::LCBin { a: *a, c: *c, op })
+                    }
+                    (Instr::Load(arr), Instr::Load(idx), None) if *z == Instr::ALoad => {
+                        Some(Fused::ArrayGet {
+                            arr: *arr,
+                            idx: *idx,
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(f) = fused {
+                    out.push(TInstr::Fused(f));
+                    stats.fused_groups += 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // Pairs.
+        if i + 1 < code.len() {
+            if let (Some(x), Some(y)) = (as_op(&code[i]), as_op(&code[i + 1])) {
+                let fused = match (x, y) {
+                    (Instr::Load(a), Instr::Store(d)) => Some(Fused::Move { a: *a, d: *d }),
+                    (Instr::IConst(c), Instr::Store(d)) => Some(Fused::ConstStore { c: *c, d: *d }),
+                    (bin, Instr::Store(d)) => {
+                        FusedBin::of(bin).map(|op| Fused::BinStore { op, d: *d })
+                    }
+                    (Instr::Load(a), Instr::Load(b)) => {
+                        // Defer when a wider pattern could start at i+1
+                        // (e.g. `load; load; aload` one position later):
+                        // greedily pairing here would break it.
+                        let defer = matches!(
+                            code.get(i + 2).and_then(as_op),
+                            Some(Instr::ALoad) | Some(Instr::Load(_))
+                        );
+                        if defer {
+                            None
+                        } else {
+                            Some(Fused::LoadLoad { a: *a, b: *b })
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(f) = fused {
+                    out.push(TInstr::Fused(f));
+                    stats.fused_groups += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    *code = out;
+    stats.after = code.len();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_cache::TraceId;
+
+    fn trace_of(code: Vec<TInstr>) -> CompiledTrace {
+        CompiledTrace {
+            trace_id: TraceId::from_raw(0),
+            code,
+            src_blocks: Vec::new(),
+            src_instrs: 0,
+        }
+    }
+
+    fn op(i: Instr) -> TInstr {
+        TInstr::Op(i)
+    }
+
+    #[test]
+    fn fuses_load_load_bin_triple() {
+        let mut t = trace_of(vec![
+            op(Instr::Load(0)),
+            op(Instr::Load(1)),
+            op(Instr::IAdd),
+        ]);
+        let s = fuse_trace(&mut t);
+        assert_eq!(
+            t.code,
+            vec![TInstr::Fused(Fused::LLBin {
+                a: 0,
+                b: 1,
+                op: FusedBin::Add
+            })]
+        );
+        assert_eq!(s.fused_groups, 1);
+        assert_eq!(s.before, 3);
+        assert_eq!(s.after, 1);
+    }
+
+    #[test]
+    fn fuses_load_const_bin_and_leaves_tail_store() {
+        let mut t = trace_of(vec![
+            op(Instr::Load(2)),
+            op(Instr::IConst(256)),
+            op(Instr::IMul),
+            op(Instr::Load(3)),
+            op(Instr::Load(4)),
+            op(Instr::IXor),
+            op(Instr::Store(5)),
+        ]);
+        fuse_trace(&mut t);
+        assert_eq!(
+            t.code,
+            vec![
+                TInstr::Fused(Fused::LCBin {
+                    a: 2,
+                    c: 256,
+                    op: FusedBin::Mul
+                }),
+                // The triple consumed the xor; the trailing store stays.
+                TInstr::Fused(Fused::LLBin {
+                    a: 3,
+                    b: 4,
+                    op: FusedBin::Xor
+                }),
+                op(Instr::Store(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn bin_store_pair_fuses_when_no_triple_applies() {
+        let mut t = trace_of(vec![op(Instr::Dup), op(Instr::IAdd), op(Instr::Store(1))]);
+        fuse_trace(&mut t);
+        assert_eq!(
+            t.code,
+            vec![
+                op(Instr::Dup),
+                TInstr::Fused(Fused::BinStore {
+                    op: FusedBin::Add,
+                    d: 1
+                }),
+            ]
+        );
+    }
+
+    #[test]
+    fn fuses_moves_and_const_stores() {
+        let mut t = trace_of(vec![
+            op(Instr::Load(0)),
+            op(Instr::Store(1)),
+            op(Instr::IConst(7)),
+            op(Instr::Store(2)),
+        ]);
+        let s = fuse_trace(&mut t);
+        assert_eq!(
+            t.code,
+            vec![
+                TInstr::Fused(Fused::Move { a: 0, d: 1 }),
+                TInstr::Fused(Fused::ConstStore { c: 7, d: 2 }),
+            ]
+        );
+        assert_eq!(s.fused_groups, 2);
+    }
+
+    #[test]
+    fn control_instructions_are_barriers() {
+        let mut t = trace_of(vec![
+            op(Instr::Load(0)),
+            TInstr::FallThrough,
+            op(Instr::Load(1)),
+            op(Instr::IAdd),
+        ]);
+        fuse_trace(&mut t);
+        // Load(1)+IAdd is only a pair when a third op precedes; across the
+        // barrier nothing fuses into a triple, and (IAdd) alone can't pair
+        // with Load(1) under any rule — expect barrier-preserving output.
+        assert!(matches!(t.code[1], TInstr::FallThrough));
+        assert_eq!(t.code.len(), 4);
+    }
+
+    #[test]
+    fn fuses_array_get_and_set() {
+        let mut t = trace_of(vec![
+            op(Instr::Load(0)),
+            op(Instr::Load(1)),
+            op(Instr::ALoad),
+            op(Instr::Load(0)),
+            op(Instr::Load(1)),
+            op(Instr::Load(2)),
+            op(Instr::AStore),
+        ]);
+        let s = fuse_trace(&mut t);
+        assert_eq!(
+            t.code,
+            vec![
+                TInstr::Fused(Fused::ArrayGet { arr: 0, idx: 1 }),
+                TInstr::Fused(Fused::ArraySet {
+                    arr: 0,
+                    idx: 1,
+                    val: 2
+                }),
+            ]
+        );
+        assert_eq!(s.fused_groups, 2);
+    }
+
+    #[test]
+    fn widths_cover_accounting() {
+        assert_eq!(
+            Fused::LLBin {
+                a: 0,
+                b: 0,
+                op: FusedBin::Add
+            }
+            .width(),
+            3
+        );
+        assert_eq!(Fused::Move { a: 0, d: 0 }.width(), 2);
+        assert_eq!(Fused::LoadLoad { a: 0, b: 0 }.width(), 2);
+    }
+
+    #[test]
+    fn bin_semantics_match_instructions() {
+        assert_eq!(FusedBin::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(FusedBin::Sub.apply(3, 5), -2);
+        assert_eq!(FusedBin::Mul.apply(1 << 62, 4), 0);
+        assert_eq!(FusedBin::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(FusedBin::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(FusedBin::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+}

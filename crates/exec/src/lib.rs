@@ -1,0 +1,37 @@
+//! # trace-exec
+//!
+//! The paper's stated next step (§6): *"enabling the VM to execute the
+//! traces we can find … and then we will measure what further improvement
+//! can be achieved by applying optimizations to the traces."*
+//!
+//! This crate implements that future work on top of the reproduction:
+//!
+//! * [`compile`](mod@compile) — flattens a cached trace (a sequence of basic blocks)
+//!   into straight-line guarded code: conditional branches whose
+//!   direction the trace predicts become **guards** that side-exit back
+//!   to the interpreter when the prediction fails; virtual calls get
+//!   receiver guards; returns get continuation guards; everything else
+//!   runs unchanged.
+//! * [`opt`] — a peephole optimizer over the flattened code (constant
+//!   folding, algebraic identities, dead stack traffic, strength
+//!   reduction), exploiting the paper's fourth design criterion: traces
+//!   have a single entry and a known path, so path-specialised
+//!   optimisation is sound as long as side exits restore interpreter
+//!   state — which the guards guarantee by construction (they resume at
+//!   the guarded instruction with the operand stack untouched).
+//! * [`engine`] — [`TracingVm`], a complete execution engine that
+//!   interprets out-of-trace code block-by-block (with the profiler
+//!   attached, as in the base system) and executes cached traces from
+//!   their compiled form, eliminating the per-block dispatch and
+//!   profiling points inside traces. Differential tests pin its
+//!   semantics against the baseline interpreter on all six workloads.
+
+pub mod compile;
+pub mod engine;
+pub mod fuse;
+pub mod opt;
+
+pub use compile::{compile, CompileError, CompiledTrace, CondKind, TInstr};
+pub use engine::{EngineConfig, TracingVm};
+pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
+pub use opt::{optimize, OptStats};

@@ -1,0 +1,338 @@
+//! Peephole optimization of compiled traces.
+//!
+//! Traces are the paper's preferred unit of optimization (§3.7): one
+//! entry point, a single known path, and guards that side-exit with the
+//! operand stack untouched. Within those constraints a peephole pass over
+//! the flattened code is sound as long as it never crosses a control
+//! `TInstr` (guards re-anchor `pc`, so deletions between guards cannot
+//! desynchronise side exits).
+//!
+//! Implemented rewrites, iterated to a fixed point:
+//!
+//! * constant folding — `[iconst a, iconst b, iadd] → [iconst a+b]` and
+//!   friends (wrapping, division only for non-zero constants), unary
+//!   folds, int↔float conversion folds;
+//! * dead stack traffic — `[dup, pop]`, `[<const>, pop]`, `[load, pop]`,
+//!   `[swap, swap]`;
+//! * algebraic identities — `x+0`, `x-0`, `x*1`, `x|0`, `x^0`, `x&-1`,
+//!   shifts by 0 (integer only; float identities are not IEEE-safe);
+//! * strength reduction — `x * 2^k → x << k`.
+//!
+//! The pass never changes observable behaviour on traces recorded from
+//! real executions: the rewritten windows are branch-free and their
+//! operands' runtime types are pinned by the verifier's discipline.
+
+use jvm_bytecode::Instr;
+
+use crate::compile::{CompiledTrace, TInstr};
+
+/// Optimization statistics for one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Compiled instructions before optimization.
+    pub before: usize,
+    /// Compiled instructions after optimization.
+    pub after: usize,
+    /// Constant-folding rewrites applied.
+    pub folds: u64,
+    /// Dead-stack-traffic eliminations applied.
+    pub eliminations: u64,
+    /// Algebraic-identity removals applied.
+    pub identities: u64,
+    /// Strength reductions applied.
+    pub reductions: u64,
+}
+
+impl OptStats {
+    /// Fraction of compiled instructions removed, in `[0, 1)`.
+    pub fn savings(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Optimizes a compiled trace in place, returning the statistics.
+pub fn optimize(trace: &mut CompiledTrace, stats_out: &mut OptStats) {
+    stats_out.before = trace.code.len();
+    loop {
+        let changed = pass(&mut trace.code, stats_out);
+        if !changed {
+            break;
+        }
+    }
+    stats_out.after = trace.code.len();
+}
+
+/// Convenience wrapper returning the stats.
+pub fn optimize_trace(trace: &mut CompiledTrace) -> OptStats {
+    let mut s = OptStats::default();
+    optimize(trace, &mut s);
+    s
+}
+
+fn as_op(t: &TInstr) -> Option<&Instr> {
+    match t {
+        TInstr::Op(i) => Some(i),
+        _ => None,
+    }
+}
+
+/// One left-to-right rewrite pass; returns whether anything changed.
+fn pass(code: &mut Vec<TInstr>, stats: &mut OptStats) -> bool {
+    let mut out: Vec<TInstr> = Vec::with_capacity(code.len());
+    let mut changed = false;
+    let mut i = 0;
+    while i < code.len() {
+        // Try 2-wide window against the already-emitted tail + current.
+        if let Some(prev) = out.last().and_then(as_op) {
+            if let Some(cur) = as_op(&code[i]) {
+                if let Some(rewrite) = rewrite2(prev, cur, stats) {
+                    out.pop();
+                    out.extend(rewrite);
+                    i += 1;
+                    changed = true;
+                    continue;
+                }
+                // 3-wide window (two consts + binop).
+                if out.len() >= 2 {
+                    if let (Some(a), Some(b)) = (
+                        as_op(&out[out.len() - 2]).cloned(),
+                        as_op(&out[out.len() - 1]).cloned(),
+                    ) {
+                        if let Some(folded) = fold3(&a, &b, cur) {
+                            out.pop();
+                            out.pop();
+                            out.push(TInstr::Op(folded));
+                            stats.folds += 1;
+                            i += 1;
+                            changed = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    *code = out;
+    changed
+}
+
+/// Folds `[a, b, op]` where `a` and `b` are constants.
+fn fold3(a: &Instr, b: &Instr, op: &Instr) -> Option<Instr> {
+    if let (Instr::IConst(x), Instr::IConst(y)) = (a, b) {
+        let (x, y) = (*x, *y);
+        let v = match op {
+            Instr::IAdd => x.wrapping_add(y),
+            Instr::ISub => x.wrapping_sub(y),
+            Instr::IMul => x.wrapping_mul(y),
+            Instr::IDiv if y != 0 => x.wrapping_div(y),
+            Instr::IRem if y != 0 => x.wrapping_rem(y),
+            Instr::IAnd => x & y,
+            Instr::IOr => x | y,
+            Instr::IXor => x ^ y,
+            Instr::IShl => x.wrapping_shl(y as u32 & 63),
+            Instr::IShr => x.wrapping_shr(y as u32 & 63),
+            Instr::IUShr => ((x as u64) >> (y as u32 & 63)) as i64,
+            _ => return None,
+        };
+        return Some(Instr::IConst(v));
+    }
+    if let (Instr::FConst(x), Instr::FConst(y)) = (a, b) {
+        let (x, y) = (*x, *y);
+        let v = match op {
+            Instr::FAdd => x + y,
+            Instr::FSub => x - y,
+            Instr::FMul => x * y,
+            Instr::FDiv => x / y,
+            _ => return None,
+        };
+        return Some(Instr::FConst(v));
+    }
+    None
+}
+
+/// Rewrites `[prev, cur]` to a shorter sequence, or `None`.
+fn rewrite2(prev: &Instr, cur: &Instr, stats: &mut OptStats) -> Option<Vec<TInstr>> {
+    use Instr::*;
+    // Unary constant folds.
+    match (prev, cur) {
+        (IConst(a), INeg) => {
+            stats.folds += 1;
+            return Some(vec![TInstr::Op(IConst(a.wrapping_neg()))]);
+        }
+        (FConst(a), FNeg) => {
+            stats.folds += 1;
+            return Some(vec![TInstr::Op(FConst(-a))]);
+        }
+        (IConst(a), I2F) => {
+            stats.folds += 1;
+            return Some(vec![TInstr::Op(FConst(*a as f64))]);
+        }
+        (FConst(a), F2I) => {
+            stats.folds += 1;
+            return Some(vec![TInstr::Op(IConst(*a as i64))]);
+        }
+        _ => {}
+    }
+    // Dead stack traffic.
+    match (prev, cur) {
+        (Dup, Pop) | (Swap, Swap) => {
+            stats.eliminations += 1;
+            return Some(vec![]);
+        }
+        (IConst(_), Pop) | (FConst(_), Pop) | (ConstNull, Pop) | (Load(_), Pop) => {
+            stats.eliminations += 1;
+            return Some(vec![]);
+        }
+        _ => {}
+    }
+    // Integer algebraic identities (safe: verifier pins operands to int).
+    let identity = matches!(
+        (prev, cur),
+        (IConst(0), IAdd)
+            | (IConst(0), ISub)
+            | (IConst(1), IMul)
+            | (IConst(0), IOr)
+            | (IConst(0), IXor)
+            | (IConst(-1), IAnd)
+            | (IConst(0), IShl)
+            | (IConst(0), IShr)
+            | (IConst(0), IUShr)
+    );
+    if identity {
+        stats.identities += 1;
+        return Some(vec![]);
+    }
+    // Strength reduction: multiply by a power of two.
+    if let (IConst(c), IMul) = (prev, cur) {
+        if *c > 1 && (*c & (*c - 1)) == 0 {
+            stats.reductions += 1;
+            let k = c.trailing_zeros() as i64;
+            return Some(vec![TInstr::Op(IConst(k)), TInstr::Op(IShl)]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledTrace;
+    use trace_cache::TraceId;
+
+    fn trace_of(ops: Vec<Instr>) -> CompiledTrace {
+        CompiledTrace {
+            trace_id: TraceId::from_raw(0),
+            code: ops.into_iter().map(TInstr::Op).collect(),
+            src_blocks: Vec::new(),
+            src_instrs: 0,
+        }
+    }
+
+    fn ops(t: &CompiledTrace) -> Vec<Instr> {
+        t.code
+            .iter()
+            .map(|i| match i {
+                TInstr::Op(op) => op.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn folds_binary_constants() {
+        let mut t = trace_of(vec![Instr::IConst(6), Instr::IConst(7), Instr::IMul]);
+        let s = optimize_trace(&mut t);
+        assert_eq!(ops(&t), vec![Instr::IConst(42)]);
+        assert_eq!(s.folds, 1);
+        assert!(s.savings() > 0.5);
+    }
+
+    #[test]
+    fn folds_cascade_to_fixed_point() {
+        // ((2+3)*4) fully folds.
+        let mut t = trace_of(vec![
+            Instr::IConst(2),
+            Instr::IConst(3),
+            Instr::IAdd,
+            Instr::IConst(4),
+            Instr::IMul,
+        ]);
+        optimize_trace(&mut t);
+        assert_eq!(ops(&t), vec![Instr::IConst(20)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let mut t = trace_of(vec![Instr::IConst(1), Instr::IConst(0), Instr::IDiv]);
+        optimize_trace(&mut t);
+        assert_eq!(t.code.len(), 3, "must preserve the trap");
+    }
+
+    #[test]
+    fn eliminates_dead_stack_traffic() {
+        let mut t = trace_of(vec![
+            Instr::Load(0),
+            Instr::Dup,
+            Instr::Pop,
+            Instr::Swap,
+            Instr::Swap,
+        ]);
+        let s = optimize_trace(&mut t);
+        assert_eq!(ops(&t), vec![Instr::Load(0)]);
+        assert_eq!(s.eliminations, 2);
+    }
+
+    #[test]
+    fn removes_integer_identities() {
+        let mut t = trace_of(vec![
+            Instr::Load(0),
+            Instr::IConst(0),
+            Instr::IAdd,
+            Instr::IConst(1),
+            Instr::IMul,
+        ]);
+        let s = optimize_trace(&mut t);
+        assert_eq!(ops(&t), vec![Instr::Load(0)]);
+        assert_eq!(s.identities, 2);
+    }
+
+    #[test]
+    fn strength_reduces_power_of_two_multiply() {
+        let mut t = trace_of(vec![Instr::Load(0), Instr::IConst(256), Instr::IMul]);
+        let s = optimize_trace(&mut t);
+        assert_eq!(ops(&t), vec![Instr::Load(0), Instr::IConst(8), Instr::IShl]);
+        assert_eq!(s.reductions, 1);
+    }
+
+    #[test]
+    fn float_identities_are_left_alone() {
+        // x + 0.0 is not IEEE-safe to remove (-0.0 + 0.0 == +0.0).
+        let mut t = trace_of(vec![Instr::Load(0), Instr::FConst(0.0), Instr::FAdd]);
+        optimize_trace(&mut t);
+        assert_eq!(t.code.len(), 3);
+    }
+
+    #[test]
+    fn guards_are_barriers() {
+        use jvm_bytecode::FuncId;
+        let mut t = trace_of(vec![]);
+        t.code = vec![
+            TInstr::Op(Instr::IConst(1)),
+            TInstr::Jump {
+                target: 0,
+                func: FuncId(0),
+                pc: 0,
+            },
+            TInstr::Op(Instr::Pop),
+        ];
+        optimize_trace(&mut t);
+        // [iconst, pop] across the jump must NOT cancel.
+        assert_eq!(t.code.len(), 3);
+    }
+}

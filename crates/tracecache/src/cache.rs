@@ -1,0 +1,245 @@
+//! The hash-consed trace store.
+
+use std::collections::HashMap;
+
+use jvm_bytecode::BlockId;
+use trace_bcg::Branch;
+
+use crate::trace::{Trace, TraceId};
+
+/// Cache bookkeeping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// New trace objects constructed.
+    pub traces_constructed: u64,
+    /// Insertions that found an identical block sequence already cached
+    /// ("the trace is retrieved and linked", §4.2).
+    pub traces_reused: u64,
+    /// Entry-branch links that replaced a different trace (cache
+    /// instability events; the paper's stability criterion wants these
+    /// rare, §3.6).
+    pub links_replaced: u64,
+    /// Entry branches currently linked.
+    pub links_live: usize,
+}
+
+/// The trace cache: trace objects hash-consed by block sequence, plus the
+/// dispatch table linking entry branches to traces.
+///
+/// Separating *trace objects* from *entry links* mirrors the paper: several
+/// entry branches may be "linked into the code" against the same cached
+/// sequence, and relinking an entry never destroys a trace object (old
+/// ids stay valid for the execution monitor).
+///
+/// ```
+/// use jvm_bytecode::{BlockId, FuncId};
+/// use trace_cache::TraceCache;
+///
+/// let b = |i| BlockId::new(FuncId(0), i);
+/// let mut cache = TraceCache::new();
+/// let (id, created) = cache.insert_and_link((b(0), b(1)), vec![b(1), b(2)], 0.98);
+/// assert!(created);
+/// // Dispatch check: taking branch (b0, b1) enters the trace.
+/// assert_eq!(cache.lookup_entry((b(0), b(1))), Some(id));
+/// assert_eq!(cache.trace(id).len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    traces: Vec<Trace>,
+    by_blocks: HashMap<Vec<BlockId>, TraceId>,
+    by_entry: HashMap<Branch, TraceId>,
+    stats: CacheStats,
+    /// Bumped on every link mutation; lets executors cache lookups.
+    version: u64,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct trace objects ever constructed.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Number of live entry links.
+    pub fn link_count(&self) -> usize {
+        self.by_entry.len()
+    }
+
+    /// A counter bumped on every entry-link mutation. An executor that
+    /// caches `lookup_entry` results must revalidate when this changes.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.links_live = self.by_entry.len();
+        s
+    }
+
+    /// The trace with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn trace(&self, id: TraceId) -> &Trace {
+        &self.traces[id.index()]
+    }
+
+    /// The trace linked at an entry branch, if any. This is the dispatch
+    /// check performed when the interpreter takes a branch.
+    #[inline]
+    pub fn lookup_entry(&self, entry: Branch) -> Option<TraceId> {
+        self.by_entry.get(&entry).copied()
+    }
+
+    /// Iterates over all `(entry branch, trace)` links.
+    pub fn iter_links(&self) -> impl Iterator<Item = (Branch, &Trace)> {
+        self.by_entry.iter().map(|(&b, &id)| (b, self.trace(id)))
+    }
+
+    /// Iterates over every trace object ever constructed (including ones
+    /// no longer linked).
+    pub fn iter_traces(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Hash-conses a block sequence into the cache and links it at
+    /// `entry`. Returns the trace id and whether a new trace object was
+    /// constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or `entry.1 != blocks[0]` — the entry
+    /// branch must land on the trace's first block.
+    pub fn insert_and_link(
+        &mut self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        expected_completion: f64,
+    ) -> (TraceId, bool) {
+        assert!(!blocks.is_empty(), "trace must contain at least one block");
+        assert_eq!(
+            entry.1, blocks[0],
+            "entry branch must target the trace's first block"
+        );
+        let (id, created) = match self.by_blocks.get(&blocks) {
+            Some(&id) => {
+                self.stats.traces_reused += 1;
+                (id, false)
+            }
+            None => {
+                let id = TraceId(self.traces.len() as u32);
+                self.traces.push(Trace {
+                    id,
+                    blocks: blocks.clone(),
+                    expected_completion,
+                });
+                self.by_blocks.insert(blocks, id);
+                self.stats.traces_constructed += 1;
+                (id, true)
+            }
+        };
+        match self.by_entry.insert(entry, id) {
+            Some(old) if old != id => self.stats.links_replaced += 1,
+            _ => {}
+        }
+        self.version += 1;
+        (id, created)
+    }
+
+    /// Removes the link at an entry branch, if any. Used when a trace's
+    /// entry is found to no longer satisfy the criteria.
+    pub fn unlink(&mut self, entry: Branch) -> Option<TraceId> {
+        let removed = self.by_entry.remove(&entry);
+        if removed.is_some() {
+            self.version += 1;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::FuncId;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    #[test]
+    fn insert_links_and_retrieves() {
+        let mut c = TraceCache::new();
+        let entry = (blk(0), blk(1));
+        let (id, created) = c.insert_and_link(entry, vec![blk(1), blk(2)], 0.99);
+        assert!(created);
+        assert_eq!(c.lookup_entry(entry), Some(id));
+        assert_eq!(c.trace(id).blocks(), &[blk(1), blk(2)]);
+        assert_eq!(c.trace_count(), 1);
+        assert_eq!(c.link_count(), 1);
+    }
+
+    #[test]
+    fn hash_consing_reuses_identical_sequences() {
+        let mut c = TraceCache::new();
+        let (a, created_a) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        // Same sequence, different entry context.
+        let (b, created_b) = c.insert_and_link((blk(9), blk(1)), vec![blk(1), blk(2)], 0.98);
+        assert!(created_a);
+        assert!(!created_b);
+        assert_eq!(a, b);
+        assert_eq!(c.trace_count(), 1);
+        assert_eq!(c.link_count(), 2);
+        assert_eq!(c.stats().traces_reused, 1);
+    }
+
+    #[test]
+    fn relinking_replaces_and_counts_instability() {
+        let mut c = TraceCache::new();
+        let entry = (blk(0), blk(1));
+        let (a, _) = c.insert_and_link(entry, vec![blk(1), blk(2)], 0.99);
+        let (b, _) = c.insert_and_link(entry, vec![blk(1), blk(3)], 0.99);
+        assert_ne!(a, b);
+        assert_eq!(c.lookup_entry(entry), Some(b));
+        assert_eq!(c.stats().links_replaced, 1);
+        // Relinking the identical trace is not instability.
+        let _ = c.insert_and_link(entry, vec![blk(1), blk(3)], 0.99);
+        assert_eq!(c.stats().links_replaced, 1);
+        // Old trace object still retrievable by id.
+        assert_eq!(c.trace(a).blocks(), &[blk(1), blk(2)]);
+    }
+
+    #[test]
+    fn unlink_removes_entry_but_keeps_trace() {
+        let mut c = TraceCache::new();
+        let entry = (blk(0), blk(1));
+        let (id, _) = c.insert_and_link(entry, vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.unlink(entry), Some(id));
+        assert_eq!(c.lookup_entry(entry), None);
+        assert_eq!(c.trace_count(), 1);
+        assert_eq!(c.unlink(entry), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry branch must target")]
+    fn entry_must_match_first_block() {
+        let mut c = TraceCache::new();
+        let _ = c.insert_and_link((blk(0), blk(5)), vec![blk(1), blk(2)], 0.99);
+    }
+
+    #[test]
+    fn iterators_cover_links_and_traces() {
+        let mut c = TraceCache::new();
+        c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.9);
+        c.insert_and_link((blk(2), blk(3)), vec![blk(3), blk(4)], 0.9);
+        assert_eq!(c.iter_links().count(), 2);
+        assert_eq!(c.iter_traces().count(), 2);
+    }
+}

@@ -1,0 +1,573 @@
+//! Signal-driven trace construction (§4.2 of the paper).
+//!
+//! When the profiler reports that a branch's state or predicted successor
+//! changed, the constructor:
+//!
+//! 1. **finds affected entry points** by back-tracking the BCG from the
+//!    changed node along strongly-correlated predecessor edges (a
+//!    predecessor belongs to the same trace region if it is
+//!    `Strong`/`Unique` and its maximum-likelihood successor is the
+//!    current node);
+//! 2. **walks the maximum-likelihood path** forward from each entry point
+//!    until it meets a node already on the path (a loop — unrolled once)
+//!    or a non-traceable node;
+//! 3. **cuts the path into traces** whose cumulative completion
+//!    probability (the product of the branch correlations along the
+//!    chain, §3.7) stays at or above the threshold, hash-consing each
+//!    into the [`TraceCache`] and linking it at its entry branch.
+//!
+//! Finally every node touched is stamped with the constructor's generation
+//! counter so that the remaining signals of the same batch don't trigger
+//! redundant reconstructions ("to prevent cascades of state changes",
+//! §4.2).
+
+use std::collections::{HashMap, HashSet};
+
+use jvm_bytecode::BlockId;
+use trace_bcg::{BranchCorrelationGraph, NodeIdx, Signal};
+
+use crate::cache::TraceCache;
+
+/// Tunables of the trace constructor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstructorConfig {
+    /// Minimum cumulative completion probability of an emitted trace; use
+    /// the same value as [`trace_bcg::BcgConfig::threshold`].
+    pub threshold: f64,
+    /// Hard cap on blocks per trace.
+    pub max_trace_blocks: usize,
+    /// Hard cap on nodes visited during one forward path walk.
+    pub max_path_nodes: usize,
+    /// Hard cap on entry points processed per signal.
+    pub max_entry_points: usize,
+    /// Traces shorter than this many blocks are not worth caching (a
+    /// one-block trace is just ordinary block dispatch).
+    pub min_trace_blocks: usize,
+    /// How many *extra* copies of a terminating loop's body are appended
+    /// when the path ends in a loop. The paper unrolls once (`1`); larger
+    /// values generalise the rule (an ablation knob — longer loop traces
+    /// at the cost of more partial executions when iteration counts are
+    /// low). Still subject to `threshold` and `max_trace_blocks`.
+    pub loop_unroll: usize,
+}
+
+impl ConstructorConfig {
+    /// Defaults matching the paper's 97% threshold.
+    pub fn paper_default() -> Self {
+        ConstructorConfig {
+            threshold: 0.97,
+            max_trace_blocks: 64,
+            max_path_nodes: 256,
+            max_entry_points: 32,
+            min_trace_blocks: 2,
+            loop_unroll: 1,
+        }
+    }
+
+    /// Returns this configuration with a different completion threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+impl Default for ConstructorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Counters describing constructor activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstructorStats {
+    /// Signals that triggered reconstruction work.
+    pub signals_handled: u64,
+    /// Signals skipped because their node was already brought up to date
+    /// earlier in the same batch (cascade suppression).
+    pub signals_suppressed: u64,
+    /// Entry points discovered by back-tracking.
+    pub entry_points: u64,
+    /// Forward path walks performed.
+    pub paths_walked: u64,
+    /// Loops detected and unrolled once.
+    pub loops_unrolled: u64,
+    /// Entry links written (new or re-linked).
+    pub links_written: u64,
+    /// New trace objects constructed.
+    pub traces_created: u64,
+    /// Entry links removed because the graph no longer supports a trace
+    /// there.
+    pub links_removed: u64,
+}
+
+/// The trace constructor. Owns no graph or cache — it is driven with
+/// borrowed access so the integrated VM can keep profiler, constructor
+/// and cache as independent components.
+///
+/// ```
+/// use jvm_bytecode::{BlockId, FuncId};
+/// use trace_bcg::{BcgConfig, BranchCorrelationGraph};
+/// use trace_cache::{ConstructorConfig, TraceCache, TraceConstructor};
+///
+/// let mut bcg = BranchCorrelationGraph::new(BcgConfig::default().with_start_delay(4));
+/// let mut cache = TraceCache::new();
+/// let mut ctor = TraceConstructor::new(ConstructorConfig::default());
+/// // Drive the profiler with a hot three-block loop; react to signals.
+/// let b = |i| BlockId::new(FuncId(0), i);
+/// for _ in 0..400 {
+///     for i in [0, 1, 2] {
+///         bcg.observe(b(i));
+///         if bcg.has_signals() {
+///             let signals = bcg.take_signals();
+///             ctor.handle_batch(&signals, &mut bcg, &mut cache);
+///         }
+///     }
+/// }
+/// assert!(cache.link_count() > 0, "the loop was traced");
+/// ```
+#[derive(Debug)]
+pub struct TraceConstructor {
+    config: ConstructorConfig,
+    generation: u64,
+    stats: ConstructorStats,
+}
+
+impl TraceConstructor {
+    /// Creates a constructor with the given configuration.
+    pub fn new(config: ConstructorConfig) -> Self {
+        TraceConstructor {
+            config,
+            generation: 0,
+            stats: ConstructorStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ConstructorConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ConstructorStats {
+        self.stats
+    }
+
+    /// Reacts to a batch of profiler signals, updating the cache. Returns
+    /// the number of new trace objects created.
+    pub fn handle_batch(
+        &mut self,
+        signals: &[Signal],
+        bcg: &mut BranchCorrelationGraph,
+        cache: &mut TraceCache,
+    ) -> u64 {
+        self.generation += 1;
+        let mut created = 0;
+        for sig in signals {
+            if bcg.node(sig.node).generation() == self.generation {
+                self.stats.signals_suppressed += 1;
+                continue;
+            }
+            created += self.handle_one(sig.node, bcg, cache);
+        }
+        created
+    }
+
+    fn handle_one(
+        &mut self,
+        origin: NodeIdx,
+        bcg: &mut BranchCorrelationGraph,
+        cache: &mut TraceCache,
+    ) -> u64 {
+        self.stats.signals_handled += 1;
+        let entries = self.find_entry_points(origin, bcg);
+        self.stats.entry_points += entries.len() as u64;
+        let mut created = 0;
+        for entry in entries {
+            let (path, loop_start) = self.walk_path(entry, bcg);
+            self.stats.paths_walked += 1;
+            // Everything examined is now up to date.
+            for &n in &path {
+                bcg.mark_generation(n, self.generation);
+            }
+            created += self.cut_and_emit(&path, loop_start, bcg, cache);
+        }
+        created
+    }
+
+    /// Step 1: back-track along strongly-correlated edges to the set of
+    /// trace entry points that may reach the changed node. If the region
+    /// is a pure cycle with no external entry, the origin itself serves
+    /// as entry.
+    fn find_entry_points(&mut self, origin: NodeIdx, bcg: &BranchCorrelationGraph) -> Vec<NodeIdx> {
+        let mut visited: HashSet<NodeIdx> = HashSet::new();
+        let mut stack = vec![origin];
+        visited.insert(origin);
+        let mut entries = Vec::new();
+        while let Some(n) = stack.pop() {
+            if entries.len() >= self.config.max_entry_points {
+                break;
+            }
+            let mut has_strong_pred = false;
+            for &p in bcg.node(n).predecessors() {
+                let pn = bcg.node(p);
+                // Stale predecessor entries are filtered here: the edge
+                // must still exist as p's maximum-likelihood successor and
+                // p must itself be traceable.
+                if pn.state().is_traceable() && pn.max_successor().is_some_and(|s| s.node == n) {
+                    has_strong_pred = true;
+                    if visited.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            if !has_strong_pred {
+                entries.push(n);
+            }
+        }
+        if entries.is_empty() {
+            entries.push(origin);
+        }
+        entries
+    }
+
+    /// Step 2: follow the path of maximum likelihood from `entry` until a
+    /// loop (returns its start index), a non-traceable node, or a cap.
+    fn walk_path(
+        &mut self,
+        entry: NodeIdx,
+        bcg: &BranchCorrelationGraph,
+    ) -> (Vec<NodeIdx>, Option<usize>) {
+        let mut path = vec![entry];
+        let mut pos_of: HashMap<NodeIdx, usize> = HashMap::new();
+        pos_of.insert(entry, 0);
+        loop {
+            let cur = *path.last().expect("path nonempty");
+            let node = bcg.node(cur);
+            // Only traceable nodes may be extended *through*; a weak node
+            // can end a trace but never predicts past itself.
+            if !node.state().is_traceable() {
+                break;
+            }
+            let Some(ms) = node.max_successor() else {
+                break;
+            };
+            if ms.count == 0 {
+                break;
+            }
+            let next = ms.node;
+            if let Some(&k) = pos_of.get(&next) {
+                self.stats.loops_unrolled += 1;
+                return (path, Some(k));
+            }
+            // Rare code never enters a trace (start-state filtering).
+            if !bcg.node(next).state().is_hot() {
+                break;
+            }
+            path.push(next);
+            pos_of.insert(next, path.len() - 1);
+            if path.len() >= self.config.max_path_nodes {
+                break;
+            }
+        }
+        (path, None)
+    }
+
+    /// Step 3: cut the node path into traces above the completion
+    /// threshold and install them. A terminating loop is processed first,
+    /// unrolled once (§4.2).
+    fn cut_and_emit(
+        &mut self,
+        path: &[NodeIdx],
+        loop_start: Option<usize>,
+        bcg: &BranchCorrelationGraph,
+        cache: &mut TraceCache,
+    ) -> u64 {
+        match loop_start {
+            None => self.cut_chain(path, path.len(), bcg, cache),
+            Some(k) => {
+                // The loop body is path[k..]; build the unrolled chain of
+                // 1 + loop_unroll body copies — the link probability
+                // joining consecutive copies is the back-edge correlation,
+                // which the generic per-edge computation below derives
+                // like any other link. Only segments *starting* in the
+                // first copy are emitted (later-copy starts would
+                // duplicate entry links).
+                let body = &path[k..];
+                let copies = 1 + self.config.loop_unroll;
+                let mut unrolled: Vec<NodeIdx> = Vec::with_capacity(body.len() * copies);
+                for _ in 0..copies {
+                    unrolled.extend_from_slice(body);
+                }
+                let mut created = self.cut_chain(&unrolled, body.len(), bcg, cache);
+                // Then the remaining prefix path[..k] (it flows into the
+                // loop head, so cut path[..=k] with the head as terminal
+                // block, emitting only starts before k).
+                if k > 0 {
+                    created += self.cut_chain(&path[..=k], k, bcg, cache);
+                }
+                created
+            }
+        }
+    }
+
+    /// Cuts a node chain into threshold-satisfying segments, emitting a
+    /// trace for every segment starting before `emit_limit`.
+    fn cut_chain(
+        &mut self,
+        chain: &[NodeIdx],
+        emit_limit: usize,
+        bcg: &BranchCorrelationGraph,
+        cache: &mut TraceCache,
+    ) -> u64 {
+        if chain.len() < 2 {
+            // Nothing traceable here; drop any stale link at the lone
+            // node's branch.
+            if let Some(&n) = chain.first() {
+                if cache.unlink(bcg.node(n).branch()).is_some() {
+                    self.stats.links_removed += 1;
+                }
+            }
+            return 0;
+        }
+        // link_prob[i] = P(chain[i+1]'s branch | chain[i]'s branch).
+        let link_prob: Vec<f64> = (0..chain.len() - 1)
+            .map(|i| {
+                let node = bcg.node(chain[i]);
+                let next_block = bcg.node(chain[i + 1]).branch().1;
+                node.correlation_to(next_block)
+            })
+            .collect();
+
+        let mut created = 0;
+        let mut i = 0;
+        while i < chain.len() && i < emit_limit {
+            let mut j = i;
+            let mut prob = 1.0;
+            while j + 1 < chain.len() && (j + 1 - i) < self.config.max_trace_blocks {
+                let extended = prob * link_prob[j];
+                if extended < self.config.threshold {
+                    break;
+                }
+                prob = extended;
+                j += 1;
+            }
+            let len = j + 1 - i;
+            if len >= self.config.min_trace_blocks {
+                let entry = bcg.node(chain[i]).branch();
+                let blocks: Vec<BlockId> = chain[i..=j]
+                    .iter()
+                    .map(|&n| bcg.node(n).branch().1)
+                    .collect();
+                let (_, new) = cache.insert_and_link(entry, blocks, prob);
+                self.stats.links_written += 1;
+                if new {
+                    self.stats.traces_created += 1;
+                    created += 1;
+                }
+                i = j + 1;
+            } else {
+                // The graph does not support a trace starting here; remove
+                // any stale link so dispatch stops using it.
+                if cache.unlink(bcg.node(chain[i]).branch()).is_some() {
+                    self.stats.links_removed += 1;
+                }
+                i += 1;
+            }
+        }
+        created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{BlockId, FuncId};
+    use trace_bcg::{BcgConfig, BranchCorrelationGraph};
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    fn bcg_with(delay: u32, threshold: f64) -> BranchCorrelationGraph {
+        BranchCorrelationGraph::new(
+            BcgConfig::default()
+                .with_start_delay(delay)
+                .with_threshold(threshold),
+        )
+    }
+
+    /// Drives the full profiler → constructor pipeline over a block
+    /// stream and returns the populated cache.
+    fn build_cache(
+        pattern: &[u32],
+        reps: usize,
+        delay: u32,
+        threshold: f64,
+    ) -> (BranchCorrelationGraph, TraceCache, TraceConstructor) {
+        let mut bcg = bcg_with(delay, threshold);
+        let mut cache = TraceCache::new();
+        let mut ctor =
+            TraceConstructor::new(ConstructorConfig::default().with_threshold(threshold));
+        for _ in 0..reps {
+            for &b in pattern {
+                bcg.observe(blk(b));
+                if bcg.has_signals() {
+                    let sigs = bcg.take_signals();
+                    ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+                }
+            }
+        }
+        (bcg, cache, ctor)
+    }
+
+    #[test]
+    fn tight_loop_yields_unrolled_trace() {
+        let (_bcg, cache, ctor) = build_cache(&[0, 1, 2], 600, 4, 0.97);
+        assert!(ctor.stats().loops_unrolled > 0, "cycle must be detected");
+        assert!(cache.link_count() > 0, "loop must be cached");
+        // Some linked trace must cover at least one full iteration, i.e.
+        // at least 3 blocks, and — unrolled — up to two iterations.
+        let max_len = cache.iter_links().map(|(_, t)| t.len()).max().unwrap();
+        assert!(max_len >= 3, "max trace length {max_len}");
+        assert!(max_len <= ConstructorConfig::default().max_trace_blocks);
+        // Every cached trace satisfies the completion threshold estimate.
+        for (_, t) in cache.iter_links() {
+            assert!(t.expected_completion() >= 0.97 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn straightline_chain_becomes_single_trace() {
+        // A unique chain 0->1->2->3->4 entered repeatedly from 9.
+        let (_bcg, cache, _) = build_cache(&[9, 0, 1, 2, 3, 4], 400, 4, 0.97);
+        // There must be a linked trace whose blocks form a contiguous run
+        // of the chain.
+        let found = cache
+            .iter_links()
+            .any(|(_, t)| t.len() >= 4 && t.blocks().windows(2).all(|w| w[1].block != w[0].block));
+        assert!(found, "expected a long straight-line trace");
+    }
+
+    #[test]
+    fn weak_branch_ends_traces() {
+        // (1,2) is followed by 3 or 4 with 50/50 probability: no trace may
+        // extend through node (1,2).
+        let mut bcg = bcg_with(1, 0.97);
+        let mut cache = TraceCache::new();
+        let mut ctor = TraceConstructor::new(ConstructorConfig::default());
+        for i in 0..2000 {
+            bcg.observe(blk(0));
+            bcg.observe(blk(1));
+            bcg.observe(blk(2));
+            bcg.observe(blk(if i % 2 == 0 { 3 } else { 4 }));
+            let sigs = bcg.take_signals();
+            if !sigs.is_empty() {
+                ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+            }
+        }
+        for (_, t) in cache.iter_links() {
+            // No trace may predict past block 2: block 2 can only be the
+            // final block of a trace.
+            let pos = t.blocks().iter().position(|&b| b == blk(2));
+            if let Some(p) = pos {
+                assert_eq!(p, t.len() - 1, "block 2 must terminate the trace, got {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn rare_code_is_kept_out_of_traces() {
+        // With a large start delay, nothing ever becomes hot, so no traces
+        // may be constructed.
+        let (_bcg, cache, _) = build_cache(&[0, 1, 2], 50, 4096, 0.97);
+        assert_eq!(cache.link_count(), 0);
+        assert_eq!(cache.trace_count(), 0);
+    }
+
+    #[test]
+    fn cascade_suppression_skips_same_generation_nodes() {
+        let mut bcg = bcg_with(1, 0.97);
+        let mut cache = TraceCache::new();
+        let mut ctor = TraceConstructor::new(ConstructorConfig::default());
+        // Warm a loop so all nodes exist and are hot.
+        for _ in 0..300 {
+            for b in [0u32, 1, 2, 3] {
+                bcg.observe(blk(b));
+            }
+        }
+        let sigs = bcg.take_signals();
+        assert!(sigs.len() >= 2, "expect several signals from warmup");
+        ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+        let s = ctor.stats();
+        assert!(
+            s.signals_suppressed > 0,
+            "later signals about the same region must be suppressed: {s:?}"
+        );
+    }
+
+    #[test]
+    fn entry_points_reach_back_through_strong_chain() {
+        // Chain 5->0->1->2 where everything is unique; a signal about the
+        // last node must produce an entry reaching back to the chain head.
+        let (bcg, cache, _ctor) = build_cache(&[5, 0, 1, 2], 400, 4, 0.97);
+        let _ = bcg;
+        // The head's entry branch should be linked.
+        let has_head_entry = cache
+            .iter_links()
+            .any(|((_, to), _)| to == blk(5) || to == blk(0));
+        assert!(has_head_entry, "expected entry near the chain head");
+    }
+
+    #[test]
+    fn traces_shorter_than_min_blocks_are_not_emitted() {
+        let (_bcg, cache, _) = build_cache(&[0, 1], 400, 1, 0.97);
+        for (_, t) in cache.iter_links() {
+            assert!(t.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn larger_unroll_factor_lengthens_loop_traces() {
+        let mut lens = Vec::new();
+        for unroll in [0usize, 1, 4] {
+            let mut bcg = bcg_with(4, 0.97);
+            let mut cache = TraceCache::new();
+            let mut ctor = TraceConstructor::new(ConstructorConfig {
+                loop_unroll: unroll,
+                ..ConstructorConfig::default()
+            });
+            for _ in 0..600 {
+                for b in [0u32, 1, 2] {
+                    bcg.observe(blk(b));
+                    if bcg.has_signals() {
+                        let sigs = bcg.take_signals();
+                        ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+                    }
+                }
+            }
+            let max_len = cache.iter_links().map(|(_, t)| t.len()).max().unwrap_or(0);
+            lens.push(max_len);
+        }
+        assert!(
+            lens[0] <= lens[1] && lens[1] <= lens[2],
+            "trace length must grow with unroll factor: {lens:?}"
+        );
+        assert!(lens[2] > lens[1], "unroll=4 should beat unroll=1: {lens:?}");
+    }
+
+    #[test]
+    fn handle_batch_returns_created_count() {
+        let mut bcg = bcg_with(1, 0.97);
+        let mut cache = TraceCache::new();
+        let mut ctor = TraceConstructor::new(ConstructorConfig::default());
+        for _ in 0..300 {
+            for b in [0u32, 1, 2] {
+                bcg.observe(blk(b));
+            }
+        }
+        let sigs = bcg.take_signals();
+        let created = ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+        assert_eq!(created, ctor.stats().traces_created);
+        assert_eq!(cache.trace_count() as u64, created);
+    }
+}

@@ -1,0 +1,112 @@
+//! Trace execution metrics.
+//!
+//! These counters back the paper's five dependent values (§5.2): average
+//! executed trace length, instruction stream coverage, dynamic trace
+//! completion rate, and — combined with profiler statistics — the state
+//! signal rate and trace event interval.
+
+/// Counters accumulated by the [`crate::TraceRuntime`] dispatch monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceExecStats {
+    /// Traces entered (each entry is one trace dispatch).
+    pub entered: u64,
+    /// Traces that executed to completion.
+    pub completed: u64,
+    /// Traces exited before their last block.
+    pub exited_early: u64,
+    /// Blocks executed inside completed traces.
+    pub blocks_in_completed: u64,
+    /// Blocks executed inside partially executed traces before exit.
+    pub blocks_in_partial: u64,
+    /// Instructions executed inside completed traces.
+    pub instrs_in_completed: u64,
+    /// Instructions executed inside partially executed traces.
+    pub instrs_in_partial: u64,
+    /// Blocks dispatched outside any trace.
+    pub blocks_outside: u64,
+}
+
+impl TraceExecStats {
+    /// Average executed trace length in blocks, over *completed* traces
+    /// (the paper's Table I quantity). 0.0 when nothing completed.
+    pub fn avg_completed_length(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.blocks_in_completed as f64 / self.completed as f64
+        }
+    }
+
+    /// Dynamic trace completion rate: completed / entered (Table III).
+    /// 0.0 when nothing was entered.
+    pub fn completion_rate(&self) -> f64 {
+        if self.entered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.entered as f64
+        }
+    }
+
+    /// Instruction stream coverage by **completed** traces, given the
+    /// total instructions the program executed (Table II).
+    pub fn coverage_completed(&self, total_instructions: u64) -> f64 {
+        if total_instructions == 0 {
+            0.0
+        } else {
+            self.instrs_in_completed as f64 / total_instructions as f64
+        }
+    }
+
+    /// Instruction stream coverage including partially executed traces
+    /// (the paper's "the trace cache captures 90.7%" refinement).
+    pub fn coverage_incl_partial(&self, total_instructions: u64) -> f64 {
+        if total_instructions == 0 {
+            0.0
+        } else {
+            (self.instrs_in_completed + self.instrs_in_partial) as f64 / total_instructions as f64
+        }
+    }
+
+    /// Total dispatches under the trace-dispatch model: one per trace
+    /// entered plus one per out-of-trace block (the Table VII quantity).
+    pub fn trace_dispatches(&self) -> u64 {
+        self.entered + self.blocks_outside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceExecStats {
+        TraceExecStats {
+            entered: 10,
+            completed: 9,
+            exited_early: 1,
+            blocks_in_completed: 45,
+            blocks_in_partial: 2,
+            instrs_in_completed: 450,
+            instrs_in_partial: 20,
+            blocks_outside: 30,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = sample();
+        assert_eq!(s.avg_completed_length(), 5.0);
+        assert_eq!(s.completion_rate(), 0.9);
+        assert_eq!(s.coverage_completed(1000), 0.45);
+        assert_eq!(s.coverage_incl_partial(1000), 0.47);
+        assert_eq!(s.trace_dispatches(), 40);
+    }
+
+    #[test]
+    fn empty_stats_degenerate_gracefully() {
+        let s = TraceExecStats::default();
+        assert_eq!(s.avg_completed_length(), 0.0);
+        assert_eq!(s.completion_rate(), 0.0);
+        assert_eq!(s.coverage_completed(0), 0.0);
+        assert_eq!(s.trace_dispatches(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Traces.
+
+use std::fmt;
+
+use jvm_bytecode::BlockId;
+
+/// Identifier of a trace within a [`crate::TraceCache`].
+///
+/// Stable for the cache's lifetime: relinking an entry branch to a new
+/// trace never invalidates old ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub(crate) u32);
+
+impl TraceId {
+    /// Raw index into the cache's trace table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Only meaningful against the cache
+    /// that assigned the index; exposed for harnesses that carry ids
+    /// across data structures (e.g. compiled-trace tables).
+    pub fn from_raw(raw: u32) -> Self {
+        TraceId(raw)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A trace: a sequence of basic blocks expected to execute in order, to
+/// completion, with probability at least the construction threshold.
+///
+/// A trace is dispatched when the *entry branch* `(X, blocks[0])` linked to
+/// it in the cache is taken; it completes when every block in `blocks` is
+/// then executed in sequence. Traces are an "extended basic block" (§3.1):
+/// one dispatch covers all of `blocks`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub(crate) id: TraceId,
+    pub(crate) blocks: Vec<BlockId>,
+    pub(crate) expected_completion: f64,
+}
+
+impl Trace {
+    /// The trace's id.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// The block sequence; `blocks()[0]` is the entry block.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of basic blocks in the trace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Traces are never empty; this always returns `false`.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The completion probability the constructor estimated from the
+    /// branch correlation graph when the trace was built (§3.7).
+    pub fn expected_completion(&self) -> f64 {
+        self.expected_completion
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.id)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "] p={:.3}", self.expected_completion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::FuncId;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Trace {
+            id: TraceId(3),
+            blocks: vec![blk(1), blk(2)],
+            expected_completion: 0.98,
+        };
+        assert_eq!(t.id(), TraceId(3));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.blocks()[1], blk(2));
+        assert_eq!(t.expected_completion(), 0.98);
+    }
+
+    #[test]
+    fn display_shows_chain_and_probability() {
+        let t = Trace {
+            id: TraceId(0),
+            blocks: vec![blk(1), blk(2)],
+            expected_completion: 0.5,
+        };
+        let s = t.to_string();
+        assert!(s.contains("t0"));
+        assert!(s.contains("->"));
+        assert!(s.contains("0.500"));
+    }
+}

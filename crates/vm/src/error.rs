@@ -1,0 +1,129 @@
+//! Runtime errors (the analogue of Java's runtime exceptions).
+
+use std::error::Error;
+use std::fmt;
+
+use jvm_bytecode::FuncId;
+
+/// A runtime trap.
+///
+/// Programs built through [`jvm_bytecode::ProgramBuilder`] are verified, so
+/// structural errors cannot occur at runtime; what remains are the
+/// data-dependent traps a JVM would throw as exceptions, plus resource
+/// limits ([`VmError::OutOfFuel`], [`VmError::CallStackOverflow`]) that keep
+/// experiment runs bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Null dereference.
+    NullPointer,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Negative array length at allocation.
+    NegativeArrayLength {
+        /// The requested length.
+        len: i64,
+    },
+    /// A value had the wrong runtime type (possible because the verifier's
+    /// `Any` admits statically unknown values).
+    TypeError {
+        /// What the instruction required.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// Field index out of range for the object's class.
+    BadField {
+        /// The offending field index.
+        field: u16,
+        /// Number of fields on the object.
+        num_fields: u16,
+    },
+    /// The configured instruction budget was exhausted.
+    OutOfFuel,
+    /// The call stack exceeded the configured depth limit.
+    CallStackOverflow,
+    /// Wrong number or type of entry arguments.
+    BadEntryArgs {
+        /// The entry function.
+        func: FuncId,
+        /// Expected parameter count.
+        expected: u16,
+        /// Provided argument count.
+        provided: usize,
+    },
+    /// Heap exhausted even after collection.
+    OutOfMemory,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivisionByZero => write!(f, "integer division by zero"),
+            VmError::NullPointer => write!(f, "null pointer dereference"),
+            VmError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            VmError::NegativeArrayLength { len } => {
+                write!(f, "negative array length {len}")
+            }
+            VmError::TypeError { expected, found } => {
+                write!(f, "runtime type error: expected {expected}, found {found}")
+            }
+            VmError::BadField { field, num_fields } => {
+                write!(
+                    f,
+                    "field {field} out of range for object with {num_fields} fields"
+                )
+            }
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::CallStackOverflow => write!(f, "call stack overflow"),
+            VmError::BadEntryArgs {
+                func,
+                expected,
+                provided,
+            } => write!(
+                f,
+                "entry {func} expects {expected} arguments, {provided} provided"
+            ),
+            VmError::OutOfMemory => write!(f, "heap exhausted"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            VmError::DivisionByZero.to_string(),
+            "integer division by zero"
+        );
+        assert!(VmError::IndexOutOfBounds { index: 5, len: 3 }
+            .to_string()
+            .contains("5"));
+        assert!(VmError::BadEntryArgs {
+            func: FuncId(1),
+            expected: 2,
+            provided: 0
+        }
+        .to_string()
+        .contains("fn#1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(VmError::OutOfFuel);
+        assert!(e.source().is_none());
+    }
+}

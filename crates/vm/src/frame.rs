@@ -1,0 +1,70 @@
+//! Call frames.
+
+use jvm_bytecode::FuncId;
+
+use crate::value::Value;
+
+/// Sentinel for "no block entered yet / force a dispatch event".
+pub(crate) const NO_BLOCK: u32 = u32::MAX;
+
+/// One activation record: function, program counter, locals and operand
+/// stack.
+///
+/// `cur_block` tracks which basic block the frame is currently executing
+/// so the interpreter can detect block entries (dispatches). It is reset to
+/// a sentinel after taken jumps so that self-loops still produce a
+/// dispatch event.
+#[derive(Debug)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Index of the next instruction to execute.
+    pub pc: u32,
+    /// Local variable slots (parameters first).
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Block index the frame believes it is in; `NO_BLOCK` forces the next
+    /// instruction to register a block entry.
+    pub(crate) cur_block: u32,
+}
+
+impl Frame {
+    /// Creates a frame for `func` with `num_locals` zeroed locals, the
+    /// first of which are filled from `args`.
+    pub fn new(func: FuncId, num_locals: u16, args: &[Value]) -> Self {
+        let mut locals = vec![Value::default(); num_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        Frame {
+            func,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+            cur_block: NO_BLOCK,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_copies_args_and_zeroes_rest() {
+        let f = Frame::new(FuncId(2), 4, &[Value::Int(7), Value::Float(1.0)]);
+        assert_eq!(f.func, FuncId(2));
+        assert_eq!(f.pc, 0);
+        assert_eq!(f.locals.len(), 4);
+        assert_eq!(f.locals[0], Value::Int(7));
+        assert_eq!(f.locals[1], Value::Float(1.0));
+        assert_eq!(f.locals[2], Value::Int(0));
+        assert!(f.stack.is_empty());
+        assert_eq!(f.cur_block, NO_BLOCK);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_args_panics() {
+        let _ = Frame::new(FuncId(0), 1, &[Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,1301 @@
+//! The interpreter.
+//!
+//! A classic fetch-decode-execute loop over verified programs. Two design
+//! points matter for the reproduction:
+//!
+//! 1. **Block-dispatch accounting.** The interpreter detects every basic
+//!    block entry and (a) counts it in [`ExecStats::block_dispatches`] and
+//!    (b) reports it to the [`DispatchObserver`]. This models the dispatch
+//!    cost structure of SableVM's direct-threaded-inlining engine: one
+//!    dispatch per block, with the profiler attached to the dispatch code.
+//! 2. **No structural checks in the hot loop.** Programs are verified at
+//!    build time, so the loop only performs the data-dependent checks a
+//!    JVM would also perform (null, bounds, division by zero).
+
+use jvm_bytecode::{BlockId, FuncId, Instr, Intrinsic, Program};
+
+use crate::error::VmError;
+use crate::frame::{Frame, NO_BLOCK};
+use crate::heap::{Heap, HeapObj, HeapStats};
+use crate::observer::DispatchObserver;
+use crate::stats::ExecStats;
+use crate::value::{OutputItem, Value};
+
+/// Configuration for a [`Vm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Maximum instructions to execute before [`VmError::OutOfFuel`].
+    pub max_steps: u64,
+    /// Maximum call-stack depth before [`VmError::CallStackOverflow`].
+    pub max_frames: usize,
+    /// Initial live-object count that triggers a collection.
+    pub gc_threshold: usize,
+    /// Whether `print_i`/`print_f` append to the output sink (disable for
+    /// timing runs so output costs don't pollute measurements).
+    pub capture_output: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            max_steps: u64::MAX,
+            max_frames: 1 << 14,
+            gc_threshold: 64 * 1024,
+            capture_output: true,
+        }
+    }
+}
+
+/// Folds a checksummed integer into a running checksum (FNV-1a flavoured;
+/// order-sensitive so reordered execution is detected).
+///
+/// Public so that workload reference implementations can predict the
+/// checksum a program's `checksum` intrinsics will accumulate.
+///
+/// ```
+/// let c = jvm_vm::fold_checksum(0, 7);
+/// assert_ne!(c, 0);
+/// assert_ne!(jvm_vm::fold_checksum(c, 8), jvm_vm::fold_checksum(c, 9));
+/// ```
+#[inline]
+pub fn fold_checksum(acc: u64, v: i64) -> u64 {
+    (acc ^ (v as u64)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// The virtual machine.
+///
+/// A `Vm` borrows its (immutable, verified) [`Program`] and owns all
+/// mutable run state: heap, frames, statistics, checksum and output sink.
+/// [`Vm::run`] resets that state, so one `Vm` can execute many runs.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    heap: Heap,
+    frames: Vec<Frame>,
+    stats: ExecStats,
+    checksum: u64,
+    output: Vec<OutputItem>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with the default configuration.
+    pub fn new(program: &'p Program) -> Self {
+        Self::with_config(program, VmConfig::default())
+    }
+
+    /// Creates a VM with an explicit configuration.
+    pub fn with_config(program: &'p Program, config: VmConfig) -> Self {
+        Vm {
+            program,
+            config,
+            heap: Heap::new(config.gc_threshold),
+            frames: Vec::new(),
+            stats: ExecStats::default(),
+            checksum: 0,
+            output: Vec::new(),
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Statistics of the most recent run.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Heap statistics of the most recent run.
+    pub fn heap_stats(&self) -> HeapStats {
+        self.heap.stats()
+    }
+
+    /// Checksum accumulated by `checksum` intrinsics during the most
+    /// recent run.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Output captured from print intrinsics during the most recent run.
+    pub fn output(&self) -> &[OutputItem] {
+        &self.output
+    }
+
+    /// Executes the program's entry function with `args`, reporting every
+    /// basic-block dispatch to `observer`.
+    ///
+    /// Returns the entry function's return value, if it returns one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on runtime traps (division by zero, null
+    /// dereference, bounds), wrong entry arguments, or when a configured
+    /// resource limit is hit.
+    pub fn run<O: DispatchObserver>(
+        &mut self,
+        args: &[Value],
+        observer: &mut O,
+    ) -> Result<Option<Value>, VmError> {
+        // Reset run state.
+        self.heap = Heap::new(self.config.gc_threshold);
+        self.frames.clear();
+        self.stats = ExecStats::default();
+        self.checksum = 0;
+        self.output.clear();
+
+        let program = self.program;
+        let entry = program.entry();
+        let ef = program.function(entry);
+        if args.len() != ef.num_params() as usize {
+            return Err(VmError::BadEntryArgs {
+                func: entry,
+                expected: ef.num_params(),
+                provided: args.len(),
+            });
+        }
+        self.frames.push(Frame::new(entry, ef.num_locals(), args));
+        self.stats.max_frame_depth = 1;
+
+        macro_rules! pop {
+            ($f:expr) => {
+                $f.stack.pop().expect("verified code cannot underflow")
+            };
+        }
+
+        loop {
+            let depth = self.frames.len();
+            let (func_id, pc) = {
+                let f = &self.frames[depth - 1];
+                (f.func, f.pc)
+            };
+            let func = program.function(func_id);
+
+            // Block-dispatch detection: one event per block entered.
+            let block = func.block_index_of(pc);
+            {
+                let f = &mut self.frames[depth - 1];
+                if block != f.cur_block {
+                    f.cur_block = block;
+                    self.stats.block_dispatches += 1;
+                    observer.on_block(BlockId::new(func_id, block));
+                }
+            }
+
+            if self.stats.instructions >= self.config.max_steps {
+                return Err(VmError::OutOfFuel);
+            }
+            self.stats.instructions += 1;
+
+            let ins = &func.code()[pc as usize];
+            let frame = self.frames.last_mut().expect("frame exists");
+
+            match ins {
+                Instr::IConst(v) => {
+                    frame.stack.push(Value::Int(*v));
+                    frame.pc += 1;
+                }
+                Instr::FConst(v) => {
+                    frame.stack.push(Value::Float(*v));
+                    frame.pc += 1;
+                }
+                Instr::ConstNull => {
+                    frame.stack.push(Value::Null);
+                    frame.pc += 1;
+                }
+                Instr::Dup => {
+                    let v = *frame.stack.last().expect("verified");
+                    frame.stack.push(v);
+                    frame.pc += 1;
+                }
+                Instr::Dup2 => {
+                    let n = frame.stack.len();
+                    let a = frame.stack[n - 2];
+                    let b = frame.stack[n - 1];
+                    frame.stack.push(a);
+                    frame.stack.push(b);
+                    frame.pc += 1;
+                }
+                Instr::Pop => {
+                    let _ = pop!(frame);
+                    frame.pc += 1;
+                }
+                Instr::Swap => {
+                    let n = frame.stack.len();
+                    frame.stack.swap(n - 1, n - 2);
+                    frame.pc += 1;
+                }
+                Instr::Load(slot) => {
+                    frame.stack.push(frame.locals[*slot as usize]);
+                    frame.pc += 1;
+                }
+                Instr::Store(slot) => {
+                    let v = pop!(frame);
+                    frame.locals[*slot as usize] = v;
+                    frame.pc += 1;
+                }
+                Instr::IInc(slot, delta) => {
+                    let v = frame.locals[*slot as usize].as_int()?;
+                    frame.locals[*slot as usize] = Value::Int(v.wrapping_add(*delta as i64));
+                    frame.pc += 1;
+                }
+                Instr::IAdd => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_add(b)));
+                    frame.pc += 1;
+                }
+                Instr::ISub => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_sub(b)));
+                    frame.pc += 1;
+                }
+                Instr::IMul => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_mul(b)));
+                    frame.pc += 1;
+                }
+                Instr::IDiv => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    if b == 0 {
+                        return Err(VmError::DivisionByZero);
+                    }
+                    frame.stack.push(Value::Int(a.wrapping_div(b)));
+                    frame.pc += 1;
+                }
+                Instr::IRem => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    if b == 0 {
+                        return Err(VmError::DivisionByZero);
+                    }
+                    frame.stack.push(Value::Int(a.wrapping_rem(b)));
+                    frame.pc += 1;
+                }
+                Instr::INeg => {
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_neg()));
+                    frame.pc += 1;
+                }
+                Instr::IShl => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_shl(b as u32 & 63)));
+                    frame.pc += 1;
+                }
+                Instr::IShr => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_shr(b as u32 & 63)));
+                    frame.pc += 1;
+                }
+                Instr::IUShr => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame
+                        .stack
+                        .push(Value::Int(((a as u64) >> (b as u32 & 63)) as i64));
+                    frame.pc += 1;
+                }
+                Instr::IAnd => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a & b));
+                    frame.pc += 1;
+                }
+                Instr::IOr => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a | b));
+                    frame.pc += 1;
+                }
+                Instr::IXor => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Int(a ^ b));
+                    frame.pc += 1;
+                }
+                Instr::FAdd => {
+                    let b = pop!(frame).as_float()?;
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Float(a + b));
+                    frame.pc += 1;
+                }
+                Instr::FSub => {
+                    let b = pop!(frame).as_float()?;
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Float(a - b));
+                    frame.pc += 1;
+                }
+                Instr::FMul => {
+                    let b = pop!(frame).as_float()?;
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Float(a * b));
+                    frame.pc += 1;
+                }
+                Instr::FDiv => {
+                    let b = pop!(frame).as_float()?;
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Float(a / b));
+                    frame.pc += 1;
+                }
+                Instr::FNeg => {
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Float(-a));
+                    frame.pc += 1;
+                }
+                Instr::I2F => {
+                    let a = pop!(frame).as_int()?;
+                    frame.stack.push(Value::Float(a as f64));
+                    frame.pc += 1;
+                }
+                Instr::F2I => {
+                    let a = pop!(frame).as_float()?;
+                    frame.stack.push(Value::Int(a as i64));
+                    frame.pc += 1;
+                }
+                Instr::IfICmp(op, target) => {
+                    let b = pop!(frame).as_int()?;
+                    let a = pop!(frame).as_int()?;
+                    self.stats.branches += 1;
+                    if op.eval_i64(a, b) {
+                        self.stats.taken_branches += 1;
+                        frame.pc = *target;
+                        frame.cur_block = NO_BLOCK;
+                    } else {
+                        frame.pc += 1;
+                    }
+                }
+                Instr::IfI(op, target) => {
+                    let a = pop!(frame).as_int()?;
+                    self.stats.branches += 1;
+                    if op.eval_i64(a, 0) {
+                        self.stats.taken_branches += 1;
+                        frame.pc = *target;
+                        frame.cur_block = NO_BLOCK;
+                    } else {
+                        frame.pc += 1;
+                    }
+                }
+                Instr::IfFCmp(op, target) => {
+                    let b = pop!(frame).as_float()?;
+                    let a = pop!(frame).as_float()?;
+                    self.stats.branches += 1;
+                    if op.eval_f64(a, b) {
+                        self.stats.taken_branches += 1;
+                        frame.pc = *target;
+                        frame.cur_block = NO_BLOCK;
+                    } else {
+                        frame.pc += 1;
+                    }
+                }
+                Instr::IfNull(target) => {
+                    let v = pop!(frame);
+                    self.stats.branches += 1;
+                    if matches!(v, Value::Null) {
+                        self.stats.taken_branches += 1;
+                        frame.pc = *target;
+                        frame.cur_block = NO_BLOCK;
+                    } else {
+                        frame.pc += 1;
+                    }
+                }
+                Instr::IfNonNull(target) => {
+                    let v = pop!(frame);
+                    self.stats.branches += 1;
+                    if !matches!(v, Value::Null) {
+                        self.stats.taken_branches += 1;
+                        frame.pc = *target;
+                        frame.cur_block = NO_BLOCK;
+                    } else {
+                        frame.pc += 1;
+                    }
+                }
+                Instr::Goto(target) => {
+                    frame.pc = *target;
+                    frame.cur_block = NO_BLOCK;
+                }
+                Instr::TableSwitch {
+                    low,
+                    targets,
+                    default,
+                } => {
+                    let v = pop!(frame).as_int()?;
+                    self.stats.branches += 1;
+                    self.stats.taken_branches += 1;
+                    let idx = v.wrapping_sub(*low);
+                    let target = if idx >= 0 && (idx as usize) < targets.len() {
+                        targets[idx as usize]
+                    } else {
+                        *default
+                    };
+                    frame.pc = target;
+                    frame.cur_block = NO_BLOCK;
+                }
+                Instr::InvokeStatic(callee) => {
+                    let callee = *callee;
+                    self.call(callee, program.function(callee).num_params(), false)?;
+                }
+                Instr::InvokeVirtual { slot, argc } => {
+                    let (slot, argc) = (*slot, *argc);
+                    let frame = self.frames.last_mut().expect("frame exists");
+                    let recv_idx = frame.stack.len() - argc as usize;
+                    let recv = frame.stack[recv_idx].as_ref_id()?;
+                    let class = match self.heap.get(recv) {
+                        HeapObj::Object { class, .. } => *class,
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object receiver",
+                                found: "array",
+                            })
+                        }
+                    };
+                    let callee = program.class(class).resolve(slot);
+                    self.stats.virtual_calls += 1;
+                    self.call(callee, argc, true)?;
+                }
+                Instr::Return => {
+                    let v = pop!(frame);
+                    self.stats.returns += 1;
+                    self.frames.pop();
+                    match self.frames.last_mut() {
+                        None => return Ok(Some(v)),
+                        Some(caller) => caller.stack.push(v),
+                    }
+                }
+                Instr::ReturnVoid => {
+                    self.stats.returns += 1;
+                    self.frames.pop();
+                    if self.frames.is_empty() {
+                        return Ok(None);
+                    }
+                }
+                Instr::New(class) => {
+                    let class = *class;
+                    self.maybe_collect();
+                    let num_fields = program.class(class).num_fields();
+                    let r = self.heap.alloc_object(class, num_fields);
+                    let frame = self.frames.last_mut().expect("frame exists");
+                    frame.stack.push(Value::Ref(r));
+                    frame.pc += 1;
+                }
+                Instr::GetField(n) => {
+                    let obj = pop!(frame).as_ref_id()?;
+                    let n = *n;
+                    match self.heap.get(obj) {
+                        HeapObj::Object { fields, .. } => {
+                            let v = *fields.get(n as usize).ok_or(VmError::BadField {
+                                field: n,
+                                num_fields: fields.len() as u16,
+                            })?;
+                            let frame = self.frames.last_mut().expect("frame exists");
+                            frame.stack.push(v);
+                            frame.pc += 1;
+                        }
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object",
+                                found: "array",
+                            })
+                        }
+                    }
+                }
+                Instr::PutField(n) => {
+                    let v = pop!(frame);
+                    let obj = pop!(frame).as_ref_id()?;
+                    let n = *n;
+                    frame.pc += 1;
+                    match self.heap.get_mut(obj) {
+                        HeapObj::Object { fields, .. } => {
+                            let len = fields.len();
+                            *fields.get_mut(n as usize).ok_or(VmError::BadField {
+                                field: n,
+                                num_fields: len as u16,
+                            })? = v;
+                        }
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object",
+                                found: "array",
+                            })
+                        }
+                    }
+                }
+                Instr::NewArray => {
+                    let len = pop!(frame).as_int()?;
+                    self.maybe_collect();
+                    let r = self.heap.alloc_array(len)?;
+                    let frame = self.frames.last_mut().expect("frame exists");
+                    frame.stack.push(Value::Ref(r));
+                    frame.pc += 1;
+                }
+                Instr::ALoad => {
+                    let idx = pop!(frame).as_int()?;
+                    let arr = pop!(frame).as_ref_id()?;
+                    match self.heap.get(arr) {
+                        HeapObj::Array { elems } => {
+                            if idx < 0 || idx as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: idx,
+                                    len: elems.len(),
+                                });
+                            }
+                            let v = elems[idx as usize];
+                            let frame = self.frames.last_mut().expect("frame exists");
+                            frame.stack.push(v);
+                            frame.pc += 1;
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                Instr::AStore => {
+                    let v = pop!(frame);
+                    let idx = pop!(frame).as_int()?;
+                    let arr = pop!(frame).as_ref_id()?;
+                    frame.pc += 1;
+                    match self.heap.get_mut(arr) {
+                        HeapObj::Array { elems } => {
+                            if idx < 0 || idx as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: idx,
+                                    len: elems.len(),
+                                });
+                            }
+                            elems[idx as usize] = v;
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                Instr::ArrayLen => {
+                    let arr = pop!(frame).as_ref_id()?;
+                    match self.heap.get(arr) {
+                        HeapObj::Array { elems } => {
+                            let len = elems.len() as i64;
+                            let frame = self.frames.last_mut().expect("frame exists");
+                            frame.stack.push(Value::Int(len));
+                            frame.pc += 1;
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                Instr::Intrinsic(intrinsic) => {
+                    self.run_intrinsic(*intrinsic)?;
+                }
+                Instr::Nop => {
+                    frame.pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops `argc` arguments from the current frame and pushes a callee
+    /// frame. The caller's `pc` is advanced past the call first, so the
+    /// return lands on the continuation block.
+    fn call(&mut self, callee: FuncId, argc: u16, _virtual_call: bool) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_frames {
+            return Err(VmError::CallStackOverflow);
+        }
+        self.stats.calls += 1;
+        let cf = self.program.function(callee);
+        debug_assert_eq!(cf.num_params(), argc, "verified arity");
+        let frame = self.frames.last_mut().expect("frame exists");
+        frame.pc += 1;
+        let split = frame.stack.len() - argc as usize;
+        let mut callee_frame = Frame::new(callee, cf.num_locals(), &[]);
+        callee_frame.locals[..argc as usize].copy_from_slice(&frame.stack[split..]);
+        frame.stack.truncate(split);
+        self.frames.push(callee_frame);
+        self.stats.max_frame_depth = self.stats.max_frame_depth.max(self.frames.len());
+        Ok(())
+    }
+
+    /// Executes one intrinsic on the current frame.
+    fn run_intrinsic(&mut self, i: Intrinsic) -> Result<(), VmError> {
+        let frame = self.frames.last_mut().expect("frame exists");
+        macro_rules! popv {
+            () => {
+                frame.stack.pop().expect("verified code cannot underflow")
+            };
+        }
+        match i {
+            Intrinsic::Sqrt => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.sqrt()));
+            }
+            Intrinsic::Sin => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.sin()));
+            }
+            Intrinsic::Cos => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.cos()));
+            }
+            Intrinsic::Exp => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.exp()));
+            }
+            Intrinsic::Log => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.ln()));
+            }
+            Intrinsic::AbsF => {
+                let v = popv!().as_float()?;
+                frame.stack.push(Value::Float(v.abs()));
+            }
+            Intrinsic::AbsI => {
+                let v = popv!().as_int()?;
+                frame.stack.push(Value::Int(v.wrapping_abs()));
+            }
+            Intrinsic::MinI => {
+                let b = popv!().as_int()?;
+                let a = popv!().as_int()?;
+                frame.stack.push(Value::Int(a.min(b)));
+            }
+            Intrinsic::MaxI => {
+                let b = popv!().as_int()?;
+                let a = popv!().as_int()?;
+                frame.stack.push(Value::Int(a.max(b)));
+            }
+            Intrinsic::PrintInt => {
+                let v = popv!().as_int()?;
+                if self.config.capture_output {
+                    self.output.push(OutputItem::Int(v));
+                }
+            }
+            Intrinsic::PrintFloat => {
+                let v = popv!().as_float()?;
+                if self.config.capture_output {
+                    self.output.push(OutputItem::Float(v));
+                }
+            }
+            Intrinsic::Checksum => {
+                let v = popv!().as_int()?;
+                self.checksum = fold_checksum(self.checksum, v);
+            }
+        }
+        let frame = self.frames.last_mut().expect("frame exists");
+        frame.pc += 1;
+        Ok(())
+    }
+
+    /// Runs a collection if the heap suggests one, using all frame slots as
+    /// roots.
+    fn maybe_collect(&mut self) {
+        if self.heap.should_collect() {
+            let Vm { heap, frames, .. } = self;
+            let roots = frames.iter().flat_map(|f| {
+                f.stack
+                    .iter()
+                    .chain(f.locals.iter())
+                    .filter_map(|v| match v {
+                        Value::Ref(r) => Some(*r),
+                        _ => None,
+                    })
+            });
+            heap.collect(roots);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{NullObserver, RecordingObserver};
+    use jvm_bytecode::{CmpOp, ProgramBuilder};
+
+    fn run_main(pb: ProgramBuilder, entry: FuncId, args: &[Value]) -> (Option<Value>, ExecStats) {
+        let program = pb.build(entry).expect("program builds");
+        let mut vm = Vm::new(&program);
+        let r = vm.run(args, &mut NullObserver).expect("program runs");
+        (r, vm.stats())
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("f", 2, true);
+        pb.function_mut(f)
+            .load(0)
+            .load(1)
+            .imul()
+            .iconst(1)
+            .iadd()
+            .ret();
+        let (r, stats) = run_main(pb, f, &[Value::Int(6), Value::Int(7)]);
+        assert_eq!(r, Some(Value::Int(43)));
+        assert_eq!(stats.block_dispatches, 1);
+        assert_eq!(stats.instructions, 6);
+    }
+
+    #[test]
+    fn loop_counts_block_dispatches_per_iteration() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("f", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        let (r, stats) = run_main(pb, f, &[Value::Int(10)]);
+        assert_eq!(r, Some(Value::Int(55)));
+        // Blocks: entry(1) + 11 head checks + 10 bodies + 1 exit = 23.
+        assert_eq!(stats.block_dispatches, 23);
+        // The head `if` executes 11 times; only the final exit is taken.
+        assert_eq!(stats.branches, 11);
+        assert_eq!(stats.taken_branches, 1);
+    }
+
+    #[test]
+    fn taken_branch_accounting() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("f", 1, true);
+        let b = pb.function_mut(f);
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Gt, exit);
+        b.iconst(0).ret();
+        b.bind(exit);
+        b.iconst(1).ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        let r = vm.run(&[Value::Int(5)], &mut NullObserver).unwrap();
+        assert_eq!(r, Some(Value::Int(1)));
+        assert_eq!(vm.stats().branches, 1);
+        assert_eq!(vm.stats().taken_branches, 1);
+        let r = vm.run(&[Value::Int(-5)], &mut NullObserver).unwrap();
+        assert_eq!(r, Some(Value::Int(0)));
+        assert_eq!(vm.stats().taken_branches, 0);
+    }
+
+    #[test]
+    fn static_call_passes_args_in_order() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare_function("sub", 2, true);
+        pb.function_mut(callee).load(0).load(1).isub().ret();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f)
+            .iconst(10)
+            .iconst(3)
+            .invoke_static(callee)
+            .ret();
+        let (r, stats) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(7)));
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.returns, 2);
+        assert_eq!(stats.max_frame_depth, 2);
+    }
+
+    #[test]
+    fn virtual_call_dispatches_on_receiver_class() {
+        let mut pb = ProgramBuilder::new();
+        let am = pb.declare_function("A.val", 1, true);
+        pb.function_mut(am).iconst(10).ret();
+        let bm = pb.declare_function("B.val", 1, true);
+        pb.function_mut(bm).iconst(20).ret();
+        let f = pb.declare_function("main", 1, true);
+        let a = pb.declare_class("A", None, 0);
+        let slot = pb.add_method(a, am);
+        let b = pb.declare_class("B", Some(a), 0);
+        pb.override_method(b, slot, bm);
+        {
+            let body = pb.function_mut(f);
+            let use_b = body.new_label();
+            let call = body.new_label();
+            body.load(0).if_i(CmpOp::Ne, use_b);
+            body.new_obj(a).goto(call);
+            body.bind(use_b);
+            body.new_obj(b);
+            body.bind(call);
+            body.invoke_virtual(slot, 1).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert_eq!(
+            vm.run(&[Value::Int(0)], &mut NullObserver).unwrap(),
+            Some(Value::Int(10))
+        );
+        assert_eq!(
+            vm.run(&[Value::Int(1)], &mut NullObserver).unwrap(),
+            Some(Value::Int(20))
+        );
+        assert_eq!(vm.stats().virtual_calls, 1);
+    }
+
+    #[test]
+    fn recursion_computes_factorial() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("fact", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let base = b.new_label();
+            b.load(0).iconst(2).if_icmp(CmpOp::Lt, base);
+            b.load(0)
+                .load(0)
+                .iconst(1)
+                .isub()
+                .invoke_static(f)
+                .imul()
+                .ret();
+            b.bind(base);
+            b.iconst(1).ret();
+        }
+        let (r, stats) = run_main(pb, f, &[Value::Int(10)]);
+        assert_eq!(r, Some(Value::Int(3628800)));
+        assert_eq!(stats.max_frame_depth, 10);
+    }
+
+    #[test]
+    fn arrays_and_objects_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        let c = pb.declare_class("Box", None, 1);
+        {
+            let b = pb.function_mut(f);
+            let arr = b.alloc_local();
+            let obj = b.alloc_local();
+            b.iconst(3).new_array().store(arr);
+            b.load(arr).iconst(1).iconst(42).astore();
+            b.new_obj(c).store(obj);
+            b.load(obj).load(arr).iconst(1).aload().put_field(0);
+            b.load(obj).get_field(0).load(arr).array_len().iadd().ret();
+        }
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(45)));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        pb.function_mut(f).iconst(1).load(0).idiv().ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert_eq!(
+            vm.run(&[Value::Int(0)], &mut NullObserver),
+            Err(VmError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn array_bounds_trap() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        pb.function_mut(f)
+            .iconst(2)
+            .new_array()
+            .load(0)
+            .aload()
+            .ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert!(matches!(
+            vm.run(&[Value::Int(5)], &mut NullObserver),
+            Err(VmError::IndexOutOfBounds { index: 5, len: 2 })
+        ));
+        assert!(matches!(
+            vm.run(&[Value::Int(-1)], &mut NullObserver),
+            Err(VmError::IndexOutOfBounds { index: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn null_dereference_traps() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).const_null().get_field(0).ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert_eq!(vm.run(&[], &mut NullObserver), Err(VmError::NullPointer));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        let b = pb.function_mut(f);
+        let head = b.bind_new_label();
+        b.nop().goto(head);
+        b.ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::with_config(
+            &program,
+            VmConfig {
+                max_steps: 1000,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(vm.run(&[], &mut NullObserver), Err(VmError::OutOfFuel));
+        assert_eq!(vm.stats().instructions, 1000);
+    }
+
+    #[test]
+    fn stack_overflow_on_unbounded_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        pb.function_mut(f).invoke_static(f).ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::with_config(
+            &program,
+            VmConfig {
+                max_frames: 64,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            vm.run(&[], &mut NullObserver),
+            Err(VmError::CallStackOverflow)
+        );
+    }
+
+    #[test]
+    fn bad_entry_args_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 2, false);
+        pb.function_mut(f).ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert!(matches!(
+            vm.run(&[Value::Int(1)], &mut NullObserver),
+            Err(VmError::BadEntryArgs {
+                expected: 2,
+                provided: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checksum_and_output_intrinsics() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        pb.function_mut(f)
+            .iconst(7)
+            .intrinsic(Intrinsic::Checksum)
+            .iconst(1)
+            .intrinsic(Intrinsic::PrintInt)
+            .fconst(2.5)
+            .intrinsic(Intrinsic::PrintFloat)
+            .ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&[], &mut NullObserver).unwrap();
+        assert_ne!(vm.checksum(), 0);
+        assert_eq!(vm.output(), &[OutputItem::Int(1), OutputItem::Float(2.5)]);
+    }
+
+    #[test]
+    fn float_intrinsics_compute() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f)
+            .fconst(16.0)
+            .intrinsic(Intrinsic::Sqrt)
+            .f2i()
+            .ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn gc_runs_during_allocation_storm() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        let b = pb.function_mut(f);
+        let i = b.alloc_local();
+        b.iconst(5000).store(i);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(i).if_i(CmpOp::Le, exit);
+        b.iconst(4).new_array().pop(); // garbage
+        b.iinc(i, -1).goto(head);
+        b.bind(exit);
+        b.ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::with_config(
+            &program,
+            VmConfig {
+                gc_threshold: 256,
+                ..VmConfig::default()
+            },
+        );
+        vm.run(&[], &mut NullObserver).unwrap();
+        let hs = vm.heap_stats();
+        assert_eq!(hs.allocations, 5000);
+        assert!(hs.collections >= 1, "expected at least one collection");
+        assert!(hs.live < 5000);
+    }
+
+    #[test]
+    fn observer_sees_complete_stream_across_calls() {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare_function("leaf", 0, true);
+        pb.function_mut(leaf).iconst(1).ret();
+        let f = pb.declare_function("main", 0, false);
+        pb.function_mut(f).invoke_static(leaf).pop().ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        let mut rec = RecordingObserver::new();
+        vm.run(&[], &mut rec).unwrap();
+        assert_eq!(
+            rec.blocks,
+            vec![
+                BlockId::new(f, 0),    // main entry (call block)
+                BlockId::new(leaf, 0), // callee
+                BlockId::new(f, 1),    // continuation after return
+            ]
+        );
+        assert_eq!(vm.stats().block_dispatches, 3);
+    }
+
+    #[test]
+    fn self_loop_block_dispatches_every_iteration() {
+        // A single-block loop body jumping to itself must count one
+        // dispatch per iteration (the sentinel mechanism).
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, false);
+        let b = pb.function_mut(f);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.iinc(0, -1).load(0).if_i(CmpOp::Gt, head);
+        b.goto(exit);
+        b.bind(exit);
+        b.ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        let mut rec = RecordingObserver::new();
+        vm.run(&[Value::Int(5)], &mut rec).unwrap();
+        let head_block = BlockId::new(f, 0);
+        let head_count = rec.blocks.iter().filter(|&&b| b == head_block).count();
+        assert_eq!(head_count, 5, "each self-loop iteration is a dispatch");
+    }
+
+    #[test]
+    fn vm_is_reusable_across_runs() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        pb.function_mut(f).load(0).iconst(2).imul().ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        for i in 0..5 {
+            let r = vm.run(&[Value::Int(i)], &mut NullObserver).unwrap();
+            assert_eq!(r, Some(Value::Int(i * 2)));
+        }
+    }
+
+    #[test]
+    fn table_switch_selects_and_defaults() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let c0 = b.new_label();
+            let c1 = b.new_label();
+            let dfl = b.new_label();
+            b.load(0).table_switch(10, &[c0, c1], dfl);
+            b.bind(c0);
+            b.iconst(100).ret();
+            b.bind(c1);
+            b.iconst(101).ret();
+            b.bind(dfl);
+            b.iconst(-1).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        for (input, want) in [(10, 100), (11, 101), (9, -1), (12, -1), (i64::MIN, -1)] {
+            let r = vm.run(&[Value::Int(input)], &mut NullObserver).unwrap();
+            assert_eq!(r, Some(Value::Int(want)), "input {input}");
+        }
+    }
+
+    #[test]
+    fn wrapping_semantics_match_java() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).iconst(i64::MAX).iconst(1).iadd().ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(i64::MIN)));
+    }
+
+    #[test]
+    fn dup2_and_swap_semantics() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        // [1 2] dup2 -> [1 2 1 2]; add top two -> [1 2 3]; swap -> [1 3 2];
+        // sub -> [1 1]; mul -> [1]. Result 1*... compute: 3-2? order:
+        // swap makes top=2 below=3: isub pops b=2,a=3 -> 1; imul 1*1=1.
+        pb.function_mut(f)
+            .iconst(1)
+            .iconst(2)
+            .dup2()
+            .iadd()
+            .swap()
+            .isub()
+            .imul()
+            .ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn f2i_saturates_and_nan_is_zero() {
+        for (input, want) in [
+            (1e300, i64::MAX),
+            (-1e300, i64::MIN),
+            (f64::NAN, 0),
+            (2.9, 2),
+            (-2.9, -2),
+        ] {
+            let mut pb = ProgramBuilder::new();
+            let f = pb.declare_function("main", 0, true);
+            pb.function_mut(f).fconst(input).f2i().ret();
+            let (r, _) = run_main(pb, f, &[]);
+            assert_eq!(r, Some(Value::Int(want)), "input {input}");
+        }
+    }
+
+    #[test]
+    fn shift_counts_are_masked_to_six_bits() {
+        // Like the JVM: shift counts are taken modulo 64.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).iconst(1).iconst(65).ishl().ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(2)));
+
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).iconst(-8).iconst(1).iushr().ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(((-8i64) as u64 >> 1) as i64)));
+    }
+
+    #[test]
+    fn gc_preserves_object_graphs_across_calls() {
+        // A callee builds a linked chain; the caller allocates garbage to
+        // force collections; the chain must survive intact.
+        let mut pb = ProgramBuilder::new();
+        let node_cls = pb.declare_class("Node", None, 2); // [next, payload]
+        let build = pb.declare_function("build", 1, true);
+        {
+            let b = pb.function_mut(build);
+            // Builds a chain of length n, payloads n..1, returns head.
+            let head = b.alloc_local();
+            b.const_null().store(head);
+            let loop_head = b.bind_new_label();
+            let exit = b.new_label();
+            b.load(0).if_i(CmpOp::Le, exit);
+            b.new_obj(node_cls).dup().dup(); // three refs to fresh node
+            b.load(head).put_field(0); // node.next = head
+            b.load(0).put_field(1); // node.payload = n
+            b.store(head); // head = node
+            b.iinc(0, -1).goto(loop_head);
+            b.bind(exit);
+            b.load(head).ret();
+        }
+        let f = pb.declare_function("main", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let chain = b.alloc_local();
+            let i = b.alloc_local();
+            let sum = b.alloc_local();
+            b.load(0).invoke_static(build).store(chain);
+            // Garbage storm.
+            b.iconst(2000).store(i);
+            let g_head = b.bind_new_label();
+            let g_exit = b.new_label();
+            b.load(i).if_i(CmpOp::Le, g_exit);
+            b.iconst(8).new_array().pop();
+            b.iinc(i, -1).goto(g_head);
+            b.bind(g_exit);
+            // Walk the chain and sum payloads.
+            b.iconst(0).store(sum);
+            let w_head = b.bind_new_label();
+            let w_exit = b.new_label();
+            b.load(chain).if_null(w_exit);
+            b.load(sum).load(chain).get_field(1).iadd().store(sum);
+            b.load(chain).get_field(0).store(chain);
+            b.goto(w_head);
+            b.bind(w_exit);
+            b.load(sum).ret();
+        }
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::with_config(
+            &program,
+            VmConfig {
+                gc_threshold: 64,
+                ..VmConfig::default()
+            },
+        );
+        let r = vm.run(&[Value::Int(50)], &mut NullObserver).unwrap();
+        assert_eq!(r, Some(Value::Int(50 * 51 / 2)));
+        assert!(vm.heap_stats().collections > 0, "GC must have run");
+    }
+
+    #[test]
+    fn output_capture_can_be_disabled() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        pb.function_mut(f)
+            .iconst(1)
+            .intrinsic(Intrinsic::PrintInt)
+            .ret_void();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::with_config(
+            &program,
+            VmConfig {
+                capture_output: false,
+                ..VmConfig::default()
+            },
+        );
+        vm.run(&[], &mut NullObserver).unwrap();
+        assert!(vm.output().is_empty());
+    }
+
+    #[test]
+    fn field_access_on_array_is_a_type_error() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).iconst(2).new_array().get_field(0).ret();
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        assert!(matches!(
+            vm.run(&[], &mut NullObserver),
+            Err(VmError::TypeError {
+                expected: "object",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn min_div_neg_one_wraps_instead_of_trapping() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, true);
+        pb.function_mut(f).iconst(i64::MIN).iconst(-1).idiv().ret();
+        let (r, _) = run_main(pb, f, &[]);
+        assert_eq!(r, Some(Value::Int(i64::MIN)));
+    }
+}

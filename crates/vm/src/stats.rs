@@ -1,0 +1,55 @@
+//! Execution statistics.
+
+/// Counters accumulated over a [`crate::Vm::run`] call.
+///
+/// `instructions` is the dispatch count of a plain one-instruction-at-a-time
+/// interpreter (paper Figure 1); `block_dispatches` is the dispatch count of
+/// the direct-threaded-inlining interpreter (Figure 2). Trace-mode dispatch
+/// counts live in the trace-cache layer, which observes the same stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed (= per-instruction dispatches).
+    pub instructions: u64,
+    /// Basic blocks entered (= per-block dispatches).
+    pub block_dispatches: u64,
+    /// Calls executed (static + virtual).
+    pub calls: u64,
+    /// Virtual calls executed (subset of `calls`).
+    pub virtual_calls: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Deepest call-stack depth reached.
+    pub max_frame_depth: usize,
+    /// Conditional/switch branches executed.
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+}
+
+impl ExecStats {
+    /// Average basic-block length in instructions over this run, or 0.0 if
+    /// nothing was executed.
+    pub fn avg_block_len(&self) -> f64 {
+        if self.block_dispatches == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.block_dispatches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_block_len_handles_zero() {
+        assert_eq!(ExecStats::default().avg_block_len(), 0.0);
+        let s = ExecStats {
+            instructions: 30,
+            block_dispatches: 10,
+            ..ExecStats::default()
+        };
+        assert_eq!(s.avg_block_len(), 3.0);
+    }
+}

@@ -1,0 +1,584 @@
+//! `javac` analogue: a lexer plus error-recovering recursive-descent
+//! parser over generated source text.
+//!
+//! SPECjvm `javac` is "traditionally one of the more challenging
+//! benchmarks" (§5.1): compiler front-ends branch on *data* (the source),
+//! through multi-way dispatch (scanner character classes), deep recursion
+//! (the grammar) and frequent small calls. This analogue reproduces all
+//! three: a `tableswitch`-driven scanner, a mutually recursive
+//! `expr → term → factor` parser with error recovery over deliberately
+//! noisy input, and tiny helper calls (`peek`) on every parser step.
+//!
+//! Character codes: `0..=9` digits, `10..=13` the operators `+ - * /`,
+//! `14`/`15` parens, `16` letter, `17` space, `18` semicolon. Token
+//! codes: 1 NUM, 2 IDENT, 3..=6 the operators, 7 `(`, 8 `)`, 9 `;`.
+
+use jvm_bytecode::{CmpOp, Intrinsic, Program, ProgramBuilder};
+use jvm_vm::{fold_checksum, Value};
+
+use crate::lcg::{emit_lcg_sample, emit_lcg_step, lcg_next, lcg_sample};
+use crate::registry::{Scale, Workload};
+use crate::util::emit_arr_inc;
+
+const SEED: i64 = 987654321;
+const MAX_DEPTH: i64 = 64;
+
+fn source_len(scale: Scale) -> i64 {
+    match scale {
+        Scale::Test => 3_000,
+        Scale::Small => 80_000,
+        Scale::Paper => 800_000,
+    }
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let n = source_len(scale);
+    Workload {
+        name: "javac",
+        description: "lexer + error-recovering recursive-descent parser",
+        program: build_program(n),
+        args: vec![Value::Int(SEED)],
+        expected_checksum: reference_checksum(SEED, n),
+    }
+}
+
+/// Maps an LCG percentile (0..100) to a character-code class, shared by
+/// the bytecode generator and the reference.
+fn char_class_thresholds() -> [(i64, i64); 8] {
+    // (upper-bound-exclusive, code); code -1 means "digit" (sub-sampled),
+    // and operators are decoded from the percentile directly.
+    [
+        (30, -1), // digit
+        (38, 10), // '+'
+        (46, 11), // '-'
+        (54, 12), // '*'
+        (60, 13), // '/'
+        (68, 14), // '('
+        (76, 15), // ')'
+        (90, 16), // letter
+    ]
+}
+
+fn build_program(n: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let gen_source = pb.declare_function("gen_source", 3, false);
+    let lex = pb.declare_function("lex", 3, true);
+    let peek = pb.declare_function("peek", 3, true);
+    let parse_expr = pb.declare_function("parse_expr", 4, false);
+    let parse_term = pb.declare_function("parse_term", 4, false);
+    let parse_factor = pb.declare_function("parse_factor", 4, false);
+    let parse_program = pb.declare_function("parse_program", 3, false);
+    let main = pb.declare_function("main", 1, false);
+
+    // gen_source(src, n, seed): weighted random character stream.
+    {
+        let b = pb.function_mut(gen_source);
+        let (src, len, state) = (0u16, 1u16, 2u16);
+        let i = b.alloc_local();
+        let c = b.alloc_local();
+        b.iconst(0).store(i);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(i).load(len).if_icmp(CmpOp::Ge, exit);
+        emit_lcg_step(b, state);
+        let s = b.alloc_local();
+        emit_lcg_sample(b, state, 100);
+        b.store(s);
+        let done = b.new_label();
+        // Digits: a second sample picks which digit.
+        let not_digit = b.new_label();
+        b.load(s).iconst(30).if_icmp(CmpOp::Ge, not_digit);
+        emit_lcg_step(b, state);
+        emit_lcg_sample(b, state, 10);
+        b.store(c).goto(done);
+        b.bind(not_digit);
+        // Fixed classes from the percentile thresholds.
+        let mut prev_bound = 30;
+        for &(bound, code) in char_class_thresholds().iter().skip(1) {
+            let next = b.new_label();
+            b.load(s).iconst(bound).if_icmp(CmpOp::Ge, next);
+            b.iconst(code).store(c).goto(done);
+            b.bind(next);
+            prev_bound = bound;
+        }
+        let _ = prev_bound;
+        // 90..96 space, else ';'.
+        let semi = b.new_label();
+        b.load(s).iconst(96).if_icmp(CmpOp::Ge, semi);
+        b.iconst(17).store(c).goto(done);
+        b.bind(semi);
+        b.iconst(18).store(c);
+        b.bind(done);
+        b.load(src).load(i).load(c).astore();
+        b.iinc(i, 1).goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+
+    // lex(src, n, toks) -> ntok: tableswitch scanner with run folding.
+    {
+        let b = pb.function_mut(lex);
+        let (src, len, toks) = (0u16, 1u16, 2u16);
+        let i = b.alloc_local();
+        let ntok = b.alloc_local();
+        let c = b.alloc_local();
+        b.iconst(0).store(i).iconst(0).store(ntok);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(i).load(len).if_icmp(CmpOp::Ge, exit);
+        b.load(src).load(i).aload().store(c);
+
+        let l_digit = b.new_label();
+        let l_op = b.new_label();
+        let l_lparen = b.new_label();
+        let l_rparen = b.new_label();
+        let l_letter = b.new_label();
+        let l_skip = b.new_label();
+        let l_semi = b.new_label();
+        let targets = [
+            l_digit, l_digit, l_digit, l_digit, l_digit, // 0-4
+            l_digit, l_digit, l_digit, l_digit, l_digit, // 5-9
+            l_op, l_op, l_op, l_op, // 10-13
+            l_lparen, l_rparen, // 14, 15
+            l_letter, l_skip, l_semi, // 16, 17, 18
+        ];
+        let emit_tok = b.new_label();
+        b.load(c).table_switch(0, &targets, l_skip);
+
+        // NUM: fold a run of digits into one token.
+        b.bind(l_digit);
+        {
+            let run = b.bind_new_label();
+            let run_done = b.new_label();
+            b.load(i)
+                .iconst(1)
+                .iadd()
+                .load(len)
+                .if_icmp(CmpOp::Ge, run_done);
+            b.load(src)
+                .load(i)
+                .iconst(1)
+                .iadd()
+                .aload()
+                .iconst(9)
+                .if_icmp(CmpOp::Gt, run_done);
+            b.iinc(i, 1).goto(run);
+            b.bind(run_done);
+        }
+        b.iconst(1).goto(emit_tok);
+
+        // Operators: token = char - 7 (3..=6).
+        b.bind(l_op);
+        b.load(c).iconst(7).isub().goto(emit_tok);
+
+        b.bind(l_lparen);
+        b.iconst(7).goto(emit_tok);
+        b.bind(l_rparen);
+        b.iconst(8).goto(emit_tok);
+
+        // IDENT: fold a run of letters.
+        b.bind(l_letter);
+        {
+            let run = b.bind_new_label();
+            let run_done = b.new_label();
+            b.load(i)
+                .iconst(1)
+                .iadd()
+                .load(len)
+                .if_icmp(CmpOp::Ge, run_done);
+            b.load(src)
+                .load(i)
+                .iconst(1)
+                .iadd()
+                .aload()
+                .iconst(16)
+                .if_icmp(CmpOp::Ne, run_done);
+            b.iinc(i, 1).goto(run);
+            b.bind(run_done);
+        }
+        b.iconst(2).goto(emit_tok);
+
+        b.bind(l_semi);
+        b.iconst(9).goto(emit_tok);
+
+        // emit_tok expects the token code on the stack.
+        b.bind(emit_tok);
+        {
+            let v = b.alloc_local();
+            b.store(v);
+            b.load(toks).load(ntok).load(v).astore();
+            b.iinc(ntok, 1);
+        }
+        b.bind(l_skip);
+        b.iinc(i, 1).goto(head);
+
+        b.bind(exit);
+        b.load(ntok).ret();
+    }
+
+    // peek(toks, ntok, ctx) -> token at ctx[0], or 0 at EOF.
+    {
+        let b = pb.function_mut(peek);
+        let (toks, ntok, ctx) = (0u16, 1u16, 2u16);
+        let eof = b.new_label();
+        b.load(ctx)
+            .iconst(0)
+            .aload()
+            .load(ntok)
+            .if_icmp(CmpOp::Ge, eof);
+        b.load(toks).load(ctx).iconst(0).aload().aload().ret();
+        b.bind(eof);
+        b.iconst(0).ret();
+    }
+
+    // parse_factor(toks, ntok, ctx, depth).
+    {
+        let b = pb.function_mut(parse_factor);
+        let (toks, ntok, ctx, depth) = (0u16, 1u16, 2u16, 3u16);
+        let t = b.alloc_local();
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .invoke_static(peek)
+            .store(t);
+        let leaf = b.new_label();
+        let paren = b.new_label();
+        b.load(t).iconst(1).if_icmp(CmpOp::Eq, leaf);
+        b.load(t).iconst(2).if_icmp(CmpOp::Eq, leaf);
+        b.load(t).iconst(7).if_icmp(CmpOp::Eq, paren);
+        // Error recovery: count and skip.
+        emit_arr_inc(b, ctx, 2, 1); // errors++
+        emit_arr_inc(b, ctx, 0, 1); // pos++
+        b.ret_void();
+        // NUM / IDENT leaf.
+        b.bind(leaf);
+        emit_arr_inc(b, ctx, 0, 1); // pos++
+        emit_arr_inc(b, ctx, 1, 1); // nodes++
+        b.ret_void();
+        // Parenthesised subexpression.
+        b.bind(paren);
+        emit_arr_inc(b, ctx, 0, 1); // consume '('
+        let too_deep = b.new_label();
+        let after_sub = b.new_label();
+        b.load(depth).iconst(MAX_DEPTH).if_icmp(CmpOp::Ge, too_deep);
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .load(depth)
+            .iconst(1)
+            .iadd()
+            .invoke_static(parse_expr);
+        b.goto(after_sub);
+        b.bind(too_deep);
+        emit_arr_inc(b, ctx, 2, 1); // errors++
+        b.bind(after_sub);
+        // Expect ')'.
+        let missing = b.new_label();
+        let closed = b.new_label();
+        b.load(toks).load(ntok).load(ctx).invoke_static(peek);
+        b.iconst(8).if_icmp(CmpOp::Ne, missing);
+        emit_arr_inc(b, ctx, 0, 1); // consume ')'
+        b.goto(closed);
+        b.bind(missing);
+        emit_arr_inc(b, ctx, 2, 1); // errors++
+        b.bind(closed);
+        emit_arr_inc(b, ctx, 1, 1); // nodes++
+        b.ret_void();
+    }
+
+    // parse_term / parse_expr: left-associative binary chains.
+    for (func, child, op_lo, op_hi) in [
+        (parse_term, parse_factor, 5i64, 6i64),
+        (parse_expr, parse_term, 3i64, 4i64),
+    ] {
+        let b = pb.function_mut(func);
+        let (toks, ntok, ctx, depth) = (0u16, 1u16, 2u16, 3u16);
+        let t = b.alloc_local();
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .load(depth)
+            .invoke_static(child);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .invoke_static(peek)
+            .store(t);
+        b.load(t).iconst(op_lo).if_icmp(CmpOp::Lt, exit);
+        b.load(t).iconst(op_hi).if_icmp(CmpOp::Gt, exit);
+        emit_arr_inc(b, ctx, 0, 1); // consume operator
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .load(depth)
+            .invoke_static(child);
+        emit_arr_inc(b, ctx, 1, 1); // nodes++
+        b.goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+
+    // parse_program(toks, ntok, ctx): statement loop with recovery.
+    {
+        let b = pb.function_mut(parse_program);
+        let (toks, ntok, ctx) = (0u16, 1u16, 2u16);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(ctx)
+            .iconst(0)
+            .aload()
+            .load(ntok)
+            .if_icmp(CmpOp::Ge, exit);
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .iconst(0)
+            .invoke_static(parse_expr);
+        // Expect ';'.
+        let no_semi = b.new_label();
+        let next = b.new_label();
+        b.load(toks).load(ntok).load(ctx).invoke_static(peek);
+        b.iconst(9).if_icmp(CmpOp::Ne, no_semi);
+        emit_arr_inc(b, ctx, 0, 1);
+        b.goto(next);
+        b.bind(no_semi);
+        emit_arr_inc(b, ctx, 2, 1);
+        emit_arr_inc(b, ctx, 0, 1);
+        b.bind(next);
+        b.goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+
+    // main(seed).
+    {
+        let b = pb.function_mut(main);
+        let seed = 0u16;
+        let src = b.alloc_local();
+        let toks = b.alloc_local();
+        let ntok = b.alloc_local();
+        let ctx = b.alloc_local();
+        b.iconst(n).new_array().store(src);
+        b.load(src).iconst(n).load(seed).invoke_static(gen_source);
+        b.iconst(n).new_array().store(toks);
+        b.load(src)
+            .iconst(n)
+            .load(toks)
+            .invoke_static(lex)
+            .store(ntok);
+        b.iconst(4).new_array().store(ctx);
+        b.load(toks)
+            .load(ntok)
+            .load(ctx)
+            .invoke_static(parse_program);
+        b.load(ctx).iconst(1).aload().intrinsic(Intrinsic::Checksum); // nodes
+        b.load(ctx).iconst(2).aload().intrinsic(Intrinsic::Checksum); // errors
+        b.load(ntok).intrinsic(Intrinsic::Checksum);
+        b.ret_void();
+    }
+
+    pb.build(main).expect("javac workload builds")
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+    pos: i64,
+    nodes: i64,
+    errors: i64,
+}
+
+fn ref_gen_source(seed: i64, n: i64) -> Vec<i64> {
+    let mut state = seed;
+    let mut src = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        state = lcg_next(state);
+        let s = lcg_sample(state, 100);
+        let c = if s < 30 {
+            state = lcg_next(state);
+            lcg_sample(state, 10)
+        } else if s < 38 {
+            10
+        } else if s < 46 {
+            11
+        } else if s < 54 {
+            12
+        } else if s < 60 {
+            13
+        } else if s < 68 {
+            14
+        } else if s < 76 {
+            15
+        } else if s < 90 {
+            16
+        } else if s < 96 {
+            17
+        } else {
+            18
+        };
+        src.push(c);
+    }
+    src
+}
+
+fn ref_lex(src: &[i64]) -> Vec<i64> {
+    let n = src.len() as i64;
+    let mut toks = Vec::new();
+    let mut i = 0i64;
+    while i < n {
+        let c = src[i as usize];
+        match c {
+            0..=9 => {
+                while i + 1 < n && src[(i + 1) as usize] <= 9 {
+                    i += 1;
+                }
+                toks.push(1);
+            }
+            10..=13 => toks.push(c - 7),
+            14 => toks.push(7),
+            15 => toks.push(8),
+            16 => {
+                while i + 1 < n && src[(i + 1) as usize] == 16 {
+                    i += 1;
+                }
+                toks.push(2);
+            }
+            18 => toks.push(9),
+            _ => {} // space
+        }
+        i += 1;
+    }
+    toks
+}
+
+fn ref_peek(toks: &[i64], ctx: &Ctx) -> i64 {
+    if ctx.pos >= toks.len() as i64 {
+        0
+    } else {
+        toks[ctx.pos as usize]
+    }
+}
+
+fn ref_factor(toks: &[i64], ctx: &mut Ctx, depth: i64) {
+    let t = ref_peek(toks, ctx);
+    if t == 1 || t == 2 {
+        ctx.pos += 1;
+        ctx.nodes += 1;
+        return;
+    }
+    if t == 7 {
+        ctx.pos += 1;
+        if depth >= MAX_DEPTH {
+            ctx.errors += 1;
+        } else {
+            ref_expr(toks, ctx, depth + 1);
+        }
+        if ref_peek(toks, ctx) == 8 {
+            ctx.pos += 1;
+        } else {
+            ctx.errors += 1;
+        }
+        ctx.nodes += 1;
+        return;
+    }
+    ctx.errors += 1;
+    ctx.pos += 1;
+}
+
+fn ref_term(toks: &[i64], ctx: &mut Ctx, depth: i64) {
+    ref_factor(toks, ctx, depth);
+    loop {
+        let t = ref_peek(toks, ctx);
+        if !(5..=6).contains(&t) {
+            break;
+        }
+        ctx.pos += 1;
+        ref_factor(toks, ctx, depth);
+        ctx.nodes += 1;
+    }
+}
+
+fn ref_expr(toks: &[i64], ctx: &mut Ctx, depth: i64) {
+    ref_term(toks, ctx, depth);
+    loop {
+        let t = ref_peek(toks, ctx);
+        if !(3..=4).contains(&t) {
+            break;
+        }
+        ctx.pos += 1;
+        ref_term(toks, ctx, depth);
+        ctx.nodes += 1;
+    }
+}
+
+/// Reference replay computing the expected checksum.
+pub fn reference_checksum(seed: i64, n: i64) -> u64 {
+    let src = ref_gen_source(seed, n);
+    let toks = ref_lex(&src);
+    let mut ctx = Ctx {
+        pos: 0,
+        nodes: 0,
+        errors: 0,
+    };
+    while ctx.pos < toks.len() as i64 {
+        ref_expr(&toks, &mut ctx, 0);
+        if ref_peek(&toks, &ctx) == 9 {
+            ctx.pos += 1;
+        } else {
+            ctx.errors += 1;
+            ctx.pos += 1;
+        }
+    }
+    let mut c = fold_checksum(0, ctx.nodes);
+    c = fold_checksum(c, ctx.errors);
+    fold_checksum(c, toks.len() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_vm::{NullObserver, Vm};
+
+    #[test]
+    fn bytecode_matches_reference() {
+        let w = build(Scale::Test);
+        let mut vm = Vm::new(&w.program);
+        vm.run(&w.args, &mut NullObserver).expect("runs");
+        assert_eq!(vm.checksum(), w.expected_checksum);
+    }
+
+    #[test]
+    fn parser_finds_both_nodes_and_errors() {
+        // The random source must exercise both the happy path and the
+        // recovery path, or the workload is not javac-like.
+        let src = ref_gen_source(SEED, source_len(Scale::Test));
+        let toks = ref_lex(&src);
+        let mut ctx = Ctx {
+            pos: 0,
+            nodes: 0,
+            errors: 0,
+        };
+        while ctx.pos < toks.len() as i64 {
+            ref_expr(&toks, &mut ctx, 0);
+            if ref_peek(&toks, &ctx) == 9 {
+                ctx.pos += 1;
+            } else {
+                ctx.errors += 1;
+                ctx.pos += 1;
+            }
+        }
+        assert!(ctx.nodes > 100, "nodes {}", ctx.nodes);
+        assert!(ctx.errors > 100, "errors {}", ctx.errors);
+    }
+
+    #[test]
+    fn lexer_folds_runs() {
+        let toks = ref_lex(&[1, 2, 3, 17, 16, 16, 16, 10, 5]);
+        assert_eq!(toks, vec![1, 2, 3, 1]);
+    }
+}

@@ -1,0 +1,94 @@
+//! The shared 64-bit LCG used by every workload for in-program data
+//! generation, with matching bytecode-emission and Rust-reference forms.
+//!
+//! Using one PRNG on both sides keeps each workload's reference
+//! implementation a line-for-line replay of its bytecode.
+
+use jvm_bytecode::FunctionBuilder;
+
+/// Knuth's MMIX multiplier.
+pub const LCG_MUL: i64 = 6364136223846793005;
+/// Knuth's MMIX increment.
+pub const LCG_INC: i64 = 1442695040888963407;
+
+/// Advances the LCG state (Rust reference form).
+#[inline]
+pub fn lcg_next(state: i64) -> i64 {
+    state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC)
+}
+
+/// Extracts a non-negative bounded sample from an LCG state, matching
+/// [`emit_lcg_sample`]: `(state >>> 33) % bound`.
+#[inline]
+pub fn lcg_sample(state: i64, bound: i64) -> i64 {
+    (((state as u64) >> 33) as i64) % bound
+}
+
+/// Emits `locals[state] = locals[state] * LCG_MUL + LCG_INC`.
+pub fn emit_lcg_step(b: &mut FunctionBuilder, state: u16) {
+    b.load(state)
+        .iconst(LCG_MUL)
+        .imul()
+        .iconst(LCG_INC)
+        .iadd()
+        .store(state);
+}
+
+/// Emits code pushing `(locals[state] >>> 33) % bound` (a fresh sample in
+/// `0..bound`; the state must have been stepped first).
+pub fn emit_lcg_sample(b: &mut FunctionBuilder, state: u16, bound: i64) {
+    b.load(state).iconst(33).iushr().iconst(bound).irem();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{Intrinsic, ProgramBuilder};
+    use jvm_vm::{NullObserver, Value, Vm};
+
+    #[test]
+    fn reference_and_bytecode_lcg_agree() {
+        // Bytecode: step the LCG 100 times, checksumming each sample.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, false);
+        {
+            let b = pb.function_mut(f);
+            let i = b.alloc_local();
+            b.iconst(100).store(i);
+            let head = b.bind_new_label();
+            let exit = b.new_label();
+            b.load(i).if_i(jvm_bytecode::CmpOp::Le, exit);
+            emit_lcg_step(b, 0);
+            emit_lcg_sample(b, 0, 1000);
+            b.intrinsic(Intrinsic::Checksum);
+            b.iinc(i, -1).goto(head);
+            b.bind(exit);
+            b.ret_void();
+        }
+        let program = pb.build(f).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&[Value::Int(42)], &mut NullObserver).unwrap();
+
+        // Reference replay.
+        let mut state = 42i64;
+        let mut checksum = 0u64;
+        for _ in 0..100 {
+            state = lcg_next(state);
+            checksum = jvm_vm::fold_checksum(checksum, lcg_sample(state, 1000));
+        }
+        assert_eq!(vm.checksum(), checksum);
+    }
+
+    #[test]
+    fn samples_are_in_range_and_spread() {
+        let mut state = 7i64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            state = lcg_next(state);
+            let s = lcg_sample(state, 50);
+            assert!((0..50).contains(&s));
+            seen.insert(s);
+        }
+        assert!(seen.len() > 40, "samples should cover most of the range");
+    }
+}

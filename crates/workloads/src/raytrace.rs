@@ -1,0 +1,368 @@
+//! `raytrace` analogue: integer ray/sphere intersection over a pixel
+//! grid.
+//!
+//! SPECjvm `raytrace` is a "simple program which exhibits predictable
+//! behaviour" (§5.1): the pixel loops are perfectly regular, while the
+//! per-sphere hit/miss tests and the nearest-hit update are
+//! data-dependent but spatially coherent (adjacent pixels usually hit the
+//! same sphere). The analogue shoots one unnormalised integer ray per
+//! pixel through a random sphere field, finds the nearest intersection
+//! with an integer Newton square root, and folds a shade value per pixel
+//! into per-row checksums.
+
+use jvm_bytecode::{CmpOp, Intrinsic, Program, ProgramBuilder};
+use jvm_vm::{fold_checksum, Value};
+
+use crate::lcg::{emit_lcg_sample, emit_lcg_step, lcg_next, lcg_sample};
+use crate::registry::{Scale, Workload};
+
+const SEED: i64 = 24680;
+const NSPHERES: i64 = 12;
+const FOCAL: i64 = 128;
+
+fn image_size(scale: Scale) -> i64 {
+    match scale {
+        Scale::Test => 32,
+        Scale::Small => 112,
+        Scale::Paper => 288,
+    }
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let w = image_size(scale);
+    Workload {
+        name: "raytrace",
+        description: "integer ray/sphere nearest-hit renderer",
+        program: build_program(w),
+        args: vec![Value::Int(SEED)],
+        expected_checksum: reference_checksum(SEED, w),
+    }
+}
+
+fn build_program(wh: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    build_into(&mut pb, wh);
+    let entry = pb.func_id("main").expect("main declared");
+    pb.build(entry).expect("raytrace workload builds")
+}
+
+/// Emits the full program into `pb`.
+fn build_into(pb: &mut ProgramBuilder, wh: i64) {
+    let isqrt = pb.declare_function("isqrt", 1, true);
+    let ray_sphere = pb.declare_function("ray_sphere", 8, true);
+    let render = pb.declare_function("render", 5, false);
+    let main = pb.declare_function("main", 1, false);
+
+    {
+        let b = pb.function_mut(isqrt);
+        let x = 0u16;
+        let y = b.alloc_local();
+        let z = b.alloc_local();
+        let small = b.new_label();
+        b.load(x).iconst(2).if_icmp(CmpOp::Lt, small);
+        b.load(x).store(y);
+        b.load(x).iconst(1).iadd().iconst(2).idiv().store(z);
+        let head = b.bind_new_label();
+        let done = b.new_label();
+        b.load(z).load(y).if_icmp(CmpOp::Ge, done);
+        b.load(z).store(y);
+        b.load(y)
+            .load(x)
+            .load(y)
+            .idiv()
+            .iadd()
+            .iconst(2)
+            .idiv()
+            .store(z);
+        b.goto(head);
+        b.bind(done);
+        b.load(y).ret();
+        b.bind(small);
+        b.load(x).ret();
+    }
+
+    // ray_sphere(dx, dy, a, cx, cy, cz, r, s) -> nearest-intersection
+    // parameter t (×256), or 0 on a miss. One method call per sphere test,
+    // as the object-oriented original would dispatch `Sphere.intersect`.
+    {
+        let b = pb.function_mut(ray_sphere);
+        let (dx, dy, a, cx, cy, cz, r, s) = (0u16, 1u16, 2u16, 3u16, 4u16, 5u16, 6u16, 7u16);
+        let bq = b.alloc_local();
+        let cc = b.alloc_local();
+        let disc = b.alloc_local();
+        let miss = b.new_label();
+        b.load(dx).load(cx).load(s).aload().imul();
+        b.load(dy).load(cy).load(s).aload().imul().iadd();
+        b.load(cz)
+            .load(s)
+            .aload()
+            .iconst(FOCAL)
+            .imul()
+            .iadd()
+            .store(bq);
+        b.load(bq).if_i(CmpOp::Le, miss);
+        b.load(cx).load(s).aload().load(cx).load(s).aload().imul();
+        b.load(cy)
+            .load(s)
+            .aload()
+            .load(cy)
+            .load(s)
+            .aload()
+            .imul()
+            .iadd();
+        b.load(cz)
+            .load(s)
+            .aload()
+            .load(cz)
+            .load(s)
+            .aload()
+            .imul()
+            .iadd();
+        b.load(r)
+            .load(s)
+            .aload()
+            .load(r)
+            .load(s)
+            .aload()
+            .imul()
+            .isub()
+            .store(cc);
+        b.load(bq)
+            .load(bq)
+            .imul()
+            .load(a)
+            .load(cc)
+            .imul()
+            .isub()
+            .store(disc);
+        b.load(disc).if_i(CmpOp::Lt, miss);
+        b.load(bq).load(disc).invoke_static(isqrt).isub();
+        b.iconst(256).imul().load(a).idiv().ret();
+        b.bind(miss);
+        b.iconst(0).ret();
+    }
+
+    {
+        let b = pb.function_mut(render);
+        let (cx, cy, cz, r, wh_l) = (0u16, 1u16, 2u16, 3u16, 4u16);
+        let px = b.alloc_local();
+        let py = b.alloc_local();
+        let dx = b.alloc_local();
+        let dy = b.alloc_local();
+        let a = b.alloc_local();
+        let s = b.alloc_local();
+        let best_t = b.alloc_local();
+        let t = b.alloc_local();
+        let row_acc = b.alloc_local();
+        let half = b.alloc_local();
+        b.load(wh_l).iconst(2).idiv().store(half);
+
+        b.iconst(0).store(py);
+        let row_head = b.bind_new_label();
+        let row_exit = b.new_label();
+        b.load(py).load(wh_l).if_icmp(CmpOp::Ge, row_exit);
+        b.iconst(0).store(row_acc);
+        b.iconst(0).store(px);
+        let col_head = b.bind_new_label();
+        let col_exit = b.new_label();
+        b.load(px).load(wh_l).if_icmp(CmpOp::Ge, col_exit);
+
+        b.load(px).load(half).isub().store(dx);
+        b.load(py).load(half).isub().store(dy);
+        b.load(dx).load(dx).imul();
+        b.load(dy).load(dy).imul().iadd();
+        b.iconst(FOCAL * FOCAL).iadd().store(a);
+
+        b.iconst(i64::MAX).store(best_t);
+        b.iconst(0).store(s);
+        let sp_head = b.bind_new_label();
+        let sp_exit = b.new_label();
+        b.load(s).iconst(NSPHERES).if_icmp(CmpOp::Ge, sp_exit);
+        let next_sphere = b.new_label();
+        b.load(dx)
+            .load(dy)
+            .load(a)
+            .load(cx)
+            .load(cy)
+            .load(cz)
+            .load(r)
+            .load(s)
+            .invoke_static(ray_sphere)
+            .store(t);
+        b.load(t).if_i(CmpOp::Le, next_sphere);
+        b.load(t).load(best_t).if_icmp(CmpOp::Ge, next_sphere);
+        b.load(t).store(best_t);
+        b.bind(next_sphere);
+        b.iinc(s, 1).goto(sp_head);
+        b.bind(sp_exit);
+
+        let shaded = b.new_label();
+        let add_shade = b.new_label();
+        b.load(best_t).iconst(i64::MAX).if_icmp(CmpOp::Ne, shaded);
+        b.iconst(0).goto(add_shade);
+        b.bind(shaded);
+        b.iconst(255)
+            .load(best_t)
+            .iconst(4)
+            .ishr()
+            .iconst(255)
+            .intrinsic(Intrinsic::MinI)
+            .isub();
+        b.bind(add_shade);
+        b.load(row_acc).iadd().store(row_acc);
+
+        b.iinc(px, 1).goto(col_head);
+        b.bind(col_exit);
+        b.load(row_acc).intrinsic(Intrinsic::Checksum);
+        b.iinc(py, 1).goto(row_head);
+        b.bind(row_exit);
+        b.ret_void();
+    }
+
+    {
+        let b = pb.function_mut(main);
+        let state = 0u16;
+        let cx = b.alloc_local();
+        let cy = b.alloc_local();
+        let cz = b.alloc_local();
+        let r = b.alloc_local();
+        let i = b.alloc_local();
+        for arr in [cx, cy, cz, r] {
+            b.iconst(NSPHERES).new_array().store(arr);
+        }
+        b.iconst(0).store(i);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(i).iconst(NSPHERES).if_icmp(CmpOp::Ge, exit);
+        for (arr, bound, off) in [
+            (cx, 600, -300),
+            (cy, 600, -300),
+            (cz, 800, 200),
+            (r, 120, 20),
+        ] {
+            b.load(arr).load(i);
+            emit_lcg_step(b, state);
+            emit_lcg_sample(b, state, bound);
+            b.iconst(off).iadd().astore();
+        }
+        b.iinc(i, 1).goto(head);
+        b.bind(exit);
+        b.load(cx)
+            .load(cy)
+            .load(cz)
+            .load(r)
+            .iconst(wh)
+            .invoke_static(render);
+        b.ret_void();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation.
+// ---------------------------------------------------------------------------
+
+fn ref_isqrt(x: i64) -> i64 {
+    if x < 2 {
+        return x;
+    }
+    let mut y = x;
+    let mut z = (x + 1) / 2;
+    while z < y {
+        y = z;
+        z = (y + x / y) / 2;
+    }
+    y
+}
+
+/// Reference replay computing the expected checksum.
+pub fn reference_checksum(seed: i64, wh: i64) -> u64 {
+    let mut state = seed;
+    let mut cx = [0i64; NSPHERES as usize];
+    let mut cy = [0i64; NSPHERES as usize];
+    let mut cz = [0i64; NSPHERES as usize];
+    let mut r = [0i64; NSPHERES as usize];
+    for i in 0..NSPHERES as usize {
+        for (arr, bound, off) in [
+            (&mut cx, 600, -300),
+            (&mut cy, 600, -300),
+            (&mut cz, 800, 200),
+            (&mut r, 120, 20),
+        ] {
+            state = lcg_next(state);
+            arr[i] = lcg_sample(state, bound) + off;
+        }
+    }
+    let half = wh / 2;
+    let mut checksum = 0u64;
+    for py in 0..wh {
+        let mut row_acc = 0i64;
+        for px in 0..wh {
+            let dx = px - half;
+            let dy = py - half;
+            let a = dx * dx + dy * dy + FOCAL * FOCAL;
+            let mut best_t = i64::MAX;
+            for s in 0..NSPHERES as usize {
+                let bq = dx * cx[s] + dy * cy[s] + cz[s] * FOCAL;
+                if bq <= 0 {
+                    continue;
+                }
+                let cc = cx[s] * cx[s] + cy[s] * cy[s] + cz[s] * cz[s] - r[s] * r[s];
+                let disc = bq * bq - a * cc;
+                if disc < 0 {
+                    continue;
+                }
+                let t = (bq - ref_isqrt(disc)) * 256 / a;
+                if t <= 0 || t >= best_t {
+                    continue;
+                }
+                best_t = t;
+            }
+            let shade = if best_t == i64::MAX {
+                0
+            } else {
+                255 - (best_t >> 4).min(255)
+            };
+            row_acc += shade;
+        }
+        checksum = fold_checksum(checksum, row_acc);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_vm::{NullObserver, Vm};
+
+    #[test]
+    fn bytecode_matches_reference() {
+        let w = build(Scale::Test);
+        let mut vm = Vm::new(&w.program);
+        vm.run(&w.args, &mut NullObserver).expect("runs");
+        assert_eq!(vm.checksum(), w.expected_checksum);
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        for x in 0..2000i64 {
+            let s = ref_isqrt(x);
+            assert!(s * s <= x && (s + 1) * (s + 1) > x, "x={x} s={s}");
+        }
+        let big = 4_000_000_000_000_000i64;
+        let s = ref_isqrt(big);
+        assert!(s * s <= big && (s + 1) * (s + 1) > big);
+    }
+
+    #[test]
+    fn scene_produces_hits_and_misses() {
+        // The checksum must not equal the all-background checksum, and
+        // some rows must be background-only — i.e. the image has contrast.
+        let wh = image_size(Scale::Test);
+        let mut all_bg = 0u64;
+        for _ in 0..wh {
+            all_bg = fold_checksum(all_bg, 0);
+        }
+        assert_ne!(reference_checksum(SEED, wh), all_bg);
+    }
+}

@@ -1,0 +1,521 @@
+//! `scimark` analogue: SOR stencil, Monte Carlo integration, and sparse
+//! matrix-vector kernels.
+//!
+//! SciMark is the paper's "scientific application" (§5.1): floating-point
+//! kernels whose loops are so regular that the trace cache reaches its
+//! longest traces and best coverage on it (the scimark column tops
+//! Table I at every threshold). The analogue runs three of SciMark's
+//! kernel shapes with in-program generated data:
+//!
+//! * **SOR** — Gauss–Seidel successive over-relaxation sweeps over an
+//!   `N×N` grid (perfectly nested, perfectly predictable loops);
+//! * **Monte Carlo** — π estimation, one data-dependent but unbiased
+//!   branch per sample;
+//! * **Sparse mat-vec** — CSR-style gather loops with indirection.
+
+use jvm_bytecode::{CmpOp, Intrinsic, Program, ProgramBuilder};
+use jvm_vm::{fold_checksum, Value};
+
+use crate::lcg::{emit_lcg_sample, emit_lcg_step, lcg_next, lcg_sample};
+use crate::registry::{Scale, Workload};
+
+const SEED: i64 = 777;
+const OMEGA: f64 = 1.25;
+const NZ_PER_ROW: i64 = 5;
+
+/// Problem sizes of the three kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sizes {
+    /// SOR grid edge length `N` (the grid is `N×N`).
+    pub grid: i64,
+    /// SOR sweeps.
+    pub sweeps: i64,
+    /// Monte Carlo samples.
+    pub mc_samples: i64,
+    /// Sparse matrix rows.
+    pub sparse_rows: i64,
+    /// Sparse mat-vec repetitions.
+    pub sparse_reps: i64,
+}
+
+/// The kernel sizes used at each scale.
+pub fn sizes(scale: Scale) -> Sizes {
+    match scale {
+        // Grid widths keep SciMark's defining property: very long
+        // inner-loop trip counts (SciMark's own SOR grid is 100×100), so
+        // loop back-edge correlations sit near 1.0 and traces can unroll
+        // several iterations.
+        Scale::Test => Sizes {
+            grid: 40,
+            sweeps: 4,
+            mc_samples: 2_000,
+            sparse_rows: 200,
+            sparse_reps: 5,
+        },
+        Scale::Small => Sizes {
+            grid: 100,
+            sweeps: 30,
+            mc_samples: 60_000,
+            sparse_rows: 1_500,
+            sparse_reps: 20,
+        },
+        Scale::Paper => Sizes {
+            grid: 200,
+            sweeps: 60,
+            mc_samples: 600_000,
+            sparse_rows: 12_000,
+            sparse_reps: 60,
+        },
+    }
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let s = sizes(scale);
+    Workload {
+        name: "scimark",
+        description: "SOR + Monte Carlo + sparse mat-vec scientific kernels",
+        program: build_program(&s),
+        args: vec![Value::Int(SEED)],
+        expected_checksum: reference_checksum(SEED, &s),
+    }
+}
+
+/// Emits code pushing a float in `[0, 1)` drawn from the LCG.
+fn emit_unit_float(b: &mut jvm_bytecode::FunctionBuilder, state: u16) {
+    emit_lcg_step(b, state);
+    emit_lcg_sample(b, state, 65536);
+    b.i2f().fconst(65536.0).fdiv();
+}
+
+fn unit_float(state: &mut i64) -> f64 {
+    *state = lcg_next(*state);
+    lcg_sample(*state, 65536) as f64 / 65536.0
+}
+
+fn build_program(s: &Sizes) -> Program {
+    let n = s.grid;
+    let mut pb = ProgramBuilder::new();
+    let stencil = pb.declare_function("stencil", 3, true);
+    let next_unit = pb.declare_function("next_unit", 1, true);
+    let row_dot = pb.declare_function("row_dot", 4, true);
+    let sor = pb.declare_function("sor", 3, false);
+    let montecarlo = pb.declare_function("montecarlo", 2, true);
+    let sparse = pb.declare_function("sparse", 6, false);
+    let main = pb.declare_function("main", 1, false);
+
+    // stencil(g, idx, n) -> the relaxed value at idx. Factored out as the
+    // Java original would be; the call edges add (perfectly predictable)
+    // blocks to the hot SOR loop body.
+    {
+        let b = pb.function_mut(stencil);
+        let (g, idx, n_l) = (0u16, 1u16, 2u16);
+        b.load(g).load(idx).load(n_l).isub().aload(); // up
+        b.load(g).load(idx).load(n_l).iadd().aload().fadd(); // +down
+        b.load(g).load(idx).iconst(1).isub().aload().fadd(); // +left
+        b.load(g).load(idx).iconst(1).iadd().aload().fadd(); // +right
+        b.fconst(OMEGA * 0.25).fmul();
+        b.load(g)
+            .load(idx)
+            .aload()
+            .fconst(1.0 - OMEGA)
+            .fmul()
+            .fadd();
+        b.ret();
+    }
+
+    // next_unit(st) -> a fresh float in [0,1); st is a one-element state
+    // array (the analogue of java.util.Random's internal state).
+    {
+        let b = pb.function_mut(next_unit);
+        let st = 0u16;
+        b.load(st).iconst(0);
+        b.load(st)
+            .iconst(0)
+            .aload()
+            .iconst(crate::lcg::LCG_MUL)
+            .imul()
+            .iconst(crate::lcg::LCG_INC)
+            .iadd();
+        b.astore();
+        b.load(st)
+            .iconst(0)
+            .aload()
+            .iconst(33)
+            .iushr()
+            .iconst(65536)
+            .irem()
+            .i2f()
+            .fconst(65536.0)
+            .fdiv()
+            .ret();
+    }
+
+    // row_dot(vals, cols, x, i) -> the i-th row's sparse dot product.
+    {
+        let b = pb.function_mut(row_dot);
+        let (vals, cols, x, i) = (0u16, 1u16, 2u16, 3u16);
+        let k = b.alloc_local();
+        let acc = b.alloc_local();
+        b.fconst(0.0).store(acc).iconst(0).store(k);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(k).iconst(NZ_PER_ROW).if_icmp(CmpOp::Ge, exit);
+        b.load(acc);
+        b.load(vals)
+            .load(i)
+            .iconst(NZ_PER_ROW)
+            .imul()
+            .load(k)
+            .iadd()
+            .aload();
+        b.load(x)
+            .load(cols)
+            .load(i)
+            .iconst(NZ_PER_ROW)
+            .imul()
+            .load(k)
+            .iadd()
+            .aload()
+            .aload();
+        b.fmul().fadd().store(acc);
+        b.iinc(k, 1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+    }
+
+    // sor(g, n, sweeps): in-place Gauss-Seidel SOR over the interior.
+    {
+        let b = pb.function_mut(sor);
+        let (g, n_l, sweeps) = (0u16, 1u16, 2u16);
+        let p = b.alloc_local();
+        let i = b.alloc_local();
+        let j = b.alloc_local();
+        let idx = b.alloc_local();
+        b.iconst(0).store(p);
+        let p_head = b.bind_new_label();
+        let p_exit = b.new_label();
+        b.load(p).load(sweeps).if_icmp(CmpOp::Ge, p_exit);
+        b.iconst(1).store(i);
+        let i_head = b.bind_new_label();
+        let i_exit = b.new_label();
+        b.load(i)
+            .load(n_l)
+            .iconst(1)
+            .isub()
+            .if_icmp(CmpOp::Ge, i_exit);
+        b.iconst(1).store(j);
+        let j_head = b.bind_new_label();
+        let j_exit = b.new_label();
+        b.load(j)
+            .load(n_l)
+            .iconst(1)
+            .isub()
+            .if_icmp(CmpOp::Ge, j_exit);
+        b.load(i).load(n_l).imul().load(j).iadd().store(idx);
+        // g[idx] = stencil(g, idx, n).
+        b.load(g).load(idx);
+        b.load(g).load(idx).load(n_l).invoke_static(stencil);
+        b.astore();
+        b.iinc(j, 1).goto(j_head);
+        b.bind(j_exit);
+        b.iinc(i, 1).goto(i_head);
+        b.bind(i_exit);
+        b.iinc(p, 1).goto(p_head);
+        b.bind(p_exit);
+        b.ret_void();
+    }
+
+    // montecarlo(m, seed) -> hits inside the unit circle. The PRNG lives
+    // behind a call, as java.util.Random would.
+    {
+        let b = pb.function_mut(montecarlo);
+        let (m, seed) = (0u16, 1u16);
+        let st = b.alloc_local();
+        let k = b.alloc_local();
+        let hits = b.alloc_local();
+        let x = b.alloc_local();
+        let y = b.alloc_local();
+        b.iconst(1).new_array().store(st);
+        b.load(st).iconst(0).load(seed).astore();
+        b.iconst(0).store(k).iconst(0).store(hits);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(k).load(m).if_icmp(CmpOp::Ge, exit);
+        b.load(st).invoke_static(next_unit).store(x);
+        b.load(st).invoke_static(next_unit).store(y);
+        let miss = b.new_label();
+        b.load(x).load(x).fmul().load(y).load(y).fmul().fadd();
+        b.fconst(1.0).if_fcmp(CmpOp::Gt, miss);
+        b.iinc(hits, 1);
+        b.bind(miss);
+        b.iinc(k, 1).goto(head);
+        b.bind(exit);
+        b.load(hits).ret();
+    }
+
+    // sparse(vals, cols, x, y, rows, reps): y = A·x; x = 0.2·y, repeated.
+    {
+        let b = pb.function_mut(sparse);
+        let (vals, cols, x, y, rows, reps) = (0u16, 1u16, 2u16, 3u16, 4u16, 5u16);
+        let r = b.alloc_local();
+        let i = b.alloc_local();
+        let acc = b.alloc_local();
+        b.iconst(0).store(r);
+        let r_head = b.bind_new_label();
+        let r_exit = b.new_label();
+        b.load(r).load(reps).if_icmp(CmpOp::Ge, r_exit);
+        b.iconst(0).store(i);
+        let i_head = b.bind_new_label();
+        let i_exit = b.new_label();
+        b.load(i).load(rows).if_icmp(CmpOp::Ge, i_exit);
+        // y[i] = row_dot(vals, cols, x, i).
+        b.load(vals)
+            .load(cols)
+            .load(x)
+            .load(i)
+            .invoke_static(row_dot)
+            .store(acc);
+        b.load(y).load(i).load(acc).astore();
+        b.iinc(i, 1).goto(i_head);
+        b.bind(i_exit);
+        // x = 0.2 * y.
+        b.iconst(0).store(i);
+        let c_head = b.bind_new_label();
+        let c_exit = b.new_label();
+        b.load(i).load(rows).if_icmp(CmpOp::Ge, c_exit);
+        b.load(x)
+            .load(i)
+            .load(y)
+            .load(i)
+            .aload()
+            .fconst(0.2)
+            .fmul()
+            .astore();
+        b.iinc(i, 1).goto(c_head);
+        b.bind(c_exit);
+        b.iinc(r, 1).goto(r_head);
+        b.bind(r_exit);
+        b.ret_void();
+    }
+
+    // main(seed): generate, run kernels, checksum scaled sums.
+    {
+        let b = pb.function_mut(main);
+        let state = 0u16;
+        let g = b.alloc_local();
+        let vals = b.alloc_local();
+        let cols = b.alloc_local();
+        let x = b.alloc_local();
+        let y = b.alloc_local();
+        let i = b.alloc_local();
+        let facc = b.alloc_local();
+
+        // Grid init with unit floats.
+        b.iconst(n * n).new_array().store(g);
+        b.iconst(0).store(i);
+        let gi_head = b.bind_new_label();
+        let gi_exit = b.new_label();
+        b.load(i).iconst(n * n).if_icmp(CmpOp::Ge, gi_exit);
+        b.load(g).load(i);
+        emit_unit_float(b, state);
+        b.astore();
+        b.iinc(i, 1).goto(gi_head);
+        b.bind(gi_exit);
+
+        // Sparse matrix init.
+        b.iconst(s.sparse_rows * NZ_PER_ROW).new_array().store(vals);
+        b.iconst(s.sparse_rows * NZ_PER_ROW).new_array().store(cols);
+        b.iconst(s.sparse_rows).new_array().store(x);
+        b.iconst(s.sparse_rows).new_array().store(y);
+        b.iconst(0).store(i);
+        let sp_head = b.bind_new_label();
+        let sp_exit = b.new_label();
+        b.load(i)
+            .iconst(s.sparse_rows * NZ_PER_ROW)
+            .if_icmp(CmpOp::Ge, sp_exit);
+        b.load(vals).load(i);
+        emit_unit_float(b, state);
+        b.astore();
+        b.load(cols).load(i);
+        emit_lcg_step(b, state);
+        emit_lcg_sample(b, state, s.sparse_rows);
+        b.astore();
+        b.iinc(i, 1).goto(sp_head);
+        b.bind(sp_exit);
+        b.iconst(0).store(i);
+        let x_head = b.bind_new_label();
+        let x_exit = b.new_label();
+        b.load(i).iconst(s.sparse_rows).if_icmp(CmpOp::Ge, x_exit);
+        b.load(x).load(i).fconst(1.0).astore();
+        b.iinc(i, 1).goto(x_head);
+        b.bind(x_exit);
+
+        // Kernels.
+        b.load(g).iconst(n).iconst(s.sweeps).invoke_static(sor);
+        b.iconst(s.mc_samples).load(state).invoke_static(montecarlo);
+        b.intrinsic(Intrinsic::Checksum); // hits
+        b.load(vals)
+            .load(cols)
+            .load(x)
+            .load(y)
+            .iconst(s.sparse_rows)
+            .iconst(s.sparse_reps)
+            .invoke_static(sparse);
+
+        // checksum f2i(sum(g) * 65536).
+        b.fconst(0.0).store(facc);
+        b.iconst(0).store(i);
+        let cg_head = b.bind_new_label();
+        let cg_exit = b.new_label();
+        b.load(i).iconst(n * n).if_icmp(CmpOp::Ge, cg_exit);
+        b.load(facc).load(g).load(i).aload().fadd().store(facc);
+        b.iinc(i, 1).goto(cg_head);
+        b.bind(cg_exit);
+        b.load(facc)
+            .fconst(65536.0)
+            .fmul()
+            .f2i()
+            .intrinsic(Intrinsic::Checksum);
+
+        // checksum f2i(sum(x) * 65536).
+        b.fconst(0.0).store(facc);
+        b.iconst(0).store(i);
+        let cx_head = b.bind_new_label();
+        let cx_exit = b.new_label();
+        b.load(i).iconst(s.sparse_rows).if_icmp(CmpOp::Ge, cx_exit);
+        b.load(facc).load(x).load(i).aload().fadd().store(facc);
+        b.iinc(i, 1).goto(cx_head);
+        b.bind(cx_exit);
+        b.load(facc)
+            .fconst(65536.0)
+            .fmul()
+            .f2i()
+            .intrinsic(Intrinsic::Checksum);
+        b.ret_void();
+    }
+
+    let entry = pb.func_id("main").expect("declared");
+    pb.build(entry).expect("scimark workload builds")
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation.
+// ---------------------------------------------------------------------------
+
+/// Reference replay computing the expected checksum.
+pub fn reference_checksum(seed: i64, s: &Sizes) -> u64 {
+    let n = s.grid as usize;
+    let mut state = seed;
+
+    let mut g: Vec<f64> = (0..n * n).map(|_| unit_float(&mut state)).collect();
+    let nz = (s.sparse_rows * NZ_PER_ROW) as usize;
+    let mut vals = Vec::with_capacity(nz);
+    let mut cols = Vec::with_capacity(nz);
+    for _ in 0..nz {
+        vals.push(unit_float(&mut state));
+        state = lcg_next(state);
+        cols.push(lcg_sample(state, s.sparse_rows) as usize);
+    }
+    let mut x = vec![1.0f64; s.sparse_rows as usize];
+    let mut y = vec![0.0f64; s.sparse_rows as usize];
+
+    // SOR.
+    for _ in 0..s.sweeps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let idx = i * n + j;
+                g[idx] = (((g[idx - n] + g[idx + n]) + g[idx - 1]) + g[idx + 1]) * (OMEGA * 0.25)
+                    + g[idx] * (1.0 - OMEGA);
+            }
+        }
+    }
+
+    // Monte Carlo, continuing the same LCG stream.
+    let mut mc_state = state;
+    let mut hits = 0i64;
+    for _ in 0..s.mc_samples {
+        let px = unit_float(&mut mc_state);
+        let py = unit_float(&mut mc_state);
+        if !(px * px + py * py > 1.0) {
+            hits += 1;
+        }
+    }
+
+    // Sparse.
+    for _ in 0..s.sparse_reps {
+        for i in 0..s.sparse_rows as usize {
+            let mut acc = 0.0f64;
+            for k in 0..NZ_PER_ROW as usize {
+                let e = i * NZ_PER_ROW as usize + k;
+                acc += vals[e] * x[cols[e]];
+            }
+            y[i] = acc;
+        }
+        for i in 0..s.sparse_rows as usize {
+            x[i] = y[i] * 0.2;
+        }
+    }
+
+    let mut checksum = fold_checksum(0, hits);
+    let gsum: f64 = g.iter().sum();
+    checksum = fold_checksum(checksum, (gsum * 65536.0) as i64);
+    let xsum: f64 = x.iter().sum();
+    fold_checksum(checksum, (xsum * 65536.0) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_vm::{NullObserver, Vm};
+
+    #[test]
+    fn bytecode_matches_reference() {
+        let w = build(Scale::Test);
+        let mut vm = Vm::new(&w.program);
+        vm.run(&w.args, &mut NullObserver).expect("runs");
+        assert_eq!(vm.checksum(), w.expected_checksum);
+    }
+
+    #[test]
+    fn monte_carlo_estimates_pi() {
+        let mut state = SEED;
+        let m = 100_000;
+        let mut hits = 0i64;
+        for _ in 0..m {
+            let x = unit_float(&mut state);
+            let y = unit_float(&mut state);
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        let pi = 4.0 * hits as f64 / m as f64;
+        assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi ≈ {pi}");
+    }
+
+    #[test]
+    fn sor_smooths_the_grid() {
+        // After SOR, interior variance should shrink relative to the
+        // random initial grid.
+        let s = sizes(Scale::Test);
+        let n = s.grid as usize;
+        let mut state = SEED;
+        let mut g: Vec<f64> = (0..n * n).map(|_| unit_float(&mut state)).collect();
+        let var = |g: &[f64]| {
+            let m = g.iter().sum::<f64>() / g.len() as f64;
+            g.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / g.len() as f64
+        };
+        let v0 = var(&g);
+        for _ in 0..s.sweeps {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    let idx = i * n + j;
+                    g[idx] = (((g[idx - n] + g[idx + n]) + g[idx - 1]) + g[idx + 1])
+                        * (OMEGA * 0.25)
+                        + g[idx] * (1.0 - OMEGA);
+                }
+            }
+        }
+        assert!(var(&g) < v0, "SOR must smooth");
+    }
+}

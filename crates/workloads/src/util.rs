@@ -1,0 +1,53 @@
+//! Small bytecode-emission helpers shared by the workload generators.
+
+use jvm_bytecode::FunctionBuilder;
+
+/// Emits code pushing `arr[k]` where `arr` is a local slot and `k` a
+/// constant index.
+pub fn emit_arr_get(b: &mut FunctionBuilder, arr: u16, k: i64) {
+    b.load(arr).iconst(k).aload();
+}
+
+/// Emits `arr[k] += delta` for a constant index.
+pub fn emit_arr_inc(b: &mut FunctionBuilder, arr: u16, k: i64, delta: i64) {
+    b.load(arr)
+        .iconst(k)
+        .load(arr)
+        .iconst(k)
+        .aload()
+        .iconst(delta)
+        .iadd()
+        .astore();
+}
+
+/// Emits `arr[k] = v` for constant index and value.
+pub fn emit_arr_set_const(b: &mut FunctionBuilder, arr: u16, k: i64, v: i64) {
+    b.load(arr).iconst(k).iconst(v).astore();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{Intrinsic, ProgramBuilder};
+    use jvm_vm::{NullObserver, Vm};
+
+    #[test]
+    fn helpers_emit_correct_array_ops() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 0, false);
+        {
+            let b = pb.function_mut(f);
+            let a = b.alloc_local();
+            b.iconst(3).new_array().store(a);
+            emit_arr_set_const(b, a, 1, 10);
+            emit_arr_inc(b, a, 1, 5);
+            emit_arr_get(b, a, 1);
+            b.intrinsic(Intrinsic::Checksum);
+            b.ret_void();
+        }
+        let p = pb.build(f).unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run(&[], &mut NullObserver).unwrap();
+        assert_eq!(vm.checksum(), jvm_vm::fold_checksum(0, 15));
+    }
+}

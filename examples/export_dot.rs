@@ -1,0 +1,60 @@
+//! Export the profiler's branch correlation graph and the trace cache as
+//! Graphviz `dot` files for a workload.
+//!
+//! ```text
+//! cargo run --release --example export_dot [workload] [out_dir]
+//! dot -Tsvg bcg.dot -o bcg.svg && dot -Tsvg traces.dot -o traces.svg
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use tracecache_repro::bcg::dot as bcg_dot;
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::tracecache::dot as trace_dot;
+use tracecache_repro::workloads::{registry, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "compress".into());
+    let out_dir = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+    let Some(w) = registry::by_name(&name, Scale::Test) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    };
+
+    let mut tvm = TraceVm::new(
+        &w.program,
+        TraceJitConfig::paper_default().with_start_delay(16),
+    );
+    let report = tvm.run(&w.args)?;
+    assert_eq!(report.checksum, w.expected_checksum);
+
+    // Hide nodes executed fewer than 1% of the hottest node's count.
+    let hottest = tvm
+        .bcg()
+        .iter()
+        .map(|(_, n)| n.executions())
+        .max()
+        .unwrap_or(0);
+    let min = (hottest / 100).max(1);
+
+    let bcg_path = out_dir.join("bcg.dot");
+    fs::write(&bcg_path, bcg_dot::to_dot(tvm.bcg(), min))?;
+    let traces_path = out_dir.join("traces.dot");
+    fs::write(&traces_path, trace_dot::to_dot(tvm.cache()))?;
+
+    println!(
+        "wrote {} ({} nodes shown of {}) and {} ({} linked traces)",
+        bcg_path.display(),
+        tvm.bcg()
+            .iter()
+            .filter(|(_, n)| n.executions() >= min)
+            .count(),
+        tvm.bcg().len(),
+        traces_path.display(),
+        tvm.cache().link_count(),
+    );
+    println!("render with: dot -Tsvg {} -o bcg.svg", bcg_path.display());
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a program with the assembler, run it under the
+//! trace-dispatching VM, and inspect what the system learned.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tracecache_repro::bytecode::{CmpOp, ProgramBuilder};
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::vm::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small hot program: sum of i*i for i in 1..=n, with an inner
+    // predictable branch (skip multiples of 7).
+    let mut pb = ProgramBuilder::new();
+    let main_fn = pb.declare_function("main", 1, true);
+    {
+        let b = pb.function_mut(main_fn);
+        let acc = b.alloc_local();
+        let i = b.alloc_local();
+        b.iconst(0).store(acc).iconst(1).store(i);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        let skip = b.new_label();
+        b.load(i).load(0).if_icmp(CmpOp::Gt, exit);
+        b.load(i).iconst(7).irem().if_i(CmpOp::Eq, skip);
+        b.load(acc).load(i).load(i).imul().iadd().store(acc);
+        b.bind(skip);
+        b.iinc(i, 1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+    }
+    let program = pb.build(main_fn)?;
+
+    // Run it under the full system with the paper's parameters
+    // (threshold 97%, start-state delay 64, decay every 256).
+    let mut tvm = TraceVm::new(&program, TraceJitConfig::paper_default());
+    let report = tvm.run(&[Value::Int(100_000)])?;
+
+    println!("result                 : {:?}", report.result);
+    println!("instructions executed  : {}", report.exec.instructions);
+    println!("block dispatches       : {}", report.exec.block_dispatches);
+    println!(
+        "trace-model dispatches : {}",
+        report.traces.trace_dispatches()
+    );
+    println!(
+        "dispatch reduction     : {:.2}x over block dispatch",
+        report.dispatch_counts().trace_over_block()
+    );
+    println!(
+        "stream coverage        : {:.1}% completed, {:.1}% incl. partial",
+        100.0 * report.coverage_completed(),
+        100.0 * report.coverage_incl_partial()
+    );
+    println!(
+        "trace completion rate  : {:.2}%",
+        100.0 * report.completion_rate()
+    );
+    println!(
+        "avg trace length       : {:.1} blocks",
+        report.avg_trace_length()
+    );
+
+    println!("\nlinked traces:");
+    for (entry, trace) in tvm.cache().iter_links() {
+        println!("  on branch {} -> {}: {trace}", entry.0, entry.1);
+    }
+    Ok(())
+}

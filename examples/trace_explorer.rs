@@ -1,0 +1,79 @@
+//! Trace explorer: run one of the six benchmark analogues and dump what
+//! the profiler and trace cache learned about it — the hottest branch
+//! correlation nodes, their states, and every linked trace.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer [workload]
+//! ```
+//!
+//! `workload` is one of `compress`, `javac`, `raytrace`, `mpegaudio`,
+//! `soot`, `scimark` (default: `compress`).
+
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::workloads::{registry, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let Some(w) = registry::by_name(&name, Scale::Test) else {
+        eprintln!("unknown workload `{name}`; try compress/javac/raytrace/mpegaudio/soot/scimark");
+        std::process::exit(1);
+    };
+
+    println!("workload: {} — {}", w.name, w.description);
+    let mut tvm = TraceVm::new(
+        &w.program,
+        TraceJitConfig::paper_default().with_start_delay(16),
+    );
+    let report = tvm.run(&w.args)?;
+    assert_eq!(report.checksum, w.expected_checksum, "checksum validated");
+
+    println!(
+        "\n{} instructions, {} block dispatches, {} BCG nodes, {} traces\n",
+        report.exec.instructions,
+        report.exec.block_dispatches,
+        tvm.bcg().len(),
+        tvm.cache().trace_count(),
+    );
+
+    // Hottest branch-correlation nodes.
+    let mut nodes: Vec<_> = tvm.bcg().iter().collect();
+    nodes.sort_by_key(|(_, n)| std::cmp::Reverse(n.executions()));
+    println!("hottest branches (BCG nodes):");
+    println!(
+        "  {:>26} {:>12} {:>14} {:>10} {:>8}",
+        "branch (X -> Y)", "executions", "state", "pred", "corr"
+    );
+    for (_, node) in nodes.iter().take(15) {
+        let (x, y) = node.branch();
+        let (pred, corr) = match node.predicted() {
+            Some(s) => (s.to_block.to_string(), node.correlation(s)),
+            None => ("-".into(), 0.0),
+        };
+        println!(
+            "  {:>12} -> {:>11} {:>12} {:>14} {:>10} {:>7.1}%",
+            x.to_string(),
+            y.to_string(),
+            node.executions(),
+            node.state().to_string(),
+            pred,
+            corr * 100.0
+        );
+    }
+
+    // Longest linked traces.
+    let mut links: Vec<_> = tvm.cache().iter_links().collect();
+    links.sort_by_key(|(_, t)| std::cmp::Reverse(t.len()));
+    println!("\nlongest linked traces:");
+    for (entry, trace) in links.iter().take(10) {
+        println!("  entry ({} -> {}): {trace}", entry.0, entry.1);
+    }
+
+    println!(
+        "\nquality: coverage {:.1}% (completed) / {:.1}% (incl. partial), completion {:.2}%, avg length {:.1} blocks",
+        100.0 * report.coverage_completed(),
+        100.0 * report.coverage_incl_partial(),
+        100.0 * report.completion_rate(),
+        report.avg_trace_length()
+    );
+    Ok(())
+}

@@ -1,0 +1,287 @@
+//! `tracevm` — command-line front end for the trace-cache reproduction.
+//!
+//! ```text
+//! tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]
+//!                        [--threshold 0.97] [--delay 64] [--unroll 1]
+//! tracevm disasm <workload> [--scale ...]
+//! tracevm dot <workload> [--out DIR] [--scale ...]
+//! tracevm compare <workload> [--scale ...]
+//! tracevm list
+//! ```
+
+use std::process::ExitCode;
+
+use tracecache_repro::baselines::{run_with_selector, NetSelector, ReplaySelector};
+use tracecache_repro::bcg::dot as bcg_dot;
+use tracecache_repro::bytecode::disasm;
+use tracecache_repro::exec::{EngineConfig, TracingVm};
+use tracecache_repro::jit::{RunReport, TraceJitConfig, TraceVm};
+use tracecache_repro::tracecache::dot as trace_dot;
+use tracecache_repro::vm::{NullObserver, Vm};
+use tracecache_repro::workloads::{registry, Scale, Workload};
+
+struct Options {
+    scale: Scale,
+    engine: String,
+    threshold: f64,
+    delay: u32,
+    unroll: usize,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::Small,
+            engine: "trace".into(),
+            threshold: 0.97,
+            delay: 64,
+            unroll: 1,
+            out: ".".into(),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]\n\
+         \x20                        [--threshold T] [--delay D] [--unroll N]\n\
+         \x20 tracevm disasm <workload> [--scale ...]\n\
+         \x20 tracevm dot <workload> [--out DIR] [--scale ...]\n\
+         \x20 tracevm compare <workload> [--scale ...]\n\
+         \x20 tracevm list"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "small" => Some(Scale::Small),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+fn parse_options(args: &mut std::env::Args, opts: &mut Options) -> Result<(), String> {
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = need("--scale")?;
+                opts.scale = parse_scale(&v).ok_or(format!("bad scale `{v}`"))?;
+            }
+            "--engine" => opts.engine = need("--engine")?,
+            "--threshold" => {
+                opts.threshold = need("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?
+            }
+            "--delay" => {
+                opts.delay = need("--delay")?
+                    .parse()
+                    .map_err(|e| format!("bad delay: {e}"))?
+            }
+            "--unroll" => {
+                opts.unroll = need("--unroll")?
+                    .parse()
+                    .map_err(|e| format!("bad unroll: {e}"))?
+            }
+            "--out" => opts.out = need("--out")?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+fn jit_config(opts: &Options) -> TraceJitConfig {
+    TraceJitConfig::paper_default()
+        .with_threshold(opts.threshold)
+        .with_start_delay(opts.delay)
+        .with_loop_unroll(opts.unroll)
+}
+
+fn print_report(w: &Workload, r: &RunReport) {
+    println!("workload            : {} — {}", w.name, w.description);
+    println!("result              : {:?}", r.result);
+    println!(
+        "checksum            : {:#018x} ({})",
+        r.checksum,
+        if r.checksum == w.expected_checksum {
+            "matches reference"
+        } else {
+            "MISMATCH!"
+        }
+    );
+    println!("instructions        : {}", r.exec.instructions);
+    println!("block dispatches    : {}", r.exec.block_dispatches);
+    println!("trace dispatches    : {}", r.traces.trace_dispatches());
+    println!(
+        "traces              : {} entered, {} completed, {} early exits",
+        r.traces.entered, r.traces.completed, r.traces.exited_early
+    );
+    println!("avg trace length    : {:.1} blocks", r.avg_trace_length());
+    println!(
+        "coverage            : {:.1}% completed / {:.1}% incl. partial",
+        100.0 * r.coverage_completed(),
+        100.0 * r.coverage_incl_partial()
+    );
+    println!("completion rate     : {:.2}%", 100.0 * r.completion_rate());
+    println!(
+        "profiler            : {} nodes, {} edges, {:.1}% inline-cache hits, {} signals",
+        r.profiler.nodes_created,
+        r.profiler.edges_created,
+        100.0 * r.profiler.cache_hit_ratio(),
+        r.profiler.total_signals()
+    );
+    println!(
+        "cache               : {} traces, {} links, {} relinked",
+        r.cache.traces_constructed, r.cache.links_live, r.cache.links_replaced
+    );
+}
+
+fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    match opts.engine.as_str() {
+        "interp" => {
+            let mut vm = Vm::new(&w.program);
+            let result = vm.run(&w.args, &mut NullObserver)?;
+            println!("workload            : {} — {}", w.name, w.description);
+            println!("result              : {result:?}");
+            println!(
+                "checksum            : {:#018x} ({})",
+                vm.checksum(),
+                if vm.checksum() == w.expected_checksum {
+                    "matches reference"
+                } else {
+                    "MISMATCH!"
+                }
+            );
+            println!("instructions        : {}", vm.stats().instructions);
+            println!("block dispatches    : {}", vm.stats().block_dispatches);
+        }
+        "trace" => {
+            let mut tvm = TraceVm::new(&w.program, jit_config(opts));
+            let r = tvm.run(&w.args)?;
+            print_report(w, &r);
+        }
+        "exec" | "exec-opt" => {
+            let mut engine = TracingVm::new(
+                &w.program,
+                EngineConfig {
+                    jit: jit_config(opts),
+                    optimize: opts.engine == "exec-opt",
+                    superinstructions: true,
+                },
+            );
+            let r = engine.run(&w.args)?;
+            print_report(w, &r);
+            let s = engine.opt_stats();
+            if opts.engine == "exec-opt" {
+                println!(
+                    "trace optimizer     : {:.1}% of compiled code removed ({} folds, {} elims, {} identities, {} reductions)",
+                    100.0 * s.savings(),
+                    s.folds,
+                    s.eliminations,
+                    s.identities,
+                    s.reductions
+                );
+            }
+            println!("compiled traces     : {}", engine.compiled_count());
+        }
+        other => return Err(format!("unknown engine `{other}`").into()),
+    }
+    Ok(())
+}
+
+fn cmd_compare(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}: coverage by completed traces / completion rate", w.name);
+    let bcg = TraceVm::new(&w.program, jit_config(opts)).run(&w.args)?;
+    let mut net = NetSelector::new();
+    let net_r = run_with_selector(&w.program, &w.args, &mut net)?;
+    let mut rp = ReplaySelector::new();
+    let rp_r = run_with_selector(&w.program, &w.args, &mut rp)?;
+    let fmt = |cov: f64, comp: f64| format!("{:5.1}% / {:5.1}%", cov * 100.0, comp * 100.0);
+    println!(
+        "  bcg    : {}",
+        fmt(bcg.coverage_completed(), bcg.completion_rate())
+    );
+    println!(
+        "  net    : {}",
+        fmt(net_r.coverage_completed(), net_r.completion_rate())
+    );
+    println!(
+        "  replay : {}",
+        fmt(rp_r.coverage_completed(), rp_r.completion_rate())
+    );
+    Ok(())
+}
+
+fn cmd_dot(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let mut tvm = TraceVm::new(&w.program, jit_config(opts));
+    tvm.run(&w.args)?;
+    let hottest = tvm
+        .bcg()
+        .iter()
+        .map(|(_, n)| n.executions())
+        .max()
+        .unwrap_or(0);
+    let min = (hottest / 100).max(1);
+    let dir = std::path::Path::new(&opts.out);
+    std::fs::write(dir.join("bcg.dot"), bcg_dot::to_dot(tvm.bcg(), min))?;
+    std::fs::write(dir.join("traces.dot"), trace_dot::to_dot(tvm.cache()))?;
+    println!(
+        "wrote {}/bcg.dot and {}/traces.dot",
+        dir.display(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+
+    if cmd == "list" {
+        for w in registry::all(Scale::Test) {
+            println!("{:10} — {}", w.name, w.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(name) = args.next() else {
+        return usage();
+    };
+    let mut opts = Options::default();
+    if let Err(e) = parse_options(&mut args, &mut opts) {
+        eprintln!("error: {e}");
+        return usage();
+    }
+    let Some(w) = registry::by_name(&name, opts.scale) else {
+        eprintln!("unknown workload `{name}`; see `tracevm list`");
+        return ExitCode::FAILURE;
+    };
+
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&w, &opts),
+        "disasm" => {
+            print!("{}", disasm::program_to_string(&w.program));
+            Ok(())
+        }
+        "dot" => cmd_dot(&w, &opts),
+        "compare" => cmd_compare(&w, &opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cache stability (the paper's third design constraint, §3.6): "we need
+//! to minimize the number of times we replace traces". On steady-state
+//! workloads the cache must settle — entry links stop being replaced —
+//! while on phase-changing workloads the decaying profiler must keep
+//! adapting (replacements tracking the phase changes, not runaway churn).
+
+use tracecache_repro::bytecode::{CmpOp, Program, ProgramBuilder};
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::workloads::{registry, Scale};
+
+#[test]
+fn steady_workloads_have_stable_caches() {
+    for w in registry::all(Scale::Test) {
+        let mut tvm = TraceVm::new(
+            &w.program,
+            TraceJitConfig::paper_default().with_start_delay(16),
+        );
+        let r = tvm.run(&w.args).unwrap();
+        // Replacements may happen during warmup, but must stay far below
+        // the number of trace dispatches: the cache is not thrashing.
+        let entered = r.traces.entered.max(1);
+        assert!(
+            r.cache.links_replaced * 20 <= entered,
+            "{}: {} replacements for {} trace entries",
+            w.name,
+            r.cache.links_replaced,
+            entered,
+        );
+    }
+}
+
+#[test]
+fn second_run_constructs_almost_nothing_new() {
+    // A warmed cache on an unchanged workload should need few or no new
+    // traces: the profiler's statistics already describe the program.
+    let w = registry::compress(Scale::Test);
+    let mut tvm = TraceVm::new(
+        &w.program,
+        TraceJitConfig::paper_default().with_start_delay(16),
+    );
+    let r1 = tvm.run(&w.args).unwrap();
+    let r2 = tvm.run(&w.args).unwrap();
+    let new_traces = r2.cache.traces_constructed - r1.cache.traces_constructed;
+    assert!(
+        new_traces * 4 <= r1.cache.traces_constructed.max(4),
+        "second run built {new_traces} new traces vs {} in the first",
+        r1.cache.traces_constructed
+    );
+}
+
+fn phase_program(phases: i64, phase_len: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare_function("main", 0, true);
+    let b = pb.function_mut(f);
+    let acc = b.alloc_local();
+    let p = b.alloc_local();
+    let i = b.alloc_local();
+    b.iconst(0).store(acc).iconst(0).store(p);
+    let p_head = b.bind_new_label();
+    let p_exit = b.new_label();
+    b.load(p).iconst(phases).if_icmp(CmpOp::Ge, p_exit);
+    b.iconst(0).store(i);
+    let i_head = b.bind_new_label();
+    let i_exit = b.new_label();
+    b.load(i).iconst(phase_len).if_icmp(CmpOp::Ge, i_exit);
+    let odd = b.new_label();
+    let cont = b.new_label();
+    b.load(p).iconst(1).iand().if_i(CmpOp::Ne, odd);
+    b.load(acc).iconst(3).imul().load(i).iadd().store(acc);
+    b.goto(cont);
+    b.bind(odd);
+    b.load(acc).load(i).ixor().iconst(7).iadd().store(acc);
+    b.bind(cont);
+    b.iinc(i, 1).goto(i_head);
+    b.bind(i_exit);
+    b.iinc(p, 1).goto(p_head);
+    b.bind(p_exit);
+    b.load(acc).ret();
+    pb.build(f).expect("builds")
+}
+
+#[test]
+fn decay_keeps_adapting_where_cumulative_counters_stall() {
+    let program = phase_program(20, 4_000);
+    let run = |decay_interval: u32| {
+        let mut cfg = TraceJitConfig::paper_default().with_start_delay(16);
+        cfg.decay_interval = decay_interval;
+        TraceVm::new(&program, cfg).run(&[]).unwrap()
+    };
+    let decaying = run(256);
+    let cumulative = run(u32::MAX);
+    assert!(
+        decaying.profiler.total_signals() > cumulative.profiler.total_signals(),
+        "decay must keep signalling across phases: {} vs {}",
+        decaying.profiler.total_signals(),
+        cumulative.profiler.total_signals()
+    );
+    // And the adaptation must pay off in trace quality on the phase-
+    // changing stream.
+    assert!(
+        decaying.coverage_incl_partial() >= cumulative.coverage_incl_partial(),
+        "decay coverage {} vs cumulative {}",
+        decaying.coverage_incl_partial(),
+        cumulative.coverage_incl_partial()
+    );
+}

@@ -1,0 +1,94 @@
+//! Cross-crate correctness: the trace machinery must never change
+//! program semantics, and every workload must match its reference
+//! implementation under every execution model.
+
+use tracecache_repro::baselines::{run_with_selector, NetSelector, ReplaySelector};
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::vm::{NullObserver, Vm};
+use tracecache_repro::workloads::{registry, Scale};
+
+#[test]
+fn plain_vm_matches_reference_checksums() {
+    for w in registry::all(Scale::Test) {
+        let mut vm = Vm::new(&w.program);
+        vm.run(&w.args, &mut NullObserver)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        assert_eq!(vm.checksum(), w.expected_checksum, "{}", w.name);
+    }
+}
+
+#[test]
+fn trace_vm_is_semantically_transparent() {
+    for w in registry::all(Scale::Test) {
+        let mut plain = Vm::new(&w.program);
+        let plain_result = plain.run(&w.args, &mut NullObserver).unwrap();
+
+        let mut tvm = TraceVm::new(&w.program, TraceJitConfig::paper_default());
+        let report = tvm.run(&w.args).unwrap();
+
+        assert_eq!(report.result, plain_result, "{} result", w.name);
+        assert_eq!(report.checksum, w.expected_checksum, "{} checksum", w.name);
+        assert_eq!(
+            report.exec.instructions,
+            plain.stats().instructions,
+            "{} instruction count",
+            w.name
+        );
+        assert_eq!(
+            report.exec.block_dispatches,
+            plain.stats().block_dispatches,
+            "{} block dispatches",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn trace_vm_transparent_at_every_threshold() {
+    let w = registry::compress(Scale::Test);
+    for &threshold in &[1.0, 0.99, 0.97, 0.95, 0.5] {
+        let mut tvm = TraceVm::new(
+            &w.program,
+            TraceJitConfig::paper_default()
+                .with_threshold(threshold)
+                .with_start_delay(4),
+        );
+        let report = tvm.run(&w.args).unwrap();
+        assert_eq!(
+            report.checksum, w.expected_checksum,
+            "threshold {threshold}"
+        );
+    }
+}
+
+#[test]
+fn baseline_selectors_are_semantically_transparent() {
+    for w in registry::all(Scale::Test) {
+        let mut net = NetSelector::new();
+        let r = run_with_selector(&w.program, &w.args, &mut net).unwrap();
+        assert_eq!(r.checksum, w.expected_checksum, "{} under NET", w.name);
+
+        let mut rp = ReplaySelector::new();
+        let r = run_with_selector(&w.program, &w.args, &mut rp).unwrap();
+        assert_eq!(r.checksum, w.expected_checksum, "{} under rePLay", w.name);
+    }
+}
+
+#[test]
+fn workload_scales_share_program_shape() {
+    // Small-scale programs must differ from Test only in constants, so
+    // static block counts stay equal — a guard against scale-dependent
+    // codegen drift.
+    for (t, s) in registry::all(Scale::Test)
+        .into_iter()
+        .zip(registry::all(Scale::Small))
+    {
+        assert_eq!(t.name, s.name);
+        assert_eq!(
+            t.program.total_blocks(),
+            s.program.total_blocks(),
+            "{}: scale must only change constants",
+            t.name
+        );
+    }
+}

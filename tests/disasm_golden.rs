@@ -1,0 +1,48 @@
+//! Golden test: the disassembly of a fixed program is stable and
+//! readable. Guards the listing format that examples and the CLI rely on.
+
+use tracecache_repro::bytecode::{disasm, CmpOp, Intrinsic, ProgramBuilder};
+
+#[test]
+fn listing_matches_expected_shape() {
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.declare_function("leaf", 1, true);
+    pb.function_mut(leaf).load(0).iconst(1).iadd().ret();
+    let main = pb.declare_function("main", 1, false);
+    {
+        let b = pb.function_mut(main);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(0).invoke_static(leaf).intrinsic(Intrinsic::Checksum);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+    let program = pb.build(main).unwrap();
+    let listing = disasm::program_to_string(&program);
+
+    let expected_lines = [
+        "fn#0 `leaf` (params=1, locals=1, returns value):",
+        "fn#1 `main` (params=1, locals=1, void):",
+        "if le -> 7",
+        "invokestatic fn#0",
+        "intrinsic checksum",
+        "iinc 0, -1",
+        "goto -> 0",
+        "return_void",
+        "entry: fn#1",
+        "b1 [Call] -> [b2]",
+        "b2 [Goto] -> [b0]",
+    ];
+    for line in expected_lines {
+        assert!(
+            listing.contains(line),
+            "missing `{line}` in listing:\n{listing}"
+        );
+    }
+
+    // Block structure annotations: main splits into cond / body / exit.
+    assert!(listing.contains("b0 [CondBranch]"));
+    assert!(listing.contains("[Return] -> []"));
+}

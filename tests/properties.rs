@@ -1,0 +1,222 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use tracecache_repro::bcg::{BcgConfig, BranchCorrelationGraph};
+use tracecache_repro::bytecode::{BlockId, CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
+use tracecache_repro::tracecache::{ConstructorConfig, TraceCache, TraceConstructor, TraceRuntime};
+use tracecache_repro::vm::{NullObserver, Value, Vm};
+
+fn blk(b: u32) -> BlockId {
+    BlockId::new(FuncId(0), b)
+}
+
+/// A program whose entry function has at least `min_blocks` basic blocks,
+/// used to give the trace runtime real block lengths.
+fn many_block_program(min_blocks: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare_function("main", 1, false);
+    let b = pb.function_mut(f);
+    let exit = b.new_label();
+    // A chain of conditional skips creates one block per test.
+    for _ in 0..min_blocks {
+        b.load(0).if_i(CmpOp::Lt, exit);
+        b.nop();
+    }
+    b.bind(exit);
+    b.ret_void();
+    pb.build(f).expect("builds")
+}
+
+proptest! {
+    /// The profiler's counters stay internally consistent on arbitrary
+    /// block streams.
+    #[test]
+    fn bcg_invariants_hold_on_random_streams(
+        stream in prop::collection::vec(0u32..8, 1..2000),
+        delay in 1u32..128,
+        threshold in 0.5f64..1.0,
+        decay in prop::sample::select(vec![16u32, 64, 256]),
+    ) {
+        let mut bcg = BranchCorrelationGraph::new(BcgConfig {
+            start_delay: delay,
+            threshold,
+            decay_interval: decay,
+            ..BcgConfig::paper_default()
+        });
+        for &s in &stream {
+            bcg.observe(blk(s));
+        }
+        prop_assert_eq!(bcg.stats().dispatches, stream.len() as u64);
+        for (_, node) in bcg.iter() {
+            let sum: u32 = node.successors().iter().map(|s| u32::from(s.count)).sum();
+            prop_assert_eq!(node.total_weight(), sum);
+            for s in node.successors() {
+                let c = node.correlation(s);
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+            if let Some(p) = node.predicted() {
+                prop_assert!(node.successors().iter().any(|s| s.to_block == p.to_block));
+            }
+            if let Some(m) = node.max_successor() {
+                prop_assert!(u32::from(m.count) <= node.total_weight());
+            }
+        }
+    }
+
+    /// Every trace the constructor installs satisfies its completion
+    /// threshold, length bounds, and entry-link discipline.
+    #[test]
+    fn constructed_traces_satisfy_invariants(
+        stream in prop::collection::vec(0u32..6, 200..3000),
+        threshold in prop::sample::select(vec![0.90f64, 0.95, 0.97, 0.99]),
+    ) {
+        let mut bcg = BranchCorrelationGraph::new(
+            BcgConfig::paper_default()
+                .with_start_delay(4)
+                .with_threshold(threshold),
+        );
+        let mut cache = TraceCache::new();
+        let mut ctor = TraceConstructor::new(
+            ConstructorConfig::paper_default().with_threshold(threshold),
+        );
+        for &s in &stream {
+            bcg.observe(blk(s));
+            if bcg.has_signals() {
+                let sigs = bcg.take_signals();
+                ctor.handle_batch(&sigs, &mut bcg, &mut cache);
+            }
+        }
+        let cfg = ctor.config();
+        for trace in cache.iter_traces() {
+            prop_assert!(trace.expected_completion() >= threshold - 1e-9);
+            prop_assert!(trace.expected_completion() <= 1.0 + 1e-9);
+            prop_assert!(trace.len() >= cfg.min_trace_blocks);
+            prop_assert!(trace.len() <= cfg.max_trace_blocks);
+        }
+        for (entry, trace) in cache.iter_links() {
+            prop_assert_eq!(entry.1, trace.blocks()[0]);
+        }
+    }
+
+    /// The trace runtime's accounting balances on arbitrary streams over
+    /// arbitrary caches.
+    #[test]
+    fn runtime_accounting_balances(
+        stream in prop::collection::vec(0u32..8, 1..1500),
+        traces in prop::collection::vec(
+            (0u32..8, prop::collection::vec(0u32..8, 1..6)),
+            0..10
+        ),
+    ) {
+        let program = many_block_program(8);
+        let mut cache = TraceCache::new();
+        for (from, blocks) in traces {
+            let seq: Vec<BlockId> = blocks.iter().map(|&b| blk(b)).collect();
+            cache.insert_and_link((blk(from), seq[0]), seq, 0.97);
+        }
+        let mut rt = TraceRuntime::new();
+        for &s in &stream {
+            rt.on_block(blk(s), &cache, &program);
+        }
+        rt.finish_stream();
+        let st = rt.stats();
+        prop_assert_eq!(st.entered, st.completed + st.exited_early);
+        // Every dispatched block lands in exactly one bucket.
+        prop_assert_eq!(
+            st.blocks_in_completed + st.blocks_in_partial + st.blocks_outside,
+            stream.len() as u64
+        );
+        prop_assert!(st.trace_dispatches() <= stream.len() as u64);
+    }
+
+    /// Conditional-branch bytecode agrees with native comparison
+    /// semantics for all operators and operands.
+    #[test]
+    fn branch_semantics_match_native(
+        a in any::<i64>(),
+        b in any::<i64>(),
+        op_idx in 0usize..6,
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let op = ops[op_idx];
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 2, true);
+        {
+            let fb = pb.function_mut(f);
+            let taken = fb.new_label();
+            fb.load(0).load(1).if_icmp(op, taken);
+            fb.iconst(0).ret();
+            fb.bind(taken);
+            fb.iconst(1).ret();
+        }
+        let program = pb.build(f).expect("builds");
+        let mut vm = Vm::new(&program);
+        let r = vm
+            .run(&[Value::Int(a), Value::Int(b)], &mut NullObserver)
+            .expect("runs");
+        prop_assert_eq!(r, Some(Value::Int(i64::from(op.eval_i64(a, b)))));
+    }
+
+    /// Random straight-line arithmetic programs verify and execute with
+    /// exactly one block dispatch.
+    #[test]
+    fn straight_line_programs_verify_and_run(
+        ops in prop::collection::vec(0u8..7, 0..200),
+        seed in any::<i64>(),
+    ) {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, false);
+        let mut depth = 0usize;
+        let expected_len;
+        {
+            let fb = pb.function_mut(f);
+            fb.load(0);
+            depth += 1;
+            for &o in &ops {
+                // Only emit ops legal at the current stack depth.
+                match o {
+                    0 => {
+                        fb.iconst(seed ^ 0x5a5a);
+                        depth += 1;
+                    }
+                    1 if depth >= 1 => {
+                        fb.dup();
+                        depth += 1;
+                    }
+                    2 if depth >= 2 => {
+                        fb.iadd();
+                        depth -= 1;
+                    }
+                    3 if depth >= 2 => {
+                        fb.imul();
+                        depth -= 1;
+                    }
+                    4 if depth >= 2 => {
+                        fb.ixor();
+                        depth -= 1;
+                    }
+                    5 if depth >= 1 => {
+                        fb.ineg();
+                    }
+                    6 if depth >= 2 => {
+                        fb.swap();
+                    }
+                    _ => {}
+                }
+            }
+            // Drain the stack through the checksum intrinsic.
+            while depth > 0 {
+                fb.intrinsic(Intrinsic::Checksum);
+                depth -= 1;
+            }
+            fb.ret_void();
+            expected_len = fb.len() as u64;
+        }
+        let program = pb.build(f).expect("straight-line code must verify");
+        let mut vm = Vm::new(&program);
+        vm.run(&[Value::Int(seed)], &mut NullObserver).expect("runs");
+        prop_assert_eq!(vm.stats().block_dispatches, 1);
+        prop_assert_eq!(vm.stats().instructions, expected_len);
+    }
+}

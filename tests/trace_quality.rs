@@ -1,0 +1,134 @@
+//! Cross-crate trace-quality invariants: the headline properties the
+//! paper's evaluation establishes, checked at test scale.
+
+use tracecache_repro::jit::experiment::{
+    delay_sweep, run_point, threshold_sweep, PAPER_DELAYS, PAPER_THRESHOLDS,
+};
+use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::workloads::{registry, Scale};
+
+fn paper_cfg() -> TraceJitConfig {
+    // Start delay scaled down with the Test-scale inputs so the loops get
+    // hot within the shorter runs, as in the paper's delay discussion.
+    TraceJitConfig::paper_default().with_start_delay(16)
+}
+
+#[test]
+fn all_workloads_reach_reasonable_coverage() {
+    for w in registry::all(Scale::Test) {
+        let r = run_point(&w.program, &w.args, paper_cfg()).unwrap();
+        assert!(
+            r.coverage_completed() > 0.5,
+            "{}: coverage {:.2}",
+            w.name,
+            r.coverage_completed()
+        );
+    }
+}
+
+#[test]
+fn completion_rate_is_high_at_97_percent_threshold() {
+    // Table III's shape: at the 97% threshold, completion must be ≥ 90%
+    // everywhere (the paper reports ≥ 97% at full scale).
+    for w in registry::all(Scale::Test) {
+        let r = run_point(&w.program, &w.args, paper_cfg()).unwrap();
+        assert!(r.traces.entered > 0, "{}: no traces entered", w.name);
+        assert!(
+            r.completion_rate() > 0.9,
+            "{}: completion {:.3}",
+            w.name,
+            r.completion_rate()
+        );
+    }
+}
+
+#[test]
+fn traces_reduce_dispatches_on_every_workload() {
+    for w in registry::all(Scale::Test) {
+        let r = run_point(&w.program, &w.args, paper_cfg()).unwrap();
+        let d = r.dispatch_counts();
+        assert!(d.per_trace < d.per_block, "{}: {d:?}", w.name);
+        assert!(d.per_block < d.per_instruction, "{}: {d:?}", w.name);
+    }
+}
+
+#[test]
+fn threshold_sweep_produces_valid_metrics_everywhere() {
+    let w = registry::raytrace(Scale::Test);
+    let pts = threshold_sweep(&w.program, &w.args, &PAPER_THRESHOLDS, 16, paper_cfg()).unwrap();
+    assert_eq!(pts.len(), PAPER_THRESHOLDS.len());
+    for p in &pts {
+        let r = &p.report;
+        assert!(r.coverage_completed() >= 0.0 && r.coverage_completed() <= 1.0);
+        assert!(r.coverage_incl_partial() >= r.coverage_completed());
+        assert!(r.completion_rate() >= 0.0 && r.completion_rate() <= 1.0);
+        assert!(r.avg_trace_length() >= 0.0);
+    }
+}
+
+#[test]
+fn larger_delay_increases_trace_event_interval() {
+    // Table V's shape: the trace event interval grows with the start
+    // delay (fewer branches become hot, fewer signals + traces).
+    let w = registry::compress(Scale::Test);
+    let pts = delay_sweep(
+        &w.program,
+        &w.args,
+        &PAPER_DELAYS,
+        0.97,
+        TraceJitConfig::paper_default(),
+    )
+    .unwrap();
+    let intervals: Vec<f64> = pts
+        .iter()
+        .map(|p| p.report.trace_event_interval())
+        .collect();
+    assert!(
+        intervals[0] <= intervals[1] && intervals[1] <= intervals[2],
+        "event interval must grow with delay: {intervals:?}"
+    );
+}
+
+#[test]
+fn every_constructed_trace_satisfies_its_threshold() {
+    let w = registry::soot(Scale::Test);
+    let mut tvm = TraceVm::new(&w.program, paper_cfg());
+    tvm.run(&w.args).unwrap();
+    for trace in tvm.cache().iter_traces() {
+        assert!(
+            trace.expected_completion() >= 0.97 - 1e-9,
+            "trace {} below threshold: {}",
+            trace.id(),
+            trace.expected_completion()
+        );
+        assert!(trace.len() >= 2);
+        assert!(trace.len() <= paper_cfg().max_trace_blocks);
+    }
+}
+
+#[test]
+fn entered_traces_balance_completed_plus_early_exits() {
+    for w in registry::all(Scale::Test) {
+        let r = run_point(&w.program, &w.args, paper_cfg()).unwrap();
+        assert_eq!(
+            r.traces.entered,
+            r.traces.completed + r.traces.exited_early,
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn mpegaudio_and_scimark_are_most_predictable() {
+    // §5.1's characterisation: the DSP/scientific workloads have the most
+    // regular branches, so their inline-cache hit ratios must top the
+    // irregular ones (javac, soot).
+    let mut ratios = std::collections::HashMap::new();
+    for w in registry::all(Scale::Test) {
+        let r = run_point(&w.program, &w.args, paper_cfg()).unwrap();
+        ratios.insert(w.name, r.profiler.cache_hit_ratio());
+    }
+    assert!(ratios["mpegaudio"] > ratios["javac"], "{ratios:?}");
+    assert!(ratios["scimark"] > ratios["javac"], "{ratios:?}");
+}
