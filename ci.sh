@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, tests, and a bench smoke
+# run. No network access required — the workspace has no external
+# dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== hot-path bench smoke (test scale)"
+cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
+
+echo "== bench harness smoke (1 sample, test scale)"
+TRACE_BENCH_SCALE=test TRACE_BENCH_SAMPLES=1 \
+    cargo bench -p trace-bench --bench table6_profiler_overhead >/dev/null
+
+echo "CI OK"

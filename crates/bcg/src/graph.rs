@@ -1,6 +1,5 @@
 //! The branch correlation graph itself.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use jvm_bytecode::BlockId;
@@ -9,10 +8,11 @@ use crate::config::BcgConfig;
 use crate::node::{Node, Successor};
 use crate::signal::{Signal, SignalKind};
 use crate::stats::ProfilerStats;
+use crate::table::{BranchTable, PackedBranch};
 use crate::Branch;
 
 /// Index of a node within a [`BranchCorrelationGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct NodeIdx(pub u32);
 
 impl NodeIdx {
@@ -33,22 +33,27 @@ impl fmt::Display for NodeIdx {
 ///
 /// Feed it with [`BranchCorrelationGraph::observe`] — typically from a
 /// [`jvm_vm::DispatchObserver`](https://docs.rs/jvm-vm) hook — then drain
-/// pending [`Signal`]s with [`BranchCorrelationGraph::take_signals`].
+/// pending [`Signal`]s with
+/// [`BranchCorrelationGraph::drain_signals_into`] (reusable buffer, no
+/// per-drain allocation) or [`BranchCorrelationGraph::take_signals`].
 ///
 /// The per-dispatch cost model mirrors §4.1.2 of the paper:
 ///
 /// * **fast path** (expected): the dispatched block matches the context
 ///   node's cached prediction — two comparisons, one counter bump, and the
-///   edge's embedded target index becomes the new context;
+///   edge's embedded target index becomes the new context; no hashing, and
+///   with ≤ 4 successors no pointer chase either (inline storage);
 /// * **slow path**: a linear scan of the context's known successors,
-///   possibly constructing a new edge and node (lazy construction);
+///   possibly constructing a new edge and node (lazy construction); only
+///   this path touches the branch index, an open-addressed
+///   [`BranchTable`] keyed by [`PackedBranch`];
 /// * **periodic work**: every `decay_interval` executions of a node its
 ///   counters decay and its state/prediction are rechecked.
 #[derive(Debug)]
 pub struct BranchCorrelationGraph {
     config: BcgConfig,
     nodes: Vec<Node>,
-    index: HashMap<Branch, NodeIdx>,
+    index: BranchTable<NodeIdx>,
     /// The block most recently dispatched.
     last_block: Option<BlockId>,
     /// Node of the most recent branch `(X, Y)` — the "branch context
@@ -64,7 +69,7 @@ impl BranchCorrelationGraph {
         BranchCorrelationGraph {
             config,
             nodes: Vec::new(),
-            index: HashMap::new(),
+            index: BranchTable::new(),
             last_block: None,
             ctx_node: None,
             signals: Vec::new(),
@@ -104,7 +109,7 @@ impl BranchCorrelationGraph {
 
     /// Looks up the node for a branch, if it has ever been observed.
     pub fn node_index(&self, branch: Branch) -> Option<NodeIdx> {
-        self.index.get(&branch).copied()
+        self.index.get(PackedBranch::pack(branch))
     }
 
     /// Iterates over all `(index, node)` pairs.
@@ -133,9 +138,18 @@ impl BranchCorrelationGraph {
         self.ctx_node = None;
     }
 
-    /// Drains and returns all pending signals.
+    /// Drains and returns all pending signals, allocating a fresh vector.
+    /// Hot loops should prefer [`Self::drain_signals_into`].
     pub fn take_signals(&mut self) -> Vec<Signal> {
         std::mem::take(&mut self.signals)
+    }
+
+    /// Drains all pending signals into `out` (cleared first), retaining
+    /// both buffers' capacity: the steady-state dispatch loop drains
+    /// without touching the allocator.
+    pub fn drain_signals_into(&mut self, out: &mut Vec<Signal>) {
+        out.clear();
+        out.append(&mut self.signals);
     }
 
     /// Whether any signals are pending (cheaper than draining).
@@ -150,72 +164,158 @@ impl BranchCorrelationGraph {
         self.nodes[idx.index()].generation = generation;
     }
 
-    /// Estimated heap footprint of the graph in bytes (nodes, successor
-    /// and predecessor lists, and the branch index). The paper stresses
-    /// that the BCG is memory-light — "we carefully represent blocks,
-    /// nodes, and edges to minimize memory overhead" (§3.5) — and lazy
-    /// construction keeps it proportional to the *realized* branch pairs,
-    /// not the static program size; this estimate lets harnesses report
-    /// that cost.
+    /// Writes a node's inline trace-link slot: `raw` is whatever the
+    /// trace cache wants to find there while its version equals
+    /// `version` (a raw trace id or [`crate::node::NO_TRACE_LINK`]).
+    /// See [`Node::trace_link`].
+    #[inline]
+    pub fn set_trace_link(&mut self, idx: NodeIdx, version: u64, raw: u32) {
+        let node = &mut self.nodes[idx.index()];
+        node.link_version = version;
+        node.link_raw = raw;
+    }
+
+    /// Estimated heap footprint of the graph in bytes (nodes, spilled
+    /// successor and predecessor lists, and the branch index). The paper
+    /// stresses that the BCG is memory-light — "we carefully represent
+    /// blocks, nodes, and edges to minimize memory overhead" (§3.5) —
+    /// and lazy construction keeps it proportional to the *realized*
+    /// branch pairs, not the static program size; this estimate lets
+    /// harnesses report that cost.
+    ///
+    /// Computed from the real layout: the [`BranchTable`]'s allocated
+    /// slot array and each node's actual spill state, not an assumed
+    /// std-`HashMap` bucket scheme.
     pub fn memory_estimate(&self) -> usize {
         use std::mem::size_of;
         let node_fixed = self.nodes.capacity() * size_of::<Node>();
         let lists: usize = self
             .nodes
             .iter()
-            .map(|n| {
-                n.successors().len() * size_of::<Successor>()
-                    + n.predecessors().len() * size_of::<NodeIdx>()
-            })
+            .map(|n| n.successors.heap_bytes() + n.preds.capacity() * size_of::<NodeIdx>())
             .sum();
-        // HashMap entries: key + value + ~1 byte of control metadata per
-        // slot, times a conservative 8/7 load-factor headroom.
-        let index = self.index.len() * (size_of::<Branch>() + size_of::<NodeIdx>() + 2);
-        node_fixed + lists + index
+        node_fixed + lists + self.index.memory_bytes()
     }
 
     /// Observes one dispatched block. This is the profiler hook executed
     /// with every block dispatch.
-    pub fn observe(&mut self, z: BlockId) {
+    ///
+    /// Returns the node of the branch just observed — `(previous block,
+    /// z)` — which is the new context node, or `None` for the first
+    /// block of a stream. The integrated VM threads this into the trace
+    /// cache's per-node link slot so the dispatch monitor never hashes.
+    ///
+    /// The expected case is the **budgeted fast path**: the context
+    /// node's prediction matches `z` and its event budget (armed by the
+    /// last slow visit, see [`Self::rearm`]) proves no decay, delay
+    /// expiry, or counter saturation can fire yet — so the whole
+    /// dispatch is two compares and three counter bumps, the paper's
+    /// "couple of comparisons and a counter bump" (§4.1.2).
+    #[inline]
+    pub fn observe(&mut self, z: BlockId) -> Option<NodeIdx> {
         self.stats.dispatches += 1;
-        let y = match self.last_block.replace(z) {
-            None => return, // first block of the stream: no branch yet
-            Some(y) => y,
-        };
+        // First block of the stream has no branch yet.
+        let y = self.last_block.replace(z)?;
         let next = match self.ctx_node {
-            Some(nxy) => self.record(nxy, (y, z)),
+            Some(nxy) => {
+                let node = &mut self.nodes[nxy.index()];
+                if node.fp_budget != 0 && node.fp_block == z {
+                    node.fp_budget -= 1;
+                    node.executions += 1;
+                    node.total_weight += 1;
+                    node.successors.as_mut_slice()[node.fp_slot as usize].count += 1;
+                    self.stats.cache_hits += 1;
+                    node.fp_next
+                } else {
+                    self.record_slow(nxy, (y, z))
+                }
+            }
             None => self.get_or_create((y, z)),
         };
         self.ctx_node = Some(next);
+        Some(next)
     }
 
     /// Gets or lazily creates the node for `branch`.
     fn get_or_create(&mut self, branch: Branch) -> NodeIdx {
-        if let Some(&idx) = self.index.get(&branch) {
+        let key = PackedBranch::pack(branch);
+        if let Some(idx) = self.index.get(key) {
             return idx;
         }
         let idx = NodeIdx(self.nodes.len() as u32);
         self.nodes.push(Node::new(branch, self.config.start_delay));
-        self.index.insert(branch, idx);
+        self.index.insert(key, idx);
         self.stats.nodes_created += 1;
         idx
+    }
+
+    /// Applies the bookkeeping the fast path deferred: `elapsed` fast
+    /// hits each conceptually incremented `since_decay` and decremented
+    /// `delay_remaining`, but the budget guarantees neither crossed its
+    /// event boundary, so applying them in one batch is exact.
+    fn sync_deferred(&mut self, nxy: NodeIdx) {
+        let node = &mut self.nodes[nxy.index()];
+        let elapsed = node.fp_armed - node.fp_budget;
+        if elapsed > 0 {
+            node.since_decay += elapsed;
+            if node.delay_remaining > 0 {
+                // Budget ≤ delay_remaining - 1 at arm time, so the
+                // countdown cannot have reached zero in between.
+                node.delay_remaining -= elapsed;
+            }
+            node.fp_armed = node.fp_budget;
+        }
+    }
+
+    /// Re-arms the budgeted fast path after a slow visit: the budget is
+    /// the number of consecutive predicted hits guaranteed not to reach
+    /// the node's next event (decay due, delay expiry, or saturation of
+    /// the predicted counter). Zero disarms — every visit then takes the
+    /// slow path, which is exactly the reference semantics.
+    fn rearm(&mut self, nxy: NodeIdx) {
+        let cfg = &self.config;
+        let node = &mut self.nodes[nxy.index()];
+        node.fp_budget = 0;
+        node.fp_armed = 0;
+        if !cfg.inline_cache {
+            return;
+        }
+        let Some(ci) = node.cached else { return };
+        let s = node.successors.as_slice()[ci as usize];
+        let until_saturation = u32::from(cfg.max_counter) - u32::from(s.count);
+        let until_decay = (cfg.decay_interval - node.since_decay).saturating_sub(1);
+        let until_delay = if node.delay_remaining > 0 {
+            node.delay_remaining - 1
+        } else {
+            u32::MAX
+        };
+        let budget = until_saturation.min(until_decay).min(until_delay);
+        node.fp_budget = budget;
+        node.fp_armed = budget;
+        node.fp_block = s.to_block;
+        node.fp_next = s.node;
+        node.fp_slot = ci;
     }
 
     /// Records that branch `yz` followed the branch at `nxy`, updating the
     /// edge counter, the start delay, and the decay schedule. Returns the
     /// node for `yz`, which becomes the new context.
-    fn record(&mut self, nxy: NodeIdx, yz: Branch) -> NodeIdx {
+    ///
+    /// This is the reference (pre-overhaul) logic verbatim, bracketed by
+    /// [`Self::sync_deferred`] and [`Self::rearm`].
+    fn record_slow(&mut self, nxy: NodeIdx, yz: Branch) -> NodeIdx {
+        self.sync_deferred(nxy);
         let cfg = self.config;
         let z = yz.1;
 
-        // Fast path: cached prediction matches.
+        // Inline-cache check: cached prediction matches.
         let mut next: Option<NodeIdx> = None;
         {
             let node = &mut self.nodes[nxy.index()];
             node.executions += 1;
             if cfg.inline_cache {
                 if let Some(ci) = node.cached {
-                    let s = &mut node.successors[ci as usize];
+                    let s = &mut node.successors.as_mut_slice()[ci as usize];
                     if s.to_block == z {
                         if s.count < cfg.max_counter {
                             s.count += 1;
@@ -229,16 +329,22 @@ impl BranchCorrelationGraph {
             if next.is_none() {
                 self.stats.cache_misses += 1;
                 // Slow path: scan the known correlations.
-                if let Some(i) = node.successors.iter().position(|s| s.to_block == z) {
-                    let s = &mut node.successors[i];
+                if let Some(i) = node
+                    .successors
+                    .as_slice()
+                    .iter()
+                    .position(|s| s.to_block == z)
+                {
+                    let s = &mut node.successors.as_mut_slice()[i];
                     if s.count < cfg.max_counter {
                         s.count += 1;
                         node.total_weight += 1;
                     }
+                    let s_node = s.node;
                     if node.cached.is_none() {
                         node.cached = Some(i as u32);
                     }
-                    next = Some(s.node);
+                    next = Some(s_node);
                 }
             }
         }
@@ -295,6 +401,7 @@ impl BranchCorrelationGraph {
         if decay_due {
             self.decay(nxy);
         }
+        self.rearm(nxy);
         next
     }
 
@@ -308,15 +415,21 @@ impl BranchCorrelationGraph {
         let old_state = node.state;
         let old_pred = node.predicted().map(|s| s.to_block);
 
-        for s in &mut node.successors {
+        for s in node.successors.as_mut_slice() {
             s.count >>= cfg.decay_shift;
         }
         node.successors.retain(|s| s.count > 0);
-        node.total_weight = node.successors.iter().map(|s| u32::from(s.count)).sum();
+        node.total_weight = node
+            .successors
+            .as_slice()
+            .iter()
+            .map(|s| u32::from(s.count))
+            .sum();
 
         // Re-elect the cached prediction: the maximally correlated edge.
         node.cached = node
             .successors
+            .as_slice()
             .iter()
             .enumerate()
             .max_by_key(|(_, s)| s.count)
@@ -385,9 +498,22 @@ mod tests {
     #[test]
     fn first_block_creates_nothing() {
         let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
-        bcg.observe(blk(0));
+        assert_eq!(bcg.observe(blk(0)), None);
         assert!(bcg.is_empty());
         assert_eq!(bcg.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn observe_returns_the_context_node() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        bcg.observe(blk(0));
+        let n01 = bcg.observe(blk(1)).expect("branch formed");
+        assert_eq!(bcg.node(n01).branch(), (blk(0), blk(1)));
+        let n10 = bcg.observe(blk(0)).expect("branch formed");
+        assert_eq!(bcg.node(n10).branch(), (blk(1), blk(0)));
+        // Repeats return the same nodes via the inline-cache fast path.
+        assert_eq!(bcg.observe(blk(1)), Some(n01));
+        assert_eq!(bcg.observe(blk(0)), Some(n10));
     }
 
     #[test]
@@ -579,6 +705,29 @@ mod tests {
     }
 
     #[test]
+    fn drain_signals_into_reuses_the_buffer() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(2, 0.97));
+        feed(&mut bcg, &[0, 1], 10);
+        assert!(bcg.has_signals());
+        let mut buf = Vec::new();
+        bcg.drain_signals_into(&mut buf);
+        assert!(!buf.is_empty());
+        assert!(!bcg.has_signals());
+        let cap = buf.capacity();
+        let first = buf.clone();
+        // Draining again clears the buffer without reallocating.
+        bcg.drain_signals_into(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        // And matches what take_signals would have produced.
+        feed(&mut bcg, &[4, 5], 10);
+        bcg.drain_signals_into(&mut buf);
+        let mut bcg2 = BranchCorrelationGraph::new(cfg(2, 0.97));
+        feed(&mut bcg2, &[0, 1], 10);
+        assert_eq!(bcg2.take_signals(), first);
+    }
+
+    #[test]
     fn memory_estimate_grows_with_the_graph_and_stays_lazy() {
         let mut small = BranchCorrelationGraph::new(cfg(1, 0.97));
         feed(&mut small, &[0, 1], 50);
@@ -599,6 +748,23 @@ mod tests {
         // Lazy construction: memory tracks realized pairs (~hundreds of
         // bytes each), not some quadratic blowup.
         assert!(big.memory_estimate() < 64 * 1024);
+    }
+
+    #[test]
+    fn memory_estimate_accounts_for_the_index_capacity() {
+        let mut bcg = BranchCorrelationGraph::new(cfg(1, 0.97));
+        // Enough distinct branches to force several index growths.
+        for i in 0..200u32 {
+            bcg.observe(blk(i % 100));
+            bcg.observe(blk(100 + i % 100));
+        }
+        let est = bcg.memory_estimate();
+        use std::mem::size_of;
+        let node_bytes = bcg.len() * size_of::<Node>();
+        assert!(
+            est >= node_bytes,
+            "estimate {est} must cover at least the node array {node_bytes}"
+        );
     }
 
     #[test]

@@ -49,16 +49,20 @@ pub mod config;
 pub mod dot;
 pub mod graph;
 pub mod node;
+pub mod reference;
 pub mod signal;
 pub mod state;
 pub mod stats;
+pub mod table;
 
 pub use config::BcgConfig;
 pub use graph::{BranchCorrelationGraph, NodeIdx};
 pub use node::{Node, Successor};
+pub use reference::ReferenceBcg;
 pub use signal::{Signal, SignalKind};
 pub use state::NodeState;
 pub use stats::ProfilerStats;
+pub use table::{BranchTable, PackedBranch};
 
 /// A branch: an ordered pair of consecutively executed blocks. `(X, Y)`
 /// identifies the BCG node `N_XY`.

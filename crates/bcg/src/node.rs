@@ -1,6 +1,6 @@
 //! BCG nodes and edges.
 
-use jvm_bytecode::BlockId;
+use jvm_bytecode::{BlockId, FuncId};
 
 use crate::graph::NodeIdx;
 use crate::state::NodeState;
@@ -22,12 +22,140 @@ pub struct Successor {
     pub node: NodeIdx,
 }
 
+impl Successor {
+    /// Filler for unused inline slots; never observable through
+    /// [`SuccList::as_slice`].
+    fn placeholder() -> Self {
+        Successor {
+            to_block: BlockId::new(FuncId(u32::MAX), u32::MAX),
+            count: 0,
+            node: NodeIdx(u32::MAX),
+        }
+    }
+}
+
+/// Successor slots stored inline in the node before spilling to the heap.
+/// Across the six workloads the overwhelming majority of nodes have ≤ 2
+/// realized successors, so four inline slots make the per-dispatch
+/// counter bump a pure in-`Node` access with no pointer chase.
+pub(crate) const INLINE_SUCCESSORS: usize = 4;
+
+/// A successor list with small-size inline storage. The common case
+/// (≤ [`INLINE_SUCCESSORS`] edges) lives directly in the `Node`; larger
+/// fans spill to a `Vec` once and stay there.
+#[derive(Debug, Clone)]
+pub(crate) enum SuccList {
+    Inline {
+        len: u8,
+        slots: [Successor; INLINE_SUCCESSORS],
+    },
+    Spilled(Vec<Successor>),
+}
+
+impl SuccList {
+    pub(crate) fn new() -> Self {
+        SuccList::Inline {
+            len: 0,
+            slots: [Successor::placeholder(); INLINE_SUCCESSORS],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[Successor] {
+        match self {
+            SuccList::Inline { len, slots } => &slots[..usize::from(*len)],
+            SuccList::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [Successor] {
+        match self {
+            SuccList::Inline { len, slots } => &mut slots[..usize::from(*len)],
+            SuccList::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SuccList::Inline { len, .. } => usize::from(*len),
+            SuccList::Spilled(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&mut self, s: Successor) {
+        match self {
+            SuccList::Inline { len, slots } => {
+                let n = usize::from(*len);
+                if n < INLINE_SUCCESSORS {
+                    slots[n] = s;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_SUCCESSORS * 2);
+                    v.extend_from_slice(slots);
+                    v.push(s);
+                    *self = SuccList::Spilled(v);
+                }
+            }
+            SuccList::Spilled(v) => v.push(s),
+        }
+    }
+
+    /// Keeps only elements satisfying `keep`, preserving order. A
+    /// spilled list never moves back inline (re-spilling churn is worse
+    /// than the few bytes).
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(&Successor) -> bool) {
+        match self {
+            SuccList::Inline { len, slots } => {
+                let mut w = 0usize;
+                for r in 0..usize::from(*len) {
+                    if keep(&slots[r]) {
+                        slots[w] = slots[r];
+                        w += 1;
+                    }
+                }
+                for slot in slots[w..usize::from(*len)].iter_mut() {
+                    *slot = Successor::placeholder();
+                }
+                *len = w as u8;
+            }
+            SuccList::Spilled(v) => v.retain(keep),
+        }
+    }
+
+    /// Heap bytes held by this list (zero while inline).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            SuccList::Inline { .. } => 0,
+            SuccList::Spilled(v) => v.capacity() * std::mem::size_of::<Successor>(),
+        }
+    }
+}
+
+/// Sentinel for [`Node::trace_link`]: "validated, and no trace starts
+/// here". Stored as a raw `u32` because this crate cannot name the trace
+/// cache's `TraceId` (the dependency points the other way); the trace
+/// cache owns the encoding.
+pub const NO_TRACE_LINK: u32 = u32::MAX;
+
+/// Initial `link_version` stamp: never matches a real cache version, so
+/// a fresh node always revalidates on first lookup.
+pub(crate) const LINK_NEVER: u64 = u64::MAX;
+
 /// A node `N_XY` of the branch correlation graph.
 ///
 /// Holds the decayed successor-correlation counters, the state tag
 /// summarised to the trace cache, the start-state delay countdown, the
-/// predicted-successor inline cache, and the generation stamp the trace
-/// cache uses to suppress signal cascades (§4.2).
+/// predicted-successor inline cache, the generation stamp the trace
+/// cache uses to suppress signal cascades (§4.2), and the inline
+/// trace-link slot the dispatch monitor uses to skip per-block cache
+/// lookups.
 #[derive(Debug, Clone)]
 pub struct Node {
     pub(crate) branch: Branch,
@@ -40,7 +168,7 @@ pub struct Node {
     pub(crate) executions: u64,
     /// Sum of successor counts (kept in sync with `successors`).
     pub(crate) total_weight: u32,
-    pub(crate) successors: Vec<Successor>,
+    pub(crate) successors: SuccList,
     /// Nodes that have (or once had) an edge into this node; used for
     /// entry-point backtracking. Entries may be stale after decay pruning
     /// and must be re-validated by the consumer.
@@ -50,6 +178,30 @@ pub struct Node {
     /// Trace-cache generation stamp (see
     /// [`crate::BranchCorrelationGraph::mark_generation`]).
     pub(crate) generation: u64,
+    /// Cache version at which `link_raw` was last validated
+    /// ([`LINK_NEVER`] until the first validation).
+    pub(crate) link_version: u64,
+    /// Raw trace link valid at `link_version`: a raw `TraceId` or
+    /// [`NO_TRACE_LINK`]. Negative results are cached too — that is the
+    /// entire point, since almost every dispatch misses.
+    pub(crate) link_raw: u32,
+    /// Predicted target block while the budgeted fast path is armed
+    /// (`fp_budget > 0`); meaningless otherwise.
+    pub(crate) fp_block: BlockId,
+    /// Context node a fast-path hit moves to (the prediction's target).
+    pub(crate) fp_next: NodeIdx,
+    /// Successor slot of the prediction (copy of `cached` while armed).
+    pub(crate) fp_slot: u32,
+    /// Fast-path hits remaining before a forced slow visit. Armed by the
+    /// slow path to `min` of the distances to the next *event* on this
+    /// node — decay due, delay expiry, counter saturation — so the fast
+    /// path needs no per-event test: while the budget lasts, no event
+    /// can possibly fire.
+    pub(crate) fp_budget: u32,
+    /// `fp_budget` at arm time; `fp_armed - fp_budget` is the number of
+    /// fast hits whose `since_decay` / `delay_remaining` bookkeeping is
+    /// still pending (applied lazily at the next slow visit).
+    pub(crate) fp_armed: u32,
 }
 
 impl Node {
@@ -61,10 +213,17 @@ impl Node {
             since_decay: 0,
             executions: 0,
             total_weight: 0,
-            successors: Vec::new(),
+            successors: SuccList::new(),
             preds: Vec::new(),
             cached: None,
             generation: 0,
+            link_version: LINK_NEVER,
+            link_raw: NO_TRACE_LINK,
+            fp_block: BlockId::new(FuncId(u32::MAX), u32::MAX),
+            fp_next: NodeIdx(u32::MAX),
+            fp_slot: 0,
+            fp_budget: 0,
+            fp_armed: 0,
         }
     }
 
@@ -85,7 +244,7 @@ impl Node {
 
     /// The successor correlations, in discovery order.
     pub fn successors(&self) -> &[Successor] {
-        &self.successors
+        self.successors.as_slice()
     }
 
     /// Possibly-stale predecessor node indices (validate before use).
@@ -103,14 +262,22 @@ impl Node {
         self.generation
     }
 
+    /// The inline trace-link slot: `(version stamp, raw link)`. The raw
+    /// link is only meaningful to the trace cache that stamped it, and
+    /// only while the stamp equals that cache's current version.
+    #[inline]
+    pub fn trace_link(&self) -> (u64, u32) {
+        (self.link_version, self.link_raw)
+    }
+
     /// The successor with the maximal counter, if any.
     pub fn max_successor(&self) -> Option<&Successor> {
-        self.successors.iter().max_by_key(|s| s.count)
+        self.successors.as_slice().iter().max_by_key(|s| s.count)
     }
 
     /// The cached (predicted) successor, if any.
     pub fn predicted(&self) -> Option<&Successor> {
-        self.cached.map(|i| &self.successors[i as usize])
+        self.cached.map(|i| &self.successors.as_slice()[i as usize])
     }
 
     /// Correlation ratio of a successor: `count / total_weight`, in
@@ -126,10 +293,19 @@ impl Node {
     /// Correlation ratio toward a specific block, 0.0 if never observed.
     pub fn correlation_to(&self, block: BlockId) -> f64 {
         self.successors
+            .as_slice()
             .iter()
             .find(|s| s.to_block == block)
             .map(|s| self.correlation(s))
             .unwrap_or(0.0)
+    }
+
+    /// Test/construction helper: appends a successor and accounts its
+    /// weight (keeps `total_weight` in sync the way `record` does).
+    #[cfg(test)]
+    pub(crate) fn push_successor_for_test(&mut self, s: Successor) {
+        self.successors.push(s);
+        self.total_weight += u32::from(s.count);
     }
 
     /// Recomputes the state tag from the current counters.
@@ -170,12 +346,11 @@ mod tests {
     fn node_with_counts(counts: &[(u32, u16)], delay: u32) -> Node {
         let mut n = Node::new((blk(0), blk(1)), delay);
         for (i, &(b, c)) in counts.iter().enumerate() {
-            n.successors.push(Successor {
+            n.push_successor_for_test(Successor {
                 to_block: blk(b),
                 count: c,
                 node: NodeIdx(i as u32 + 1),
             });
-            n.total_weight += u32::from(c);
         }
         n.executions = u64::from(n.total_weight);
         n
@@ -227,5 +402,50 @@ mod tests {
         assert_eq!(n.compute_state(1.0), NodeState::Strong);
         let n2 = node_with_counts(&[(2, 7), (3, 1)], 0);
         assert_eq!(n2.compute_state(1.0), NodeState::Weak);
+    }
+
+    #[test]
+    fn succ_list_spills_past_four_and_preserves_order() {
+        let mut l = SuccList::new();
+        for i in 0..7u32 {
+            l.push(Successor {
+                to_block: blk(i),
+                count: i as u16,
+                node: NodeIdx(i),
+            });
+            assert_eq!(l.len(), i as usize + 1);
+        }
+        assert!(matches!(l, SuccList::Spilled(_)));
+        let blocks: Vec<u32> = l.as_slice().iter().map(|s| s.to_block.block).collect();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn succ_list_retain_compacts_inline_storage() {
+        let mut l = SuccList::new();
+        for i in 0..4u32 {
+            l.push(Successor {
+                to_block: blk(i),
+                count: i as u16, // counts 0,1,2,3
+                node: NodeIdx(i),
+            });
+        }
+        assert!(matches!(l, SuccList::Inline { .. }));
+        l.retain(|s| s.count > 0);
+        let blocks: Vec<u32> = l.as_slice().iter().map(|s| s.to_block.block).collect();
+        assert_eq!(blocks, vec![1, 2, 3]);
+        // Still inline, still pushable.
+        l.push(Successor {
+            to_block: blk(9),
+            count: 9,
+            node: NodeIdx(9),
+        });
+        assert!(matches!(l, SuccList::Inline { len: 4, .. }));
+    }
+
+    #[test]
+    fn fresh_node_trace_link_is_unvalidated() {
+        let n = Node::new((blk(0), blk(1)), 4);
+        assert_eq!(n.trace_link(), (LINK_NEVER, NO_TRACE_LINK));
     }
 }

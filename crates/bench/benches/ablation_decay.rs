@@ -8,8 +8,9 @@
 //! interval too large to ever fire), and reports trace-execution quality
 //! on the phase-changing stream.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use trace_bench::phase_change_program;
 use trace_jit::{TraceJitConfig, TraceVm};

@@ -7,8 +7,9 @@
 //! prints the measured hit ratios. The constructed graph is identical
 //! either way — only the profiling cost changes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use jvm_vm::Vm;
 use trace_bcg::{BcgConfig, BranchCorrelationGraph};
@@ -40,8 +41,10 @@ fn bench_inline_cache(c: &mut Criterion) {
                         inline_cache: enabled,
                         ..BcgConfig::paper_default()
                     });
-                    vm.run(black_box(&w.args), &mut |blk| bcg.observe(blk))
-                        .unwrap();
+                    vm.run(black_box(&w.args), &mut |blk| {
+                        bcg.observe(blk);
+                    })
+                    .unwrap();
                     black_box(bcg.stats().cache_hits)
                 })
             });
@@ -53,7 +56,10 @@ fn bench_inline_cache(c: &mut Criterion) {
     for w in &workloads {
         let mut vm = Vm::new(&w.program);
         let mut bcg = BranchCorrelationGraph::new(BcgConfig::paper_default());
-        vm.run(&w.args, &mut |blk| bcg.observe(blk)).unwrap();
+        vm.run(&w.args, &mut |blk| {
+            bcg.observe(blk);
+        })
+        .unwrap();
         println!(
             "  {:10} hit ratio {:.4}  ({} nodes, {} edges)",
             w.name,

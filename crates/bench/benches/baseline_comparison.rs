@@ -8,8 +8,9 @@
 //! monitor and prints the coverage / completion-rate trade-off the paper
 //! argues qualitatively.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use trace_baselines::{run_with_selector, NetSelector, ReplaySelector};
 use trace_bench::parse_scale;

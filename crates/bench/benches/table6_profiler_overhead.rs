@@ -7,8 +7,9 @@
 //! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
 //! runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use jvm_vm::{NullObserver, Vm};
 use trace_bcg::BranchCorrelationGraph;
@@ -45,8 +46,10 @@ fn bench_profiler_overhead(c: &mut Criterion) {
                 let mut vm = Vm::new(&w.program);
                 let mut bcg =
                     BranchCorrelationGraph::new(TraceJitConfig::paper_default().bcg_config());
-                vm.run(black_box(&w.args), &mut |blk| bcg.observe(blk))
-                    .unwrap();
+                vm.run(black_box(&w.args), &mut |blk| {
+                    bcg.observe(blk);
+                })
+                .unwrap();
                 black_box(bcg.stats().dispatches)
             })
         });

@@ -10,8 +10,9 @@
 //! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
 //! runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use trace_bench::{overhead_rows, parse_scale};
 use trace_jit::{tables, TraceJitConfig, TraceVm};

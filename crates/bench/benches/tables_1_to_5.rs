@@ -8,8 +8,9 @@
 //! Scale defaults to `small`; set `TRACE_BENCH_SCALE=paper` for the full
 //! runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trace_bench::harness::Criterion;
+use trace_bench::{criterion_group, criterion_main};
 
 use trace_bench::{named_delay_sweeps, named_threshold_sweeps, parse_scale};
 use trace_jit::experiment::run_point;

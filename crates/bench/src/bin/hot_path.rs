@@ -1,0 +1,93 @@
+//! Hot-path dispatch microbenchmark driver.
+//!
+//! Measures ns/dispatch of the pre-overhaul (reference) and overhauled
+//! profiler + trace-monitor paths on every registry workload, prints
+//! the comparison table, and writes `BENCH_hot_path.json` into the
+//! current directory.
+//!
+//! ```text
+//! hot_path [--scale test|small|paper] [--repeats N] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI setting: test scale, 2 repeats — seconds, not
+//! minutes. Default is small scale, 5 repeats. `TRACE_BENCH_SCALE` is
+//! honoured when `--scale` is absent, matching the other benches.
+
+use trace_bench::hot_path;
+use trace_bench::parse_scale;
+use trace_workloads::Scale;
+
+fn main() {
+    let mut scale: Option<Scale> = None;
+    let mut repeats: Option<usize> = None;
+    let mut out = String::from("BENCH_hot_path.json");
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Some(parse_scale(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (use test|small|paper)");
+                    std::process::exit(2);
+                }));
+            }
+            "--repeats" => {
+                let v = args.next().unwrap_or_default();
+                repeats = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--repeats needs an integer, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "hot_path [--scale test|small|paper] [--repeats N] [--smoke] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let env_scale = std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale);
+    let (scale, repeats) = if smoke {
+        (scale.unwrap_or(Scale::Test), repeats.unwrap_or(2))
+    } else {
+        (
+            scale.or(env_scale).unwrap_or(Scale::Small),
+            repeats.unwrap_or(5),
+        )
+    };
+
+    let report = hot_path::run(scale, repeats);
+    print!("{}", report.render());
+    println!(
+        "profiled >=20% faster on {}/{} workloads; trace-mode regressions (>2% slower): {}",
+        report.profiled_improved_at_least(20.0),
+        report.rows.len(),
+        report.trace_mode_regressions(2.0),
+    );
+
+    let json = report.to_json();
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

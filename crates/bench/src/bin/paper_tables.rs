@@ -2,7 +2,7 @@
 //! comparison) over the six workload analogues.
 //!
 //! ```text
-//! paper_tables [--scale test|small|paper] [--table 1|2|3|4|5|6|7|fig|all]
+//! paper_tables [--scale test|small|paper] [--table 1|2|3|4|5|6|7|fig|hotpath|all]
 //!              [--format text|csv]
 //! ```
 //!
@@ -21,7 +21,7 @@ use trace_workloads::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: paper_tables [--scale test|small|paper] [--table 1..7|fig|all] [--format text|csv]"
+        "usage: paper_tables [--scale test|small|paper] [--table 1..7|fig|hotpath|all] [--format text|csv]"
     );
     ExitCode::FAILURE
 }
@@ -61,7 +61,11 @@ fn main() -> ExitCode {
     let needs_threshold_sweep = ["1", "2", "3", "4"].iter().any(|t| wants(t));
     let needs_overhead = wants("6") || wants("7");
 
-    if !["all", "1", "2", "3", "4", "5", "6", "7", "fig", "summary"].contains(&table.as_str()) {
+    if ![
+        "all", "1", "2", "3", "4", "5", "6", "7", "fig", "hotpath", "summary",
+    ]
+    .contains(&table.as_str())
+    {
         return usage();
     }
 
@@ -104,6 +108,16 @@ fn main() -> ExitCode {
         }
         if wants("7") {
             emit(&tables::table7_trace_dispatch_overhead(&rows));
+        }
+    }
+
+    if wants("hotpath") {
+        eprintln!("# timing hot-path dispatch before/after (BENCH_hot_path.json)…");
+        let report = trace_bench::hot_path::run(scale, 3);
+        print!("{}", report.render());
+        match std::fs::write("BENCH_hot_path.json", report.to_json()) {
+            Ok(()) => eprintln!("# wrote BENCH_hot_path.json"),
+            Err(e) => eprintln!("# could not write BENCH_hot_path.json: {e}"),
         }
     }
 

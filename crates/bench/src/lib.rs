@@ -15,8 +15,16 @@
 //! | Table VII (trace-dispatch overhead) | `benches/table7_trace_dispatch.rs`, `paper_tables --table 7` |
 //!
 //! Plus the ablations called out in `DESIGN.md`
-//! (`benches/ablation_decay.rs`, `benches/ablation_inline_cache.rs`) and
-//! the Dynamo/rePLay comparison (`benches/baseline_comparison.rs`).
+//! (`benches/ablation_decay.rs`, `benches/ablation_inline_cache.rs`), the
+//! Dynamo/rePLay comparison (`benches/baseline_comparison.rs`), and the
+//! before/after hot-path dispatch microbenchmark
+//! (`src/bin/hot_path.rs`, `paper_tables --table hotpath`).
+//!
+//! All benches run on the in-tree [`harness`] — the workspace builds
+//! fully offline, with no external benchmarking dependency.
+
+pub mod harness;
+pub mod hot_path;
 
 use jvm_bytecode::{CmpOp, Program, ProgramBuilder};
 use trace_jit::experiment::{

@@ -129,11 +129,11 @@ pub fn build_blocks(code: &[Instr]) -> (Vec<Block>, Vec<u32>) {
     }
 
     // Second pass: successors (needs block_of_instr complete).
-    for bi in 0..blocks.len() {
-        let e = blocks[bi].end;
+    for block in &mut blocks {
+        let e = block.end;
         let last = &code[(e - 1) as usize];
         let mut succ: Vec<u32> = Vec::new();
-        match blocks[bi].kind {
+        match block.kind {
             TerminatorKind::CondBranch => {
                 let t = last.branch_targets()[0];
                 if (t as usize) < n {
@@ -173,7 +173,7 @@ pub fn build_blocks(code: &[Instr]) -> (Vec<Block>, Vec<u32>) {
             }
             TerminatorKind::Return => {}
         }
-        blocks[bi].successors = succ;
+        block.successors = succ;
     }
 
     (blocks, block_of_instr)

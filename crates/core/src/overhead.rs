@@ -112,7 +112,9 @@ pub fn measure_overhead(
         let mut vm = Vm::with_config(program, vm_config);
         let mut bcg = BranchCorrelationGraph::new(config.bcg_config());
         let start = Instant::now();
-        vm.run(args, &mut |block| bcg.observe(block))?;
+        vm.run(args, &mut |block| {
+            bcg.observe(block);
+        })?;
         profiled_seconds = profiled_seconds.min(start.elapsed().as_secs_f64());
     }
 

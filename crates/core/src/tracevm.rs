@@ -2,7 +2,7 @@
 
 use jvm_bytecode::{BlockId, Program};
 use jvm_vm::{DispatchObserver, Value, Vm, VmError};
-use trace_bcg::BranchCorrelationGraph;
+use trace_bcg::{BranchCorrelationGraph, Signal};
 use trace_cache::{TraceCache, TraceConstructor, TraceRuntime};
 
 use crate::config::TraceJitConfig;
@@ -13,10 +13,13 @@ use crate::report::RunReport;
 ///
 /// On every basic-block dispatch (the seam described in §4.1.2):
 ///
-/// 1. the **trace runtime** checks the dispatch against the cache's linked
-///    traces (entering, advancing, completing or abandoning a trace);
-/// 2. the **profiler** records the branch in the correlation graph,
-///    decaying and re-checking states on its periodic schedule;
+/// 1. the **profiler** records the branch in the correlation graph,
+///    decaying and re-checking states on its periodic schedule, and
+///    hands back the branch's node;
+/// 2. the **trace runtime** checks the dispatch against the cache's linked
+///    traces through that node's inline trace-link slot (entering,
+///    advancing, completing or abandoning a trace) — no hashing at block
+///    boundaries;
 /// 3. pending profiler **signals** are handed to the **constructor**,
 ///    which rebuilds exactly the affected region of the cache.
 ///
@@ -32,6 +35,8 @@ pub struct TraceVm<'p> {
     constructor: TraceConstructor,
     cache: TraceCache,
     runtime: TraceRuntime,
+    /// Reusable signal drain buffer: the dispatch loop never allocates.
+    signal_buf: Vec<Signal>,
 }
 
 /// The observer wired into the interpreter's dispatch loop.
@@ -41,20 +46,25 @@ struct JitObserver<'a, 'p> {
     constructor: &'a mut TraceConstructor,
     cache: &'a mut TraceCache,
     runtime: &'a mut TraceRuntime,
+    signal_buf: &'a mut Vec<Signal>,
 }
 
 impl DispatchObserver for JitObserver<'_, '_> {
     #[inline]
     fn on_block(&mut self, block: BlockId) {
-        // Monitor first, against the cache as of the previous dispatch —
-        // a trace constructed *by* this dispatch cannot also be entered by
-        // it.
-        self.runtime.on_block(block, self.cache, self.program);
-        self.bcg.observe(block);
+        // Profile first: observing yields the node of the branch just
+        // taken, whose inline trace-link slot answers the monitor's
+        // entry check without hashing. The monitor still sees the cache
+        // as of the previous dispatch (the constructor has not run yet),
+        // so a trace constructed *by* this dispatch cannot also be
+        // entered by it.
+        let node = self.bcg.observe(block);
+        self.runtime
+            .on_block_at_node(block, node, self.bcg, self.cache, self.program);
         if self.bcg.has_signals() {
-            let signals = self.bcg.take_signals();
+            self.bcg.drain_signals_into(self.signal_buf);
             self.constructor
-                .handle_batch(&signals, self.bcg, self.cache);
+                .handle_batch(self.signal_buf, self.bcg, self.cache);
         }
     }
 }
@@ -70,6 +80,7 @@ impl<'p> TraceVm<'p> {
             constructor: TraceConstructor::new(config.constructor_config()),
             cache: TraceCache::new(),
             runtime: TraceRuntime::new(),
+            signal_buf: Vec::new(),
         }
     }
 
@@ -108,6 +119,7 @@ impl<'p> TraceVm<'p> {
                 constructor: &mut self.constructor,
                 cache: &mut self.cache,
                 runtime: &mut self.runtime,
+                signal_buf: &mut self.signal_buf,
             };
             self.vm.run(args, &mut observer)?
         };
@@ -308,7 +320,7 @@ mod tests {
         let program = loop_program();
         let mut tvm = TraceVm::new(&program, TraceJitConfig::paper_default());
         let _ = tvm.run(&[Value::Int(5_000)]).unwrap();
-        assert!(tvm.bcg().len() > 0);
+        assert!(!tvm.bcg().is_empty());
         assert!(tvm.cache().trace_count() > 0);
         assert_eq!(tvm.config().threshold, 0.97);
         assert_eq!(tvm.program().entry(), FuncId(0));

@@ -20,7 +20,7 @@ use std::rc::Rc;
 
 use jvm_bytecode::{BlockId, FuncId, Instr, Intrinsic, Program};
 use jvm_vm::{fold_checksum, ExecStats, Heap, HeapObj, OutputItem, Value, VmError};
-use trace_bcg::{Branch, BranchCorrelationGraph};
+use trace_bcg::{BranchCorrelationGraph, Signal};
 use trace_cache::{TraceCache, TraceConstructor, TraceExecStats, TraceId};
 use trace_jit::{RunReport, TraceJitConfig};
 
@@ -133,12 +133,15 @@ pub struct TracingVm<'p> {
     /// executes the remainder of the block in interpreter code before the
     /// next dispatch point).
     skip_entry_once: bool,
-    /// Monomorphic trace-entry cache: the last `(entry branch, cache
-    /// version, compiled trace)` that dispatched. Loop traces re-enter
-    /// through the same branch every iteration, so this removes the two
-    /// hash lookups from the hottest path; any cache mutation bumps the
-    /// version and falls back to the slow path.
-    hot_entry: Option<(Branch, u64, Rc<CompiledTrace>)>,
+    /// Monomorphic compiled-trace cache: the last `(trace id, compiled
+    /// trace)` that dispatched. The entry-branch → trace-id step is
+    /// already hashless (the BCG node's inline trace-link slot); this
+    /// removes the `compiled` map probe for loop traces that re-enter
+    /// through the same branch every iteration. No version stamp needed:
+    /// a `TraceId`'s compiled form never changes.
+    hot_trace: Option<(TraceId, Rc<CompiledTrace>)>,
+    /// Reusable signal drain buffer: the dispatch loop never allocates.
+    signal_buf: Vec<Signal>,
 }
 
 impl<'p> TracingVm<'p> {
@@ -162,7 +165,8 @@ impl<'p> TracingVm<'p> {
             output: Vec::new(),
             prev_block: None,
             skip_entry_once: false,
-            hot_entry: None,
+            hot_trace: None,
+            signal_buf: Vec::new(),
         }
     }
 
@@ -237,11 +241,11 @@ impl<'p> TracingVm<'p> {
                 self.frames[depth - 1].cur_block = block;
                 self.stats.block_dispatches += 1;
                 let bid = BlockId::new(func_id, block);
-                self.bcg.observe(bid);
+                let node = self.bcg.observe(bid);
                 if self.bcg.has_signals() {
-                    let signals = self.bcg.take_signals();
+                    self.bcg.drain_signals_into(&mut self.signal_buf);
                     self.constructor
-                        .handle_batch(&signals, &mut self.bcg, &mut self.cache);
+                        .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
                 }
                 let prev = self.prev_block.replace(bid);
                 let at_block_start = pc == func.block(block).start;
@@ -249,16 +253,18 @@ impl<'p> TracingVm<'p> {
                     self.skip_entry_once = false;
                     self.trace_stats.blocks_outside += 1;
                 } else if at_block_start {
-                    let entry = prev.map(|p| (p, bid));
-                    let ct = match (&self.hot_entry, entry) {
-                        (Some((e, v, ct)), Some(entry))
-                            if *e == entry && *v == self.cache.version() =>
-                        {
-                            Some(Rc::clone(ct))
-                        }
-                        (_, Some(entry)) => self.prepare_trace(entry),
+                    // Entry check through the BCG node's trace-link slot:
+                    // a version compare against the cache, no hashing.
+                    // (Unlike the monitor-only system, signals were just
+                    // handled, so a trace built by this very dispatch is
+                    // immediately enterable — the slot revalidates on the
+                    // version bump.)
+                    let tid = match (node, prev) {
+                        (Some(n), Some(_)) => self.cache.lookup_entry_cached(&mut self.bcg, n),
+                        (None, Some(p)) => self.cache.lookup_entry((p, bid)),
                         (_, None) => None,
                     };
+                    let ct = tid.and_then(|tid| self.compiled_for(tid));
                     if let Some(ct) = ct {
                         match self.execute_trace(&ct, prev)? {
                             TraceRun::Finished(v) => break v,
@@ -302,11 +308,15 @@ impl<'p> TracingVm<'p> {
         Ok(())
     }
 
-    /// Looks an entry branch up in the cache and compiles (optimizing and
-    /// fusing as configured) on first use; refreshes the monomorphic
-    /// entry cache on success.
-    fn prepare_trace(&mut self, entry: Branch) -> Option<Rc<CompiledTrace>> {
-        let tid = self.cache.lookup_entry(entry)?;
+    /// Resolves a linked trace id to its compiled form, compiling
+    /// (optimizing and fusing as configured) on first use; refreshes the
+    /// monomorphic hot-trace cache on success.
+    fn compiled_for(&mut self, tid: TraceId) -> Option<Rc<CompiledTrace>> {
+        if let Some((hot_tid, ct)) = &self.hot_trace {
+            if *hot_tid == tid {
+                return Some(Rc::clone(ct));
+            }
+        }
         if self.uncompilable.contains(&tid) {
             return None;
         }
@@ -337,7 +347,7 @@ impl<'p> TracingVm<'p> {
             }
         }
         let ct = Rc::clone(&self.compiled[&tid]);
-        self.hot_entry = Some((entry, self.cache.version(), Rc::clone(&ct)));
+        self.hot_trace = Some((tid, Rc::clone(&ct)));
         Some(ct)
     }
 

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use jvm_bytecode::BlockId;
-use trace_bcg::Branch;
+use trace_bcg::node::NO_TRACE_LINK;
+use trace_bcg::{Branch, BranchCorrelationGraph, BranchTable, NodeIdx, PackedBranch};
 
 use crate::trace::{Trace, TraceId};
 
@@ -46,8 +47,12 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 pub struct TraceCache {
     traces: Vec<Trace>,
+    /// Hash-consing index; only touched at construction time, so a std
+    /// `HashMap` keyed by the full block sequence is fine here.
     by_blocks: HashMap<Vec<BlockId>, TraceId>,
-    by_entry: HashMap<Branch, TraceId>,
+    /// The dispatch table: entry branch → linked trace. Queried at every
+    /// block boundary, hence the packed-key open-addressed table.
+    by_entry: BranchTable<TraceId>,
     stats: CacheStats,
     /// Bumped on every link mutation; lets executors cache lookups.
     version: u64,
@@ -96,12 +101,42 @@ impl TraceCache {
     /// check performed when the interpreter takes a branch.
     #[inline]
     pub fn lookup_entry(&self, entry: Branch) -> Option<TraceId> {
-        self.by_entry.get(&entry).copied()
+        self.by_entry.get(PackedBranch::pack(entry))
+    }
+
+    /// The dispatch check via a BCG node's inline trace-link slot.
+    ///
+    /// `node` must be the BCG node of the branch being tested (the value
+    /// [`BranchCorrelationGraph::observe`] just returned). While the
+    /// node's stamp matches [`Self::version`], the slot answers directly
+    /// — positive *or negative* — without hashing; the first lookup
+    /// after any link mutation falls back to [`Self::lookup_entry`] and
+    /// restamps the slot. Since almost every dispatch is a miss, caching
+    /// negatives is what removes the per-block-boundary table probe.
+    #[inline]
+    pub fn lookup_entry_cached(
+        &self,
+        bcg: &mut BranchCorrelationGraph,
+        node: NodeIdx,
+    ) -> Option<TraceId> {
+        let (stamp, raw) = bcg.node(node).trace_link();
+        if stamp == self.version {
+            return if raw == NO_TRACE_LINK {
+                None
+            } else {
+                Some(TraceId(raw))
+            };
+        }
+        let found = self.lookup_entry(bcg.node(node).branch());
+        bcg.set_trace_link(node, self.version, found.map_or(NO_TRACE_LINK, |t| t.0));
+        found
     }
 
     /// Iterates over all `(entry branch, trace)` links.
     pub fn iter_links(&self) -> impl Iterator<Item = (Branch, &Trace)> {
-        self.by_entry.iter().map(|(&b, &id)| (b, self.trace(id)))
+        self.by_entry
+            .iter()
+            .map(|(b, id)| (b.unpack(), self.trace(id)))
     }
 
     /// Iterates over every trace object ever constructed (including ones
@@ -146,7 +181,7 @@ impl TraceCache {
                 (id, true)
             }
         };
-        match self.by_entry.insert(entry, id) {
+        match self.by_entry.insert(PackedBranch::pack(entry), id) {
             Some(old) if old != id => self.stats.links_replaced += 1,
             _ => {}
         }
@@ -157,7 +192,7 @@ impl TraceCache {
     /// Removes the link at an entry branch, if any. Used when a trace's
     /// entry is found to no longer satisfy the criteria.
     pub fn unlink(&mut self, entry: Branch) -> Option<TraceId> {
-        let removed = self.by_entry.remove(&entry);
+        let removed = self.by_entry.remove(PackedBranch::pack(entry));
         if removed.is_some() {
             self.version += 1;
         }
@@ -241,5 +276,101 @@ mod tests {
         c.insert_and_link((blk(2), blk(3)), vec![blk(3), blk(4)], 0.9);
         assert_eq!(c.iter_links().count(), 2);
         assert_eq!(c.iter_traces().count(), 2);
+    }
+
+    /// Builds a BCG whose node for `(blk(0), blk(1))` exists, returning
+    /// the graph and that node's index.
+    fn bcg_with_branch() -> (trace_bcg::BranchCorrelationGraph, NodeIdx) {
+        let mut bcg = trace_bcg::BranchCorrelationGraph::new(trace_bcg::BcgConfig::paper_default());
+        bcg.observe(blk(0));
+        let n = bcg.observe(blk(1)).expect("branch node");
+        (bcg, n)
+    }
+
+    #[test]
+    fn cached_lookup_caches_negative_results() {
+        let (mut bcg, n) = bcg_with_branch();
+        let c = TraceCache::new();
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+        // Slot is stamped with the current version and the no-link mark.
+        assert_eq!(bcg.node(n).trace_link(), (c.version(), NO_TRACE_LINK));
+        // Second query answers from the slot (same stamp, still None).
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+    }
+
+    #[test]
+    fn insert_and_link_invalidates_cached_negative() {
+        let (mut bcg, n) = bcg_with_branch();
+        let mut c = TraceCache::new();
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        // The version bump makes the stale negative stamp miss, so the
+        // next cached lookup revalidates and finds the new link.
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        assert_eq!(bcg.node(n).trace_link(), (c.version(), id.0));
+    }
+
+    #[test]
+    fn unlink_invalidates_cached_positive() {
+        let (mut bcg, n) = bcg_with_branch();
+        let mut c = TraceCache::new();
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        assert_eq!(c.unlink((blk(0), blk(1))), Some(id));
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+        assert_eq!(bcg.node(n).trace_link(), (c.version(), NO_TRACE_LINK));
+    }
+
+    #[test]
+    fn unrelated_link_mutations_restamp_but_preserve_answers() {
+        let (mut bcg, n) = bcg_with_branch();
+        let mut c = TraceCache::new();
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        // A mutation elsewhere bumps the version; the slot revalidates to
+        // the same positive answer.
+        c.insert_and_link((blk(7), blk(8)), vec![blk(8), blk(9)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        assert_eq!(bcg.node(n).trace_link(), (c.version(), id.0));
+    }
+
+    #[test]
+    fn relinking_entry_updates_cached_answer_across_versions() {
+        let (mut bcg, n) = bcg_with_branch();
+        let mut c = TraceCache::new();
+        let (a, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(a));
+        let (b, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(3)], 0.99);
+        assert_ne!(a, b);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(b));
+    }
+
+    #[test]
+    fn cached_lookup_always_agrees_with_direct_lookup() {
+        // Churn links while interleaving cached and direct lookups: the
+        // slot path must never diverge from the table.
+        let mut bcg = trace_bcg::BranchCorrelationGraph::new(trace_bcg::BcgConfig::paper_default());
+        let mut nodes = Vec::new();
+        bcg.observe(blk(0));
+        for i in 1..8u32 {
+            nodes.push((blk(i - 1), blk(i), bcg.observe(blk(i)).unwrap()));
+        }
+        let mut c = TraceCache::new();
+        for round in 0..50u32 {
+            let i = (round % 7) as usize;
+            let (from, to, _) = nodes[i];
+            if round % 3 == 0 {
+                c.insert_and_link((from, to), vec![to, blk(to.block + 1)], 0.99);
+            } else if round % 3 == 1 {
+                c.unlink((from, to));
+            }
+            for &(from, to, n) in &nodes {
+                assert_eq!(
+                    c.lookup_entry_cached(&mut bcg, n),
+                    c.lookup_entry((from, to)),
+                    "slot diverged at round {round}"
+                );
+            }
+        }
     }
 }

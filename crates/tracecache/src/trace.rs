@@ -8,7 +8,7 @@ use jvm_bytecode::BlockId;
 ///
 /// Stable for the cache's lifetime: relinking an entry branch to a new
 /// trace never invalidates old ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TraceId(pub(crate) u32);
 
 impl TraceId {

@@ -38,6 +38,7 @@ pub mod compress;
 pub mod javac;
 pub mod lcg;
 pub mod mpegaudio;
+pub mod prng;
 pub mod raytrace;
 pub mod registry;
 pub mod scimark;

@@ -437,20 +437,20 @@ pub fn reference_checksum(seed: i64, s: &Sizes) -> u64 {
     for _ in 0..s.mc_samples {
         let px = unit_float(&mut mc_state);
         let py = unit_float(&mut mc_state);
-        if !(px * px + py * py > 1.0) {
+        if px * px + py * py <= 1.0 {
             hits += 1;
         }
     }
 
     // Sparse.
     for _ in 0..s.sparse_reps {
-        for i in 0..s.sparse_rows as usize {
+        for (i, yi) in y.iter_mut().enumerate().take(s.sparse_rows as usize) {
             let mut acc = 0.0f64;
             for k in 0..NZ_PER_ROW as usize {
                 let e = i * NZ_PER_ROW as usize + k;
                 acc += vals[e] * x[cols[e]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         for i in 0..s.sparse_rows as usize {
             x[i] = y[i] * 0.2;

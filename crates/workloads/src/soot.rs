@@ -360,8 +360,8 @@ pub fn reference_checksum(seed: i64, nn: i64) -> u64 {
     // Graph generation (same draw order as the bytecode).
     let mut esucc: Vec<usize> = Vec::new();
     let mut eoff = vec![0usize; n + 1];
-    for v in 0..n {
-        eoff[v] = esucc.len();
+    for off in eoff.iter_mut().take(n) {
+        *off = esucc.len();
         state = lcg_next(state);
         let d = lcg_sample(state, 3) + 1;
         for _ in 0..d {
@@ -386,8 +386,7 @@ pub fn reference_checksum(seed: i64, nn: i64) -> u64 {
     let mut cursor = poff[..n].to_vec();
     let mut pred = vec![0usize; esucc.len()];
     for v in 0..n {
-        for e in eoff[v]..eoff[v + 1] {
-            let t = esucc[e];
+        for &t in &esucc[eoff[v]..eoff[v + 1]] {
             pred[cursor[t]] = v;
             cursor[t] += 1;
         }
@@ -443,8 +442,7 @@ pub fn reference_checksum(seed: i64, nn: i64) -> u64 {
         };
         if newout != out[v] {
             out[v] = newout;
-            for e in eoff[v]..eoff[v + 1] {
-                let t = esucc[e];
+            for &t in &esucc[eoff[v]..eoff[v + 1]] {
                 if !inq[t] {
                     ring[tail] = t;
                     tail = (tail + 1) % n;

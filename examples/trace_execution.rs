@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let mut profiled = Vm::new(&w.program);
     let mut bcg = BranchCorrelationGraph::new(jit.bcg_config());
-    profiled.run(&w.args, &mut |blk| bcg.observe(blk))?;
+    profiled.run(&w.args, &mut |blk| {
+        bcg.observe(blk);
+    })?;
     let profiled_time = t0.elapsed();
 
     // Trace-executing engine (second run = warm cache).

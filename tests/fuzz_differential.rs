@@ -7,13 +7,27 @@
 //! checksum emissions) — enough control-flow variety to exercise trace
 //! construction, guard compilation, side exits and loop unrolling, while
 //! every generated program terminates by construction.
-
-use proptest::prelude::*;
+//!
+//! Offline replacement for the former `proptest` version: programs are
+//! generated from the in-tree xoshiro256** PRNG; case `k` uses seed
+//! `BASE_SEED + k` and every assert carries the seed for reproduction.
+//! `--features exhaustive-tests` deepens the sweep.
 
 use tracecache_repro::bytecode::{CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
 use tracecache_repro::exec::{EngineConfig, TracingVm};
 use tracecache_repro::jit::{TraceJitConfig, TraceVm};
 use tracecache_repro::vm::{NullObserver, Value, Vm};
+use tracecache_repro::workloads::prng::Xoshiro256StarStar;
+
+const BASE_SEED: u64 = 0xD1FF_5EED;
+
+fn cases() -> u64 {
+    if cfg!(feature = "exhaustive-tests") {
+        512
+    } else {
+        64
+    }
+}
 
 /// A terminating statement AST over a fixed set of integer locals.
 #[derive(Debug, Clone)]
@@ -33,41 +47,57 @@ enum Stmt {
         other: Vec<Stmt>,
     },
     /// `for _ in 0..n { body }` with its own loop counter.
-    Loop { n: u8, body: Vec<Stmt>, scratch: u8 },
+    Loop { n: u8, body: Vec<Stmt> },
 }
 
 const NUM_LOCALS: u8 = 4;
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0..NUM_LOCALS, 0..NUM_LOCALS, 0..NUM_LOCALS, 0u8..6)
-            .prop_map(|(d, a, b, op)| { Stmt::Arith { d, a, b, op } }),
-        (0..NUM_LOCALS, any::<i8>()).prop_map(|(d, c)| Stmt::Const { d, c }),
-        (0..NUM_LOCALS).prop_map(|a| Stmt::Emit { a }),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (
-                0..NUM_LOCALS,
-                0..NUM_LOCALS,
-                0u8..6,
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::collection::vec(inner.clone(), 0..4),
-            )
-                .prop_map(|(a, b, cmp, then, other)| Stmt::If {
-                    a,
-                    b,
-                    cmp,
-                    then,
-                    other
-                }),
-            (1u8..40, prop::collection::vec(inner, 1..4)).prop_map(|(n, body)| Stmt::Loop {
-                n,
-                body,
-                scratch: 0
-            }),
-        ]
-    })
+fn gen_local(rng: &mut Xoshiro256StarStar) -> u8 {
+    rng.range_u32(0, u32::from(NUM_LOCALS)) as u8
+}
+
+fn gen_leaf(rng: &mut Xoshiro256StarStar) -> Stmt {
+    match rng.range_u32(0, 3) {
+        0 => Stmt::Arith {
+            d: gen_local(rng),
+            a: gen_local(rng),
+            b: gen_local(rng),
+            op: rng.range_u32(0, 6) as u8,
+        },
+        1 => Stmt::Const {
+            d: gen_local(rng),
+            c: rng.next_u64() as i8,
+        },
+        _ => Stmt::Emit { a: gen_local(rng) },
+    }
+}
+
+/// One statement of recursion budget `depth`; `depth == 0` forces a
+/// leaf, otherwise leaves and compound statements are mixed.
+fn gen_stmt(rng: &mut Xoshiro256StarStar, depth: u32) -> Stmt {
+    if depth == 0 || rng.chance(0.5) {
+        return gen_leaf(rng);
+    }
+    if rng.chance(0.5) {
+        Stmt::If {
+            a: gen_local(rng),
+            b: gen_local(rng),
+            cmp: rng.range_u32(0, 6) as u8,
+            then: gen_block(rng, depth - 1, 0, 4),
+            other: gen_block(rng, depth - 1, 0, 4),
+        }
+    } else {
+        Stmt::Loop {
+            n: rng.range_u32(1, 40) as u8,
+            body: gen_block(rng, depth - 1, 1, 4),
+        }
+    }
+}
+
+fn gen_block(rng: &mut Xoshiro256StarStar, depth: u32, min: usize, max: usize) -> Vec<Stmt> {
+    (0..rng.range_usize(min, max))
+        .map(|_| gen_stmt(rng, depth))
+        .collect()
 }
 
 fn cmp_of(idx: u8) -> CmpOp {
@@ -122,7 +152,7 @@ fn emit_stmts(b: &mut tracecache_repro::bytecode::FunctionBuilder, stmts: &[Stmt
                 b.bind(end);
                 b.nop(); // keeps `end` bindable even when it's at the tail
             }
-            Stmt::Loop { n, body, .. } => {
+            Stmt::Loop { n, body } => {
                 let i = b.alloc_local();
                 b.iconst(i64::from(*n)).store(i);
                 let head = b.bind_new_label();
@@ -157,20 +187,20 @@ fn args_from(seed: i64) -> Vec<Value> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// All four execution configurations agree on every generated program.
-    #[test]
-    fn engines_agree_on_random_programs(
-        stmts in prop::collection::vec(stmt_strategy(3), 1..8),
-        seed in any::<i64>(),
-    ) {
+/// All four execution configurations agree on every generated program.
+#[test]
+fn engines_agree_on_random_programs() {
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let stmts = gen_block(&mut rng, 3, 1, 8);
         let program = build_program(&stmts);
-        let args = args_from(seed);
+        let args = args_from(rng.next_i64());
 
         let mut plain = Vm::new(&program);
-        plain.run(&args, &mut NullObserver).expect("interpreter runs");
+        plain
+            .run(&args, &mut NullObserver)
+            .expect("interpreter runs");
         let want = plain.checksum();
         let want_instrs = plain.stats().instructions;
 
@@ -181,40 +211,68 @@ proptest! {
 
         let mut tvm = TraceVm::new(&program, jit);
         let r = tvm.run(&args).expect("trace vm runs");
-        prop_assert_eq!(r.checksum, want, "trace-monitor VM diverged");
-        prop_assert_eq!(r.exec.instructions, want_instrs);
+        assert_eq!(r.checksum, want, "seed {seed}: trace-monitor VM diverged");
+        assert_eq!(r.exec.instructions, want_instrs, "seed {seed}");
 
-        let mut engine = TracingVm::new(&program, EngineConfig { jit, optimize: false, superinstructions: true });
+        let mut engine = TracingVm::new(
+            &program,
+            EngineConfig {
+                jit,
+                optimize: false,
+                superinstructions: true,
+            },
+        );
         let r = engine.run(&args).expect("engine runs");
-        prop_assert_eq!(r.checksum, want, "trace-executing engine diverged");
-        prop_assert_eq!(r.exec.instructions, want_instrs);
+        assert_eq!(
+            r.checksum, want,
+            "seed {seed}: trace-executing engine diverged"
+        );
+        assert_eq!(r.exec.instructions, want_instrs, "seed {seed}");
 
-        let mut opt = TracingVm::new(&program, EngineConfig { jit, optimize: true, superinstructions: true });
+        let mut opt = TracingVm::new(
+            &program,
+            EngineConfig {
+                jit,
+                optimize: true,
+                superinstructions: true,
+            },
+        );
         let r = opt.run(&args).expect("optimizing engine runs");
-        prop_assert_eq!(r.checksum, want, "optimizing engine diverged");
-        prop_assert!(r.exec.instructions <= want_instrs);
+        assert_eq!(r.checksum, want, "seed {seed}: optimizing engine diverged");
+        assert!(r.exec.instructions <= want_instrs, "seed {seed}");
     }
+}
 
-    /// Generated programs at a larger unroll factor still agree.
-    #[test]
-    fn unrolling_preserves_semantics_on_random_programs(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..6),
-        seed in any::<i64>(),
-        unroll in 0usize..5,
-    ) {
+/// Generated programs at a larger unroll factor still agree.
+#[test]
+fn unrolling_preserves_semantics_on_random_programs() {
+    for case in 0..cases() {
+        let seed = BASE_SEED ^ (case.wrapping_mul(0x9E37_79B9)) ^ 0xA5A5;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let stmts = gen_block(&mut rng, 2, 1, 6);
         let program = build_program(&stmts);
-        let args = args_from(seed);
+        let args = args_from(rng.next_i64());
+        let unroll = rng.range_usize(0, 5);
 
         let mut plain = Vm::new(&program);
-        plain.run(&args, &mut NullObserver).expect("interpreter runs");
+        plain
+            .run(&args, &mut NullObserver)
+            .expect("interpreter runs");
         let want = plain.checksum();
 
         let jit = TraceJitConfig::paper_default()
             .with_start_delay(2)
             .with_threshold(0.90)
             .with_loop_unroll(unroll);
-        let mut engine = TracingVm::new(&program, EngineConfig { jit, optimize: true, superinstructions: true });
+        let mut engine = TracingVm::new(
+            &program,
+            EngineConfig {
+                jit,
+                optimize: true,
+                superinstructions: true,
+            },
+        );
         let r = engine.run(&args).expect("engine runs");
-        prop_assert_eq!(r.checksum, want);
+        assert_eq!(r.checksum, want, "seed {seed}: unroll {unroll} diverged");
     }
 }

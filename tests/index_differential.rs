@@ -1,0 +1,232 @@
+//! Differential tests: the overhauled hot path (packed-key
+//! open-addressed index, inline successors, budgeted fast path, inline
+//! trace-link slots) against the frozen pre-overhaul reference.
+//!
+//! [`ReferenceBcg`] is the straightforward `HashMap` + `Vec` profiler
+//! exactly as it existed before the overhaul; these tests drive it and
+//! [`BranchCorrelationGraph`] with the *same* dynamic block streams —
+//! the six workload analogues at test scale — and require bit-identical
+//! signal sequences, node structure, statistics, and trace-monitor
+//! behaviour. Any divergence introduced by the optimised path fails
+//! here, not in a benchmark.
+
+use tracecache_repro::bcg::{BcgConfig, BranchCorrelationGraph, ReferenceBcg, Signal};
+use tracecache_repro::bytecode::BlockId;
+use tracecache_repro::jit::TraceJitConfig;
+use tracecache_repro::tracecache::{TraceCache, TraceConstructor, TraceRuntime};
+use tracecache_repro::vm::Vm;
+use tracecache_repro::workloads::registry::{self, Scale};
+
+/// The dynamic block stream of one workload, captured from a plain
+/// interpreter run.
+fn stream_of(w: &registry::Workload) -> Vec<BlockId> {
+    let mut stream = Vec::new();
+    let mut vm = Vm::new(&w.program);
+    vm.run(&w.args, &mut |b| {
+        stream.push(b);
+    })
+    .expect("workload runs");
+    stream
+}
+
+/// Configurations worth sweeping: the paper default plus a short-delay /
+/// low-threshold variant that exercises decay and signal churn harder.
+fn configs() -> Vec<BcgConfig> {
+    vec![
+        BcgConfig::paper_default(),
+        BcgConfig::paper_default()
+            .with_start_delay(4)
+            .with_threshold(0.90),
+    ]
+}
+
+/// Replays `stream` into both profilers, asserting the signal sequences
+/// are identical dispatch-by-dispatch, then compares the final graphs
+/// node by node.
+fn assert_profilers_agree(name: &str, stream: &[BlockId], config: BcgConfig) {
+    let mut new = BranchCorrelationGraph::new(config);
+    let mut reference = ReferenceBcg::new(config);
+    let mut new_sigs: Vec<Signal> = Vec::new();
+
+    for (i, &b) in stream.iter().enumerate() {
+        new.observe(b);
+        reference.observe(b);
+        if new.has_signals() || reference.has_signals() {
+            new.drain_signals_into(&mut new_sigs);
+            let ref_sigs = reference.take_signals();
+            assert_eq!(
+                new_sigs, ref_sigs,
+                "{name}: signal mismatch at dispatch {i}"
+            );
+        }
+    }
+
+    assert_eq!(new.stats(), reference.stats(), "{name}: stats diverged");
+    assert_eq!(new.len(), reference.len(), "{name}: node count diverged");
+    for (idx, ref_node) in reference.iter() {
+        let node = new.node(idx);
+        assert_eq!(node.branch(), ref_node.branch(), "{name}: {idx} branch");
+        assert_eq!(node.state(), ref_node.state(), "{name}: {idx} state");
+        assert_eq!(
+            node.executions(),
+            ref_node.executions(),
+            "{name}: {idx} executions"
+        );
+        assert_eq!(
+            node.total_weight(),
+            ref_node.total_weight(),
+            "{name}: {idx} weight"
+        );
+        // Successor lists: same order, same counts, same targets.
+        let succs: Vec<(BlockId, u16, u32)> = node
+            .successors()
+            .iter()
+            .map(|s| (s.to_block, s.count, s.node.0))
+            .collect();
+        let ref_succs: Vec<(BlockId, u16, u32)> = ref_node
+            .successors()
+            .iter()
+            .map(|s| (s.to_block, s.count, s.node.0))
+            .collect();
+        assert_eq!(succs, ref_succs, "{name}: {idx} successors");
+        assert_eq!(
+            node.predecessors(),
+            ref_node.predecessors(),
+            "{name}: {idx} predecessors"
+        );
+        assert_eq!(
+            node.predicted().map(|s| s.to_block),
+            ref_node.predicted().map(|s| s.to_block),
+            "{name}: {idx} prediction"
+        );
+    }
+}
+
+#[test]
+fn profilers_agree_on_all_workload_streams() {
+    for w in registry::all(Scale::Test) {
+        let stream = stream_of(&w);
+        for config in configs() {
+            assert_profilers_agree(w.name, &stream, config);
+        }
+    }
+}
+
+/// Node-index lookups agree with the reference's `HashMap` exactly,
+/// including for branches that were never observed.
+#[test]
+fn node_index_lookups_agree_with_reference() {
+    let w = registry::compress(Scale::Test);
+    let stream = stream_of(&w);
+    let config = BcgConfig::paper_default();
+    let mut new = BranchCorrelationGraph::new(config);
+    let mut reference = ReferenceBcg::new(config);
+    for &b in &stream {
+        new.observe(b);
+        reference.observe(b);
+    }
+    // Every realized branch, plus synthetic never-seen pairs.
+    for (_, node) in reference.iter() {
+        assert_eq!(
+            new.node_index(node.branch()),
+            reference.node_index(node.branch())
+        );
+    }
+    for i in 0..64u32 {
+        let bogus = (
+            BlockId::new(tracecache_repro::bytecode::FuncId(7), i),
+            BlockId::new(tracecache_repro::bytecode::FuncId(9), i + 1),
+        );
+        assert_eq!(new.node_index(bogus), None);
+        assert_eq!(reference.node_index(bogus), None);
+    }
+}
+
+/// Runs the full profile→construct→monitor pipeline twice over the same
+/// stream — once answering entry checks with direct cache lookups, once
+/// through the per-node inline trace-link slots — and requires identical
+/// trace caches and monitor statistics.
+#[test]
+fn node_slot_monitor_matches_direct_monitor_on_workloads() {
+    for w in registry::all(Scale::Test) {
+        let stream = stream_of(&w);
+        let config = TraceJitConfig::paper_default().with_start_delay(16);
+
+        let run = |use_slots: bool| {
+            let mut bcg = BranchCorrelationGraph::new(config.bcg_config());
+            let mut ctor = TraceConstructor::new(config.constructor_config());
+            let mut cache = TraceCache::new();
+            let mut rt = TraceRuntime::new();
+            let mut buf = Vec::new();
+            bcg.begin_stream();
+            for &b in &stream {
+                let node = bcg.observe(b);
+                if use_slots {
+                    rt.on_block_at_node(b, node, &mut bcg, &cache, &w.program);
+                } else {
+                    rt.on_block(b, &cache, &w.program);
+                }
+                if bcg.has_signals() {
+                    bcg.drain_signals_into(&mut buf);
+                    ctor.handle_batch(&buf, &mut bcg, &mut cache);
+                }
+            }
+            rt.finish_stream();
+            (rt.stats(), cache.stats(), cache.version())
+        };
+
+        let direct = run(false);
+        let slotted = run(true);
+        assert_eq!(direct, slotted, "{}: monitor paths diverged", w.name);
+    }
+}
+
+/// After a full pipeline run, every node's cached trace-link answer
+/// agrees with a direct lookup; after unlinking everything (a version
+/// bump), every cached answer revalidates to `None`.
+#[test]
+fn trace_links_stay_coherent_through_cache_mutation() {
+    let w = registry::javac(Scale::Test);
+    let stream = stream_of(&w);
+    let config = TraceJitConfig::paper_default().with_start_delay(16);
+
+    let mut bcg = BranchCorrelationGraph::new(config.bcg_config());
+    let mut ctor = TraceConstructor::new(config.constructor_config());
+    let mut cache = TraceCache::new();
+    let mut rt = TraceRuntime::new();
+    let mut buf = Vec::new();
+    for &b in &stream {
+        let node = bcg.observe(b);
+        rt.on_block_at_node(b, node, &mut bcg, &cache, &w.program);
+        if bcg.has_signals() {
+            bcg.drain_signals_into(&mut buf);
+            ctor.handle_batch(&buf, &mut bcg, &mut cache);
+        }
+    }
+    rt.finish_stream();
+    assert!(cache.trace_count() > 0, "javac must produce traces");
+
+    // Coherence: cached answers equal direct answers on every node.
+    let indices: Vec<_> = bcg.iter().map(|(i, _)| i).collect();
+    for &idx in &indices {
+        let branch = bcg.node(idx).branch();
+        let direct = cache.lookup_entry(branch);
+        let cached = cache.lookup_entry_cached(&mut bcg, idx);
+        assert_eq!(cached, direct, "node {idx} link incoherent");
+    }
+
+    // Unlink every entry: the version bumps, and previously-positive
+    // cached answers must revalidate to None.
+    let entries: Vec<_> = cache.iter_links().map(|(b, _)| b).collect();
+    assert!(!entries.is_empty());
+    for entry in entries {
+        cache.unlink(entry);
+    }
+    for &idx in &indices {
+        assert_eq!(
+            cache.lookup_entry_cached(&mut bcg, idx),
+            None,
+            "stale positive link survived an unlink at node {idx}"
+        );
+    }
+}

@@ -1,11 +1,32 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! Offline replacement for the former `proptest` suite: each property is
+//! a seeded loop over the in-tree PRNG
+//! ([`tracecache_repro::workloads::prng`]), so runs are deterministic
+//! and reproducible from the printed seed. Case `k` of a property uses
+//! seed `BASE_SEED + k`; on failure the assert message carries the seed,
+//! and rerunning with that seed reproduces the exact inputs.
+//!
+//! `cargo test` runs a quick sweep; build with
+//! `--features exhaustive-tests` for a deeper one.
 
 use tracecache_repro::bcg::{BcgConfig, BranchCorrelationGraph};
 use tracecache_repro::bytecode::{BlockId, CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
 use tracecache_repro::tracecache::{ConstructorConfig, TraceCache, TraceConstructor, TraceRuntime};
 use tracecache_repro::vm::{NullObserver, Value, Vm};
+use tracecache_repro::workloads::prng::Xoshiro256StarStar;
+
+/// Base seed for every property in this file (case `k` uses `BASE + k`).
+const BASE_SEED: u64 = 0x7070_5eed;
+
+/// Cases per property: quick by default, deep under `exhaustive-tests`.
+fn cases() -> u64 {
+    if cfg!(feature = "exhaustive-tests") {
+        512
+    } else {
+        64
+    }
+}
 
 fn blk(b: u32) -> BlockId {
     BlockId::new(FuncId(0), b)
@@ -28,16 +49,20 @@ fn many_block_program(min_blocks: u32) -> Program {
     pb.build(f).expect("builds")
 }
 
-proptest! {
-    /// The profiler's counters stay internally consistent on arbitrary
-    /// block streams.
-    #[test]
-    fn bcg_invariants_hold_on_random_streams(
-        stream in prop::collection::vec(0u32..8, 1..2000),
-        delay in 1u32..128,
-        threshold in 0.5f64..1.0,
-        decay in prop::sample::select(vec![16u32, 64, 256]),
-    ) {
+/// The profiler's counters stay internally consistent on arbitrary
+/// block streams.
+#[test]
+fn bcg_invariants_hold_on_random_streams() {
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let stream: Vec<u32> = (0..rng.range_usize(1, 2000))
+            .map(|_| rng.range_u32(0, 8))
+            .collect();
+        let delay = rng.range_u32(1, 128);
+        let threshold = rng.range_f64(0.5, 1.0);
+        let decay = *rng.pick(&[16u32, 64, 256]);
+
         let mut bcg = BranchCorrelationGraph::new(BcgConfig {
             start_delay: delay,
             threshold,
@@ -47,39 +72,47 @@ proptest! {
         for &s in &stream {
             bcg.observe(blk(s));
         }
-        prop_assert_eq!(bcg.stats().dispatches, stream.len() as u64);
+        assert_eq!(bcg.stats().dispatches, stream.len() as u64, "seed {seed}");
         for (_, node) in bcg.iter() {
             let sum: u32 = node.successors().iter().map(|s| u32::from(s.count)).sum();
-            prop_assert_eq!(node.total_weight(), sum);
+            assert_eq!(node.total_weight(), sum, "seed {seed}");
             for s in node.successors() {
                 let c = node.correlation(s);
-                prop_assert!((0.0..=1.0).contains(&c));
+                assert!((0.0..=1.0).contains(&c), "seed {seed}: correlation {c}");
             }
             if let Some(p) = node.predicted() {
-                prop_assert!(node.successors().iter().any(|s| s.to_block == p.to_block));
+                assert!(
+                    node.successors().iter().any(|s| s.to_block == p.to_block),
+                    "seed {seed}"
+                );
             }
             if let Some(m) = node.max_successor() {
-                prop_assert!(u32::from(m.count) <= node.total_weight());
+                assert!(u32::from(m.count) <= node.total_weight(), "seed {seed}");
             }
         }
     }
+}
 
-    /// Every trace the constructor installs satisfies its completion
-    /// threshold, length bounds, and entry-link discipline.
-    #[test]
-    fn constructed_traces_satisfy_invariants(
-        stream in prop::collection::vec(0u32..6, 200..3000),
-        threshold in prop::sample::select(vec![0.90f64, 0.95, 0.97, 0.99]),
-    ) {
+/// Every trace the constructor installs satisfies its completion
+/// threshold, length bounds, and entry-link discipline.
+#[test]
+fn constructed_traces_satisfy_invariants() {
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let stream: Vec<u32> = (0..rng.range_usize(200, 3000))
+            .map(|_| rng.range_u32(0, 6))
+            .collect();
+        let threshold = *rng.pick(&[0.90f64, 0.95, 0.97, 0.99]);
+
         let mut bcg = BranchCorrelationGraph::new(
             BcgConfig::paper_default()
                 .with_start_delay(4)
                 .with_threshold(threshold),
         );
         let mut cache = TraceCache::new();
-        let mut ctor = TraceConstructor::new(
-            ConstructorConfig::paper_default().with_threshold(threshold),
-        );
+        let mut ctor =
+            TraceConstructor::new(ConstructorConfig::paper_default().with_threshold(threshold));
         for &s in &stream {
             bcg.observe(blk(s));
             if bcg.has_signals() {
@@ -89,30 +122,38 @@ proptest! {
         }
         let cfg = ctor.config();
         for trace in cache.iter_traces() {
-            prop_assert!(trace.expected_completion() >= threshold - 1e-9);
-            prop_assert!(trace.expected_completion() <= 1.0 + 1e-9);
-            prop_assert!(trace.len() >= cfg.min_trace_blocks);
-            prop_assert!(trace.len() <= cfg.max_trace_blocks);
+            assert!(
+                trace.expected_completion() >= threshold - 1e-9,
+                "seed {seed}"
+            );
+            assert!(trace.expected_completion() <= 1.0 + 1e-9, "seed {seed}");
+            assert!(trace.len() >= cfg.min_trace_blocks, "seed {seed}");
+            assert!(trace.len() <= cfg.max_trace_blocks, "seed {seed}");
         }
         for (entry, trace) in cache.iter_links() {
-            prop_assert_eq!(entry.1, trace.blocks()[0]);
+            assert_eq!(entry.1, trace.blocks()[0], "seed {seed}");
         }
     }
+}
 
-    /// The trace runtime's accounting balances on arbitrary streams over
-    /// arbitrary caches.
-    #[test]
-    fn runtime_accounting_balances(
-        stream in prop::collection::vec(0u32..8, 1..1500),
-        traces in prop::collection::vec(
-            (0u32..8, prop::collection::vec(0u32..8, 1..6)),
-            0..10
-        ),
-    ) {
-        let program = many_block_program(8);
+/// The trace runtime's accounting balances on arbitrary streams over
+/// arbitrary caches.
+#[test]
+fn runtime_accounting_balances() {
+    let program = many_block_program(8);
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let stream: Vec<u32> = (0..rng.range_usize(1, 1500))
+            .map(|_| rng.range_u32(0, 8))
+            .collect();
+
         let mut cache = TraceCache::new();
-        for (from, blocks) in traces {
-            let seq: Vec<BlockId> = blocks.iter().map(|&b| blk(b)).collect();
+        for _ in 0..rng.range_usize(0, 10) {
+            let from = rng.range_u32(0, 8);
+            let seq: Vec<BlockId> = (0..rng.range_usize(1, 6))
+                .map(|_| blk(rng.range_u32(0, 8)))
+                .collect();
             cache.insert_and_link((blk(from), seq[0]), seq, 0.97);
         }
         let mut rt = TraceRuntime::new();
@@ -121,50 +162,77 @@ proptest! {
         }
         rt.finish_stream();
         let st = rt.stats();
-        prop_assert_eq!(st.entered, st.completed + st.exited_early);
+        assert_eq!(st.entered, st.completed + st.exited_early, "seed {seed}");
         // Every dispatched block lands in exactly one bucket.
-        prop_assert_eq!(
+        assert_eq!(
             st.blocks_in_completed + st.blocks_in_partial + st.blocks_outside,
-            stream.len() as u64
+            stream.len() as u64,
+            "seed {seed}"
         );
-        prop_assert!(st.trace_dispatches() <= stream.len() as u64);
+        assert!(st.trace_dispatches() <= stream.len() as u64, "seed {seed}");
     }
+}
 
-    /// Conditional-branch bytecode agrees with native comparison
-    /// semantics for all operators and operands.
-    #[test]
-    fn branch_semantics_match_native(
-        a in any::<i64>(),
-        b in any::<i64>(),
-        op_idx in 0usize..6,
-    ) {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
-        let op = ops[op_idx];
-        let mut pb = ProgramBuilder::new();
-        let f = pb.declare_function("main", 2, true);
-        {
-            let fb = pb.function_mut(f);
-            let taken = fb.new_label();
-            fb.load(0).load(1).if_icmp(op, taken);
-            fb.iconst(0).ret();
-            fb.bind(taken);
-            fb.iconst(1).ret();
+/// Conditional-branch bytecode agrees with native comparison semantics
+/// for all operators and operands (every operator is swept each case).
+#[test]
+fn branch_semantics_match_native() {
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        // Mix full-range operands with near-equal ones so Eq/Ne/Le/Ge
+        // see both outcomes often.
+        let a = rng.next_i64();
+        let b = if rng.chance(0.25) {
+            a.wrapping_add(i64::from(rng.range_u32(0, 3)) - 1)
+        } else {
+            rng.next_i64()
+        };
+        for op in ops {
+            let mut pb = ProgramBuilder::new();
+            let f = pb.declare_function("main", 2, true);
+            {
+                let fb = pb.function_mut(f);
+                let taken = fb.new_label();
+                fb.load(0).load(1).if_icmp(op, taken);
+                fb.iconst(0).ret();
+                fb.bind(taken);
+                fb.iconst(1).ret();
+            }
+            let program = pb.build(f).expect("builds");
+            let mut vm = Vm::new(&program);
+            let r = vm
+                .run(&[Value::Int(a), Value::Int(b)], &mut NullObserver)
+                .expect("runs");
+            assert_eq!(
+                r,
+                Some(Value::Int(i64::from(op.eval_i64(a, b)))),
+                "seed {seed}: {a} {op:?} {b}"
+            );
         }
-        let program = pb.build(f).expect("builds");
-        let mut vm = Vm::new(&program);
-        let r = vm
-            .run(&[Value::Int(a), Value::Int(b)], &mut NullObserver)
-            .expect("runs");
-        prop_assert_eq!(r, Some(Value::Int(i64::from(op.eval_i64(a, b)))));
     }
+}
 
-    /// Random straight-line arithmetic programs verify and execute with
-    /// exactly one block dispatch.
-    #[test]
-    fn straight_line_programs_verify_and_run(
-        ops in prop::collection::vec(0u8..7, 0..200),
-        seed in any::<i64>(),
-    ) {
+/// Random straight-line arithmetic programs verify and execute with
+/// exactly one block dispatch.
+#[test]
+fn straight_line_programs_verify_and_run() {
+    for case in 0..cases() {
+        let seed = BASE_SEED + case;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let ops: Vec<u8> = (0..rng.range_usize(0, 200))
+            .map(|_| rng.range_u32(0, 7) as u8)
+            .collect();
+        let operand = rng.next_i64();
+
         let mut pb = ProgramBuilder::new();
         let f = pb.declare_function("main", 1, false);
         let mut depth = 0usize;
@@ -177,7 +245,7 @@ proptest! {
                 // Only emit ops legal at the current stack depth.
                 match o {
                     0 => {
-                        fb.iconst(seed ^ 0x5a5a);
+                        fb.iconst(operand ^ 0x5a5a);
                         depth += 1;
                     }
                     1 if depth >= 1 => {
@@ -215,8 +283,9 @@ proptest! {
         }
         let program = pb.build(f).expect("straight-line code must verify");
         let mut vm = Vm::new(&program);
-        vm.run(&[Value::Int(seed)], &mut NullObserver).expect("runs");
-        prop_assert_eq!(vm.stats().block_dispatches, 1);
-        prop_assert_eq!(vm.stats().instructions, expected_len);
+        vm.run(&[Value::Int(operand)], &mut NullObserver)
+            .expect("runs");
+        assert_eq!(vm.stats().block_dispatches, 1, "seed {seed}");
+        assert_eq!(vm.stats().instructions, expected_len, "seed {seed}");
     }
 }
