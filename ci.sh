@@ -14,11 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --workspace --release
 
-echo "== cargo test"
+echo "== cargo test (release)"
+cargo test --workspace -q --release
+
+echo "== cargo test (debug build: debug_assert! guards on unchecked stack ops)"
 cargo test --workspace -q
 
 echo "== hot-path bench smoke (test scale)"
 cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
+
+echo "== interp-speed bench smoke (test scale)"
+cargo run --release -p trace-bench --bin interp_speed -- --smoke --out /tmp/BENCH_interp.smoke.json
 
 echo "== bench harness smoke (1 sample, test scale)"
 TRACE_BENCH_SCALE=test TRACE_BENCH_SAMPLES=1 \

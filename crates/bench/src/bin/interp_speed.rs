@@ -1,20 +1,20 @@
-//! Hot-path dispatch microbenchmark driver.
+//! Interpreter speed driver: frozen reference vs pre-decoded engine.
 //!
-//! Measures ns/dispatch of the pre-overhaul (reference) and overhauled
-//! profiler + trace-monitor paths on every registry workload, prints
-//! the comparison table, and writes `BENCH_hot_path.json` into the
-//! current directory.
+//! Times full workload runs of [`jvm_vm::ReferenceVm`] against the
+//! pre-decoded threaded [`jvm_vm::Vm`], prints the comparison table
+//! (ns/instruction, ns/dispatch, decoded footprint), and writes
+//! `BENCH_interp.json` into the current directory.
 //!
 //! ```text
-//! hot_path [--scale test|small|paper] [--repeats N] [--workload NAME]
-//!          [--smoke] [--out PATH]
+//! interp_speed [--scale test|small|paper] [--repeats N] [--workload NAME]
+//!              [--smoke] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the CI setting: test scale, 2 repeats — seconds, not
 //! minutes. Default is small scale, 5 repeats. `TRACE_BENCH_SCALE` is
 //! honoured when `--scale` is absent, matching the other benches.
 
-use trace_bench::hot_path;
+use trace_bench::interp_speed;
 use trace_bench::parse_scale;
 use trace_workloads::Scale;
 
@@ -22,7 +22,7 @@ fn main() {
     let mut scale: Option<Scale> = None;
     let mut repeats: Option<usize> = None;
     let mut workload: Option<String> = None;
-    let mut out = String::from("BENCH_hot_path.json");
+    let mut out = String::from("BENCH_interp.json");
     let mut smoke = false;
 
     let mut args = std::env::args().skip(1);
@@ -62,8 +62,8 @@ fn main() {
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "hot_path [--scale test|small|paper] [--repeats N] [--workload NAME] \
-                     [--smoke] [--out PATH]"
+                    "interp_speed [--scale test|small|paper] [--repeats N] \
+                     [--workload NAME] [--smoke] [--out PATH]"
                 );
                 return;
             }
@@ -87,14 +87,8 @@ fn main() {
         )
     };
 
-    let report = hot_path::run_filtered(scale, repeats, workload.as_deref());
+    let report = interp_speed::run(scale, repeats, workload.as_deref());
     print!("{}", report.render());
-    println!(
-        "profiled >=20% faster on {}/{} workloads; trace-mode regressions (>2% slower): {}",
-        report.profiled_improved_at_least(20.0),
-        report.rows.len(),
-        report.trace_mode_regressions(2.0),
-    );
 
     let json = report.to_json();
     match std::fs::write(&out, &json) {

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! paper_tables [--scale test|small|paper] [--table 1|2|3|4|5|6|7|fig|hotpath|all]
-//!              [--format text|csv]
+//!              [--format text|csv] [--workload NAME]
 //! ```
 //!
-//! Defaults: `--scale small --table all`. Tables I–IV share one threshold
+//! Defaults: `--scale small --table all`, all six workloads
+//! (`--workload` restricts every regenerated table to one of them). Tables I–IV share one threshold
 //! sweep (thresholds 100/99/98/97/95% at delay 64); Table V sweeps the
 //! start-state delay (1/64/4096) at the 97% threshold; Tables VI–VII time
 //! the profiler against the unmodified interpreter on this machine.
@@ -14,14 +15,16 @@
 use std::process::ExitCode;
 
 use trace_bench::{
-    dispatch_rows, named_delay_sweeps, named_threshold_sweeps, overhead_rows, parse_scale,
+    dispatch_rows_filtered, named_delay_sweeps_filtered, named_threshold_sweeps_filtered,
+    overhead_rows_filtered, parse_scale,
 };
 use trace_jit::tables;
 use trace_workloads::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: paper_tables [--scale test|small|paper] [--table 1..7|fig|hotpath|all] [--format text|csv]"
+        "usage: paper_tables [--scale test|small|paper] [--table 1..7|fig|hotpath|all] \
+         [--format text|csv] [--workload NAME]"
     );
     ExitCode::FAILURE
 }
@@ -30,6 +33,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut table = "all".to_owned();
     let mut csv = false;
+    let mut workload: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -44,6 +48,12 @@ fn main() -> ExitCode {
             "--format" => match args.next().as_deref() {
                 Some("text") => csv = false,
                 Some("csv") => csv = true,
+                _ => return usage(),
+            },
+            "--workload" => match args.next() {
+                Some(w) if trace_workloads::registry::by_name(&w, Scale::Test).is_some() => {
+                    workload = Some(w)
+                }
                 _ => return usage(),
             },
             _ => return usage(),
@@ -73,13 +83,13 @@ fn main() -> ExitCode {
 
     if wants("fig") {
         eprintln!("# running paper-default runs for the dispatch figure…");
-        let rows = dispatch_rows(scale);
+        let rows = dispatch_rows_filtered(scale, workload.as_deref());
         emit(&tables::fig_dispatch_modes(&rows));
     }
 
     if needs_threshold_sweep {
         eprintln!("# running threshold sweeps (Tables I-IV)…");
-        let sweeps = named_threshold_sweeps(scale);
+        let sweeps = named_threshold_sweeps_filtered(scale, workload.as_deref());
         if wants("1") {
             emit(&tables::table1_trace_length(&sweeps));
         }
@@ -96,13 +106,13 @@ fn main() -> ExitCode {
 
     if wants("5") {
         eprintln!("# running delay sweeps (Table V)…");
-        let sweeps = named_delay_sweeps(scale);
+        let sweeps = named_delay_sweeps_filtered(scale, workload.as_deref());
         emit(&tables::table5_event_interval(&sweeps));
     }
 
     if needs_overhead {
         eprintln!("# timing profiler overhead (Tables VI-VII)…");
-        let rows = overhead_rows(scale, 3);
+        let rows = overhead_rows_filtered(scale, 3, workload.as_deref());
         if wants("6") {
             emit(&tables::table6_profiler_overhead(&rows));
         }
@@ -113,7 +123,7 @@ fn main() -> ExitCode {
 
     if wants("hotpath") {
         eprintln!("# timing hot-path dispatch before/after (BENCH_hot_path.json)…");
-        let report = trace_bench::hot_path::run(scale, 3);
+        let report = trace_bench::hot_path::run_filtered(scale, 3, workload.as_deref());
         print!("{}", report.render());
         match std::fs::write("BENCH_hot_path.json", report.to_json()) {
             Ok(()) => eprintln!("# wrote BENCH_hot_path.json"),
@@ -123,13 +133,13 @@ fn main() -> ExitCode {
 
     if table == "summary" {
         eprintln!("# running paper-vs-measured summary…");
-        let sweeps = named_threshold_sweeps(scale);
+        let sweeps = named_threshold_sweeps_filtered(scale, workload.as_deref());
         let avg = |f: &dyn Fn(&trace_jit::RunReport) -> f64, row: usize| -> f64 {
             let vals: Vec<f64> = sweeps.iter().map(|(_, pts)| f(&pts[row].report)).collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         // Row 3 of the sweep grid is the 97% threshold.
-        let overheads = overhead_rows(scale, 3);
+        let overheads = overhead_rows_filtered(scale, 3, workload.as_deref());
         let oh_avg = overheads
             .iter()
             .map(|(_, m)| m.expected_trace_overhead_pct())

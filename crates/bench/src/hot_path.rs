@@ -294,9 +294,19 @@ fn trace_mode_timing(
 /// Measures every registry workload at `scale`; each reported number is
 /// the minimum over `repeats` timed replays.
 pub fn run(scale: Scale, repeats: usize) -> HotPathReport {
+    run_filtered(scale, repeats, None)
+}
+
+/// Like [`run`], optionally restricted to a single workload name.
+pub fn run_filtered(scale: Scale, repeats: usize, only: Option<&str>) -> HotPathReport {
     let config = TraceJitConfig::paper_default();
     let mut rows = Vec::new();
     for w in registry::all(scale) {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
         let stream = capture_stream(&w);
         let profiled = profiled_timing(&stream, &config, repeats);
         let trace_mode = trace_mode_timing(&stream, &w.program, &config, repeats);
@@ -330,6 +340,13 @@ mod tests {
             new_ns: 12.0,
         };
         assert!((slower.improvement_pct() + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_filter_restricts_rows() {
+        let report = run_filtered(Scale::Test, 1, Some("compress"));
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].name, "compress");
     }
 
     #[test]

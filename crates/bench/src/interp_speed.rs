@@ -1,0 +1,331 @@
+//! Interpreter speed microbenchmark: reference vs pre-decoded engine.
+//!
+//! Times complete workload runs of the frozen [`ReferenceVm`] (the
+//! classic fetch-decode-execute loop over the `Instr` enum, per-
+//! instruction block detection, `Vec`-per-frame state) against the
+//! pre-decoded threaded [`Vm`] (flat opcode streams with baked-in
+//! block-entry markers, frame arena, verifier-backed unchecked stack
+//! ops) on every registry workload.
+//!
+//! Methodology matches `hot_path`: both sides execute the *identical*
+//! semantic work (asserted — same instruction count, same dispatch
+//! count, same checksum), each number is the minimum over `repeats`
+//! timed runs after one untimed warm-up, and output capture is off so
+//! sink pushes don't pollute timing. Costs are reported two ways:
+//!
+//! * **ns/instruction** — wall time over executed bytecode instructions,
+//!   the headline per-dispatch cost model number (DESIGN.md);
+//! * **ns/dispatch** — wall time over basic-block dispatches, comparable
+//!   with the `hot_path` profiler numbers.
+//!
+//! The report also carries the decoded-code and frame-arena byte
+//! footprints, since the decoded form trades memory for dispatch speed.
+
+use std::time::Instant;
+
+use jvm_vm::{DecodedMemory, NullObserver, ReferenceVm, Vm, VmConfig};
+use trace_workloads::registry::{self, Scale, Workload};
+
+/// One workload's timings (all minima over the repeat count).
+#[derive(Debug, Clone)]
+pub struct InterpRow {
+    /// Workload name (registry name).
+    pub name: String,
+    /// Executed bytecode instructions (identical on both sides).
+    pub instructions: u64,
+    /// Basic-block dispatches (identical on both sides).
+    pub dispatches: u64,
+    /// Reference interpreter, ns per instruction.
+    pub reference_ns_per_instr: f64,
+    /// Decoded engine, ns per instruction.
+    pub decoded_ns_per_instr: f64,
+    /// Decoded-code footprint for this workload's program (bytes).
+    pub decoded_memory: DecodedMemory,
+    /// Frame-arena slab footprint after the runs (bytes).
+    pub arena_bytes: usize,
+}
+
+impl InterpRow {
+    /// Percentage reduction in ns/instruction (positive = decoded
+    /// engine faster).
+    pub fn improvement_pct(&self) -> f64 {
+        if self.reference_ns_per_instr == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.decoded_ns_per_instr / self.reference_ns_per_instr) * 100.0
+    }
+
+    /// Reference interpreter, ns per block dispatch.
+    pub fn reference_ns_per_dispatch(&self) -> f64 {
+        self.reference_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+
+    /// Decoded engine, ns per block dispatch.
+    pub fn decoded_ns_per_dispatch(&self) -> f64 {
+        self.decoded_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+}
+
+/// Full report, one row per measured workload.
+#[derive(Debug, Clone)]
+pub struct InterpReport {
+    /// Workload scale measured.
+    pub scale: Scale,
+    /// Timed runs per number (min is reported).
+    pub repeats: usize,
+    /// Per-workload rows.
+    pub rows: Vec<InterpRow>,
+}
+
+impl InterpReport {
+    /// Geometric-mean speedup (reference / decoded ns-per-instruction;
+    /// > 1 means the decoded engine is faster).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.reference_ns_per_instr / r.decoded_ns_per_instr).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Geometric-mean ns/instruction improvement as a percentage
+    /// (positive = decoded engine faster).
+    pub fn geomean_improvement_pct(&self) -> f64 {
+        (1.0 - 1.0 / self.geomean_speedup()) * 100.0
+    }
+
+    /// Serialises the report as JSON (hand-rolled: the workspace has no
+    /// serde and the shape is fixed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"geomean_speedup\": {:.4},\n",
+            self.geomean_speedup()
+        ));
+        out.push_str(&format!(
+            "  \"geomean_improvement_pct\": {:.2},\n",
+            self.geomean_improvement_pct()
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"instructions\": {}, \"dispatches\": {},\n",
+                    "     \"ns_per_instruction\": ",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"improvement_pct\": {:.2}}},\n",
+                    "     \"ns_per_dispatch\": ",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}}},\n",
+                    "     \"decoded_code_bytes\": {}, \"decoded_map_bytes\": {}, ",
+                    "\"decoded_pool_bytes\": {}, \"arena_bytes\": {}}}{}\n",
+                ),
+                r.name,
+                r.instructions,
+                r.dispatches,
+                r.reference_ns_per_instr,
+                r.decoded_ns_per_instr,
+                r.improvement_pct(),
+                r.reference_ns_per_dispatch(),
+                r.decoded_ns_per_dispatch(),
+                r.decoded_memory.code_bytes,
+                r.decoded_memory.map_bytes,
+                r.decoded_memory.pool_bytes,
+                r.arena_bytes,
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders an aligned text table for terminals and EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Interpreter speed, ns/instruction (scale {:?}, min of {} runs)\n",
+            self.scale, self.repeats
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>14} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
+            "workload",
+            "instructions",
+            "ref",
+            "decoded",
+            "gain%",
+            "ref-disp",
+            "dec-disp",
+            "dec-KiB"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>14} {:>9.3} {:>9.3} {:>7.1} {:>10.2} {:>10.2} {:>10.1}\n",
+                r.name,
+                r.instructions,
+                r.reference_ns_per_instr,
+                r.decoded_ns_per_instr,
+                r.improvement_pct(),
+                r.reference_ns_per_dispatch(),
+                r.decoded_ns_per_dispatch(),
+                r.decoded_memory.total() as f64 / 1024.0,
+            ));
+        }
+        out.push_str(&format!(
+            "geomean speedup {:.3}x ({:.1}% ns/instruction)\n",
+            self.geomean_speedup(),
+            self.geomean_improvement_pct()
+        ));
+        out
+    }
+}
+
+/// Minimum wall-clock seconds over `repeats` timed calls of `pass`, with
+/// one untimed warm-up (page-in, branch predictors, allocator).
+fn min_secs(repeats: usize, mut pass: impl FnMut()) -> f64 {
+    pass();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
+    // Output capture off: timing must not include sink pushes.
+    let config = VmConfig {
+        capture_output: false,
+        ..VmConfig::default()
+    };
+
+    let mut reference = ReferenceVm::with_config(&w.program, config);
+    let ref_secs = min_secs(repeats, || {
+        let r = reference.run(&w.args, &mut NullObserver).expect("runs");
+        std::hint::black_box(r);
+    });
+
+    let mut decoded = Vm::with_config(&w.program, config);
+    let dec_secs = min_secs(repeats, || {
+        let r = decoded.run(&w.args, &mut NullObserver).expect("runs");
+        std::hint::black_box(r);
+    });
+
+    // Both engines must have done the identical semantic work — this is
+    // the same equivalence the differential suite pins, re-checked on
+    // the timed configuration.
+    let rs = reference.stats();
+    let ds = decoded.stats();
+    assert_eq!(rs, ds, "{}: stats diverged between engines", w.name);
+    assert_eq!(
+        reference.checksum(),
+        decoded.checksum(),
+        "{}: checksum diverged between engines",
+        w.name
+    );
+    assert_eq!(
+        decoded.checksum(),
+        w.expected_checksum,
+        "{}: checksum does not match the workload reference",
+        w.name
+    );
+
+    let instructions = ds.instructions.max(1);
+    InterpRow {
+        name: w.name.to_owned(),
+        instructions: ds.instructions,
+        dispatches: ds.block_dispatches,
+        reference_ns_per_instr: ref_secs * 1e9 / instructions as f64,
+        decoded_ns_per_instr: dec_secs * 1e9 / instructions as f64,
+        decoded_memory: decoded.decoded().memory_estimate(),
+        arena_bytes: decoded.arena_memory(),
+    }
+}
+
+/// Measures registry workloads at `scale`, optionally restricted to a
+/// single workload name; each reported number is the minimum over
+/// `repeats` timed full runs.
+pub fn run(scale: Scale, repeats: usize, only: Option<&str>) -> InterpReport {
+    let mut rows = Vec::new();
+    for w in registry::all(scale) {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
+        rows.push(measure_workload(&w, repeats));
+    }
+    InterpReport {
+        scale,
+        repeats,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_derived_quantities_are_consistent() {
+        let r = InterpRow {
+            name: "w".into(),
+            instructions: 1000,
+            dispatches: 100,
+            reference_ns_per_instr: 10.0,
+            decoded_ns_per_instr: 5.0,
+            decoded_memory: DecodedMemory::default(),
+            arena_bytes: 0,
+        };
+        assert!((r.improvement_pct() - 50.0).abs() < 1e-9);
+        assert!((r.reference_ns_per_dispatch() - 100.0).abs() < 1e-9);
+        assert!((r.decoded_ns_per_dispatch() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_uniform_speedup_is_that_speedup() {
+        let row = |ref_ns: f64, dec_ns: f64| InterpRow {
+            name: "w".into(),
+            instructions: 1,
+            dispatches: 1,
+            reference_ns_per_instr: ref_ns,
+            decoded_ns_per_instr: dec_ns,
+            decoded_memory: DecodedMemory::default(),
+            arena_bytes: 0,
+        };
+        let report = InterpReport {
+            scale: Scale::Test,
+            repeats: 1,
+            rows: vec![row(10.0, 5.0), row(4.0, 2.0)],
+        };
+        assert!((report.geomean_speedup() - 2.0).abs() < 1e-9);
+        assert!((report.geomean_improvement_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_runs_and_serialises_at_test_scale() {
+        let report = run(Scale::Test, 1, None);
+        assert_eq!(report.rows.len(), registry::all(Scale::Test).len());
+        assert!(report.rows.iter().all(|r| r.instructions > 0));
+        let json = report.to_json();
+        assert!(json.contains("\"geomean_speedup\""));
+        assert!(json.contains("\"ns_per_instruction\""));
+        let table = report.render();
+        for r in &report.rows {
+            assert!(json.contains(&r.name));
+            assert!(table.contains(&r.name));
+        }
+    }
+
+    #[test]
+    fn workload_filter_restricts_rows() {
+        let report = run(Scale::Test, 1, Some("compress"));
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].name, "compress");
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod harness;
 pub mod hot_path;
+pub mod interp_speed;
 
 use jvm_bytecode::{CmpOp, Program, ProgramBuilder};
 use trace_jit::experiment::{
@@ -45,9 +46,26 @@ pub fn parse_scale(s: &str) -> Option<Scale> {
     }
 }
 
+/// Registry workloads at `scale`, optionally restricted to one name.
+fn workloads(scale: Scale, only: Option<&str>) -> Vec<registry::Workload> {
+    registry::all(scale)
+        .into_iter()
+        .filter(|w| only.is_none_or(|n| w.name == n))
+        .collect()
+}
+
 /// Threshold sweeps (Tables I–IV) for all six workloads.
 pub fn named_threshold_sweeps(scale: Scale) -> Vec<(String, Vec<SweepPoint>)> {
-    registry::all(scale)
+    named_threshold_sweeps_filtered(scale, None)
+}
+
+/// Like [`named_threshold_sweeps`], optionally restricted to one
+/// workload name.
+pub fn named_threshold_sweeps_filtered(
+    scale: Scale,
+    only: Option<&str>,
+) -> Vec<(String, Vec<SweepPoint>)> {
+    workloads(scale, only)
         .iter()
         .map(|w| {
             let pts = threshold_sweep(
@@ -72,7 +90,16 @@ pub fn named_threshold_sweeps(scale: Scale) -> Vec<(String, Vec<SweepPoint>)> {
 
 /// Delay sweeps (Table V) for all six workloads at the 97% threshold.
 pub fn named_delay_sweeps(scale: Scale) -> Vec<(String, Vec<SweepPoint>)> {
-    registry::all(scale)
+    named_delay_sweeps_filtered(scale, None)
+}
+
+/// Like [`named_delay_sweeps`], optionally restricted to one workload
+/// name.
+pub fn named_delay_sweeps_filtered(
+    scale: Scale,
+    only: Option<&str>,
+) -> Vec<(String, Vec<SweepPoint>)> {
+    workloads(scale, only)
         .iter()
         .map(|w| {
             let pts = delay_sweep(
@@ -90,7 +117,16 @@ pub fn named_delay_sweeps(scale: Scale) -> Vec<(String, Vec<SweepPoint>)> {
 
 /// Overhead measurements (Tables VI–VII) for all six workloads.
 pub fn overhead_rows(scale: Scale, repeats: usize) -> Vec<(String, OverheadMeasurement)> {
-    registry::all(scale)
+    overhead_rows_filtered(scale, repeats, None)
+}
+
+/// Like [`overhead_rows`], optionally restricted to one workload name.
+pub fn overhead_rows_filtered(
+    scale: Scale,
+    repeats: usize,
+    only: Option<&str>,
+) -> Vec<(String, OverheadMeasurement)> {
+    workloads(scale, only)
         .iter()
         .map(|w| {
             let m = measure_overhead(
@@ -107,7 +143,12 @@ pub fn overhead_rows(scale: Scale, repeats: usize) -> Vec<(String, OverheadMeasu
 
 /// Single paper-default runs (Figures 1–2) for all six workloads.
 pub fn dispatch_rows(scale: Scale) -> Vec<(String, RunReport)> {
-    registry::all(scale)
+    dispatch_rows_filtered(scale, None)
+}
+
+/// Like [`dispatch_rows`], optionally restricted to one workload name.
+pub fn dispatch_rows_filtered(scale: Scale, only: Option<&str>) -> Vec<(String, RunReport)> {
+    workloads(scale, only)
         .iter()
         .map(|w| {
             let r = run_point(&w.program, &w.args, TraceJitConfig::paper_default())

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod class;
+pub mod depth;
 pub mod disasm;
 pub mod error;
 pub mod function;
@@ -60,6 +61,7 @@ pub mod verifier;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cfg::{Block, TerminatorKind};
 pub use class::Class;
+pub use depth::max_stack;
 pub use error::BuildError;
 pub use function::Function;
 pub use ids::{BlockId, ClassId, FuncId, Label};

@@ -1,35 +1,48 @@
 //! The trace-executing virtual machine.
 //!
 //! [`TracingVm`] is the "fully integrated" system the paper names as its
-//! next step (§6): out-of-trace code is interpreted block-by-block with
-//! the profiler attached to every dispatch, while cached traces execute
-//! from compiled, guarded straight-line code with **no dispatch and no
-//! profiling points inside** ("a trace dispatch executes a single
-//! profiling statement, all of the inlined ones are removed", §5.4).
+//! next step (§6): out-of-trace code is interpreted from the **decoded
+//! threaded form** ([`jvm_vm::DecodedProgram`]) with the profiler attached
+//! to every dispatch, while cached traces execute from compiled, guarded
+//! straight-line code — lowered to the same decoded form by
+//! [`crate::lower`] — with **no dispatch and no profiling points inside**
+//! ("a trace dispatch executes a single profiling statement, all of the
+//! inlined ones are removed", §5.4).
+//!
+//! Out-of-trace dispatch is marker-driven: the decoded streams bake an
+//! [`op::ENTER_BLOCK`] marker at every basic-block start, so block-entry
+//! detection — and with it the profiler hook and the trace-entry check —
+//! is one opcode case instead of a per-instruction block-index
+//! comparison. Frame `pc`s are indices into the decoded streams
+//! throughout, including across trace entry and side exits.
 //!
 //! Guard failures side-exit: the frame's `pc` is re-anchored at the
 //! guarded instruction (whose operands were only peeked, never popped)
 //! and the interpreter resumes there, re-executing it with full
-//! semantics. Consequently the engine is *semantically transparent*: with
-//! optimization off it executes exactly the same instruction sequence as
-//! the plain interpreter — a property the differential tests pin down on
-//! all six workloads.
+//! semantics. The resume point sits just *past* its block's entry marker,
+//! so the dispatch event the reference system would fire on resumption is
+//! accounted for **eagerly** at the exit itself, in the same order the
+//! out-of-trace loop would. Consequently the engine is *semantically
+//! transparent*: with optimization off it executes exactly the same
+//! instruction sequence as the plain interpreter — a property the
+//! differential tests pin down on all six workloads.
 
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use jvm_bytecode::{BlockId, FuncId, Instr, Intrinsic, Program};
-use jvm_vm::{fold_checksum, ExecStats, Heap, HeapObj, OutputItem, Value, VmError};
+use jvm_bytecode::{BlockId, ClassId, FuncId, Intrinsic, Program};
+use jvm_vm::decode::{eval_f_rel, eval_i_rel, op, INTRINSIC_ORDER};
+use jvm_vm::{
+    fold_checksum, DOp, DecodedProgram, ExecStats, Heap, HeapObj, OutputItem, Value, VmError,
+};
 use trace_bcg::{BranchCorrelationGraph, Signal};
 use trace_cache::{TraceCache, TraceConstructor, TraceExecStats, TraceId};
 use trace_jit::{RunReport, TraceJitConfig};
 
-use crate::compile::{compile, CompiledTrace, CondKind, TInstr};
+use crate::compile::{compile, CondKind};
 use crate::fuse::{fuse_trace, FuseStats, Fused};
+use crate::lower::{lower_trace, LoweredTrace, XInstr};
 use crate::opt::{optimize_trace, OptStats};
-
-/// Sentinel forcing the next instruction to register a block entry.
-const NO_BLOCK: u32 = u32::MAX;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,25 +86,29 @@ impl Default for EngineConfig {
     }
 }
 
+/// One activation record. `pc` is an index into the owning function's
+/// *decoded* stream; block-entry detection is carried by the stream's
+/// markers, so no per-frame block bookkeeping is needed.
 #[derive(Debug)]
 struct ExFrame {
     func: FuncId,
     pc: u32,
     locals: Vec<Value>,
     stack: Vec<Value>,
-    cur_block: u32,
 }
 
 impl ExFrame {
     fn new(func: FuncId, num_locals: u16, args: &[Value]) -> Self {
-        let mut locals = vec![Value::default(); num_locals as usize];
-        locals[..args.len()].copy_from_slice(args);
+        // Args-first fill: the argument prefix is written exactly once,
+        // only the tail is zeroed.
+        let mut locals = Vec::with_capacity(num_locals as usize);
+        locals.extend_from_slice(args);
+        locals.resize(num_locals as usize, Value::default());
         ExFrame {
             func,
             pc: 0,
             locals,
             stack: Vec::with_capacity(8),
-            cur_block: NO_BLOCK,
         }
     }
 }
@@ -107,16 +124,20 @@ enum TraceRun {
     Finished(Option<Value>),
 }
 
-/// The trace-executing VM: interpreter + profiler + trace cache + trace
-/// compiler + guarded trace execution, in one engine.
+/// The trace-executing VM: decoded-form interpreter + profiler + trace
+/// cache + trace compiler + guarded trace execution, in one engine.
 #[derive(Debug)]
 pub struct TracingVm<'p> {
     program: &'p Program,
+    /// The program in decoded threaded form — the only representation the
+    /// execution paths read. Mutable because trace lowering interns
+    /// optimizer-made constants into its pools.
+    decoded: DecodedProgram,
     config: EngineConfig,
     bcg: BranchCorrelationGraph,
     constructor: TraceConstructor,
     cache: TraceCache,
-    compiled: HashMap<TraceId, Rc<CompiledTrace>>,
+    lowered: HashMap<TraceId, Rc<LoweredTrace>>,
     uncompilable: std::collections::HashSet<TraceId>,
     opt_stats: OptStats,
     fuse_stats: FuseStats,
@@ -128,32 +149,29 @@ pub struct TracingVm<'p> {
     checksum: u64,
     output: Vec<OutputItem>,
     prev_block: Option<BlockId>,
-    /// Set after a side exit so the resumed block does not instantly
-    /// re-enter the trace whose guard just failed (the real system
-    /// executes the remainder of the block in interpreter code before the
-    /// next dispatch point).
-    skip_entry_once: bool,
-    /// Monomorphic compiled-trace cache: the last `(trace id, compiled
+    /// Monomorphic compiled-trace cache: the last `(trace id, lowered
     /// trace)` that dispatched. The entry-branch → trace-id step is
     /// already hashless (the BCG node's inline trace-link slot); this
-    /// removes the `compiled` map probe for loop traces that re-enter
+    /// removes the `lowered` map probe for loop traces that re-enter
     /// through the same branch every iteration. No version stamp needed:
-    /// a `TraceId`'s compiled form never changes.
-    hot_trace: Option<(TraceId, Rc<CompiledTrace>)>,
+    /// a `TraceId`'s lowered form never changes.
+    hot_trace: Option<(TraceId, Rc<LoweredTrace>)>,
     /// Reusable signal drain buffer: the dispatch loop never allocates.
     signal_buf: Vec<Signal>,
 }
 
 impl<'p> TracingVm<'p> {
-    /// Assembles the engine for a program.
+    /// Assembles the engine for a program, running the one-time decode
+    /// pass.
     pub fn new(program: &'p Program, config: EngineConfig) -> Self {
         TracingVm {
             program,
+            decoded: DecodedProgram::decode(program),
             config,
             bcg: BranchCorrelationGraph::new(config.jit.bcg_config()),
             constructor: TraceConstructor::new(config.jit.constructor_config()),
             cache: TraceCache::new(),
-            compiled: HashMap::new(),
+            lowered: HashMap::new(),
             uncompilable: std::collections::HashSet::new(),
             opt_stats: OptStats::default(),
             fuse_stats: FuseStats::default(),
@@ -164,7 +182,6 @@ impl<'p> TracingVm<'p> {
             checksum: 0,
             output: Vec::new(),
             prev_block: None,
-            skip_entry_once: false,
             hot_trace: None,
             signal_buf: Vec::new(),
         }
@@ -173,6 +190,11 @@ impl<'p> TracingVm<'p> {
     /// The trace cache (shared structure with the base system).
     pub fn cache(&self) -> &TraceCache {
         &self.cache
+    }
+
+    /// The decoded program the engine executes from.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
     }
 
     /// Aggregated optimizer statistics over all compiled traces.
@@ -186,9 +208,14 @@ impl<'p> TracingVm<'p> {
         self.fuse_stats
     }
 
-    /// Number of traces compiled so far.
+    /// Number of traces compiled (and lowered) so far.
     pub fn compiled_count(&self) -> usize {
-        self.compiled.len()
+        self.lowered.len()
+    }
+
+    /// Real byte footprint of all lowered traces.
+    pub fn lowered_memory(&self) -> usize {
+        self.lowered.values().map(|lt| lt.memory_estimate()).sum()
     }
 
     /// Output captured from print intrinsics during the most recent run
@@ -204,14 +231,13 @@ impl<'p> TracingVm<'p> {
     ///
     /// Propagates runtime traps and resource limits as [`VmError`].
     pub fn run(&mut self, args: &[Value]) -> Result<RunReport, VmError> {
-        // Reset run state; profiler/cache/compiled traces persist.
+        // Reset run state; profiler/cache/lowered traces persist.
         self.heap = Heap::new(self.config.jit.vm.gc_threshold);
         self.frames.clear();
         self.stats = ExecStats::default();
         self.checksum = 0;
         self.output.clear();
         self.prev_block = None;
-        self.skip_entry_once = false;
         self.bcg.begin_stream();
 
         let program = self.program;
@@ -228,19 +254,18 @@ impl<'p> TracingVm<'p> {
         self.stats.max_frame_depth = 1;
 
         let result = loop {
-            let depth = self.frames.len();
             let (func_id, pc) = {
-                let f = &self.frames[depth - 1];
+                let f = self.frames.last().expect("frame exists");
                 (f.func, f.pc)
             };
-            let func = program.function(func_id);
+            let d = self.decoded.func(func_id).code[pc as usize];
 
-            // Block-entry detection (one dispatch per block).
-            let block = func.block_index_of(pc);
-            if block != self.frames[depth - 1].cur_block {
-                self.frames[depth - 1].cur_block = block;
+            if d.op == op::ENTER_BLOCK {
+                // One dispatch per basic block: profiler hook + trace
+                // entry check, then fall into the block body.
+                self.frames.last_mut().expect("frame exists").pc = pc + 1;
                 self.stats.block_dispatches += 1;
-                let bid = BlockId::new(func_id, block);
+                let bid = BlockId::new(func_id, d.b);
                 let node = self.bcg.observe(bid);
                 if self.bcg.has_signals() {
                     self.bcg.drain_signals_into(&mut self.signal_buf);
@@ -248,39 +273,30 @@ impl<'p> TracingVm<'p> {
                         .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
                 }
                 let prev = self.prev_block.replace(bid);
-                let at_block_start = pc == func.block(block).start;
-                if self.skip_entry_once {
-                    self.skip_entry_once = false;
-                    self.trace_stats.blocks_outside += 1;
-                } else if at_block_start {
-                    // Entry check through the BCG node's trace-link slot:
-                    // a version compare against the cache, no hashing.
-                    // (Unlike the monitor-only system, signals were just
-                    // handled, so a trace built by this very dispatch is
-                    // immediately enterable — the slot revalidates on the
-                    // version bump.)
-                    let tid = match (node, prev) {
-                        (Some(n), Some(_)) => self.cache.lookup_entry_cached(&mut self.bcg, n),
-                        (None, Some(p)) => self.cache.lookup_entry((p, bid)),
-                        (_, None) => None,
-                    };
-                    let ct = tid.and_then(|tid| self.compiled_for(tid));
-                    if let Some(ct) = ct {
-                        match self.execute_trace(&ct, prev)? {
-                            TraceRun::Finished(v) => break v,
-                            TraceRun::Completed | TraceRun::SideExited => continue,
-                        }
-                    } else {
-                        self.trace_stats.blocks_outside += 1;
+                // Entry check through the BCG node's trace-link slot: a
+                // version compare against the cache, no hashing. (Signals
+                // were just handled, so a trace built by this very
+                // dispatch is immediately enterable — the slot revalidates
+                // on the version bump.)
+                let tid = match (node, prev) {
+                    (Some(n), Some(_)) => self.cache.lookup_entry_cached(&mut self.bcg, n),
+                    (None, Some(p)) => self.cache.lookup_entry((p, bid)),
+                    (_, None) => None,
+                };
+                let lt = tid.and_then(|tid| self.lowered_for(tid));
+                if let Some(lt) = lt {
+                    match self.execute_trace(&lt, prev)? {
+                        TraceRun::Finished(v) => break v,
+                        TraceRun::Completed | TraceRun::SideExited => {}
                     }
                 } else {
                     self.trace_stats.blocks_outside += 1;
                 }
+                continue;
             }
 
             self.tick()?;
-            let ins = &func.code()[pc as usize];
-            match self.exec(ins)? {
+            match self.exec(d)? {
                 Step::Ok => {}
                 Step::Finished(v) => break v,
             }
@@ -308,19 +324,19 @@ impl<'p> TracingVm<'p> {
         Ok(())
     }
 
-    /// Resolves a linked trace id to its compiled form, compiling
-    /// (optimizing and fusing as configured) on first use; refreshes the
-    /// monomorphic hot-trace cache on success.
-    fn compiled_for(&mut self, tid: TraceId) -> Option<Rc<CompiledTrace>> {
-        if let Some((hot_tid, ct)) = &self.hot_trace {
+    /// Resolves a linked trace id to its lowered form, compiling
+    /// (optimizing and fusing as configured) and lowering on first use;
+    /// refreshes the monomorphic hot-trace cache on success.
+    fn lowered_for(&mut self, tid: TraceId) -> Option<Rc<LoweredTrace>> {
+        if let Some((hot_tid, lt)) = &self.hot_trace {
             if *hot_tid == tid {
-                return Some(Rc::clone(ct));
+                return Some(Rc::clone(lt));
             }
         }
         if self.uncompilable.contains(&tid) {
             return None;
         }
-        if !self.compiled.contains_key(&tid) {
+        if !self.lowered.contains_key(&tid) {
             match compile(self.program, self.cache.trace(tid)) {
                 Ok(mut ct) => {
                     if self.config.optimize {
@@ -338,7 +354,8 @@ impl<'p> TracingVm<'p> {
                         self.fuse_stats.after += s.after;
                         self.fuse_stats.fused_groups += s.fused_groups;
                     }
-                    self.compiled.insert(tid, Rc::new(ct));
+                    let lt = lower_trace(self.program, &mut self.decoded, &ct);
+                    self.lowered.insert(tid, Rc::new(lt));
                 }
                 Err(_) => {
                     self.uncompilable.insert(tid);
@@ -346,15 +363,15 @@ impl<'p> TracingVm<'p> {
                 }
             }
         }
-        let ct = Rc::clone(&self.compiled[&tid]);
-        self.hot_trace = Some((tid, Rc::clone(&ct)));
-        Some(ct)
+        let lt = Rc::clone(&self.lowered[&tid]);
+        self.hot_trace = Some((tid, Rc::clone(&lt)));
+        Some(lt)
     }
 
-    /// Executes one compiled trace.
+    /// Executes one lowered trace.
     fn execute_trace(
         &mut self,
-        ct: &Rc<CompiledTrace>,
+        lt: &Rc<LoweredTrace>,
         pre_entry: Option<BlockId>,
     ) -> Result<TraceRun, VmError> {
         self.trace_stats.entered += 1;
@@ -362,42 +379,59 @@ impl<'p> TracingVm<'p> {
         let mut instrs = 0u64;
 
         macro_rules! side_exit {
-            ($func:expr, $pc:expr) => {{
-                let f = self.frames.last_mut().expect("frame exists");
-                debug_assert_eq!(f.func, $func);
-                f.pc = $pc;
-                f.cur_block = NO_BLOCK;
+            ($exit:expr) => {{
+                let exit = $exit;
+                {
+                    let f = self.frames.last_mut().expect("frame exists");
+                    debug_assert_eq!(f.func, exit.func);
+                    f.pc = exit.dpc;
+                }
                 self.trace_stats.exited_early += 1;
                 self.trace_stats.blocks_in_partial += blocks_done;
                 self.trace_stats.instrs_in_partial += instrs;
                 let prev = if blocks_done == 0 {
                     pre_entry
                 } else {
-                    Some(ct.src_blocks[blocks_done as usize - 1])
+                    Some(lt.src_blocks[blocks_done as usize - 1])
                 };
                 if let Some(p) = prev {
                     self.bcg.set_context(p);
-                    self.prev_block = Some(p);
                 } else {
                     self.bcg.begin_stream();
-                    self.prev_block = None;
                 }
-                self.skip_entry_once = true;
+                // The resume pc sits past its block's entry marker, so
+                // the out-of-trace loop will not re-fire the dispatch:
+                // account for it eagerly, in the exact order the loop
+                // would (dispatch count, observe, signal handling,
+                // prev-block update, outside-block count). The resumed
+                // block never re-enters the trace whose guard just failed
+                // — the remainder of the block runs in interpreter code
+                // before the next dispatch point, as in the real system.
+                self.stats.block_dispatches += 1;
+                let bid = BlockId::new(exit.func, exit.block);
+                let _ = self.bcg.observe(bid);
+                if self.bcg.has_signals() {
+                    self.bcg.drain_signals_into(&mut self.signal_buf);
+                    self.constructor
+                        .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
+                }
+                self.prev_block = Some(bid);
+                self.trace_stats.blocks_outside += 1;
                 return Ok(TraceRun::SideExited);
             }};
         }
 
-        for t in ct.code.iter() {
+        for t in lt.code.iter() {
             match t {
-                TInstr::Op(ins) => {
+                XInstr::Op(d) => {
                     self.tick()?;
                     instrs += 1;
-                    match self.exec(ins)? {
+                    match self.exec(*d)? {
                         Step::Ok => {}
                         Step::Finished(_) => unreachable!("Op is never control"),
                     }
                 }
-                TInstr::Fused(f) => {
+                XInstr::Fused(f) => {
                     // Accounting-transparent: the group costs its full
                     // source width in fuel and instruction counts.
                     let w = f.width();
@@ -483,28 +517,25 @@ impl<'p> TracingVm<'p> {
                     }
                     frame.pc += w as u32;
                 }
-                TInstr::FallThrough => {
+                XInstr::FallThrough => {
                     blocks_done += 1;
                 }
-                TInstr::Jump { target, func, pc } => {
-                    let _ = (func, pc);
+                XInstr::Jump { target } => {
                     self.tick()?;
                     instrs += 1;
                     let f = self.frames.last_mut().expect("frame exists");
                     f.pc = *target;
-                    f.cur_block = NO_BLOCK;
                     blocks_done += 1;
                 }
-                TInstr::GuardCond {
+                XInstr::GuardCond {
                     kind,
                     expected_taken,
                     target,
-                    func,
-                    pc,
+                    exit,
                 } => {
                     let taken = self.eval_cond(*kind)?;
                     if taken != *expected_taken {
-                        side_exit!(*func, *pc);
+                        side_exit!(*exit);
                     }
                     self.tick()?;
                     instrs += 1;
@@ -517,18 +548,17 @@ impl<'p> TracingVm<'p> {
                         self.stats.taken_branches += 1;
                         f.pc = *target;
                     } else {
-                        f.pc = *pc + 1;
+                        // Decoded fall-through: the next block's marker.
+                        f.pc = exit.dpc + 1;
                     }
-                    f.cur_block = NO_BLOCK;
                     blocks_done += 1;
                 }
-                TInstr::GuardSwitch {
+                XInstr::GuardSwitch {
                     low,
                     targets,
                     default,
-                    expected_pc,
-                    func,
-                    pc,
+                    expected,
+                    exit,
                 } => {
                     let f = self.frames.last().expect("frame exists");
                     let v = f.stack.last().expect("verified").as_int()?;
@@ -538,8 +568,8 @@ impl<'p> TracingVm<'p> {
                     } else {
                         *default
                     };
-                    if actual != *expected_pc {
-                        side_exit!(*func, *pc);
+                    if actual != *expected {
+                        side_exit!(*exit);
                     }
                     self.tick()?;
                     instrs += 1;
@@ -547,27 +577,27 @@ impl<'p> TracingVm<'p> {
                     self.stats.taken_branches += 1;
                     let f = self.frames.last_mut().expect("frame exists");
                     f.stack.pop();
-                    f.pc = *expected_pc;
-                    f.cur_block = NO_BLOCK;
+                    f.pc = *expected;
                     blocks_done += 1;
                 }
-                TInstr::EnterStatic { callee, func, pc } => {
-                    let _ = func;
+                XInstr::EnterStatic { callee, ret } => {
                     self.tick()?;
                     instrs += 1;
                     {
                         let f = self.frames.last_mut().expect("frame exists");
-                        f.pc = *pc + 1;
+                        f.pc = *ret;
                     }
-                    self.push_call(*callee)?;
+                    // The callee starts past its entry marker: its block-0
+                    // dispatch is absorbed by the trace.
+                    self.push_call(*callee, 1)?;
                     blocks_done += 1;
                 }
-                TInstr::GuardVirtual {
+                XInstr::GuardVirtual {
                     slot,
                     argc,
                     expected,
-                    func,
-                    pc,
+                    ret,
+                    exit,
                 } => {
                     let f = self.frames.last().expect("frame exists");
                     let recv_idx = f.stack.len() - *argc as usize;
@@ -583,34 +613,35 @@ impl<'p> TracingVm<'p> {
                     };
                     let callee = self.program.class(class).resolve(*slot);
                     if callee != *expected {
-                        side_exit!(*func, *pc);
+                        side_exit!(*exit);
                     }
                     self.tick()?;
                     instrs += 1;
                     self.stats.virtual_calls += 1;
                     {
                         let f = self.frames.last_mut().expect("frame exists");
-                        f.pc = *pc + 1;
+                        f.pc = *ret;
                     }
-                    self.push_call(callee)?;
+                    self.push_call(callee, 1)?;
                     blocks_done += 1;
                 }
-                TInstr::GuardReturn {
+                XInstr::GuardReturn {
                     expected,
                     has_value,
-                    func,
-                    pc,
+                    exit,
                 } => {
                     if self.frames.len() < 2 {
                         // Returning from the outermost frame ends the
                         // program; hand it to the interpreter.
-                        side_exit!(*func, *pc);
+                        side_exit!(*exit);
                     }
                     let caller = &self.frames[self.frames.len() - 2];
-                    let cf = self.program.function(caller.func);
-                    let cont = BlockId::new(caller.func, cf.block_index_of(caller.pc));
+                    let cont = BlockId::new(
+                        caller.func,
+                        self.decoded.func(caller.func).block_of[caller.pc as usize],
+                    );
                     if cont != *expected {
-                        side_exit!(*func, *pc);
+                        side_exit!(*exit);
                     }
                     self.tick()?;
                     instrs += 1;
@@ -622,16 +653,15 @@ impl<'p> TracingVm<'p> {
                     }
                     blocks_done += 1;
                 }
-                TInstr::Finish { instr, func, pc } => {
-                    let _ = func;
+                XInstr::Finish { op: d, exit } => {
                     {
                         let f = self.frames.last_mut().expect("frame exists");
-                        f.pc = *pc;
+                        f.pc = exit.dpc;
                     }
                     self.tick()?;
                     instrs += 1;
                     blocks_done += 1;
-                    match self.exec(instr)? {
+                    match self.exec(*d)? {
                         Step::Ok => {}
                         Step::Finished(v) => {
                             self.trace_stats.completed += 1;
@@ -648,7 +678,7 @@ impl<'p> TracingVm<'p> {
         self.trace_stats.completed += 1;
         self.trace_stats.blocks_in_completed += blocks_done;
         self.trace_stats.instrs_in_completed += instrs;
-        let last = *ct.src_blocks.last().expect("traces are nonempty");
+        let last = *lt.src_blocks.last().expect("traces are nonempty");
         self.bcg.set_context(last);
         self.prev_block = Some(last);
         Ok(TraceRun::Completed)
@@ -678,9 +708,11 @@ impl<'p> TracingVm<'p> {
         })
     }
 
-    /// Pops arguments and pushes a callee frame; the caller's `pc` must
+    /// Pops arguments and pushes a callee frame starting at decoded
+    /// `start_pc` (0 out of trace — the entry marker fires a dispatch —
+    /// or 1 in-trace, where the trace absorbs it); the caller's `pc` must
     /// already point at the continuation.
-    fn push_call(&mut self, callee: FuncId) -> Result<(), VmError> {
+    fn push_call(&mut self, callee: FuncId, start_pc: u32) -> Result<(), VmError> {
         if self.frames.len() >= self.config.jit.vm.max_frames {
             return Err(VmError::CallStackOverflow);
         }
@@ -689,8 +721,8 @@ impl<'p> TracingVm<'p> {
         let argc = cf.num_params() as usize;
         let frame = self.frames.last_mut().expect("frame exists");
         let split = frame.stack.len() - argc;
-        let mut callee_frame = ExFrame::new(callee, cf.num_locals(), &[]);
-        callee_frame.locals[..argc].copy_from_slice(&frame.stack[split..]);
+        let mut callee_frame = ExFrame::new(callee, cf.num_locals(), &frame.stack[split..]);
+        callee_frame.pc = start_pc;
         frame.stack.truncate(split);
         self.frames.push(callee_frame);
         self.stats.max_frame_depth = self.stats.max_frame_depth.max(self.frames.len());
@@ -713,10 +745,10 @@ impl<'p> TracingVm<'p> {
         }
     }
 
-    /// Executes one instruction with full interpreter semantics. The
-    /// caller is responsible for fuel accounting ([`Self::tick`]).
+    /// Executes one decoded instruction with full interpreter semantics.
+    /// The caller is responsible for fuel accounting ([`Self::tick`]).
     #[inline(always)]
-    fn exec(&mut self, ins: &Instr) -> Result<Step, VmError> {
+    fn exec(&mut self, d: DOp) -> Result<Step, VmError> {
         let program = self.program;
         macro_rules! frame {
             () => {
@@ -729,45 +761,49 @@ impl<'p> TracingVm<'p> {
             };
         }
         macro_rules! binop_i {
-            ($f:expr, $op:expr) => {{
-                let b = pop!($f).as_int()?;
-                let a = pop!($f).as_int()?;
-                $f.stack.push(Value::Int($op(a, b)));
-                $f.pc += 1;
+            ($op:expr) => {{
+                let f = frame!();
+                let b = pop!(f).as_int()?;
+                let a = pop!(f).as_int()?;
+                f.stack.push(Value::Int($op(a, b)));
+                f.pc += 1;
             }};
         }
         macro_rules! binop_f {
-            ($f:expr, $op:expr) => {{
-                let b = pop!($f).as_float()?;
-                let a = pop!($f).as_float()?;
-                $f.stack.push(Value::Float($op(a, b)));
-                $f.pc += 1;
+            ($op:expr) => {{
+                let f = frame!();
+                let b = pop!(f).as_float()?;
+                let a = pop!(f).as_float()?;
+                f.stack.push(Value::Float($op(a, b)));
+                f.pc += 1;
             }};
         }
 
-        match ins {
-            Instr::IConst(v) => {
+        match d.op {
+            op::ICONST => {
+                let v = self.decoded.iconsts[d.b as usize];
                 let f = frame!();
-                f.stack.push(Value::Int(*v));
+                f.stack.push(Value::Int(v));
                 f.pc += 1;
             }
-            Instr::FConst(v) => {
+            op::FCONST => {
+                let v = self.decoded.fconsts[d.b as usize];
                 let f = frame!();
-                f.stack.push(Value::Float(*v));
+                f.stack.push(Value::Float(v));
                 f.pc += 1;
             }
-            Instr::ConstNull => {
+            op::CONST_NULL => {
                 let f = frame!();
                 f.stack.push(Value::Null);
                 f.pc += 1;
             }
-            Instr::Dup => {
+            op::DUP => {
                 let f = frame!();
                 let v = *f.stack.last().expect("verified");
                 f.stack.push(v);
                 f.pc += 1;
             }
-            Instr::Dup2 => {
+            op::DUP2 => {
                 let f = frame!();
                 let n = f.stack.len();
                 let a = f.stack[n - 2];
@@ -776,38 +812,38 @@ impl<'p> TracingVm<'p> {
                 f.stack.push(b);
                 f.pc += 1;
             }
-            Instr::Pop => {
+            op::POP => {
                 let f = frame!();
                 let _ = pop!(f);
                 f.pc += 1;
             }
-            Instr::Swap => {
+            op::SWAP => {
                 let f = frame!();
                 let n = f.stack.len();
                 f.stack.swap(n - 1, n - 2);
                 f.pc += 1;
             }
-            Instr::Load(slot) => {
+            op::LOAD => {
                 let f = frame!();
-                f.stack.push(f.locals[*slot as usize]);
+                f.stack.push(f.locals[d.a as usize]);
                 f.pc += 1;
             }
-            Instr::Store(slot) => {
+            op::STORE => {
                 let f = frame!();
                 let v = pop!(f);
-                f.locals[*slot as usize] = v;
+                f.locals[d.a as usize] = v;
                 f.pc += 1;
             }
-            Instr::IInc(slot, delta) => {
+            op::IINC => {
                 let f = frame!();
-                let v = f.locals[*slot as usize].as_int()?;
-                f.locals[*slot as usize] = Value::Int(v.wrapping_add(*delta as i64));
+                let v = f.locals[d.a as usize].as_int()?;
+                f.locals[d.a as usize] = Value::Int(v.wrapping_add(d.b as i32 as i64));
                 f.pc += 1;
             }
-            Instr::IAdd => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_add(b)),
-            Instr::ISub => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_sub(b)),
-            Instr::IMul => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_mul(b)),
-            Instr::IDiv => {
+            op::IADD => binop_i!(|a: i64, b: i64| a.wrapping_add(b)),
+            op::ISUB => binop_i!(|a: i64, b: i64| a.wrapping_sub(b)),
+            op::IMUL => binop_i!(|a: i64, b: i64| a.wrapping_mul(b)),
+            op::IDIV => {
                 let f = frame!();
                 let b = pop!(f).as_int()?;
                 let a = pop!(f).as_int()?;
@@ -817,7 +853,7 @@ impl<'p> TracingVm<'p> {
                 f.stack.push(Value::Int(a.wrapping_div(b)));
                 f.pc += 1;
             }
-            Instr::IRem => {
+            op::IREM => {
                 let f = frame!();
                 let b = pop!(f).as_int()?;
                 let a = pop!(f).as_int()?;
@@ -827,140 +863,121 @@ impl<'p> TracingVm<'p> {
                 f.stack.push(Value::Int(a.wrapping_rem(b)));
                 f.pc += 1;
             }
-            Instr::INeg => {
+            op::INEG => {
                 let f = frame!();
                 let a = pop!(f).as_int()?;
                 f.stack.push(Value::Int(a.wrapping_neg()));
                 f.pc += 1;
             }
-            Instr::IShl => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
-            Instr::IShr => binop_i!(frame!(), |a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
-            Instr::IUShr => binop_i!(frame!(), |a: i64, b: i64| ((a as u64) >> (b as u32 & 63))
-                as i64),
-            Instr::IAnd => binop_i!(frame!(), |a: i64, b: i64| a & b),
-            Instr::IOr => binop_i!(frame!(), |a: i64, b: i64| a | b),
-            Instr::IXor => binop_i!(frame!(), |a: i64, b: i64| a ^ b),
-            Instr::FAdd => binop_f!(frame!(), |a: f64, b: f64| a + b),
-            Instr::FSub => binop_f!(frame!(), |a: f64, b: f64| a - b),
-            Instr::FMul => binop_f!(frame!(), |a: f64, b: f64| a * b),
-            Instr::FDiv => binop_f!(frame!(), |a: f64, b: f64| a / b),
-            Instr::FNeg => {
+            op::ISHL => binop_i!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+            op::ISHR => binop_i!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+            op::IUSHR => binop_i!(|a: i64, b: i64| ((a as u64) >> (b as u32 & 63)) as i64),
+            op::IAND => binop_i!(|a: i64, b: i64| a & b),
+            op::IOR => binop_i!(|a: i64, b: i64| a | b),
+            op::IXOR => binop_i!(|a: i64, b: i64| a ^ b),
+            op::FADD => binop_f!(|a: f64, b: f64| a + b),
+            op::FSUB => binop_f!(|a: f64, b: f64| a - b),
+            op::FMUL => binop_f!(|a: f64, b: f64| a * b),
+            op::FDIV => binop_f!(|a: f64, b: f64| a / b),
+            op::FNEG => {
                 let f = frame!();
                 let a = pop!(f).as_float()?;
                 f.stack.push(Value::Float(-a));
                 f.pc += 1;
             }
-            Instr::I2F => {
+            op::I2F => {
                 let f = frame!();
                 let a = pop!(f).as_int()?;
                 f.stack.push(Value::Float(a as f64));
                 f.pc += 1;
             }
-            Instr::F2I => {
+            op::F2I => {
                 let f = frame!();
                 let a = pop!(f).as_float()?;
                 f.stack.push(Value::Int(a as i64));
                 f.pc += 1;
             }
-            Instr::IfICmp(op, target) => {
+            o @ op::IF_ICMP_EQ..=op::IF_ICMP_GE => {
                 let f = frame!();
                 let b = pop!(f).as_int()?;
                 let a = pop!(f).as_int()?;
                 self.stats.branches += 1;
-                let f = frame!();
-                if op.eval_i64(a, b) {
+                if eval_i_rel(o - op::IF_ICMP_EQ, a, b) {
                     self.stats.taken_branches += 1;
-                    let f = frame!();
-                    f.pc = *target;
-                    f.cur_block = NO_BLOCK;
-                } else {
-                    f.pc += 1;
-                }
-            }
-            Instr::IfI(op, target) => {
-                let f = frame!();
-                let a = pop!(f).as_int()?;
-                self.stats.branches += 1;
-                if op.eval_i64(a, 0) {
-                    self.stats.taken_branches += 1;
-                    let f = frame!();
-                    f.pc = *target;
-                    f.cur_block = NO_BLOCK;
+                    frame!().pc = d.b;
                 } else {
                     frame!().pc += 1;
                 }
             }
-            Instr::IfFCmp(op, target) => {
+            o @ op::IF_I_EQ..=op::IF_I_GE => {
+                let f = frame!();
+                let a = pop!(f).as_int()?;
+                self.stats.branches += 1;
+                if eval_i_rel(o - op::IF_I_EQ, a, 0) {
+                    self.stats.taken_branches += 1;
+                    frame!().pc = d.b;
+                } else {
+                    frame!().pc += 1;
+                }
+            }
+            o @ op::IF_FCMP_EQ..=op::IF_FCMP_GE => {
                 let f = frame!();
                 let b = pop!(f).as_float()?;
                 let a = pop!(f).as_float()?;
                 self.stats.branches += 1;
-                if op.eval_f64(a, b) {
+                if eval_f_rel(o - op::IF_FCMP_EQ, a, b) {
                     self.stats.taken_branches += 1;
-                    let f = frame!();
-                    f.pc = *target;
-                    f.cur_block = NO_BLOCK;
+                    frame!().pc = d.b;
                 } else {
                     frame!().pc += 1;
                 }
             }
-            Instr::IfNull(target) => {
+            op::IF_NULL => {
                 let f = frame!();
                 let v = pop!(f);
                 self.stats.branches += 1;
                 if matches!(v, Value::Null) {
                     self.stats.taken_branches += 1;
-                    let f = frame!();
-                    f.pc = *target;
-                    f.cur_block = NO_BLOCK;
+                    frame!().pc = d.b;
                 } else {
                     frame!().pc += 1;
                 }
             }
-            Instr::IfNonNull(target) => {
+            op::IF_NON_NULL => {
                 let f = frame!();
                 let v = pop!(f);
                 self.stats.branches += 1;
                 if !matches!(v, Value::Null) {
                     self.stats.taken_branches += 1;
-                    let f = frame!();
-                    f.pc = *target;
-                    f.cur_block = NO_BLOCK;
+                    frame!().pc = d.b;
                 } else {
                     frame!().pc += 1;
                 }
             }
-            Instr::Goto(target) => {
-                let f = frame!();
-                f.pc = *target;
-                f.cur_block = NO_BLOCK;
+            op::GOTO => {
+                frame!().pc = d.b;
             }
-            Instr::TableSwitch {
-                low,
-                targets,
-                default,
-            } => {
+            op::TABLE_SWITCH => {
                 let f = frame!();
                 let v = pop!(f).as_int()?;
                 self.stats.branches += 1;
                 self.stats.taken_branches += 1;
-                let idx = v.wrapping_sub(*low);
-                let target = if idx >= 0 && (idx as usize) < targets.len() {
-                    targets[idx as usize]
+                let sw = &self.decoded.switches[d.b as usize];
+                let idx = v.wrapping_sub(sw.low);
+                let target = if idx >= 0 && (idx as usize) < sw.targets.len() {
+                    sw.targets[idx as usize]
                 } else {
-                    *default
+                    sw.default
                 };
-                let f = frame!();
-                f.pc = target;
-                f.cur_block = NO_BLOCK;
+                frame!().pc = target;
             }
-            Instr::InvokeStatic(callee) => {
+            op::INVOKE_STATIC => {
                 frame!().pc += 1;
-                self.push_call(*callee)?;
+                self.push_call(FuncId(d.b), 0)?;
             }
-            Instr::InvokeVirtual { slot, argc } => {
+            op::INVOKE_VIRTUAL => {
                 let f = frame!();
-                let recv_idx = f.stack.len() - *argc as usize;
+                let recv_idx = f.stack.len() - d.b as usize;
                 let recv = f.stack[recv_idx].as_ref_id()?;
                 let class = match self.heap.get(recv) {
                     HeapObj::Object { class, .. } => *class,
@@ -971,12 +988,12 @@ impl<'p> TracingVm<'p> {
                         })
                     }
                 };
-                let callee = program.class(class).resolve(*slot);
+                let callee = program.class(class).resolve(d.a);
                 self.stats.virtual_calls += 1;
                 frame!().pc += 1;
-                self.push_call(callee)?;
+                self.push_call(callee, 0)?;
             }
-            Instr::Return => {
+            op::RETURN => {
                 let f = frame!();
                 let v = pop!(f);
                 self.stats.returns += 1;
@@ -986,28 +1003,27 @@ impl<'p> TracingVm<'p> {
                     Some(caller) => caller.stack.push(v),
                 }
             }
-            Instr::ReturnVoid => {
+            op::RETURN_VOID => {
                 self.stats.returns += 1;
                 self.frames.pop();
                 if self.frames.is_empty() {
                     return Ok(Step::Finished(None));
                 }
             }
-            Instr::New(class) => {
+            op::NEW => {
                 self.maybe_collect();
-                let num_fields = program.class(*class).num_fields();
-                let r = self.heap.alloc_object(*class, num_fields);
+                let r = self.heap.alloc_object(ClassId(d.b), d.a);
                 let f = frame!();
                 f.stack.push(Value::Ref(r));
                 f.pc += 1;
             }
-            Instr::GetField(n) => {
+            op::GET_FIELD => {
                 let f = frame!();
                 let obj = pop!(f).as_ref_id()?;
                 match self.heap.get(obj) {
                     HeapObj::Object { fields, .. } => {
-                        let v = *fields.get(*n as usize).ok_or(VmError::BadField {
-                            field: *n,
+                        let v = *fields.get(d.a as usize).ok_or(VmError::BadField {
+                            field: d.a,
                             num_fields: fields.len() as u16,
                         })?;
                         let f = frame!();
@@ -1022,7 +1038,7 @@ impl<'p> TracingVm<'p> {
                     }
                 }
             }
-            Instr::PutField(n) => {
+            op::PUT_FIELD => {
                 let f = frame!();
                 let v = pop!(f);
                 let obj = pop!(f).as_ref_id()?;
@@ -1030,8 +1046,8 @@ impl<'p> TracingVm<'p> {
                 match self.heap.get_mut(obj) {
                     HeapObj::Object { fields, .. } => {
                         let len = fields.len();
-                        *fields.get_mut(*n as usize).ok_or(VmError::BadField {
-                            field: *n,
+                        *fields.get_mut(d.a as usize).ok_or(VmError::BadField {
+                            field: d.a,
                             num_fields: len as u16,
                         })? = v;
                     }
@@ -1043,7 +1059,7 @@ impl<'p> TracingVm<'p> {
                     }
                 }
             }
-            Instr::NewArray => {
+            op::NEW_ARRAY => {
                 let f = frame!();
                 let len = pop!(f).as_int()?;
                 self.maybe_collect();
@@ -1052,7 +1068,7 @@ impl<'p> TracingVm<'p> {
                 f.stack.push(Value::Ref(r));
                 f.pc += 1;
             }
-            Instr::ALoad => {
+            op::ALOAD => {
                 let f = frame!();
                 let idx = pop!(f).as_int()?;
                 let arr = pop!(f).as_ref_id()?;
@@ -1077,7 +1093,7 @@ impl<'p> TracingVm<'p> {
                     }
                 }
             }
-            Instr::AStore => {
+            op::ASTORE => {
                 let f = frame!();
                 let v = pop!(f);
                 let idx = pop!(f).as_int()?;
@@ -1101,7 +1117,7 @@ impl<'p> TracingVm<'p> {
                     }
                 }
             }
-            Instr::ArrayLen => {
+            op::ARRAY_LEN => {
                 let f = frame!();
                 let arr = pop!(f).as_ref_id()?;
                 match self.heap.get(arr) {
@@ -1119,10 +1135,13 @@ impl<'p> TracingVm<'p> {
                     }
                 }
             }
-            Instr::Intrinsic(i) => self.exec_intrinsic(*i)?,
-            Instr::Nop => {
+            o @ op::SQRT..=op::CHECKSUM => {
+                self.exec_intrinsic(INTRINSIC_ORDER[(o - op::SQRT) as usize])?
+            }
+            op::NOP => {
                 frame!().pc += 1;
             }
+            other => unreachable!("corrupt decoded stream: opcode {other}"),
         }
         Ok(Step::Ok)
     }
@@ -1541,5 +1560,17 @@ mod tests {
             engine.run(&[Value::Int(1_000_000)]),
             Err(VmError::OutOfFuel)
         );
+    }
+
+    #[test]
+    fn lowered_traces_report_memory_and_share_pools() {
+        let program = loop_program();
+        let mut engine = TracingVm::new(&program, EngineConfig::paper_default());
+        engine.run(&[Value::Int(20_000)]).unwrap();
+        assert!(engine.compiled_count() > 0);
+        assert!(engine.lowered_memory() > 0);
+        // Trace lowering reuses the program pools; the tiny loop adds no
+        // novel constants without the optimizer.
+        assert!(engine.decoded().iconsts.len() < 16);
     }
 }

@@ -19,19 +19,27 @@
 //!   optimisation is sound as long as side exits restore interpreter
 //!   state — which the guards guarantee by construction (they resume at
 //!   the guarded instruction with the operand stack untouched).
+//! * [`lower`] — lowers compiled traces onto the VM's pre-decoded form:
+//!   a [`LoweredTrace`] is a flat [`XInstr`] stream whose ordinary ops
+//!   are 8-byte decoded `DOp`s and whose guards carry pre-resolved
+//!   side-[`Exit`]s (decoded pc + block), so leaving a trace lands the
+//!   decoded interpreter directly on the right instruction.
 //! * [`engine`] — [`TracingVm`], a complete execution engine that
-//!   interprets out-of-trace code block-by-block (with the profiler
-//!   attached, as in the base system) and executes cached traces from
-//!   their compiled form, eliminating the per-block dispatch and
-//!   profiling points inside traces. Differential tests pin its
-//!   semantics against the baseline interpreter on all six workloads.
+//!   interprets out-of-trace code block-by-block over the decoded
+//!   streams (with the profiler attached, as in the base system) and
+//!   executes cached traces from their lowered form, eliminating the
+//!   per-block dispatch and profiling points inside traces.
+//!   Differential tests pin its semantics against the baseline
+//!   interpreter on all six workloads.
 
 pub mod compile;
 pub mod engine;
 pub mod fuse;
+pub mod lower;
 pub mod opt;
 
 pub use compile::{compile, CompileError, CompiledTrace, CondKind, TInstr};
 pub use engine::{EngineConfig, TracingVm};
 pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
+pub use lower::{lower_trace, Exit, LoweredTrace, XInstr};
 pub use opt::{optimize, OptStats};

@@ -1,0 +1,371 @@
+//! Lowering compiled traces to the decoded threaded form.
+//!
+//! [`crate::compile`], [`crate::opt`] and [`crate::fuse`] all work on
+//! [`TInstr`] over source [`jvm_bytecode::Instr`]s — the right level for
+//! flattening and peephole rewriting. The engine, however, executes the
+//! *decoded* form everywhere ([`jvm_vm::DecodedProgram`]): out-of-trace
+//! code runs from the flat marker-threaded streams, so the in-trace form
+//! must speak the same language. This pass translates a finished
+//! [`CompiledTrace`] into an [`XInstr`] sequence:
+//!
+//! * plain instructions become fixed-width [`DOp`]s, interning any
+//!   constants the optimizer invented into the program pools;
+//! * every control instruction's pc anchors are rebased into decoded
+//!   indices — branch targets point at the destination block's entry
+//!   marker, side-exit resume points ([`Exit::dpc`]) at the guarded
+//!   instruction itself (just *past* its block marker, so the resumed
+//!   interpreter re-executes the instruction without re-firing a
+//!   dispatch — the eager side-exit bookkeeping in the engine has already
+//!   accounted for it);
+//! * the final [`TInstr::Finish`] terminator is not re-encoded: the
+//!   original decoded stream already holds its exact [`DOp`] (with branch
+//!   targets resolved) at `pc_map[pc]`, and neither the optimizer nor
+//!   fusion ever rewrites control instructions.
+//!
+//! Lowering is infallible: it runs on traces [`crate::compile`] already
+//! verified against the program's control flow.
+
+use jvm_bytecode::{BlockId, FuncId, Program};
+use jvm_vm::{DOp, DecodedProgram};
+use trace_cache::TraceId;
+
+use crate::compile::{CompiledTrace, CondKind, TInstr};
+use crate::fuse::Fused;
+
+/// A side-exit anchor: where the interpreter resumes when a guard fails,
+/// in decoded coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exit {
+    /// Function owning the guarded instruction.
+    pub func: FuncId,
+    /// Decoded index of the guarded instruction (the resume point).
+    pub dpc: u32,
+    /// Block index containing it — the dispatch the engine must account
+    /// for eagerly, since the resumed pc sits past the block's marker.
+    pub block: u32,
+}
+
+/// One instruction of a lowered (decoded-form) trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XInstr {
+    /// A plain decoded instruction, executed exactly as the out-of-trace
+    /// loop would.
+    Op(DOp),
+    /// A fused superinstruction (unchanged by lowering; it reads locals
+    /// directly and never needs pc anchors).
+    Fused(Fused),
+    /// Block boundary with fall-through (no control transfer).
+    FallThrough,
+    /// Unconditional jump: sets the frame pc to a decoded block marker.
+    Jump {
+        /// Decoded index of the destination block's entry marker.
+        target: u32,
+    },
+    /// Guarded conditional branch.
+    GuardCond {
+        /// Branch shape.
+        kind: CondKind,
+        /// Direction the trace recorded.
+        expected_taken: bool,
+        /// Decoded marker index taken branches jump to.
+        target: u32,
+        /// Side-exit anchor.
+        exit: Exit,
+    },
+    /// Guarded `tableswitch` with a decoded jump table.
+    GuardSwitch {
+        /// Selector value mapped to `targets[0]`.
+        low: i64,
+        /// Decoded jump table (marker indices).
+        targets: Box<[u32]>,
+        /// Decoded out-of-range target.
+        default: u32,
+        /// Decoded marker the trace expects the switch to select.
+        /// Marker indices are injective over blocks, so comparing decoded
+        /// targets is equivalent to comparing source pcs.
+        expected: u32,
+        /// Side-exit anchor.
+        exit: Exit,
+    },
+    /// Static call whose callee body continues the trace.
+    EnterStatic {
+        /// The callee.
+        callee: FuncId,
+        /// Decoded continuation pc in the caller (the slot after the call
+        /// — the next block's marker, since calls end blocks).
+        ret: u32,
+    },
+    /// Virtual call with a receiver guard.
+    GuardVirtual {
+        /// Vtable slot.
+        slot: u16,
+        /// Argument count including the receiver.
+        argc: u16,
+        /// Callee the trace recorded.
+        expected: FuncId,
+        /// Decoded continuation pc in the caller.
+        ret: u32,
+        /// Side-exit anchor.
+        exit: Exit,
+    },
+    /// Return with a continuation guard.
+    GuardReturn {
+        /// The continuation block the trace recorded.
+        expected: BlockId,
+        /// Whether a value is returned.
+        has_value: bool,
+        /// Side-exit anchor.
+        exit: Exit,
+    },
+    /// The final block's terminator, executed with full interpreter
+    /// semantics from its original decoded form.
+    Finish {
+        /// The decoded terminator (targets already rebased by the
+        /// program-wide decode pass).
+        op: DOp,
+        /// Anchor carrying the decoded pc to re-anchor the frame at
+        /// before execution.
+        exit: Exit,
+    },
+}
+
+/// A trace in decoded threaded form, ready for the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredTrace {
+    /// The cache id this was lowered from.
+    pub trace_id: TraceId,
+    /// The lowered instruction sequence.
+    pub code: Vec<XInstr>,
+    /// The source block sequence (owned copy for side-exit context
+    /// reconstruction and completion accounting).
+    pub src_blocks: Vec<BlockId>,
+    /// Source instruction count (pre-optimisation baseline).
+    pub src_instrs: usize,
+}
+
+impl LoweredTrace {
+    /// Number of source basic blocks.
+    pub fn blocks(&self) -> usize {
+        self.src_blocks.len()
+    }
+
+    /// Real byte footprint of the lowered code (capacities).
+    pub fn memory_estimate(&self) -> usize {
+        let mut bytes = self.code.capacity() * std::mem::size_of::<XInstr>()
+            + self.src_blocks.capacity() * std::mem::size_of::<BlockId>();
+        for x in &self.code {
+            if let XInstr::GuardSwitch { targets, .. } = x {
+                bytes += targets.len() * 4;
+            }
+        }
+        bytes
+    }
+}
+
+/// Lowers a compiled trace into decoded form, interning optimizer-made
+/// constants into the program pools.
+pub fn lower_trace(
+    program: &Program,
+    decoded: &mut DecodedProgram,
+    ct: &CompiledTrace,
+) -> LoweredTrace {
+    let exit_of = |decoded: &DecodedProgram, func: FuncId, pc: u32| -> Exit {
+        let df = decoded.func(func);
+        let dpc = df.pc_map[pc as usize];
+        Exit {
+            func,
+            dpc,
+            block: df.block_of[dpc as usize],
+        }
+    };
+    let marker = |decoded: &DecodedProgram, func: FuncId, target: u32| -> u32 {
+        decoded.func(func).block_entry(target)
+    };
+
+    let code = ct
+        .code
+        .iter()
+        .map(|t| match t {
+            TInstr::Op(ins) => XInstr::Op(
+                decoded
+                    .encode_straightline(program, ins)
+                    .expect("trace Op instructions are straight-line"),
+            ),
+            TInstr::Fused(f) => XInstr::Fused(*f),
+            TInstr::FallThrough => XInstr::FallThrough,
+            TInstr::Jump { target, func, pc } => {
+                let _ = pc;
+                XInstr::Jump {
+                    target: marker(decoded, *func, *target),
+                }
+            }
+            TInstr::GuardCond {
+                kind,
+                expected_taken,
+                target,
+                func,
+                pc,
+            } => XInstr::GuardCond {
+                kind: *kind,
+                expected_taken: *expected_taken,
+                target: marker(decoded, *func, *target),
+                exit: exit_of(decoded, *func, *pc),
+            },
+            TInstr::GuardSwitch {
+                low,
+                targets,
+                default,
+                expected_pc,
+                func,
+                pc,
+            } => XInstr::GuardSwitch {
+                low: *low,
+                targets: targets.iter().map(|&t| marker(decoded, *func, t)).collect(),
+                default: marker(decoded, *func, *default),
+                expected: marker(decoded, *func, *expected_pc),
+                exit: exit_of(decoded, *func, *pc),
+            },
+            TInstr::EnterStatic { callee, func, pc } => XInstr::EnterStatic {
+                callee: *callee,
+                ret: exit_of(decoded, *func, *pc).dpc + 1,
+            },
+            TInstr::GuardVirtual {
+                slot,
+                argc,
+                expected,
+                func,
+                pc,
+            } => XInstr::GuardVirtual {
+                slot: *slot,
+                argc: *argc,
+                expected: *expected,
+                ret: exit_of(decoded, *func, *pc).dpc + 1,
+                exit: exit_of(decoded, *func, *pc),
+            },
+            TInstr::GuardReturn {
+                expected,
+                has_value,
+                func,
+                pc,
+            } => XInstr::GuardReturn {
+                expected: *expected,
+                has_value: *has_value,
+                exit: exit_of(decoded, *func, *pc),
+            },
+            TInstr::Finish { instr, func, pc } => {
+                let _ = instr;
+                let exit = exit_of(decoded, *func, *pc);
+                XInstr::Finish {
+                    op: decoded.func(*func).code[exit.dpc as usize],
+                    exit,
+                }
+            }
+        })
+        .collect();
+
+    LoweredTrace {
+        trace_id: ct.trace_id,
+        code,
+        src_blocks: ct.src_blocks.clone(),
+        src_instrs: ct.src_instrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::{CmpOp, Instr, ProgramBuilder};
+    use jvm_vm::decode::op;
+    use trace_cache::TraceCache;
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        pb.build(f).unwrap()
+    }
+
+    fn lowered_loop() -> (Program, DecodedProgram, LoweredTrace) {
+        let p = loop_program();
+        let mut d = DecodedProgram::decode(&p);
+        let blk = |b: u32| BlockId::new(p.entry(), b);
+        let mut cache = TraceCache::new();
+        let (id, _) = cache.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2), blk(1)], 0.99);
+        let ct = crate::compile::compile(&p, cache.trace(id)).unwrap();
+        let lt = lower_trace(&p, &mut d, &ct);
+        (p, d, lt)
+    }
+
+    #[test]
+    fn branch_targets_land_on_markers() {
+        let (p, d, lt) = lowered_loop();
+        let df = d.func(p.entry());
+        for x in &lt.code {
+            let t = match x {
+                XInstr::Jump { target } => Some(*target),
+                XInstr::GuardCond { target, .. } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = t {
+                assert_eq!(df.code[t as usize].op, op::ENTER_BLOCK);
+            }
+        }
+    }
+
+    #[test]
+    fn exits_resume_past_their_block_marker() {
+        let (p, d, lt) = lowered_loop();
+        let df = d.func(p.entry());
+        for x in &lt.code {
+            if let XInstr::GuardCond { exit, .. } = x {
+                assert_ne!(df.code[exit.dpc as usize].op, op::ENTER_BLOCK);
+                assert_eq!(df.block_of[exit.dpc as usize], exit.block);
+            }
+        }
+    }
+
+    #[test]
+    fn finish_reuses_the_original_decoded_terminator() {
+        let (p, d, lt) = lowered_loop();
+        let df = d.func(p.entry());
+        let last = lt.code.last().expect("nonempty");
+        match last {
+            XInstr::Finish { op: dop, exit } => {
+                assert_eq!(*dop, df.code[exit.dpc as usize]);
+            }
+            other => panic!("expected Finish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimizer_constants_are_interned_on_demand() {
+        let p = loop_program();
+        let mut d = DecodedProgram::decode(&p);
+        assert!(!d.iconsts.contains(&42));
+        let dop = d
+            .encode_straightline(&p, &Instr::IConst(42))
+            .expect("iconst is straight-line");
+        assert_eq!(dop.op, op::ICONST);
+        assert_eq!(d.iconsts[dop.b as usize], 42);
+        // Interning is idempotent.
+        let again = d.encode_straightline(&p, &Instr::IConst(42)).unwrap();
+        assert_eq!(again.b, dop.b);
+    }
+
+    #[test]
+    fn control_instructions_refuse_straightline_encoding() {
+        let p = loop_program();
+        let mut d = DecodedProgram::decode(&p);
+        assert!(d.encode_straightline(&p, &Instr::Goto(0)).is_none());
+        assert!(d.encode_straightline(&p, &Instr::Return).is_none());
+    }
+}

@@ -30,11 +30,14 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Creates a frame for `func` with `num_locals` zeroed locals, the
-    /// first of which are filled from `args`.
+    /// Creates a frame for `func` with `num_locals` locals: the first are
+    /// filled from `args`, and only the tail is zeroed (args-first fill —
+    /// the argument prefix is written exactly once).
     pub fn new(func: FuncId, num_locals: u16, args: &[Value]) -> Self {
-        let mut locals = vec![Value::default(); num_locals as usize];
-        locals[..args.len()].copy_from_slice(args);
+        assert!(args.len() <= num_locals as usize, "more args than locals");
+        let mut locals = Vec::with_capacity(num_locals as usize);
+        locals.extend_from_slice(args);
+        locals.resize(num_locals as usize, Value::default());
         Frame {
             func,
             pc: 0,

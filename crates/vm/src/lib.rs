@@ -38,19 +38,25 @@
 //! # }
 //! ```
 
+pub mod arena;
+pub mod decode;
 pub mod dispatch;
 pub mod error;
 pub mod frame;
 pub mod heap;
 pub mod interp;
 pub mod observer;
+pub mod reference;
 pub mod stats;
 pub mod value;
 
+pub use arena::{FrameArena, FrameInfo};
+pub use decode::{DOp, DecodedFunction, DecodedMemory, DecodedProgram};
 pub use dispatch::DispatchCounts;
 pub use error::VmError;
 pub use heap::{Heap, HeapObj};
 pub use interp::{fold_checksum, Vm, VmConfig};
 pub use observer::{DispatchObserver, NullObserver, RecordingObserver};
+pub use reference::ReferenceVm;
 pub use stats::ExecStats;
 pub use value::{OutputItem, RefId, Value};

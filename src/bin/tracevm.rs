@@ -161,6 +161,15 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
             );
             println!("instructions        : {}", vm.stats().instructions);
             println!("block dispatches    : {}", vm.stats().block_dispatches);
+            let m = vm.decoded().memory_estimate();
+            println!(
+                "decoded code        : {} bytes ({} code, {} maps, {} pools)",
+                m.total(),
+                m.code_bytes,
+                m.map_bytes,
+                m.pool_bytes
+            );
+            println!("frame arena         : {} bytes", vm.arena_memory());
         }
         "trace" => {
             let mut tvm = TraceVm::new(&w.program, jit_config(opts));
@@ -190,6 +199,15 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                 );
             }
             println!("compiled traces     : {}", engine.compiled_count());
+            let m = engine.decoded().memory_estimate();
+            println!(
+                "decoded code        : {} bytes ({} code, {} maps, {} pools)",
+                m.total(),
+                m.code_bytes,
+                m.map_bytes,
+                m.pool_bytes
+            );
+            println!("lowered traces      : {} bytes", engine.lowered_memory());
         }
         other => return Err(format!("unknown engine `{other}`").into()),
     }

@@ -1,0 +1,98 @@
+//! Golden test: the decoded (pre-decoded threaded) form of a fixed
+//! program is stable and readable. The companion of `disasm_golden.rs`
+//! one layer down: same program shape, but listing the flat opcode
+//! stream the interpreter actually executes — block-entry markers baked
+//! in, jump targets resolved to absolute decoded indices, constants
+//! interned into pools.
+
+use tracecache_repro::bytecode::{CmpOp, Intrinsic, ProgramBuilder};
+use tracecache_repro::vm::DecodedProgram;
+
+#[test]
+fn decoded_listing_matches_golden() {
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.declare_function("leaf", 1, true);
+    pb.function_mut(leaf).load(0).iconst(1).iadd().ret();
+    let main_f = pb.declare_function("main", 1, false);
+    {
+        let b = pb.function_mut(main_f);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(0).invoke_static(leaf).intrinsic(Intrinsic::Checksum);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+    let program = pb.build(main_f).unwrap();
+    let decoded = DecodedProgram::decode(&program);
+
+    // The full listing is pinned: any layout change (marker placement,
+    // operand packing, pool interning, jump resolution) must show up
+    // here as a reviewed diff.
+    let expected = "\
+fn leaf (fn#0) params=1 locals=1 max_stack=2 frame=3
+     0: enter_block b0
+     1: load 0
+     2: iconst 1
+     3: iadd
+     4: return
+fn main (fn#1) params=1 locals=1 max_stack=1 frame=2
+     0: enter_block b0
+     1: load 0
+     2: if le -> 10
+     3: enter_block b1
+     4: load 0
+     5: invokestatic fn#0 argc=1
+     6: enter_block b2
+     7: checksum
+     8: iinc 0, -1
+     9: goto -> 0
+    10: enter_block b3
+    11: return_void
+";
+    assert_eq!(decoded.disassemble(&program), expected);
+}
+
+#[test]
+fn decoded_layout_law_holds_on_the_golden_program() {
+    // The closed-form layout: the instruction at original pc `p` inside
+    // block `bi` lands at decoded index `p + bi + 1`, so a block starting
+    // at original pc `t` has its marker at `pc_map[t] - 1`.
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare_function("main", 1, true);
+    {
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+    }
+    let program = pb.build(f).unwrap();
+    let decoded = DecodedProgram::decode(&program);
+    let df = decoded.func(program.entry());
+
+    // Every original pc maps to its decoded slot; each block's first
+    // original instruction is preceded by that block's marker.
+    let func = program.function(program.entry());
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let marker = df.code[df.block_entry(block.start) as usize];
+        assert_eq!(marker.op, tracecache_repro::vm::decode::op::ENTER_BLOCK);
+        assert_eq!(marker.b as usize, bi);
+        assert_eq!(
+            df.block_entry(block.start),
+            df.pc_map[block.start as usize] - 1
+        );
+    }
+    // Markers are not instructions: decoded stream = instrs + blocks.
+    assert_eq!(
+        df.code.len(),
+        func.code().len() + func.blocks().len(),
+        "one marker per block, nothing else added"
+    );
+}

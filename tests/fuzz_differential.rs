@@ -1,6 +1,7 @@
 //! Differential fuzzing: random structured programs executed under the
-//! plain interpreter, the trace-monitoring VM, and the trace-executing
-//! engine (with and without the optimizer) must agree bit-for-bit.
+//! decoded interpreter, the frozen reference interpreter, the
+//! trace-monitoring VM, and the trace-executing engine (with and without
+//! the optimizer) must agree bit-for-bit.
 //!
 //! The generator builds verified programs from a random AST of statements
 //! (arithmetic on integer locals, `if`/`else`, bounded counted loops,
@@ -16,7 +17,7 @@
 use tracecache_repro::bytecode::{CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
 use tracecache_repro::exec::{EngineConfig, TracingVm};
 use tracecache_repro::jit::{TraceJitConfig, TraceVm};
-use tracecache_repro::vm::{NullObserver, Value, Vm};
+use tracecache_repro::vm::{NullObserver, RecordingObserver, ReferenceVm, Value, Vm};
 use tracecache_repro::workloads::prng::Xoshiro256StarStar;
 
 const BASE_SEED: u64 = 0xD1FF_5EED;
@@ -198,11 +199,37 @@ fn engines_agree_on_random_programs() {
         let args = args_from(rng.next_i64());
 
         let mut plain = Vm::new(&program);
-        plain
-            .run(&args, &mut NullObserver)
+        let mut plain_stream = RecordingObserver::new();
+        let result = plain
+            .run(&args, &mut plain_stream)
             .expect("interpreter runs");
         let want = plain.checksum();
         let want_instrs = plain.stats().instructions;
+
+        // The decoded engine must match the frozen reference interpreter
+        // bit-for-bit: result, checksum, every statistic, and the entire
+        // dispatch stream.
+        let mut reference = ReferenceVm::new(&program);
+        let mut ref_stream = RecordingObserver::new();
+        let ref_result = reference
+            .run(&args, &mut ref_stream)
+            .expect("reference interpreter runs");
+        assert_eq!(result, ref_result, "seed {seed}: result diverged");
+        assert_eq!(want, reference.checksum(), "seed {seed}: checksum diverged");
+        assert_eq!(
+            plain.stats(),
+            reference.stats(),
+            "seed {seed}: exec stats diverged"
+        );
+        assert_eq!(
+            plain.heap_stats(),
+            reference.heap_stats(),
+            "seed {seed}: heap stats diverged"
+        );
+        assert_eq!(
+            plain_stream, ref_stream,
+            "seed {seed}: dispatch stream diverged"
+        );
 
         // Aggressive tracing parameters to maximise machinery coverage.
         let jit = TraceJitConfig::paper_default()
