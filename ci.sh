@@ -20,6 +20,12 @@ cargo test --workspace -q --release
 echo "== cargo test (debug build: debug_assert! guards on unchecked stack ops)"
 cargo test --workspace -q
 
+echo "== conformance (lockstep + chaos campaigns + corpus replay, in-situ asserts on)"
+# debug: full invariant density; release: the same suite at speed, so the
+# 256-case fuzz lockstep and chaos campaigns run in both configurations.
+cargo test -p trace-conformance --features debug-invariants -q
+cargo test -p trace-conformance --features debug-invariants -q --release
+
 echo "== hot-path bench smoke (test scale)"
 cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
 

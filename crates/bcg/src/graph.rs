@@ -232,8 +232,76 @@ impl BranchCorrelationGraph {
             }
             None => self.get_or_create((y, z)),
         };
+        #[cfg(feature = "debug-invariants")]
+        {
+            if let Some(nxy) = self.ctx_node {
+                self.assert_node_invariants(nxy);
+            }
+            self.assert_node_invariants(next);
+        }
         self.ctx_node = Some(next);
         Some(next)
+    }
+
+    /// The `debug-invariants` layer: machine-checkable properties of one
+    /// live node, asserted after every dispatch through it. Each check
+    /// names the paper rule it encodes (DESIGN.md, "Conformance
+    /// invariants" maps them in prose). Compiled out unless the
+    /// `debug-invariants` feature is on.
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_node_invariants(&self, idx: NodeIdx) {
+        use crate::state::NodeState;
+        let cfg = &self.config;
+        let node = &self.nodes[idx.index()];
+        // §4.1: 16-bit decayed counters saturate at the bound, never wrap.
+        let mut sum = 0u32;
+        for s in node.successors.as_slice() {
+            assert!(
+                s.count <= cfg.max_counter,
+                "{idx}: counter {} above saturation bound {}",
+                s.count,
+                cfg.max_counter
+            );
+            sum += u32::from(s.count);
+        }
+        assert_eq!(
+            node.total_weight, sum,
+            "{idx}: total_weight out of sync with successor counters"
+        );
+        // §3.3: a node still inside the start-state delay is NewlyCreated.
+        if node.delay_remaining > 0 {
+            assert_eq!(
+                node.state,
+                NodeState::NewlyCreated,
+                "{idx}: delayed node left the start state early"
+            );
+        }
+        // §4.1.1: decay fires *at* the interval boundary, so between
+        // visits the since-decay window stays strictly below it.
+        assert!(
+            node.since_decay < cfg.decay_interval,
+            "{idx}: missed a decay ({} >= {})",
+            node.since_decay,
+            cfg.decay_interval
+        );
+        // The cached prediction must index a live successor slot.
+        if let Some(ci) = node.cached {
+            assert!(
+                (ci as usize) < node.successors.len(),
+                "{idx}: cached prediction slot {ci} dangles"
+            );
+        }
+        // Budgeted fast path: while armed, the armed slot mirrors the
+        // cached prediction and its embedded target link, and the spent
+        // budget never exceeds what was armed.
+        if node.fp_budget != 0 {
+            assert!(node.fp_budget <= node.fp_armed, "{idx}: budget overspent");
+            let ci = node.cached.expect("armed fast path requires a prediction");
+            assert_eq!(node.fp_slot, ci, "{idx}: armed slot diverged from cache");
+            let s = &node.successors.as_slice()[ci as usize];
+            assert_eq!(node.fp_block, s.to_block, "{idx}: armed block stale");
+            assert_eq!(node.fp_next, s.node, "{idx}: armed target link stale");
+        }
     }
 
     /// Gets or lazily creates the node for `branch`.
@@ -383,6 +451,15 @@ impl BranchCorrelationGraph {
                     let new = node.compute_state(cfg.threshold);
                     if new != node.state {
                         let old = node.state;
+                        // §3.3: leaving the start-state delay is the only
+                        // transition possible here — the state machine
+                        // holds NewlyCreated for the delay's whole span.
+                        #[cfg(feature = "debug-invariants")]
+                        assert_eq!(
+                            old,
+                            crate::state::NodeState::NewlyCreated,
+                            "{nxy}: delay expiry from a non-start state"
+                        );
                         node.state = new;
                         self.signals.push(Signal {
                             node: nxy,
@@ -403,6 +480,23 @@ impl BranchCorrelationGraph {
         }
         self.rearm(nxy);
         next
+    }
+
+    /// Forces a node's periodic decay to fire *now*, regardless of how
+    /// many executions have elapsed since the last one. This is a
+    /// test/chaos hook: the conformance campaigns use it to explore
+    /// counter-decay interleavings that a natural dispatch stream would
+    /// need billions of blocks to reach. Semantically it is exactly the
+    /// decay the node would have performed at its next interval boundary
+    /// (deferred fast-path bookkeeping is applied first, and the
+    /// budgeted fast path is re-armed afterwards), so a model following
+    /// the paper's decay rule stays in lockstep.
+    pub fn force_decay(&mut self, idx: NodeIdx) {
+        self.sync_deferred(idx);
+        self.decay(idx);
+        self.rearm(idx);
+        #[cfg(feature = "debug-invariants")]
+        self.assert_node_invariants(idx);
     }
 
     /// Performs the periodic decay of one node: shifts all its correlation
@@ -436,7 +530,15 @@ impl BranchCorrelationGraph {
             .map(|(i, _)| i as u32);
 
         let new_state = if node.delay_remaining > 0 {
-            old_state // still filtered; no re-evaluation until hot
+            // Still filtered; no re-evaluation until hot. While delayed
+            // the tag can only ever be the start state (§3.3).
+            #[cfg(feature = "debug-invariants")]
+            assert_eq!(
+                old_state,
+                crate::state::NodeState::NewlyCreated,
+                "{idx}: delayed node decayed from a non-start state"
+            );
+            old_state
         } else {
             node.compute_state(cfg.threshold)
         };
@@ -695,6 +797,64 @@ mod tests {
         let node = bcg.node(n01);
         assert_eq!(node.successors()[0].count, 100);
         assert_eq!(node.total_weight(), 100);
+    }
+
+    /// Decay truncation can drop the maximal successor's correlation
+    /// back below the completion threshold: a Strong node must demote to
+    /// Weak (with a state-change signal), not stay pinned Strong.
+    #[test]
+    fn decay_lands_strong_node_back_below_threshold() {
+        let mut bcg = BranchCorrelationGraph::new(BcgConfig {
+            decay_interval: u32::MAX, // only explicit force_decay ticks
+            ..cfg(1, 0.70)
+        });
+        // Context (0,1) sees 2 ten times and 3 four times: counts 10:4.
+        feed(&mut bcg, &[0, 1, 2], 10);
+        feed(&mut bcg, &[0, 1, 3], 4);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let _ = bcg.take_signals();
+
+        // First decay: 10:4 -> 5:2, corr 5/7 ~ 0.714 >= 0.70 => Strong.
+        bcg.force_decay(n01);
+        assert_eq!(bcg.node(n01).state(), NodeState::Strong);
+
+        // Second decay: 5:2 -> 2:1, corr 2/3 ~ 0.667 < 0.70 => Weak.
+        bcg.force_decay(n01);
+        assert_eq!(bcg.node(n01).state(), NodeState::Weak);
+        let sigs = bcg.take_signals();
+        assert!(
+            sigs.iter().any(|s| s.node == n01
+                && matches!(
+                    s.kind,
+                    SignalKind::StateChange {
+                        old: NodeState::Strong,
+                        new: NodeState::Weak
+                    }
+                )),
+            "demotion below threshold must signal Strong -> Weak, got {sigs:?}"
+        );
+    }
+
+    /// At the full 16-bit range the edge counter parks at `u16::MAX` and
+    /// stays there — no wraparound back through zero, and `total_weight`
+    /// stops advancing in lockstep with the saturated edge.
+    #[test]
+    fn sixteen_bit_counter_saturates_at_max_without_wrap() {
+        let mut bcg = BranchCorrelationGraph::new(BcgConfig {
+            decay_interval: u32::MAX, // never decay: drive to saturation
+            ..cfg(1, 0.97)
+        });
+        assert_eq!(bcg.config().max_counter, u16::MAX);
+        // 70_000 executions per branch: > u16::MAX, would wrap to ~4464.
+        feed(&mut bcg, &[0, 1], 70_000);
+        let n01 = bcg.node_index((blk(0), blk(1))).unwrap();
+        let node = bcg.node(n01);
+        // (the creating visit is not an execution, hence one less)
+        assert_eq!(node.executions(), 69_999);
+        assert!(node.executions() > u64::from(u16::MAX));
+        assert_eq!(node.successors()[0].count, u16::MAX);
+        assert_eq!(node.total_weight(), u32::from(u16::MAX));
+        assert_eq!(node.state(), NodeState::Unique);
     }
 
     #[test]

@@ -74,4 +74,49 @@ mod tests {
         assert!(!NodeState::NewlyCreated.is_hot());
         assert!(NodeState::Weak.is_hot());
     }
+
+    /// The Strong/Weak boundary is inclusive: a maximal correlation
+    /// *exactly at* the completion threshold classifies Strong (§4.1.1's
+    /// "at or above"). Exercised with a dyadic threshold so the ratio is
+    /// exact in binary and the comparison is not decided by rounding.
+    #[test]
+    fn transition_at_exactly_the_completion_threshold() {
+        use crate::graph::NodeIdx;
+        use crate::node::{Node, Successor};
+        use jvm_bytecode::{BlockId, FuncId};
+
+        let blk = |b: u32| BlockId::new(FuncId(0), b);
+        let node_with = |counts: &[(u32, u16)]| {
+            let mut n = Node::new((blk(0), blk(1)), 0);
+            for (i, &(b, c)) in counts.iter().enumerate() {
+                n.push_successor_for_test(Successor {
+                    to_block: blk(b),
+                    count: c,
+                    node: NodeIdx(i as u32 + 1),
+                });
+            }
+            n
+        };
+
+        // 3/4 == 0.75 exactly: at threshold 0.75 the node is Strong.
+        assert_eq!(
+            node_with(&[(2, 3), (3, 1)]).compute_state(0.75),
+            NodeState::Strong
+        );
+        // One observation less and it is Weak (2/3 < 0.75).
+        assert_eq!(
+            node_with(&[(2, 2), (3, 1)]).compute_state(0.75),
+            NodeState::Weak
+        );
+        // The paper's 0.97: 97/100 parses to the same f64 as the literal.
+        assert_eq!(
+            node_with(&[(2, 97), (3, 3)]).compute_state(0.97),
+            NodeState::Strong
+        );
+        // And a 50% threshold admits an exactly even split as Strong.
+        assert_eq!(
+            node_with(&[(2, 1), (3, 1)]).compute_state(0.5),
+            NodeState::Strong
+        );
+    }
 }

@@ -1,0 +1,207 @@
+//! Externally checkable invariants over the live structures.
+//!
+//! These checks use only public APIs, so they run in every build — the
+//! `debug-invariants` feature additionally turns on the *in-situ*
+//! asserts inside `trace-bcg` and `trace-cache` (checked on every hot
+//! event, with access to private state). Each function panics with a
+//! description of the violated paper rule; DESIGN.md ("Conformance
+//! invariants") maps every invariant to the rule it encodes.
+
+use jvm_bytecode::Program;
+use jvm_vm::decode::DecodedProgram;
+use trace_bcg::BranchCorrelationGraph;
+use trace_cache::TraceCache;
+use trace_exec::{LoweredTrace, XInstr};
+
+/// Graph-wide counter and state-machine invariants (§3.3, §4.1.1):
+/// counters bounded by the saturation limit, `total_weight` equal to the
+/// successor-count sum, and hot states only on nodes with usable
+/// statistics past the start delay.
+pub fn check_graph(bcg: &BranchCorrelationGraph) {
+    let cfg = bcg.config();
+    for (idx, node) in bcg.iter() {
+        let mut sum = 0u32;
+        for s in node.successors() {
+            assert!(
+                s.count <= cfg.max_counter,
+                "{idx}: counter {} exceeds the 16-bit saturation bound {}",
+                s.count,
+                cfg.max_counter
+            );
+            sum += u32::from(s.count);
+        }
+        assert_eq!(
+            node.total_weight(),
+            sum,
+            "{idx}: total_weight out of sync with successor counters"
+        );
+        if node.state().is_hot() {
+            assert!(
+                node.executions() >= u64::from(cfg.start_delay),
+                "{idx}: hot before the start-state delay ({} < {})",
+                node.executions(),
+                cfg.start_delay
+            );
+            assert!(
+                node.total_weight() > 0,
+                "{idx}: hot with no successor statistics"
+            );
+        }
+        for &p in node.predecessors() {
+            // Predecessor entries may be stale, but must stay in range.
+            let _ = bcg.node(p);
+        }
+    }
+}
+
+/// Cache-side structural invariants (§4.2): every linked trace is
+/// non-empty, entered at its first block, and carries a completion
+/// estimate in `(0, 1]`.
+pub fn check_cache_links(cache: &TraceCache) {
+    for (entry, trace) in cache.iter_links() {
+        assert!(!trace.blocks().is_empty(), "{entry:?}: empty linked trace");
+        assert_eq!(
+            entry.1,
+            trace.blocks()[0],
+            "{entry:?}: link does not land on the trace's first block"
+        );
+        let c = trace.expected_completion();
+        assert!(
+            c > 0.0 && c <= 1.0,
+            "{entry:?}: completion estimate {c} outside (0, 1]"
+        );
+    }
+}
+
+/// Version-stamped trace-link coherence: any node whose inline
+/// trace-link slot carries the cache's *current* version stamp must
+/// agree — positively or negatively — with the authoritative entry
+/// table. (Stale stamps are fine; they revalidate on first use.)
+pub fn check_link_coherence(cache: &TraceCache, bcg: &BranchCorrelationGraph) {
+    let version = cache.version();
+    for (idx, node) in bcg.iter() {
+        let (stamp, raw) = node.trace_link();
+        if stamp != version {
+            continue;
+        }
+        let table = cache.lookup_entry(node.branch());
+        let slot = (raw != trace_bcg::node::NO_TRACE_LINK).then_some(raw as usize);
+        assert_eq!(
+            slot,
+            table.map(|t| t.index()),
+            "{idx}: current-version trace-link slot disagrees with the entry table"
+        );
+    }
+}
+
+/// Side-exit target validity: every guard's exit anchor in a lowered
+/// trace must resume at an in-range decoded pc of its function, inside
+/// the block the anchor names; every decoded jump target must be a block
+/// entry marker. A violation would make a failing guard resume the
+/// interpreter at a garbage pc — the exact class of bug trace execution
+/// must never exhibit.
+pub fn check_side_exits(program: &Program, decoded: &DecodedProgram, lt: &LoweredTrace) {
+    let check_exit = |what: &str, e: &trace_exec::Exit| {
+        assert!(
+            (e.func.0 as usize) < decoded.funcs.len(),
+            "{what}: exit names unknown function {:?}",
+            e.func
+        );
+        let df = &decoded.funcs[e.func.0 as usize];
+        assert!(
+            (e.dpc as usize) < df.code.len(),
+            "{what}: exit dpc {} out of range",
+            e.dpc
+        );
+        assert_eq!(
+            df.block_of[e.dpc as usize], e.block,
+            "{what}: exit block does not contain the resume pc"
+        );
+        let nblocks = program.function(e.func).blocks().len() as u32;
+        assert!(
+            e.block < nblocks,
+            "{what}: exit block {} out of range",
+            e.block
+        );
+    };
+    // Return continuations (`ret` on call guards) resume *mid-block* at
+    // the decoded pc right after the call — in range, but not required
+    // to be a block entry.
+    let check_resume = |what: &str, func: jvm_bytecode::FuncId, t: u32| {
+        let df = &decoded.funcs[func.0 as usize];
+        assert!(
+            (t as usize) < df.code.len(),
+            "{what}: resume pc {t} out of range"
+        );
+    };
+    let check_marker = |what: &str, func: jvm_bytecode::FuncId, t: u32| {
+        let df = &decoded.funcs[func.0 as usize];
+        assert!(
+            (t as usize) < df.code.len(),
+            "{what}: decoded target {t} out of range"
+        );
+        assert!(
+            t == 0 || df.block_of[t as usize - 1] != df.block_of[t as usize],
+            "{what}: decoded target {t} is not a block entry marker"
+        );
+    };
+
+    // Exits anchor into the function owning each instruction. The
+    // lowered stream switches functions at Enter/GuardVirtual (into the
+    // callee) and GuardReturn (into the recorded continuation's
+    // function — which may leave the trace's entry function, so a call
+    // stack would not suffice); track the current function alongside
+    // and require every guard's exit to anchor inside it.
+    let mut cur = lt.src_blocks[0].func;
+    for x in &lt.code {
+        let check_exit_here = |what: &str, e: &trace_exec::Exit| {
+            check_exit(what, e);
+            assert_eq!(
+                e.func, cur,
+                "{what}: exit anchors in {:?} but the stream is executing {cur:?}",
+                e.func
+            );
+        };
+        match x {
+            XInstr::Jump { target } => check_marker("jump", cur, *target),
+            XInstr::GuardCond { target, exit, .. } => {
+                check_exit_here("guard-cond", exit);
+                check_marker("guard-cond", cur, *target);
+            }
+            XInstr::GuardSwitch {
+                targets,
+                default,
+                expected,
+                exit,
+                ..
+            } => {
+                check_exit_here("guard-switch", exit);
+                for &t in targets.iter() {
+                    check_marker("guard-switch", cur, t);
+                }
+                check_marker("guard-switch-default", cur, *default);
+                check_marker("guard-switch-expected", cur, *expected);
+            }
+            XInstr::EnterStatic { callee, ret } => {
+                check_resume("enter-static-ret", cur, *ret);
+                cur = *callee;
+            }
+            XInstr::GuardVirtual {
+                expected,
+                ret,
+                exit,
+                ..
+            } => {
+                check_exit_here("guard-virtual", exit);
+                check_resume("guard-virtual-ret", cur, *ret);
+                cur = *expected;
+            }
+            XInstr::GuardReturn { expected, exit, .. } => {
+                check_exit_here("guard-return", exit);
+                cur = expected.func;
+            }
+            XInstr::Finish { exit, .. } => check_exit_here("finish", exit),
+            XInstr::Op(_) | XInstr::Fused(_) | XInstr::FallThrough => {}
+        }
+    }
+}

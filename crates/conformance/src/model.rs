@@ -1,0 +1,712 @@
+//! The executable from-the-paper model.
+//!
+//! A deliberately naive, allocation-happy implementation of the paper's
+//! rules — BCG node lifecycle (§3.3, §4.1.1), the 256-execution decay,
+//! the start-state delay, completion-threshold signalling, and trace
+//! cutting by expected completion probability (§3.7, §4.2) — written
+//! directly from the prose, with none of the production crates'
+//! machinery (no packed keys, no inline caches, no budgeted fast path,
+//! no hash-consed arena). Nodes are keyed by their [`Branch`] in plain
+//! hash maps, successor lists are `Vec`s, and every event is processed
+//! the slow way.
+//!
+//! The [`crate::lockstep`] harness drives this model and the production
+//! `trace-bcg` + `trace-cache` pipeline with the same dispatch stream and
+//! compares them event by event: the model is the oracle, so any
+//! divergence is a bug in one of the two (or a deliberate
+//! [`Quirk`] planted to prove the harness can see it).
+//!
+//! Two semantic details are load-bearing and replicated on purpose:
+//!
+//! * `Iterator::max_by_key` returns the **last** maximal element on
+//!   ties; both the maximum-likelihood successor and decay's cached
+//!   re-election depend on that tie-break;
+//! * a saturated counter (`count == max_counter`) bumps **neither** the
+//!   count nor `total_weight`, keeping correlation ratios frozen.
+
+use std::collections::{HashMap, HashSet};
+
+use jvm_bytecode::BlockId;
+use trace_bcg::{BcgConfig, Branch, NodeState, SignalKind};
+use trace_cache::ConstructorConfig;
+
+/// A deliberately planted model bug, used by the regression tests to
+/// prove the harness detects real divergences. `None` in normal runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quirk {
+    /// Off-by-one in the *forced* decay's prune threshold: edges whose
+    /// counter decays to zero are kept instead of removed. Natural decay
+    /// is unaffected, so only a chaos campaign that injects forced decay
+    /// ticks can expose this bug.
+    ForcedDecayKeepsZeroEdges,
+}
+
+/// A profiler signal in model coordinates (branches, not node indices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSignal {
+    /// The branch whose node changed.
+    pub branch: Branch,
+    /// What changed (shared with the production profiler).
+    pub kind: SignalKind,
+}
+
+/// A successor correlation edge of a [`ModelNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSuccessor {
+    /// The block this edge predicts.
+    pub to_block: BlockId,
+    /// Decayed 16-bit execution counter.
+    pub count: u16,
+}
+
+/// One BCG node `N_XY` of the model, in the paper's terms.
+#[derive(Debug, Clone)]
+pub struct ModelNode {
+    /// The branch `(X, Y)`.
+    pub branch: Branch,
+    /// Current correlation state tag.
+    pub state: NodeState,
+    /// Remaining start-state delay executions (§3.3).
+    pub delay_remaining: u32,
+    /// Executions since the last decay (§4.1.1).
+    pub since_decay: u32,
+    /// Lifetime execution count.
+    pub executions: u64,
+    /// Sum of successor counts.
+    pub total_weight: u32,
+    /// Successor edges in discovery order.
+    pub successors: Vec<ModelSuccessor>,
+    /// Predecessor branches in discovery order (possibly stale).
+    pub preds: Vec<Branch>,
+    /// Index of the cached (predicted) successor.
+    pub cached: Option<usize>,
+    /// Trace-constructor generation stamp (cascade suppression).
+    pub generation: u64,
+}
+
+impl ModelNode {
+    fn new(branch: Branch, start_delay: u32) -> Self {
+        ModelNode {
+            branch,
+            state: NodeState::NewlyCreated,
+            delay_remaining: start_delay,
+            since_decay: 0,
+            executions: 0,
+            total_weight: 0,
+            successors: Vec::new(),
+            preds: Vec::new(),
+            cached: None,
+            generation: 0,
+        }
+    }
+
+    /// The maximal successor; the last one wins ties, like
+    /// `Iterator::max_by_key` in the production code.
+    pub fn max_successor(&self) -> Option<&ModelSuccessor> {
+        self.successors.iter().max_by_key(|s| s.count)
+    }
+
+    /// The cached (predicted) successor.
+    pub fn predicted(&self) -> Option<&ModelSuccessor> {
+        self.cached.map(|i| &self.successors[i])
+    }
+
+    /// Correlation ratio of one edge.
+    pub fn correlation(&self, s: &ModelSuccessor) -> f64 {
+        if self.total_weight == 0 {
+            0.0
+        } else {
+            f64::from(s.count) / f64::from(self.total_weight)
+        }
+    }
+
+    /// Correlation toward a specific block, 0.0 if never observed.
+    pub fn correlation_to(&self, block: BlockId) -> f64 {
+        self.successors
+            .iter()
+            .find(|s| s.to_block == block)
+            .map(|s| self.correlation(s))
+            .unwrap_or(0.0)
+    }
+
+    fn compute_state(&self, threshold: f64) -> NodeState {
+        if self.delay_remaining > 0 {
+            return NodeState::NewlyCreated;
+        }
+        if self.total_weight == 0 || self.successors.is_empty() {
+            return NodeState::NewlyCreated;
+        }
+        if self.successors.len() == 1 {
+            return NodeState::Unique;
+        }
+        let max = self.max_successor().expect("nonempty");
+        if self.correlation(max) >= threshold {
+            NodeState::Strong
+        } else {
+            NodeState::Weak
+        }
+    }
+}
+
+/// The model profiler: the paper's BCG with nothing optimised away.
+#[derive(Debug)]
+pub struct ModelBcg {
+    config: BcgConfig,
+    nodes: HashMap<Branch, ModelNode>,
+    last_block: Option<BlockId>,
+    ctx: Option<Branch>,
+    signals: Vec<ModelSignal>,
+    quirk: Option<Quirk>,
+}
+
+impl ModelBcg {
+    /// Creates the model with the same configuration as the production
+    /// profiler it will be compared against.
+    pub fn new(config: BcgConfig) -> Self {
+        ModelBcg {
+            config,
+            nodes: HashMap::new(),
+            last_block: None,
+            ctx: None,
+            signals: Vec::new(),
+            quirk: None,
+        }
+    }
+
+    /// Plants a deliberate bug (regression-test fixture).
+    pub fn with_quirk(mut self, quirk: Quirk) -> Self {
+        self.quirk = Some(quirk);
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BcgConfig {
+        &self.config
+    }
+
+    /// Number of nodes realised so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the model graph is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node for a branch, if realised.
+    pub fn node(&self, branch: Branch) -> Option<&ModelNode> {
+        self.nodes.get(&branch)
+    }
+
+    /// Drains the pending signals.
+    pub fn take_signals(&mut self) -> Vec<ModelSignal> {
+        std::mem::take(&mut self.signals)
+    }
+
+    /// Forgets the dispatch context (new stream / thread switch).
+    pub fn begin_stream(&mut self) {
+        self.last_block = None;
+        self.ctx = None;
+    }
+
+    /// Stamps a node's constructor generation.
+    pub fn mark_generation(&mut self, branch: Branch, generation: u64) {
+        if let Some(n) = self.nodes.get_mut(&branch) {
+            n.generation = generation;
+        }
+    }
+
+    /// One dispatched block, straight from the paper's description.
+    pub fn observe(&mut self, z: BlockId) {
+        let y = match self.last_block.replace(z) {
+            None => return,
+            Some(y) => y,
+        };
+        let yz = (y, z);
+        match self.ctx {
+            None => {
+                self.get_or_create(yz);
+            }
+            Some(xy) => self.record(xy, yz),
+        }
+        self.ctx = Some(yz);
+    }
+
+    fn get_or_create(&mut self, branch: Branch) {
+        let delay = self.config.start_delay;
+        self.nodes
+            .entry(branch)
+            .or_insert_with(|| ModelNode::new(branch, delay));
+    }
+
+    fn record(&mut self, xy: Branch, yz: Branch) {
+        let cfg = self.config;
+        let z = yz.1;
+
+        // Edge bump (saturating; a saturated edge freezes total_weight
+        // too so the ratio stays put), creating edge and target node on
+        // first sighting.
+        let known = {
+            let node = self.nodes.get_mut(&xy).expect("context node exists");
+            node.executions += 1;
+            match node.successors.iter().position(|s| s.to_block == z) {
+                Some(i) => {
+                    let s = &mut node.successors[i];
+                    if s.count < cfg.max_counter {
+                        s.count += 1;
+                        node.total_weight += 1;
+                    }
+                    if node.cached.is_none() {
+                        node.cached = Some(i);
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if !known {
+            self.get_or_create(yz);
+            let node = self.nodes.get_mut(&xy).expect("context node exists");
+            node.successors.push(ModelSuccessor {
+                to_block: z,
+                count: 1,
+            });
+            node.total_weight += 1;
+            if node.cached.is_none() {
+                node.cached = Some(node.successors.len() - 1);
+            }
+            let target = self.nodes.get_mut(&yz).expect("just created");
+            if !target.preds.contains(&xy) {
+                target.preds.push(xy);
+            }
+        }
+
+        // Start-state delay (§3.3): the state is first computed when the
+        // delay expires, and the change is signalled.
+        let mut decay_due = false;
+        {
+            let node = self.nodes.get_mut(&xy).expect("context node exists");
+            if node.delay_remaining > 0 {
+                node.delay_remaining -= 1;
+                if node.delay_remaining == 0 {
+                    let new = node.compute_state(cfg.threshold);
+                    if new != node.state {
+                        let old = node.state;
+                        node.state = new;
+                        self.signals.push(ModelSignal {
+                            branch: xy,
+                            kind: SignalKind::StateChange { old, new },
+                        });
+                    }
+                }
+            }
+            node.since_decay += 1;
+            if node.since_decay >= cfg.decay_interval {
+                decay_due = true;
+            }
+        }
+        if decay_due {
+            self.decay(xy, false);
+        }
+    }
+
+    /// A forced decay tick (chaos perturbation): decays the node right
+    /// now, regardless of its `since_decay` position.
+    pub fn force_decay(&mut self, branch: Branch) {
+        if self.nodes.contains_key(&branch) {
+            self.decay(branch, true);
+        }
+    }
+
+    /// Periodic decay (§4.1.1): shift every counter right, prune dead
+    /// edges, re-elect the prediction, recompute the state, and signal
+    /// the trace cache if either changed.
+    fn decay(&mut self, branch: Branch, forced: bool) {
+        let cfg = self.config;
+        let keep_zero = forced && self.quirk == Some(Quirk::ForcedDecayKeepsZeroEdges);
+        let node = self.nodes.get_mut(&branch).expect("decaying node exists");
+        let old_state = node.state;
+        let old_pred = node.predicted().map(|s| s.to_block);
+
+        for s in &mut node.successors {
+            s.count >>= cfg.decay_shift;
+        }
+        if !keep_zero {
+            node.successors.retain(|s| s.count > 0);
+        }
+        node.total_weight = node.successors.iter().map(|s| u32::from(s.count)).sum();
+
+        node.cached = node
+            .successors
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.count)
+            .map(|(i, _)| i);
+
+        let new_state = if node.delay_remaining > 0 {
+            old_state
+        } else {
+            node.compute_state(cfg.threshold)
+        };
+        node.state = new_state;
+        node.since_decay = 0;
+
+        let new_pred = node.predicted().map(|s| s.to_block);
+        if new_state != old_state {
+            self.signals.push(ModelSignal {
+                branch,
+                kind: SignalKind::StateChange {
+                    old: old_state,
+                    new: new_state,
+                },
+            });
+        } else if new_state.is_hot() && new_pred != old_pred {
+            self.signals.push(ModelSignal {
+                branch,
+                kind: SignalKind::PredictionChange {
+                    old: old_pred,
+                    new: new_pred,
+                },
+            });
+        }
+    }
+}
+
+/// The model trace cache: hash-consed sequences plus entry links, with
+/// no packed tables.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    /// Trace block sequences with their completion estimate, in
+    /// construction order.
+    pub traces: Vec<(Vec<BlockId>, f64)>,
+    by_blocks: HashMap<Vec<BlockId>, usize>,
+    /// Entry branch → index into `traces`.
+    pub links: HashMap<Branch, usize>,
+}
+
+impl ModelCache {
+    /// Creates an empty model cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct trace objects ever constructed.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Number of live entry links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn insert_and_link(&mut self, entry: Branch, blocks: Vec<BlockId>, completion: f64) {
+        let id = match self.by_blocks.get(&blocks) {
+            Some(&id) => id,
+            None => {
+                let id = self.traces.len();
+                self.traces.push((blocks.clone(), completion));
+                self.by_blocks.insert(blocks, id);
+                id
+            }
+        };
+        self.links.insert(entry, id);
+    }
+
+    /// Removes the link at an entry branch.
+    pub fn unlink(&mut self, entry: Branch) -> bool {
+        self.links.remove(&entry).is_some()
+    }
+
+    /// The linked `(blocks, completion)` at an entry, if any.
+    pub fn lookup(&self, entry: Branch) -> Option<&(Vec<BlockId>, f64)> {
+        self.links.get(&entry).map(|&i| &self.traces[i])
+    }
+}
+
+/// The model trace constructor, transcribed from §4.2: back-track to
+/// entry points, walk the maximum-likelihood path, cut by cumulative
+/// completion probability.
+#[derive(Debug)]
+pub struct ModelConstructor {
+    config: ConstructorConfig,
+    generation: u64,
+}
+
+impl ModelConstructor {
+    /// Creates the model constructor (same tunables as the real one).
+    pub fn new(config: ConstructorConfig) -> Self {
+        ModelConstructor {
+            config,
+            generation: 0,
+        }
+    }
+
+    /// Reacts to one signal batch.
+    pub fn handle_batch(
+        &mut self,
+        signals: &[ModelSignal],
+        bcg: &mut ModelBcg,
+        cache: &mut ModelCache,
+    ) {
+        self.generation += 1;
+        for sig in signals {
+            let up_to_date = bcg
+                .node(sig.branch)
+                .is_some_and(|n| n.generation == self.generation);
+            if up_to_date {
+                continue;
+            }
+            self.handle_one(sig.branch, bcg, cache);
+        }
+    }
+
+    fn handle_one(&mut self, origin: Branch, bcg: &mut ModelBcg, cache: &mut ModelCache) {
+        let entries = self.find_entry_points(origin, bcg);
+        for entry in entries {
+            let (path, loop_start) = self.walk_path(entry, bcg);
+            for &b in &path {
+                bcg.mark_generation(b, self.generation);
+            }
+            self.cut_and_emit(&path, loop_start, bcg, cache);
+        }
+    }
+
+    fn find_entry_points(&mut self, origin: Branch, bcg: &ModelBcg) -> Vec<Branch> {
+        let mut visited: HashSet<Branch> = HashSet::new();
+        let mut stack = vec![origin];
+        visited.insert(origin);
+        let mut entries = Vec::new();
+        while let Some(b) = stack.pop() {
+            if entries.len() >= self.config.max_entry_points {
+                break;
+            }
+            let node = bcg.node(b).expect("visited node exists");
+            let mut has_strong_pred = false;
+            for &p in &node.preds {
+                let pn = bcg.node(p).expect("pred node exists");
+                let points_here = pn.max_successor().is_some_and(|s| (p.1, s.to_block) == b);
+                if pn.state.is_traceable() && points_here {
+                    has_strong_pred = true;
+                    if visited.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            if !has_strong_pred {
+                entries.push(b);
+            }
+        }
+        if entries.is_empty() {
+            entries.push(origin);
+        }
+        entries
+    }
+
+    fn walk_path(&mut self, entry: Branch, bcg: &ModelBcg) -> (Vec<Branch>, Option<usize>) {
+        let mut path = vec![entry];
+        let mut pos_of: HashMap<Branch, usize> = HashMap::new();
+        pos_of.insert(entry, 0);
+        loop {
+            let cur = *path.last().expect("path nonempty");
+            let node = bcg.node(cur).expect("path node exists");
+            if !node.state.is_traceable() {
+                break;
+            }
+            let Some(ms) = node.max_successor() else {
+                break;
+            };
+            if ms.count == 0 {
+                break;
+            }
+            let next = (cur.1, ms.to_block);
+            if let Some(&k) = pos_of.get(&next) {
+                return (path, Some(k));
+            }
+            let Some(next_node) = bcg.node(next) else {
+                break;
+            };
+            if !next_node.state.is_hot() {
+                break;
+            }
+            path.push(next);
+            pos_of.insert(next, path.len() - 1);
+            if path.len() >= self.config.max_path_nodes {
+                break;
+            }
+        }
+        (path, None)
+    }
+
+    fn cut_and_emit(
+        &mut self,
+        path: &[Branch],
+        loop_start: Option<usize>,
+        bcg: &ModelBcg,
+        cache: &mut ModelCache,
+    ) {
+        match loop_start {
+            None => self.cut_chain(path, path.len(), bcg, cache),
+            Some(k) => {
+                let body = &path[k..];
+                let copies = 1 + self.config.loop_unroll;
+                let mut unrolled: Vec<Branch> = Vec::with_capacity(body.len() * copies);
+                for _ in 0..copies {
+                    unrolled.extend_from_slice(body);
+                }
+                self.cut_chain(&unrolled, body.len(), bcg, cache);
+                if k > 0 {
+                    self.cut_chain(&path[..=k], k, bcg, cache);
+                }
+            }
+        }
+    }
+
+    fn cut_chain(
+        &mut self,
+        chain: &[Branch],
+        emit_limit: usize,
+        bcg: &ModelBcg,
+        cache: &mut ModelCache,
+    ) {
+        if chain.len() < 2 {
+            if let Some(&b) = chain.first() {
+                cache.unlink(b);
+            }
+            return;
+        }
+        let link_prob: Vec<f64> = (0..chain.len() - 1)
+            .map(|i| {
+                let node = bcg.node(chain[i]).expect("chain node exists");
+                node.correlation_to(chain[i + 1].1)
+            })
+            .collect();
+
+        let mut i = 0;
+        while i < chain.len() && i < emit_limit {
+            let mut j = i;
+            let mut prob = 1.0;
+            while j + 1 < chain.len() && (j + 1 - i) < self.config.max_trace_blocks {
+                let extended = prob * link_prob[j];
+                if extended < self.config.threshold {
+                    break;
+                }
+                prob = extended;
+                j += 1;
+            }
+            let len = j + 1 - i;
+            if len >= self.config.min_trace_blocks {
+                let entry = chain[i];
+                let blocks: Vec<BlockId> = chain[i..=j].iter().map(|b| b.1).collect();
+                cache.insert_and_link(entry, blocks, prob);
+                i = j + 1;
+            } else {
+                cache.unlink(chain[i]);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvm_bytecode::FuncId;
+    use trace_bcg::ReferenceBcg;
+    use trace_workloads::prng::Xoshiro256StarStar;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    /// The model must agree with the frozen pre-overhaul reference
+    /// profiler on random block streams: same nodes, same per-node
+    /// statistics, same signal sequence. (The production graph is in turn
+    /// pinned against the reference by the workspace differential tests,
+    /// closing the triangle.)
+    #[test]
+    fn model_matches_reference_profiler_on_random_streams() {
+        for case in 0..24u64 {
+            let seed = trace_workloads::prng::seed_stream(0xC0DE_5EED, case);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let cfg = BcgConfig {
+                start_delay: rng.range_u32(1, 8),
+                decay_interval: rng.range_u32(16, 64),
+                ..BcgConfig::default().with_threshold(0.90)
+            };
+            let mut model = ModelBcg::new(cfg);
+            let mut reference = ReferenceBcg::new(cfg);
+            let blocks: Vec<BlockId> = (0..2000).map(|_| blk(rng.range_u32(0, 12))).collect();
+            for &b in &blocks {
+                model.observe(b);
+                reference.observe(b);
+                let model_sigs = model.take_signals();
+                let ref_sigs: Vec<ModelSignal> = reference
+                    .take_signals()
+                    .into_iter()
+                    .map(|s| ModelSignal {
+                        branch: s.branch,
+                        kind: s.kind,
+                    })
+                    .collect();
+                assert_eq!(model_sigs, ref_sigs, "seed {seed}: signals diverged");
+            }
+            assert_eq!(model.len(), reference.len(), "seed {seed}: node count");
+            for (_, rn) in reference.iter() {
+                let mn = model
+                    .node(rn.branch())
+                    .unwrap_or_else(|| panic!("seed {seed}: model missing node {:?}", rn.branch()));
+                assert_eq!(mn.state, rn.state(), "seed {seed}: state {:?}", rn.branch());
+                assert_eq!(mn.executions, rn.executions(), "seed {seed}");
+                assert_eq!(mn.total_weight, rn.total_weight(), "seed {seed}");
+                let model_succ: Vec<(BlockId, u16)> = mn
+                    .successors
+                    .iter()
+                    .map(|s| (s.to_block, s.count))
+                    .collect();
+                let ref_succ: Vec<(BlockId, u16)> = rn
+                    .successors()
+                    .iter()
+                    .map(|s| (s.to_block, s.count))
+                    .collect();
+                assert_eq!(
+                    model_succ,
+                    ref_succ,
+                    "seed {seed}: successors {:?}",
+                    rn.branch()
+                );
+                assert_eq!(
+                    mn.predicted().map(|s| s.to_block),
+                    rn.predicted().map(|s| s.to_block),
+                    "seed {seed}: prediction {:?}",
+                    rn.branch()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quirky_forced_decay_keeps_a_zero_edge() {
+        let cfg = BcgConfig {
+            decay_interval: u32::MAX,
+            ..BcgConfig::default().with_start_delay(1).with_threshold(0.9)
+        };
+        let mut clean = ModelBcg::new(cfg);
+        let mut quirky = ModelBcg::new(cfg).with_quirk(Quirk::ForcedDecayKeepsZeroEdges);
+        for m in [&mut clean, &mut quirky] {
+            for _ in 0..8 {
+                m.observe(blk(0));
+                m.observe(blk(1));
+                m.observe(blk(2));
+            }
+            // A count-1 edge that the next decay shifts to zero.
+            m.observe(blk(0));
+            m.observe(blk(1));
+            m.observe(blk(3));
+            m.force_decay((blk(0), blk(1)));
+        }
+        assert_eq!(clean.node((blk(0), blk(1))).unwrap().successors.len(), 1);
+        assert_eq!(quirky.node((blk(0), blk(1))).unwrap().successors.len(), 2);
+    }
+}

@@ -121,11 +121,21 @@ impl TraceCache {
     ) -> Option<TraceId> {
         let (stamp, raw) = bcg.node(node).trace_link();
         if stamp == self.version {
-            return if raw == NO_TRACE_LINK {
+            let cached = if raw == NO_TRACE_LINK {
                 None
             } else {
                 Some(TraceId(raw))
             };
+            #[cfg(feature = "debug-invariants")]
+            assert_eq!(
+                cached,
+                self.lookup_entry(bcg.node(node).branch()),
+                "inline trace-link slot diverged from the entry table at \
+                 version {} for branch {:?}",
+                self.version,
+                bcg.node(node).branch()
+            );
+            return cached;
         }
         let found = self.lookup_entry(bcg.node(node).branch());
         bcg.set_trace_link(node, self.version, found.map_or(NO_TRACE_LINK, |t| t.0));
@@ -186,6 +196,8 @@ impl TraceCache {
             _ => {}
         }
         self.version += 1;
+        #[cfg(feature = "debug-invariants")]
+        self.assert_cache_invariants();
         (id, created)
     }
 
@@ -195,8 +207,57 @@ impl TraceCache {
         let removed = self.by_entry.remove(PackedBranch::pack(entry));
         if removed.is_some() {
             self.version += 1;
+            #[cfg(feature = "debug-invariants")]
+            self.assert_cache_invariants();
         }
         removed
+    }
+
+    /// Machine-checked structural invariants, asserted after every link
+    /// mutation when the `debug-invariants` feature is on:
+    ///
+    /// - **hash-consing uniqueness** — the block-sequence index has
+    ///   exactly one entry per trace object, every entry round-trips to a
+    ///   trace with that exact sequence, and no two trace objects share a
+    ///   sequence (§4.2: an identical trace "is retrieved and linked",
+    ///   never duplicated);
+    /// - **id coherence** — `traces[i].id == i`;
+    /// - **link validity** — every entry link targets an in-range trace
+    ///   whose first block is the entry branch's target, and the trace is
+    ///   non-empty with a completion estimate in `(0, 1]`.
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_cache_invariants(&self) {
+        assert_eq!(
+            self.by_blocks.len(),
+            self.traces.len(),
+            "hash-consing index must have exactly one entry per trace"
+        );
+        for (i, t) in self.traces.iter().enumerate() {
+            assert_eq!(t.id.index(), i, "trace id must equal its slot");
+            assert!(!t.blocks.is_empty(), "cached trace must be non-empty");
+            assert!(
+                t.expected_completion > 0.0 && t.expected_completion <= 1.0,
+                "completion estimate {} out of (0, 1] for trace {i}",
+                t.expected_completion
+            );
+            assert_eq!(
+                self.by_blocks.get(&t.blocks),
+                Some(&t.id),
+                "trace {i} must be findable under its own block sequence"
+            );
+        }
+        for (entry, id) in self.by_entry.iter() {
+            let (_, to) = entry.unpack();
+            assert!(
+                id.index() < self.traces.len(),
+                "entry link targets out-of-range trace {id:?}"
+            );
+            assert_eq!(
+                self.traces[id.index()].blocks[0],
+                to,
+                "entry link must land on its trace's first block"
+            );
+        }
     }
 }
 

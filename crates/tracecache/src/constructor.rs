@@ -358,6 +358,19 @@ impl TraceConstructor {
                     .iter()
                     .map(|&n| bcg.node(n).branch().1)
                     .collect();
+                #[cfg(feature = "debug-invariants")]
+                {
+                    assert!(
+                        len <= self.config.max_trace_blocks,
+                        "emitted trace of {len} blocks exceeds the cap"
+                    );
+                    assert!(
+                        len == 1 || prob >= self.config.threshold,
+                        "emitted trace completion {prob} below threshold {}",
+                        self.config.threshold
+                    );
+                    assert_eq!(entry.1, blocks[0], "entry must land on block 0");
+                }
                 let (_, new) = cache.insert_and_link(entry, blocks, prob);
                 self.stats.links_written += 1;
                 if new {
@@ -553,6 +566,59 @@ mod tests {
             "trace length must grow with unroll factor: {lens:?}"
         );
         assert!(lens[2] > lens[1], "unroll=4 should beat unroll=1: {lens:?}");
+    }
+
+    /// Golden pin for self-loop unrolling: a path whose maximum-likelihood
+    /// walk terminates in a *self*-loop (block 0 branching back to itself)
+    /// must emit the one-block body unrolled exactly once — the trace is
+    /// exactly `[0, 0]`, never `[0]` (below min length) nor `[0, 0, 0]`
+    /// (over-unrolled). The full link layout is pinned so any change to
+    /// entry-point discovery, loop detection, or cutting shows up here.
+    #[test]
+    fn self_loop_body_is_unrolled_exactly_once_golden_layout() {
+        // Stream: 9 then a run of twenty 0s, repeated. Node (0,0)'s
+        // successors are 0 (18/19) and 9 (1/19); threshold 0.90 keeps it
+        // Strong with prediction 0, so walks end in the (0,0) self-loop.
+        let mut pattern = vec![9u32];
+        pattern.extend(std::iter::repeat_n(0, 20));
+        let (_bcg, cache, ctor) = build_cache(&pattern, 300, 4, 0.90);
+
+        assert!(ctor.stats().loops_unrolled > 0, "self-loop must be found");
+        let mut links: Vec<(u32, u32, Vec<u32>)> = cache
+            .iter_links()
+            .map(|((from, to), t)| {
+                (
+                    from.block,
+                    to.block,
+                    t.blocks().iter().map(|b| b.block).collect(),
+                )
+            })
+            .collect();
+        links.sort();
+        // Golden layout: the self-loop entry (0,0) carries the body
+        // unrolled once; the loop prefix 9 -> 0 -> 0 is linked at its two
+        // upstream entries with the loop head as terminal block.
+        assert_eq!(
+            links,
+            vec![
+                (0, 0, vec![0, 0]),
+                (0, 9, vec![9, 0, 0]),
+                (9, 0, vec![0, 0]),
+            ],
+            "golden self-loop trace layout changed"
+        );
+        // And the unrolled trace is a distinct hash-consed object. Its
+        // completion estimate is stamped at *first* construction (when the
+        // self-edge was the only successor observed, probability 1); reuse
+        // keeps the original object, so it stays at or above threshold.
+        let id = cache.lookup_entry((blk(0), blk(0))).unwrap();
+        let t = cache.trace(id);
+        assert_eq!(t.len(), 2, "body of one block must unroll to two");
+        assert!(
+            t.expected_completion() >= 0.90,
+            "completion {} must satisfy the threshold",
+            t.expected_completion()
+        );
     }
 
     #[test]

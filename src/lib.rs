@@ -19,7 +19,11 @@
 //! * [`baselines`] — Dynamo-style NET and rePLay-style selection for
 //!   comparison (paper §2);
 //! * [`exec`] — the paper's stated future work (§6): compiled, guarded
-//!   trace execution with side exits, plus a trace peephole optimizer.
+//!   trace execution with side exits, plus a trace peephole optimizer;
+//! * [`conformance`] — the model-based conformance harness: an
+//!   executable, deliberately naive transcription of the paper's BCG and
+//!   trace-cutting rules checked in lockstep against the optimised
+//!   implementations, plus deterministic chaos campaigns.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@ pub use jvm_vm as vm;
 pub use trace_baselines as baselines;
 pub use trace_bcg as bcg;
 pub use trace_cache as tracecache;
+pub use trace_conformance as conformance;
 pub use trace_exec as exec;
 pub use trace_jit as jit;
 pub use trace_workloads as workloads;

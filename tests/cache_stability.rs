@@ -6,7 +6,12 @@
 
 use tracecache_repro::bytecode::{CmpOp, Program, ProgramBuilder};
 use tracecache_repro::jit::{TraceJitConfig, TraceVm};
+use tracecache_repro::workloads::prng::{seed_stream, Xoshiro256StarStar};
 use tracecache_repro::workloads::{registry, Scale};
+
+/// Base seed for the randomised sweeps below (case `k` uses
+/// `seed_stream(BASE_SEED, k)`; every failure message carries the seed).
+const BASE_SEED: u64 = 0x57AB_5EED;
 
 #[test]
 fn steady_workloads_have_stable_caches() {
@@ -103,4 +108,32 @@ fn decay_keeps_adapting_where_cumulative_counters_stall() {
         decaying.coverage_incl_partial(),
         cumulative.coverage_incl_partial()
     );
+}
+
+/// The no-thrashing bound holds across randomly shaped phase programs,
+/// not just the six workloads; each case's seed reproduces its program.
+#[test]
+fn random_phase_programs_do_not_thrash_the_cache() {
+    for case in 0..8u64 {
+        let seed = seed_stream(BASE_SEED, case);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let phases = i64::from(rng.range_u32(2, 12));
+        let phase_len = i64::from(rng.range_u32(500, 4_000));
+        let program = phase_program(phases, phase_len);
+        let mut tvm = TraceVm::new(
+            &program,
+            TraceJitConfig::paper_default().with_start_delay(16),
+        );
+        let r = tvm
+            .run(&[])
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: run failed: {e:?}"));
+        let entered = r.traces.entered.max(1);
+        assert!(
+            r.cache.links_replaced * 10 <= entered,
+            "seed {seed:#x} ({phases} phases x {phase_len}): {} replacements \
+             for {} trace entries",
+            r.cache.links_replaced,
+            entered,
+        );
+    }
 }

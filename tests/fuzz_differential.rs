@@ -3,22 +3,19 @@
 //! trace-monitoring VM, and the trace-executing engine (with and without
 //! the optimizer) must agree bit-for-bit.
 //!
-//! The generator builds verified programs from a random AST of statements
-//! (arithmetic on integer locals, `if`/`else`, bounded counted loops,
-//! checksum emissions) — enough control-flow variety to exercise trace
-//! construction, guard compilation, side exits and loop unrolling, while
-//! every generated program terminates by construction.
-//!
-//! Offline replacement for the former `proptest` version: programs are
-//! generated from the in-tree xoshiro256** PRNG; case `k` uses seed
-//! `BASE_SEED + k` and every assert carries the seed for reproduction.
+//! Program generation lives in [`tracecache_repro::conformance::genprog`]
+//! (shared with the conformance chaos campaigns, so a seed printed by
+//! either harness reproduces the identical program in the other).
+//! Case seeds come from the workspace-wide
+//! [`seed_stream`](tracecache_repro::workloads::prng::seed_stream)
+//! convention and every assert carries the seed for reproduction.
 //! `--features exhaustive-tests` deepens the sweep.
 
-use tracecache_repro::bytecode::{CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
+use tracecache_repro::conformance::genprog::{args_from, build_program, gen_block};
 use tracecache_repro::exec::{EngineConfig, TracingVm};
 use tracecache_repro::jit::{TraceJitConfig, TraceVm};
-use tracecache_repro::vm::{NullObserver, RecordingObserver, ReferenceVm, Value, Vm};
-use tracecache_repro::workloads::prng::Xoshiro256StarStar;
+use tracecache_repro::vm::{NullObserver, RecordingObserver, ReferenceVm, Vm};
+use tracecache_repro::workloads::prng::{seed_stream, Xoshiro256StarStar};
 
 const BASE_SEED: u64 = 0xD1FF_5EED;
 
@@ -30,169 +27,11 @@ fn cases() -> u64 {
     }
 }
 
-/// A terminating statement AST over a fixed set of integer locals.
-#[derive(Debug, Clone)]
-enum Stmt {
-    /// `l[d] = l[a] <op> l[b]` with op ∈ {+,-,*,^,&,|}.
-    Arith { d: u8, a: u8, b: u8, op: u8 },
-    /// `l[d] = c`.
-    Const { d: u8, c: i8 },
-    /// Emit `l[a]` into the checksum.
-    Emit { a: u8 },
-    /// `if l[a] <cmp> l[b] { then } else { other }`.
-    If {
-        a: u8,
-        b: u8,
-        cmp: u8,
-        then: Vec<Stmt>,
-        other: Vec<Stmt>,
-    },
-    /// `for _ in 0..n { body }` with its own loop counter.
-    Loop { n: u8, body: Vec<Stmt> },
-}
-
-const NUM_LOCALS: u8 = 4;
-
-fn gen_local(rng: &mut Xoshiro256StarStar) -> u8 {
-    rng.range_u32(0, u32::from(NUM_LOCALS)) as u8
-}
-
-fn gen_leaf(rng: &mut Xoshiro256StarStar) -> Stmt {
-    match rng.range_u32(0, 3) {
-        0 => Stmt::Arith {
-            d: gen_local(rng),
-            a: gen_local(rng),
-            b: gen_local(rng),
-            op: rng.range_u32(0, 6) as u8,
-        },
-        1 => Stmt::Const {
-            d: gen_local(rng),
-            c: rng.next_u64() as i8,
-        },
-        _ => Stmt::Emit { a: gen_local(rng) },
-    }
-}
-
-/// One statement of recursion budget `depth`; `depth == 0` forces a
-/// leaf, otherwise leaves and compound statements are mixed.
-fn gen_stmt(rng: &mut Xoshiro256StarStar, depth: u32) -> Stmt {
-    if depth == 0 || rng.chance(0.5) {
-        return gen_leaf(rng);
-    }
-    if rng.chance(0.5) {
-        Stmt::If {
-            a: gen_local(rng),
-            b: gen_local(rng),
-            cmp: rng.range_u32(0, 6) as u8,
-            then: gen_block(rng, depth - 1, 0, 4),
-            other: gen_block(rng, depth - 1, 0, 4),
-        }
-    } else {
-        Stmt::Loop {
-            n: rng.range_u32(1, 40) as u8,
-            body: gen_block(rng, depth - 1, 1, 4),
-        }
-    }
-}
-
-fn gen_block(rng: &mut Xoshiro256StarStar, depth: u32, min: usize, max: usize) -> Vec<Stmt> {
-    (0..rng.range_usize(min, max))
-        .map(|_| gen_stmt(rng, depth))
-        .collect()
-}
-
-fn cmp_of(idx: u8) -> CmpOp {
-    [
-        CmpOp::Eq,
-        CmpOp::Ne,
-        CmpOp::Lt,
-        CmpOp::Le,
-        CmpOp::Gt,
-        CmpOp::Ge,
-    ][idx as usize % 6]
-}
-
-/// Emits a statement list; loop counters use locals allocated past the
-/// program-visible ones.
-fn emit_stmts(b: &mut tracecache_repro::bytecode::FunctionBuilder, stmts: &[Stmt]) {
-    for s in stmts {
-        match s {
-            Stmt::Arith { d, a, b: rb, op } => {
-                b.load(u16::from(*a)).load(u16::from(*rb));
-                match op % 6 {
-                    0 => b.iadd(),
-                    1 => b.isub(),
-                    2 => b.imul(),
-                    3 => b.ixor(),
-                    4 => b.iand(),
-                    _ => b.ior(),
-                };
-                b.store(u16::from(*d));
-            }
-            Stmt::Const { d, c } => {
-                b.iconst(i64::from(*c)).store(u16::from(*d));
-            }
-            Stmt::Emit { a } => {
-                b.load(u16::from(*a)).intrinsic(Intrinsic::Checksum);
-            }
-            Stmt::If {
-                a,
-                b: rb,
-                cmp,
-                then,
-                other,
-            } => {
-                let else_l = b.new_label();
-                let end = b.new_label();
-                b.load(u16::from(*a)).load(u16::from(*rb));
-                b.if_icmp(cmp_of(*cmp).negate(), else_l);
-                emit_stmts(b, then);
-                b.goto(end);
-                b.bind(else_l);
-                emit_stmts(b, other);
-                b.bind(end);
-                b.nop(); // keeps `end` bindable even when it's at the tail
-            }
-            Stmt::Loop { n, body } => {
-                let i = b.alloc_local();
-                b.iconst(i64::from(*n)).store(i);
-                let head = b.bind_new_label();
-                let exit = b.new_label();
-                b.load(i).if_i(CmpOp::Le, exit);
-                emit_stmts(b, body);
-                b.iinc(i, -1).goto(head);
-                b.bind(exit);
-            }
-        }
-    }
-}
-
-fn build_program(stmts: &[Stmt]) -> Program {
-    let mut pb = ProgramBuilder::new();
-    let f = pb.declare_function("main", NUM_LOCALS as u16, false);
-    {
-        let b = pb.function_mut(f);
-        emit_stmts(b, stmts);
-        // Emit all visible locals so every program has observable output.
-        for l in 0..NUM_LOCALS {
-            b.load(u16::from(l)).intrinsic(Intrinsic::Checksum);
-        }
-        b.ret_void();
-    }
-    pb.build(FuncId(0)).expect("generated programs must verify")
-}
-
-fn args_from(seed: i64) -> Vec<Value> {
-    (0..NUM_LOCALS)
-        .map(|i| Value::Int(seed.wrapping_mul(i64::from(i) + 1)))
-        .collect()
-}
-
 /// All four execution configurations agree on every generated program.
 #[test]
 fn engines_agree_on_random_programs() {
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let stmts = gen_block(&mut rng, 3, 1, 8);
         let program = build_program(&stmts);
@@ -214,21 +53,25 @@ fn engines_agree_on_random_programs() {
         let ref_result = reference
             .run(&args, &mut ref_stream)
             .expect("reference interpreter runs");
-        assert_eq!(result, ref_result, "seed {seed}: result diverged");
-        assert_eq!(want, reference.checksum(), "seed {seed}: checksum diverged");
+        assert_eq!(result, ref_result, "seed {seed:#x}: result diverged");
+        assert_eq!(
+            want,
+            reference.checksum(),
+            "seed {seed:#x}: checksum diverged"
+        );
         assert_eq!(
             plain.stats(),
             reference.stats(),
-            "seed {seed}: exec stats diverged"
+            "seed {seed:#x}: exec stats diverged"
         );
         assert_eq!(
             plain.heap_stats(),
             reference.heap_stats(),
-            "seed {seed}: heap stats diverged"
+            "seed {seed:#x}: heap stats diverged"
         );
         assert_eq!(
             plain_stream, ref_stream,
-            "seed {seed}: dispatch stream diverged"
+            "seed {seed:#x}: dispatch stream diverged"
         );
 
         // Aggressive tracing parameters to maximise machinery coverage.
@@ -238,8 +81,11 @@ fn engines_agree_on_random_programs() {
 
         let mut tvm = TraceVm::new(&program, jit);
         let r = tvm.run(&args).expect("trace vm runs");
-        assert_eq!(r.checksum, want, "seed {seed}: trace-monitor VM diverged");
-        assert_eq!(r.exec.instructions, want_instrs, "seed {seed}");
+        assert_eq!(
+            r.checksum, want,
+            "seed {seed:#x}: trace-monitor VM diverged"
+        );
+        assert_eq!(r.exec.instructions, want_instrs, "seed {seed:#x}");
 
         let mut engine = TracingVm::new(
             &program,
@@ -252,9 +98,9 @@ fn engines_agree_on_random_programs() {
         let r = engine.run(&args).expect("engine runs");
         assert_eq!(
             r.checksum, want,
-            "seed {seed}: trace-executing engine diverged"
+            "seed {seed:#x}: trace-executing engine diverged"
         );
-        assert_eq!(r.exec.instructions, want_instrs, "seed {seed}");
+        assert_eq!(r.exec.instructions, want_instrs, "seed {seed:#x}");
 
         let mut opt = TracingVm::new(
             &program,
@@ -265,8 +111,11 @@ fn engines_agree_on_random_programs() {
             },
         );
         let r = opt.run(&args).expect("optimizing engine runs");
-        assert_eq!(r.checksum, want, "seed {seed}: optimizing engine diverged");
-        assert!(r.exec.instructions <= want_instrs, "seed {seed}");
+        assert_eq!(
+            r.checksum, want,
+            "seed {seed:#x}: optimizing engine diverged"
+        );
+        assert!(r.exec.instructions <= want_instrs, "seed {seed:#x}");
     }
 }
 
@@ -274,7 +123,7 @@ fn engines_agree_on_random_programs() {
 #[test]
 fn unrolling_preserves_semantics_on_random_programs() {
     for case in 0..cases() {
-        let seed = BASE_SEED ^ (case.wrapping_mul(0x9E37_79B9)) ^ 0xA5A5;
+        let seed = seed_stream(BASE_SEED ^ 0xA5A5, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let stmts = gen_block(&mut rng, 2, 1, 6);
         let program = build_program(&stmts);
@@ -300,6 +149,6 @@ fn unrolling_preserves_semantics_on_random_programs() {
             },
         );
         let r = engine.run(&args).expect("engine runs");
-        assert_eq!(r.checksum, want, "seed {seed}: unroll {unroll} diverged");
+        assert_eq!(r.checksum, want, "seed {seed:#x}: unroll {unroll} diverged");
     }
 }

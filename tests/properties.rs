@@ -4,8 +4,9 @@
 //! a seeded loop over the in-tree PRNG
 //! ([`tracecache_repro::workloads::prng`]), so runs are deterministic
 //! and reproducible from the printed seed. Case `k` of a property uses
-//! seed `BASE_SEED + k`; on failure the assert message carries the seed,
-//! and rerunning with that seed reproduces the exact inputs.
+//! `seed_stream(BASE_SEED, k)` — the workspace-wide seeding convention —
+//! so a printed seed reproduces the exact inputs in any harness; every
+//! assert message carries it.
 //!
 //! `cargo test` runs a quick sweep; build with
 //! `--features exhaustive-tests` for a deeper one.
@@ -14,9 +15,10 @@ use tracecache_repro::bcg::{BcgConfig, BranchCorrelationGraph};
 use tracecache_repro::bytecode::{BlockId, CmpOp, FuncId, Intrinsic, Program, ProgramBuilder};
 use tracecache_repro::tracecache::{ConstructorConfig, TraceCache, TraceConstructor, TraceRuntime};
 use tracecache_repro::vm::{NullObserver, Value, Vm};
-use tracecache_repro::workloads::prng::Xoshiro256StarStar;
+use tracecache_repro::workloads::prng::{seed_stream, Xoshiro256StarStar};
 
-/// Base seed for every property in this file (case `k` uses `BASE + k`).
+/// Base seed for every property in this file (case `k` uses
+/// `seed_stream(BASE_SEED, k)`).
 const BASE_SEED: u64 = 0x7070_5eed;
 
 /// Cases per property: quick by default, deep under `exhaustive-tests`.
@@ -54,7 +56,7 @@ fn many_block_program(min_blocks: u32) -> Program {
 #[test]
 fn bcg_invariants_hold_on_random_streams() {
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let stream: Vec<u32> = (0..rng.range_usize(1, 2000))
             .map(|_| rng.range_u32(0, 8))
@@ -72,22 +74,26 @@ fn bcg_invariants_hold_on_random_streams() {
         for &s in &stream {
             bcg.observe(blk(s));
         }
-        assert_eq!(bcg.stats().dispatches, stream.len() as u64, "seed {seed}");
+        assert_eq!(
+            bcg.stats().dispatches,
+            stream.len() as u64,
+            "seed {seed:#x}"
+        );
         for (_, node) in bcg.iter() {
             let sum: u32 = node.successors().iter().map(|s| u32::from(s.count)).sum();
-            assert_eq!(node.total_weight(), sum, "seed {seed}");
+            assert_eq!(node.total_weight(), sum, "seed {seed:#x}");
             for s in node.successors() {
                 let c = node.correlation(s);
-                assert!((0.0..=1.0).contains(&c), "seed {seed}: correlation {c}");
+                assert!((0.0..=1.0).contains(&c), "seed {seed:#x}: correlation {c}");
             }
             if let Some(p) = node.predicted() {
                 assert!(
                     node.successors().iter().any(|s| s.to_block == p.to_block),
-                    "seed {seed}"
+                    "seed {seed:#x}"
                 );
             }
             if let Some(m) = node.max_successor() {
-                assert!(u32::from(m.count) <= node.total_weight(), "seed {seed}");
+                assert!(u32::from(m.count) <= node.total_weight(), "seed {seed:#x}");
             }
         }
     }
@@ -98,7 +104,7 @@ fn bcg_invariants_hold_on_random_streams() {
 #[test]
 fn constructed_traces_satisfy_invariants() {
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let stream: Vec<u32> = (0..rng.range_usize(200, 3000))
             .map(|_| rng.range_u32(0, 6))
@@ -124,14 +130,14 @@ fn constructed_traces_satisfy_invariants() {
         for trace in cache.iter_traces() {
             assert!(
                 trace.expected_completion() >= threshold - 1e-9,
-                "seed {seed}"
+                "seed {seed:#x}"
             );
-            assert!(trace.expected_completion() <= 1.0 + 1e-9, "seed {seed}");
-            assert!(trace.len() >= cfg.min_trace_blocks, "seed {seed}");
-            assert!(trace.len() <= cfg.max_trace_blocks, "seed {seed}");
+            assert!(trace.expected_completion() <= 1.0 + 1e-9, "seed {seed:#x}");
+            assert!(trace.len() >= cfg.min_trace_blocks, "seed {seed:#x}");
+            assert!(trace.len() <= cfg.max_trace_blocks, "seed {seed:#x}");
         }
         for (entry, trace) in cache.iter_links() {
-            assert_eq!(entry.1, trace.blocks()[0], "seed {seed}");
+            assert_eq!(entry.1, trace.blocks()[0], "seed {seed:#x}");
         }
     }
 }
@@ -142,7 +148,7 @@ fn constructed_traces_satisfy_invariants() {
 fn runtime_accounting_balances() {
     let program = many_block_program(8);
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let stream: Vec<u32> = (0..rng.range_usize(1, 1500))
             .map(|_| rng.range_u32(0, 8))
@@ -162,14 +168,17 @@ fn runtime_accounting_balances() {
         }
         rt.finish_stream();
         let st = rt.stats();
-        assert_eq!(st.entered, st.completed + st.exited_early, "seed {seed}");
+        assert_eq!(st.entered, st.completed + st.exited_early, "seed {seed:#x}");
         // Every dispatched block lands in exactly one bucket.
         assert_eq!(
             st.blocks_in_completed + st.blocks_in_partial + st.blocks_outside,
             stream.len() as u64,
-            "seed {seed}"
+            "seed {seed:#x}"
         );
-        assert!(st.trace_dispatches() <= stream.len() as u64, "seed {seed}");
+        assert!(
+            st.trace_dispatches() <= stream.len() as u64,
+            "seed {seed:#x}"
+        );
     }
 }
 
@@ -186,7 +195,7 @@ fn branch_semantics_match_native() {
         CmpOp::Ge,
     ];
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         // Mix full-range operands with near-equal ones so Eq/Ne/Le/Ge
         // see both outcomes often.
@@ -215,7 +224,7 @@ fn branch_semantics_match_native() {
             assert_eq!(
                 r,
                 Some(Value::Int(i64::from(op.eval_i64(a, b)))),
-                "seed {seed}: {a} {op:?} {b}"
+                "seed {seed:#x}: {a} {op:?} {b}"
             );
         }
     }
@@ -226,7 +235,7 @@ fn branch_semantics_match_native() {
 #[test]
 fn straight_line_programs_verify_and_run() {
     for case in 0..cases() {
-        let seed = BASE_SEED + case;
+        let seed = seed_stream(BASE_SEED, case);
         let mut rng = Xoshiro256StarStar::new(seed);
         let ops: Vec<u8> = (0..rng.range_usize(0, 200))
             .map(|_| rng.range_u32(0, 7) as u8)
@@ -285,7 +294,7 @@ fn straight_line_programs_verify_and_run() {
         let mut vm = Vm::new(&program);
         vm.run(&[Value::Int(operand)], &mut NullObserver)
             .expect("runs");
-        assert_eq!(vm.stats().block_dispatches, 1, "seed {seed}");
-        assert_eq!(vm.stats().instructions, expected_len, "seed {seed}");
+        assert_eq!(vm.stats().block_dispatches, 1, "seed {seed:#x}");
+        assert_eq!(vm.stats().instructions, expected_len, "seed {seed:#x}");
     }
 }
