@@ -26,11 +26,17 @@ echo "== conformance (lockstep + chaos campaigns + corpus replay, in-situ assert
 cargo test -p trace-conformance --features debug-invariants -q
 cargo test -p trace-conformance --features debug-invariants -q --release
 
+echo "== concurrent shared-cache tests (debug-invariants: threaded paths assert in situ)"
+cargo test -p trace-cache -p trace-exec --features trace-cache/debug-invariants -q
+
 echo "== hot-path bench smoke (test scale)"
 cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
 
 echo "== interp-speed bench smoke (test scale)"
 cargo run --release -p trace-bench --bin interp_speed -- --smoke --out /tmp/BENCH_interp.smoke.json
+
+echo "== concurrent shared-cache bench smoke (2 threads, test scale)"
+cargo run --release -p trace-bench --bin concurrent -- --smoke --out /tmp/BENCH_concurrent.smoke.json
 
 echo "== bench harness smoke (1 sample, test scale)"
 TRACE_BENCH_SCALE=test TRACE_BENCH_SAMPLES=1 \

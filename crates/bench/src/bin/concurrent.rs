@@ -1,0 +1,122 @@
+//! Multi-VM throughput benchmark driver.
+//!
+//! Runs M worker VMs over every registry workload against private vs
+//! shared trace caches (cold and pre-warmed), prints the scaling table,
+//! and writes `BENCH_concurrent.json` into the current directory.
+//!
+//! ```text
+//! concurrent [--scale test|small|paper] [--threads N] [--repeats N]
+//!            [--workload NAME] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI setting: test scale, 2 threads, 1 repeat —
+//! seconds, not minutes. Default is small scale, 8 threads, 3 repeats.
+//! `TRACE_BENCH_SCALE` is honoured when `--scale` is absent, matching
+//! the other benches.
+
+use trace_bench::concurrent;
+use trace_bench::parse_scale;
+use trace_workloads::Scale;
+
+fn main() {
+    let mut scale: Option<Scale> = None;
+    let mut threads: Option<usize> = None;
+    let mut repeats: Option<usize> = None;
+    let mut workload: Option<String> = None;
+    let mut out = String::from("BENCH_concurrent.json");
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Some(parse_scale(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (use test|small|paper)");
+                    std::process::exit(2);
+                }));
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                threads = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an integer, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--repeats" => {
+                let v = args.next().unwrap_or_default();
+                repeats = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--repeats needs an integer, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--workload" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--workload needs a name");
+                    std::process::exit(2);
+                });
+                if trace_workloads::registry::by_name(&v, Scale::Test).is_none() {
+                    eprintln!("unknown workload '{v}'");
+                    std::process::exit(2);
+                }
+                workload = Some(v);
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "concurrent [--scale test|small|paper] [--threads N] [--repeats N] \
+                     [--workload NAME] [--smoke] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let env_scale = std::env::var("TRACE_BENCH_SCALE")
+        .ok()
+        .as_deref()
+        .and_then(parse_scale);
+    let (scale, threads, repeats) = if smoke {
+        (
+            scale.unwrap_or(Scale::Test),
+            threads.unwrap_or(2),
+            repeats.unwrap_or(1),
+        )
+    } else {
+        (
+            scale.or(env_scale).unwrap_or(Scale::Small),
+            threads.unwrap_or(8),
+            repeats.unwrap_or(3),
+        )
+    };
+
+    let report = concurrent::run_filtered(scale, threads, repeats, workload.as_deref());
+    print!("{}", report.render());
+    let max_t = report.threads.iter().copied().max().unwrap_or(1);
+    println!(
+        "cross-VM dedup observed on {}/{} workloads at {} threads ({} host CPUs)",
+        report.dedup_observed(max_t),
+        report.rows.len(),
+        max_t,
+        report.host_cpus,
+    );
+
+    let json = report.to_json();
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

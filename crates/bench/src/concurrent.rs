@@ -1,0 +1,510 @@
+//! Multi-VM throughput harness: private vs shared trace caches.
+//!
+//! Simulates a deployment serving many concurrent copies of the same
+//! program: `M` worker threads each run a full [`TracingVm`] over a
+//! registry workload, in three configurations —
+//!
+//! * **private** — every VM owns its cache and constructs inline (the
+//!   pre-concurrency system, replicated M times);
+//! * **shared-cold** — all VMs dispatch against one fresh
+//!   [`SharedCache`], with construction on a background service thread
+//!   fed by the bounded snapshot queue;
+//! * **shared-warm** — as above, but the cache is pre-warmed by one
+//!   untimed run before the timed workers start (the startup win of
+//!   inheriting traces another VM already paid for).
+//!
+//! Each measurement is the *minimum wall clock* over `repeats`
+//! (throughput noise is strictly downward), and reports **aggregate**
+//! instructions per second: total instructions retired by all workers
+//! divided by the wall time of the slowest worker. On a host with fewer
+//! cores than workers the wall time grows with M and the aggregate
+//! number plateaus — the report carries `host_cpus` so the scaling curve
+//! is read against the hardware actually present (see EXPERIMENTS.md).
+//!
+//! Every VM run's checksum is asserted against the workload's expected
+//! value, so the harness doubles as a concurrency stress test: a torn
+//! link or a stale artifact would corrupt a checksum long before it
+//! corrupted a timing.
+
+use std::time::Instant;
+
+use trace_cache::QueueStats;
+use trace_exec::{run_shared_constructor, shared_session, EngineConfig, SharedSession, TracingVm};
+use trace_workloads::registry::{self, Scale, Workload};
+
+/// Shared-mode observability attached to a measurement point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedPoint {
+    /// Fraction of trace insertions served by hash-consing (cross-VM
+    /// dedup hits), in `[0, 1]`.
+    pub dedup_hit_rate: f64,
+    /// Distinct traces in the cache after the run.
+    pub traces: usize,
+    /// Entry branches linked after the run.
+    pub links: usize,
+    /// Traces the background constructor actually built.
+    pub built: u64,
+    /// Construction-queue counters (high-water depth, drops).
+    pub queue: QueueStats,
+    /// Estimated bytes of the session (shards + cons state + artifacts
+    /// + in-flight snapshots).
+    pub memory_bytes: usize,
+}
+
+/// One (mode, thread-count) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ModePoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Minimum wall clock over the repeats, seconds.
+    pub wall_s: f64,
+    /// Total instructions retired by all workers in the best repeat.
+    pub instructions: u64,
+    /// Aggregate throughput: `instructions / wall_s`.
+    pub instr_per_s: f64,
+    /// Trace entries summed over all workers.
+    pub traces_entered: u64,
+    /// Shared-cache observability (private mode: `None`).
+    pub shared: Option<SharedPoint>,
+}
+
+/// One workload's scaling curves.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRow {
+    /// Workload name (registry name).
+    pub name: &'static str,
+    /// Private-cache points, one per thread count.
+    pub private: Vec<ModePoint>,
+    /// Shared-cache cold-start points.
+    pub shared_cold: Vec<ModePoint>,
+    /// Shared-cache warm-start points.
+    pub shared_warm: Vec<ModePoint>,
+}
+
+impl ConcurrentRow {
+    fn mode(&self, mode: &str) -> &[ModePoint] {
+        match mode {
+            "private" => &self.private,
+            "shared_cold" => &self.shared_cold,
+            "shared_warm" => &self.shared_warm,
+            other => panic!("unknown mode {other}"),
+        }
+    }
+
+    /// Aggregate-throughput scaling of `mode` at `threads` relative to
+    /// one thread of the same mode (1.0 = no scaling).
+    pub fn scaling(&self, mode: &str, threads: usize) -> Option<f64> {
+        let pts = self.mode(mode);
+        let one = pts.iter().find(|p| p.threads == 1)?;
+        let at = pts.iter().find(|p| p.threads == threads)?;
+        if one.instr_per_s == 0.0 {
+            return None;
+        }
+        Some(at.instr_per_s / one.instr_per_s)
+    }
+
+    /// Warm-vs-cold startup win at `threads`: warm aggregate throughput
+    /// over cold aggregate throughput.
+    pub fn warm_speedup(&self, threads: usize) -> Option<f64> {
+        let cold = self.shared_cold.iter().find(|p| p.threads == threads)?;
+        let warm = self.shared_warm.iter().find(|p| p.threads == threads)?;
+        if cold.instr_per_s == 0.0 {
+            return None;
+        }
+        Some(warm.instr_per_s / cold.instr_per_s)
+    }
+}
+
+/// Full report: one row per workload.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Workload scale measured.
+    pub scale: Scale,
+    /// Timed repeats per point (min wall is reported).
+    pub repeats: usize,
+    /// Worker-thread counts measured.
+    pub threads: Vec<usize>,
+    /// CPUs available on the measuring host — the ceiling on wall-clock
+    /// scaling.
+    pub host_cpus: usize,
+    /// Construction-queue capacity used for shared modes.
+    pub queue_capacity: usize,
+    /// Per-workload rows.
+    pub rows: Vec<ConcurrentRow>,
+}
+
+impl ConcurrentReport {
+    /// Workloads whose shared-cold run at `threads` deduped at least one
+    /// trace across VMs.
+    pub fn dedup_observed(&self, threads: usize) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.shared_cold
+                    .iter()
+                    .find(|p| p.threads == threads)
+                    .and_then(|p| p.shared)
+                    .is_some_and(|s| s.dedup_hit_rate > 0.0)
+            })
+            .count()
+    }
+
+    /// Serialises the report as JSON (hand-rolled: the workspace has no
+    /// serde and the shape is fixed).
+    pub fn to_json(&self) -> String {
+        fn point(p: &ModePoint) -> String {
+            let mut s = format!(
+                "{{\"threads\": {}, \"wall_s\": {:.6}, \"instructions\": {}, \
+                 \"instr_per_s\": {:.1}, \"traces_entered\": {}",
+                p.threads, p.wall_s, p.instructions, p.instr_per_s, p.traces_entered
+            );
+            if let Some(sh) = &p.shared {
+                s.push_str(&format!(
+                    ", \"dedup_hit_rate\": {:.4}, \"traces\": {}, \"links\": {}, \
+                     \"built\": {}, \"queue_max_depth\": {}, \"queue_dropped\": {}, \
+                     \"memory_bytes\": {}",
+                    sh.dedup_hit_rate,
+                    sh.traces,
+                    sh.links,
+                    sh.built,
+                    sh.queue.max_depth,
+                    sh.queue.dropped,
+                    sh.memory_bytes
+                ));
+            }
+            s.push('}');
+            s
+        }
+        fn mode(points: &[ModePoint]) -> String {
+            let inner: Vec<String> = points.iter().map(point).collect();
+            format!("[{}]", inner.join(", "))
+        }
+
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        let ts: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!("  \"thread_counts\": [{}],\n", ts.join(", ")));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    {{\"name\": \"{}\",\n", r.name));
+            out.push_str(&format!("     \"private\": {},\n", mode(&r.private)));
+            out.push_str(&format!(
+                "     \"shared_cold\": {},\n",
+                mode(&r.shared_cold)
+            ));
+            out.push_str(&format!(
+                "     \"shared_warm\": {}}}{}\n",
+                mode(&r.shared_warm),
+                {
+                    if i + 1 == self.rows.len() {
+                        ""
+                    } else {
+                        ","
+                    }
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders an aligned text table for terminals and EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let max_t = self.threads.iter().copied().max().unwrap_or(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Concurrent trace serving, aggregate Minstr/s (scale {:?}, min of {} runs, {} host CPUs)\n",
+            self.scale, self.repeats, self.host_cpus
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>4} {:>10} {:>12} {:>12} {:>7} {:>7} {:>6} {:>8}\n",
+            "workload",
+            "thr",
+            "private",
+            "shared-cold",
+            "shared-warm",
+            "scale",
+            "dedup%",
+            "qmax",
+            "dropped"
+        ));
+        for r in &self.rows {
+            for (i, &t) in self.threads.iter().enumerate() {
+                let get = |pts: &[ModePoint]| {
+                    pts.iter()
+                        .find(|p| p.threads == t)
+                        .map_or(0.0, |p| p.instr_per_s / 1e6)
+                };
+                let sh = r
+                    .shared_cold
+                    .iter()
+                    .find(|p| p.threads == t)
+                    .and_then(|p| p.shared)
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "{:<10} {:>4} {:>10.2} {:>12.2} {:>12.2} {:>7.2} {:>7.1} {:>6} {:>8}\n",
+                    if i == 0 { r.name } else { "" },
+                    t,
+                    get(&r.private),
+                    get(&r.shared_cold),
+                    get(&r.shared_warm),
+                    r.scaling("shared_cold", t).unwrap_or(0.0),
+                    sh.dedup_hit_rate * 100.0,
+                    sh.queue.max_depth,
+                    sh.queue.dropped,
+                ));
+            }
+            if let Some(w) = r.warm_speedup(max_t) {
+                out.push_str(&format!(
+                    "{:<10} warm-start speedup at {} threads: {:.2}x\n",
+                    "", max_t, w
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Runs `m` worker VMs (one full workload run each) and returns
+/// `(wall_s, total_instructions, total_trace_entries)`. Private mode
+/// when `session` is `None`.
+fn run_workers(
+    w: &Workload,
+    config: EngineConfig,
+    m: usize,
+    session: Option<&SharedSession>,
+) -> (f64, u64, u64) {
+    std::thread::scope(|s| {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..m)
+            .map(|_| {
+                let sess = session.cloned();
+                s.spawn(move || {
+                    let mut vm = match sess {
+                        Some(sess) => TracingVm::new_shared(&w.program, config, sess),
+                        None => TracingVm::new(&w.program, config),
+                    };
+                    let report = vm.run(&w.args).expect("workload runs");
+                    assert_eq!(
+                        report.checksum, w.expected_checksum,
+                        "{} checksum diverged under concurrency",
+                        w.name
+                    );
+                    (report.exec.instructions, report.traces.entered)
+                })
+            })
+            .collect();
+        let mut instrs = 0u64;
+        let mut entered = 0u64;
+        for h in handles {
+            let (i, e) = h.join().expect("worker");
+            instrs += i;
+            entered += e;
+        }
+        (start.elapsed().as_secs_f64(), instrs, entered)
+    })
+}
+
+/// Private-cache measurement: `m` isolated VMs, min wall over repeats.
+fn measure_private(w: &Workload, config: EngineConfig, m: usize, repeats: usize) -> ModePoint {
+    let mut best = (f64::INFINITY, 0u64, 0u64);
+    for _ in 0..repeats.max(1) {
+        let r = run_workers(w, config, m, None);
+        if r.0 < best.0 {
+            best = r;
+        }
+    }
+    ModePoint {
+        threads: m,
+        wall_s: best.0,
+        instructions: best.1,
+        instr_per_s: best.1 as f64 / best.0.max(f64::MIN_POSITIVE),
+        traces_entered: best.2,
+        shared: None,
+    }
+}
+
+/// Blocks until the construction queue drains (all submitted snapshots
+/// consumed), bounded by ~1s so a wedged service cannot hang the bench.
+fn drain_queue(session: &SharedSession) {
+    for _ in 0..10_000 {
+        if session.queue.stats().depth == 0 {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Shared-cache measurement. Each repeat builds a *fresh* session (cold
+/// runs must not inherit a previous repeat's traces); `warm` additionally
+/// runs one untimed VM and waits for the queue to drain before timing.
+fn measure_shared(
+    w: &Workload,
+    config: EngineConfig,
+    m: usize,
+    repeats: usize,
+    queue_capacity: usize,
+    warm: bool,
+) -> ModePoint {
+    let mut best = (f64::INFINITY, 0u64, 0u64);
+    let mut best_shared = SharedPoint::default();
+    for _ in 0..repeats.max(1) {
+        let (cache, session, rx) = shared_session(queue_capacity);
+        let (r, built) = std::thread::scope(|s| {
+            let svc = s.spawn(|| run_shared_constructor(rx, &cache, &w.program, config));
+            if warm {
+                let mut vm = TracingVm::new_shared(&w.program, config, session.clone());
+                vm.run(&w.args).expect("warm-up runs");
+                drain_queue(&session);
+            }
+            let r = run_workers(w, config, m, Some(&session));
+            let queue = session.queue.stats();
+            let memory = session.memory_estimate();
+            drop(session);
+            let stats = svc.join().expect("constructor service");
+            (r, (stats.traces_created, queue, memory))
+        });
+        if r.0 < best.0 {
+            best = r;
+            let cs = cache.stats();
+            best_shared = SharedPoint {
+                dedup_hit_rate: cs.dedup_hit_rate(),
+                traces: cache.trace_count(),
+                links: cache.link_count(),
+                built: built.0,
+                queue: built.1,
+                memory_bytes: built.2,
+            };
+        }
+    }
+    ModePoint {
+        threads: m,
+        wall_s: best.0,
+        instructions: best.1,
+        instr_per_s: best.1 as f64 / best.0.max(f64::MIN_POSITIVE),
+        traces_entered: best.2,
+        shared: Some(best_shared),
+    }
+}
+
+/// Default construction-queue capacity for the harness.
+pub const QUEUE_CAPACITY: usize = 64;
+
+/// Thread counts measured (clipped to `max_threads`).
+pub const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// Measures every registry workload at `scale` across the thread ladder
+/// up to `max_threads`.
+pub fn run(scale: Scale, max_threads: usize, repeats: usize) -> ConcurrentReport {
+    run_filtered(scale, max_threads, repeats, None)
+}
+
+/// Like [`run`], optionally restricted to a single workload name.
+pub fn run_filtered(
+    scale: Scale,
+    max_threads: usize,
+    repeats: usize,
+    only: Option<&str>,
+) -> ConcurrentReport {
+    let config = EngineConfig::paper_default();
+    let threads: Vec<usize> = THREAD_LADDER
+        .iter()
+        .copied()
+        .filter(|&t| t <= max_threads.max(1))
+        .collect();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    for w in registry::all(scale) {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
+        let mut row = ConcurrentRow {
+            name: w.name,
+            private: Vec::new(),
+            shared_cold: Vec::new(),
+            shared_warm: Vec::new(),
+        };
+        for &m in &threads {
+            row.private.push(measure_private(&w, config, m, repeats));
+            row.shared_cold.push(measure_shared(
+                &w,
+                config,
+                m,
+                repeats,
+                QUEUE_CAPACITY,
+                false,
+            ));
+            row.shared_warm
+                .push(measure_shared(&w, config, m, repeats, QUEUE_CAPACITY, true));
+        }
+        rows.push(row);
+    }
+    ConcurrentReport {
+        scale,
+        repeats,
+        threads,
+        host_cpus,
+        queue_capacity: QUEUE_CAPACITY,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_thread_smoke_measures_all_modes_and_checks_checksums() {
+        let report = run_filtered(Scale::Test, 2, 1, Some("compress"));
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.private.len(), 2);
+        assert_eq!(row.shared_cold.len(), 2);
+        assert_eq!(row.shared_warm.len(), 2);
+        for p in row
+            .private
+            .iter()
+            .chain(&row.shared_cold)
+            .chain(&row.shared_warm)
+        {
+            assert!(p.instructions > 0);
+            assert!(p.instr_per_s > 0.0);
+        }
+        // Shared points carry observability; private points do not.
+        assert!(row.private.iter().all(|p| p.shared.is_none()));
+        assert!(row.shared_cold.iter().all(|p| p.shared.is_some()));
+        // JSON and table render every mode.
+        let json = report.to_json();
+        assert!(json.contains("\"shared_cold\""));
+        assert!(json.contains("\"dedup_hit_rate\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(report.render().contains("compress"));
+    }
+
+    #[test]
+    fn scaling_and_warm_speedup_are_computed_against_one_thread() {
+        let mk = |threads: usize, ips: f64| ModePoint {
+            threads,
+            wall_s: 1.0,
+            instructions: 1,
+            instr_per_s: ips,
+            traces_entered: 0,
+            shared: None,
+        };
+        let row = ConcurrentRow {
+            name: "x",
+            private: vec![mk(1, 10.0), mk(4, 30.0)],
+            shared_cold: vec![mk(1, 10.0), mk(4, 25.0)],
+            shared_warm: vec![mk(1, 12.0), mk(4, 40.0)],
+        };
+        assert_eq!(row.scaling("private", 4), Some(3.0));
+        assert_eq!(row.scaling("shared_cold", 4), Some(2.5));
+        assert_eq!(row.warm_speedup(4), Some(40.0 / 25.0));
+    }
+}

@@ -23,6 +23,7 @@
 //! All benches run on the in-tree [`harness`] — the workspace builds
 //! fully offline, with no external benchmarking dependency.
 
+pub mod concurrent;
 pub mod harness;
 pub mod hot_path;
 pub mod interp_speed;

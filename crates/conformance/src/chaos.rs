@@ -12,7 +12,14 @@
 //! * **cache-capacity pressure** — when the link table exceeds a small
 //!   cap, deterministic victims are unlinked from both caches;
 //! * **mid-trace invalidation** — a live entry link is removed from both
-//!   caches while the program is still running.
+//!   caches while the program is still running;
+//! * **queue overload** — a signal batch is dropped on both sides (the
+//!   full-construction-queue degradation path) and must re-raise at the
+//!   next decay cycle.
+//!
+//! Campaigns can additionally run the whole case in the lockstep
+//! harness's deferred-construction mode ([`ChaosConfig::defer_window`]),
+//! modelling off-thread construction lag.
 //!
 //! Every case is identified by `seed_stream(base, k)`, so a failure
 //! message names one `u64` that reproduces program, arguments, and the
@@ -38,15 +45,19 @@ pub enum Perturbation {
     CachePressure,
     /// Unlink one live entry mid-run.
     MidTraceInvalidation,
+    /// Drop the next signal batch back to both profilers (construction
+    /// queue full), exercising the decay-cycle re-raise.
+    QueueOverload,
 }
 
 impl Perturbation {
     /// Every class, for full-coverage campaigns.
-    pub const ALL: [Perturbation; 4] = [
+    pub const ALL: [Perturbation; 5] = [
         Perturbation::ForcedDecay,
         Perturbation::SignalReorder,
         Perturbation::CachePressure,
         Perturbation::MidTraceInvalidation,
+        Perturbation::QueueOverload,
     ];
 
     /// Stable name, used by the corpus format.
@@ -56,6 +67,7 @@ impl Perturbation {
             Perturbation::SignalReorder => "signal-reorder",
             Perturbation::CachePressure => "cache-pressure",
             Perturbation::MidTraceInvalidation => "mid-trace-invalidation",
+            Perturbation::QueueOverload => "queue-overload",
         }
     }
 
@@ -74,6 +86,9 @@ pub struct ChaosConfig {
     pub rate: f64,
     /// Link-count cap for [`Perturbation::CachePressure`].
     pub cache_cap: usize,
+    /// Deferred-construction window for the whole case (0 = construct
+    /// immediately; see [`Lockstep::with_deferred_construction`]).
+    pub defer_window: u64,
 }
 
 impl ChaosConfig {
@@ -83,15 +98,18 @@ impl ChaosConfig {
             kinds: Vec::new(),
             rate: 0.0,
             cache_cap: usize::MAX,
+            defer_window: 0,
         }
     }
 
-    /// All perturbation classes at a lively rate.
+    /// All perturbation classes at a lively rate, with construction
+    /// deferred by a small window on top.
     pub fn full() -> Self {
         ChaosConfig {
             kinds: Perturbation::ALL.to_vec(),
             rate: 0.02,
             cache_cap: 4,
+            defer_window: 24,
         }
     }
 
@@ -101,7 +119,14 @@ impl ChaosConfig {
             kinds: vec![kind],
             rate: 0.05,
             cache_cap: 4,
+            defer_window: 0,
         }
+    }
+
+    /// Sets the deferred-construction window.
+    pub fn with_defer_window(mut self, window: u64) -> Self {
+        self.defer_window = window;
+        self
     }
 }
 
@@ -141,6 +166,9 @@ pub fn run_case_on(
     let args = args_from(rng.next_i64());
     let (bcg_cfg, ctor_cfg) = campaign_configs();
     let mut ls = Lockstep::new(bcg_cfg, ctor_cfg);
+    if chaos.defer_window > 0 {
+        ls = ls.with_deferred_construction(chaos.defer_window);
+    }
     if let Some(q) = quirk {
         ls = ls.with_model_quirk(q);
     }
@@ -203,6 +231,9 @@ fn inject(
             if !entries.is_empty() {
                 ls.unlink(entries[rng.range_usize(0, entries.len())])?;
             }
+        }
+        Perturbation::QueueOverload => {
+            ls.drop_next_batch();
         }
     }
     Ok(())
@@ -318,6 +349,7 @@ pub struct CorpusCase {
 /// chaos=forced-decay,mid-trace-invalidation
 /// rate=0.05
 /// cache_cap=4
+/// defer_window=24
 /// ```
 pub fn parse_corpus_case(text: &str) -> Result<CorpusCase, String> {
     let mut seed = None;
@@ -365,6 +397,12 @@ pub fn parse_corpus_case(text: &str) -> Result<CorpusCase, String> {
                     .parse()
                     .map_err(|e| format!("bad cache_cap: {e}"))?;
             }
+            "defer_window" => {
+                chaos.defer_window = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad defer_window: {e}"))?;
+            }
             other => return Err(format!("unknown corpus key {other}")),
         }
     }
@@ -381,7 +419,7 @@ mod tests {
     #[test]
     fn corpus_format_round_trips() {
         let c = parse_corpus_case(
-            "# demo\nseed=0xABCD\nchaos=forced-decay, signal-reorder\nrate=0.1\ncache_cap=3\n",
+            "# demo\nseed=0xABCD\nchaos=forced-decay, signal-reorder\nrate=0.1\ncache_cap=3\ndefer_window=16\n",
         )
         .expect("parses");
         assert_eq!(c.seed, 0xABCD);
@@ -391,6 +429,8 @@ mod tests {
         );
         assert!((c.chaos.rate - 0.1).abs() < 1e-12);
         assert_eq!(c.chaos.cache_cap, 3);
+        assert_eq!(c.chaos.defer_window, 16);
+        assert!(parse_corpus_case("seed=1\nchaos=queue-overload\n").is_ok());
         assert!(parse_corpus_case("chaos=forced-decay\n").is_err());
         assert!(parse_corpus_case("seed=1\nchaos=warp-core-breach\n").is_err());
     }

@@ -23,9 +23,10 @@
 //!   crates).
 //! * [`chaos`] + [`genprog`] — deterministic chaos campaigns replaying
 //!   generated fuzz programs under injected perturbations (forced decay
-//!   ticks, signal reordering, cache pressure, mid-trace invalidation),
-//!   with per-case seeds, AST shrinking of failures, and a saved corpus
-//!   replayed in CI.
+//!   ticks, signal reordering, cache pressure, mid-trace invalidation,
+//!   construction-queue overload), optionally under the harness's
+//!   deferred-construction mode, with per-case seeds, AST shrinking of
+//!   failures, and a saved corpus replayed in CI.
 
 pub mod chaos;
 pub mod genprog;

@@ -14,6 +14,19 @@
 //! visit), so their instantaneous values differ by design while every
 //! observable consequence — decay timing, delay-expiry signalling,
 //! states, counters — must still match exactly, and does get compared.
+//!
+//! Two knobs model the shared-cache deployment's construction timing
+//! without any threads:
+//!
+//! * [`Lockstep::with_deferred_construction`] parks every compared
+//!   signal batch for a window of further dispatches before feeding it
+//!   to *both* constructors, single-threadedly reproducing off-thread
+//!   construction lag (the graphs keep evolving between the signalling
+//!   dispatch and the plan);
+//! * [`Lockstep::drop_next_batch`] hands the next batch back to both
+//!   profilers via their `defer_signals` hooks — the queue-full
+//!   degradation path — so the decay-cycle re-raise is conformance
+//!   checked too.
 
 use jvm_bytecode::BlockId;
 use trace_bcg::{Branch, BranchCorrelationGraph, NodeIdx, Signal};
@@ -53,9 +66,21 @@ pub struct Lockstep {
     step: u64,
     last_touched: Option<NodeIdx>,
     sig_buf: Vec<Signal>,
+    model_sig_buf: Vec<ModelSignal>,
     /// Rotation applied to the *next* non-empty signal batch on both
     /// sides before it reaches the constructors (chaos: signal reorder).
     pending_rotation: Option<usize>,
+    /// Dispatch window between a signal batch and its construction
+    /// (0 = construct immediately, the classic single-VM pipeline).
+    defer_window: u64,
+    /// Step at which the parked batches must be fed to the constructors.
+    defer_deadline: Option<u64>,
+    parked_real: Vec<Signal>,
+    parked_model: Vec<ModelSignal>,
+    /// Hand the next non-empty batch back to both profilers instead of
+    /// constructing (chaos: construction-queue overload).
+    drop_next: bool,
+    batches_dropped: u64,
 }
 
 impl Lockstep {
@@ -71,8 +96,27 @@ impl Lockstep {
             step: 0,
             last_touched: None,
             sig_buf: Vec::new(),
+            model_sig_buf: Vec::new(),
             pending_rotation: None,
+            defer_window: 0,
+            defer_deadline: None,
+            parked_real: Vec::new(),
+            parked_model: Vec::new(),
+            drop_next: false,
+            batches_dropped: 0,
         }
+    }
+
+    /// Switches the harness into deferred-construction mode: signal
+    /// batches are still drained and compared on the dispatch that
+    /// raised them, but both constructors only see them `window`
+    /// dispatches later (accumulated, in raise order). This is the
+    /// single-threaded model of the shared-cache deployment, where
+    /// construction runs on a background thread and the profilers keep
+    /// moving in the meantime.
+    pub fn with_deferred_construction(mut self, window: u64) -> Self {
+        self.defer_window = window;
+        self
     }
 
     /// Plants a deliberate model bug (regression-test fixture).
@@ -90,6 +134,20 @@ impl Lockstep {
     /// sides see the identical permuted order, so conformance must hold.
     pub fn rotate_next_batch(&mut self, by: usize) {
         self.pending_rotation = Some(by);
+    }
+
+    /// Drops the next non-empty signal batch on both sides (chaos hook):
+    /// instead of reaching the constructors it is handed back through
+    /// `defer_signals`, exactly what a dispatcher does when the shared
+    /// construction queue is full. The batch must re-raise at the next
+    /// decay cycle on both sides identically, so conformance must hold.
+    pub fn drop_next_batch(&mut self) {
+        self.drop_next = true;
+    }
+
+    /// Batches dropped so far via [`Self::drop_next_batch`].
+    pub fn batches_dropped(&self) -> u64 {
+        self.batches_dropped
     }
 
     /// One dispatched block through both systems, with per-event checks.
@@ -112,6 +170,10 @@ impl Lockstep {
         self.last_touched = touched;
 
         self.pump_signals()?;
+
+        if self.defer_deadline.is_some_and(|d| self.step >= d) {
+            self.flush_deferred()?;
+        }
 
         if self.step.is_multiple_of(SWEEP_INTERVAL) {
             self.sweep()?;
@@ -152,42 +214,87 @@ impl Lockstep {
         self.bcg.iter().map(|(_, n)| n.branch()).collect()
     }
 
-    /// Drains signals from both profilers, compares them, and feeds the
-    /// (possibly chaos-rotated) batch to both constructors.
+    /// Drains signals from both profilers, compares them, and routes the
+    /// (possibly chaos-rotated) batch: dropped back to the profilers,
+    /// parked for deferred construction, or fed to both constructors.
     fn pump_signals(&mut self) -> Result<(), Divergence> {
-        self.sig_buf.clear();
         self.bcg.drain_signals_into(&mut self.sig_buf);
-        let mut model_sigs = self.model_bcg.take_signals();
-        if self.sig_buf.is_empty() && model_sigs.is_empty() {
+        self.model_bcg.drain_signals_into(&mut self.model_sig_buf);
+        if self.sig_buf.is_empty() && self.model_sig_buf.is_empty() {
             return Ok(());
         }
 
-        let real_view: Vec<ModelSignal> = self
-            .sig_buf
-            .iter()
-            .map(|s| ModelSignal {
-                branch: s.branch,
-                kind: s.kind,
-            })
-            .collect();
-        if real_view != model_sigs {
+        let matches = self.sig_buf.len() == self.model_sig_buf.len()
+            && self
+                .sig_buf
+                .iter()
+                .zip(&self.model_sig_buf)
+                .all(|(r, m)| r.branch == m.branch && r.kind == m.kind);
+        if !matches {
+            let real_view: Vec<ModelSignal> = self
+                .sig_buf
+                .iter()
+                .map(|s| ModelSignal {
+                    branch: s.branch,
+                    kind: s.kind,
+                })
+                .collect();
             return Err(self.diverged(format!(
-                "signal batch mismatch: production {real_view:?} vs model {model_sigs:?}"
+                "signal batch mismatch: production {real_view:?} vs model {:?}",
+                self.model_sig_buf
             )));
         }
 
+        if self.drop_next {
+            // Queue-overload degradation: both sides hand the batch back
+            // for re-raise at the next decay. A rotation stays pending
+            // for the batch the constructors eventually do see.
+            self.drop_next = false;
+            self.batches_dropped += 1;
+            self.bcg.defer_signals(&self.sig_buf);
+            self.model_bcg.defer_signals(&self.model_sig_buf);
+            return Ok(());
+        }
+
         if let Some(by) = self.pending_rotation.take() {
-            if !self.sig_buf.is_empty() {
-                let k = by % self.sig_buf.len();
-                self.sig_buf.rotate_left(k);
-                model_sigs.rotate_left(k);
-            }
+            let k = by % self.sig_buf.len();
+            self.sig_buf.rotate_left(k);
+            self.model_sig_buf.rotate_left(k);
+        }
+
+        if self.defer_window > 0 {
+            self.parked_real.extend_from_slice(&self.sig_buf);
+            self.parked_model.extend_from_slice(&self.model_sig_buf);
+            let deadline = self.step + self.defer_window;
+            self.defer_deadline.get_or_insert(deadline);
+            return Ok(());
         }
 
         self.ctor
             .handle_batch(&self.sig_buf, &mut self.bcg, &mut self.cache);
-        self.model_ctor
-            .handle_batch(&model_sigs, &mut self.model_bcg, &mut self.model_cache);
+        self.model_ctor.handle_batch(
+            &self.model_sig_buf,
+            &mut self.model_bcg,
+            &mut self.model_cache,
+        );
+        self.compare_caches()
+    }
+
+    /// Feeds every parked batch to both constructors (deferred mode).
+    fn flush_deferred(&mut self) -> Result<(), Divergence> {
+        self.defer_deadline = None;
+        if self.parked_real.is_empty() && self.parked_model.is_empty() {
+            return Ok(());
+        }
+        self.ctor
+            .handle_batch(&self.parked_real, &mut self.bcg, &mut self.cache);
+        self.model_ctor.handle_batch(
+            &self.parked_model,
+            &mut self.model_bcg,
+            &mut self.model_cache,
+        );
+        self.parked_real.clear();
+        self.parked_model.clear();
         self.compare_caches()
     }
 
@@ -312,8 +419,11 @@ impl Lockstep {
         self.compare_caches()
     }
 
-    /// Final sweep; call when the stream ends.
-    pub fn finish(&self) -> Result<(), Divergence> {
+    /// Final sweep; call when the stream ends. In deferred mode any
+    /// still-parked batches are constructed first — the background
+    /// thread would drain its queue before shutdown the same way.
+    pub fn finish(&mut self) -> Result<(), Divergence> {
+        self.flush_deferred()?;
         self.sweep()
     }
 
@@ -391,6 +501,69 @@ mod tests {
             ls.force_decay(branch).expect("forced decay conforms");
         }
         ls.finish().expect("final sweep clean");
+    }
+
+    #[test]
+    fn deferred_construction_stays_in_lockstep_and_still_traces() {
+        let mut ls = harness().with_deferred_construction(32);
+        for i in 0..4000u32 {
+            for b in [0u32, 1, 2, if i % 16 == 15 { 3 } else { 2 }] {
+                ls.on_block(blk(b)).expect("no divergence");
+            }
+        }
+        ls.finish().expect("final sweep clean");
+        assert!(
+            ls.cache.link_count() > 0,
+            "construction deferred is still construction"
+        );
+    }
+
+    #[test]
+    fn dropped_batches_reraise_and_stay_in_lockstep() {
+        // Drop every batch raised in the first half of the run: the
+        // deferred signals must re-raise at decay cycles on both sides
+        // and the loop must still end up traced.
+        let mut ls = harness();
+        for i in 0..4000u32 {
+            if i < 2000 {
+                ls.drop_next_batch();
+            }
+            for b in [0u32, 1, 2, if i % 16 == 15 { 3 } else { 2 }] {
+                ls.on_block(blk(b)).expect("no divergence");
+            }
+        }
+        ls.finish().expect("final sweep clean");
+        assert!(ls.batches_dropped() > 0, "drops must actually happen");
+        assert!(
+            ls.cache.link_count() > 0,
+            "re-raised signals must still produce traces"
+        );
+    }
+
+    #[test]
+    fn forgetful_defer_quirk_is_detected() {
+        // The model silently forgets dropped batches; the production
+        // profiler re-raises them at the next decay, so the very next
+        // pump after that decay must report a batch mismatch (or the
+        // constructed links must differ at a sweep).
+        let mut ls = harness().with_model_quirk(crate::model::Quirk::DroppedSignalsForgotten);
+        let mut failure = None;
+        'outer: for i in 0..4000u32 {
+            if i % 4 == 0 {
+                ls.drop_next_batch();
+            }
+            for b in [0u32, 1, 2, if i % 16 == 15 { 3 } else { 2 }] {
+                if let Err(d) = ls.on_block(blk(b)) {
+                    failure = Some(d);
+                    break 'outer;
+                }
+            }
+        }
+        let d = failure.expect("the forgetful model must be caught");
+        assert!(
+            d.what.contains("signal batch mismatch") || d.what.contains("link"),
+            "unexpected divergence field: {d}"
+        );
     }
 
     #[test]

@@ -215,7 +215,23 @@ fn err<T>(reason: impl Into<String>) -> Result<T, CompileError> {
 /// Returns [`CompileError`] if consecutive trace blocks are not connected
 /// by the program's control flow.
 pub fn compile(program: &Program, trace: &Trace) -> Result<CompiledTrace, CompileError> {
-    let blocks = trace.blocks();
+    compile_blocks(program, trace.id(), trace.blocks())
+}
+
+/// Compiles a raw block sequence — the same pass as [`compile`], for
+/// callers holding only the blocks (e.g. the off-thread artifact builder,
+/// which lowers against a shared cache that hands its build hook a block
+/// slice rather than a [`Trace`]).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if consecutive blocks are not connected by
+/// the program's control flow.
+pub fn compile_blocks(
+    program: &Program,
+    trace_id: TraceId,
+    blocks: &[BlockId],
+) -> Result<CompiledTrace, CompileError> {
     let mut code: Vec<TInstr> = Vec::new();
     let mut src_instrs = 0usize;
 
@@ -372,7 +388,7 @@ pub fn compile(program: &Program, trace: &Trace) -> Result<CompiledTrace, Compil
     }
 
     Ok(CompiledTrace {
-        trace_id: trace.id(),
+        trace_id,
         code,
         src_blocks: blocks.to_vec(),
         src_instrs,

@@ -29,6 +29,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use jvm_bytecode::{BlockId, ClassId, FuncId, Intrinsic, Program};
 use jvm_vm::decode::{eval_f_rel, eval_i_rel, op, INTRINSIC_ORDER};
@@ -36,13 +37,14 @@ use jvm_vm::{
     fold_checksum, DOp, DecodedProgram, ExecStats, Heap, HeapObj, OutputItem, Value, VmError,
 };
 use trace_bcg::{BranchCorrelationGraph, Signal};
-use trace_cache::{TraceCache, TraceConstructor, TraceExecStats, TraceId};
+use trace_cache::{BcgSnapshot, TraceCache, TraceConstructor, TraceExecStats, TraceId};
 use trace_jit::{RunReport, TraceJitConfig};
 
 use crate::compile::{compile, CondKind};
 use crate::fuse::{fuse_trace, FuseStats, Fused};
 use crate::lower::{lower_trace, LoweredTrace, XInstr};
 use crate::opt::{optimize_trace, OptStats};
+use crate::shared::SharedSession;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,6 +160,17 @@ pub struct TracingVm<'p> {
     hot_trace: Option<(TraceId, Rc<LoweredTrace>)>,
     /// Reusable signal drain buffer: the dispatch loop never allocates.
     signal_buf: Vec<Signal>,
+    /// Shared-cache session, when this VM dispatches against a cache
+    /// other VMs share. Signals then go to the off-thread constructor as
+    /// bounded snapshots instead of being handled inline, and trace
+    /// lookups/artifacts resolve through the shared cache.
+    shared: Option<SharedSession>,
+    /// Per-VM memo of shared-cache artifacts (`None` = trace exists but
+    /// has no artifact, e.g. its chain stopped matching the program flow;
+    /// both outcomes are permanent for a given id).
+    shared_lowered: HashMap<TraceId, Option<Arc<LoweredTrace>>>,
+    /// Shared-mode analogue of `hot_trace`.
+    hot_shared: Option<(TraceId, Arc<LoweredTrace>)>,
 }
 
 impl<'p> TracingVm<'p> {
@@ -184,12 +197,31 @@ impl<'p> TracingVm<'p> {
             prev_block: None,
             hot_trace: None,
             signal_buf: Vec::new(),
+            shared: None,
+            shared_lowered: HashMap::new(),
+            hot_shared: None,
         }
+    }
+
+    /// Assembles an engine that dispatches against a shared cache: trace
+    /// lookups hit `session.cache`, and profiler signals are shipped to
+    /// the session's off-thread constructor instead of being handled
+    /// inline (dropped batches are deferred and re-raised by decay — see
+    /// [`crate::shared`]). The session must belong to `program`.
+    pub fn new_shared(program: &'p Program, config: EngineConfig, session: SharedSession) -> Self {
+        let mut vm = Self::new(program, config);
+        vm.shared = Some(session);
+        vm
     }
 
     /// The trace cache (shared structure with the base system).
     pub fn cache(&self) -> &TraceCache {
         &self.cache
+    }
+
+    /// The shared-cache session, when running in shared mode.
+    pub fn shared(&self) -> Option<&SharedSession> {
+        self.shared.as_ref()
     }
 
     /// The decoded program the engine executes from.
@@ -267,30 +299,41 @@ impl<'p> TracingVm<'p> {
                 self.stats.block_dispatches += 1;
                 let bid = BlockId::new(func_id, d.b);
                 let node = self.bcg.observe(bid);
-                if self.bcg.has_signals() {
-                    self.bcg.drain_signals_into(&mut self.signal_buf);
-                    self.constructor
-                        .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
-                }
+                self.dispatch_signals();
                 let prev = self.prev_block.replace(bid);
                 // Entry check through the BCG node's trace-link slot: a
-                // version compare against the cache, no hashing. (Signals
-                // were just handled, so a trace built by this very
-                // dispatch is immediately enterable — the slot revalidates
-                // on the version bump.)
+                // version compare against the cache, no hashing. (In
+                // private mode signals were just handled, so a trace built
+                // by this very dispatch is immediately enterable — the
+                // slot revalidates on the version bump. In shared mode the
+                // slot stamp makes the lock-free probe one version
+                // compare on the steady state.)
                 let tid = match (node, prev) {
-                    (Some(n), Some(_)) => self.cache.lookup_entry_cached(&mut self.bcg, n),
-                    (None, Some(p)) => self.cache.lookup_entry((p, bid)),
+                    (Some(n), Some(_)) => match &self.shared {
+                        Some(sess) => sess.cache.lookup_entry_cached(&mut self.bcg, n),
+                        None => self.cache.lookup_entry_cached(&mut self.bcg, n),
+                    },
+                    (None, Some(p)) => match &self.shared {
+                        Some(sess) => sess.cache.lookup_entry((p, bid)),
+                        None => self.cache.lookup_entry((p, bid)),
+                    },
                     (_, None) => None,
                 };
-                let lt = tid.and_then(|tid| self.lowered_for(tid));
-                if let Some(lt) = lt {
-                    match self.execute_trace(&lt, prev)? {
-                        TraceRun::Finished(v) => break v,
-                        TraceRun::Completed | TraceRun::SideExited => {}
-                    }
-                } else {
-                    self.trace_stats.blocks_outside += 1;
+                let ran = match tid {
+                    Some(tid) if self.shared.is_some() => match self.shared_lowered_for(tid) {
+                        Some(lt) => Some(self.execute_trace(&lt, prev)?),
+                        None => None,
+                    },
+                    Some(tid) => match self.lowered_for(tid) {
+                        Some(lt) => Some(self.execute_trace(&lt, prev)?),
+                        None => None,
+                    },
+                    None => None,
+                };
+                match ran {
+                    Some(TraceRun::Finished(v)) => break v,
+                    Some(TraceRun::Completed | TraceRun::SideExited) => {}
+                    None => self.trace_stats.blocks_outside += 1,
                 }
                 continue;
             }
@@ -322,6 +365,32 @@ impl<'p> TracingVm<'p> {
         }
         self.stats.instructions += 1;
         Ok(())
+    }
+
+    /// Drains pending profiler signals and routes them: inline
+    /// construction in private mode; bounded snapshot submission to the
+    /// off-thread constructor in shared mode, deferring the batch back
+    /// into the profiler (for decay-driven re-raise) when the queue is
+    /// full.
+    #[inline]
+    fn dispatch_signals(&mut self) {
+        if !self.bcg.has_signals() {
+            return;
+        }
+        self.bcg.drain_signals_into(&mut self.signal_buf);
+        match &self.shared {
+            None => {
+                self.constructor
+                    .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
+            }
+            Some(sess) => {
+                let snap =
+                    BcgSnapshot::capture_bounded(&self.bcg, &self.signal_buf, sess.snapshot_limit);
+                if !sess.queue.submit(snap) {
+                    self.bcg.defer_signals(&self.signal_buf);
+                }
+            }
+        }
     }
 
     /// Resolves a linked trace id to its lowered form, compiling
@@ -368,10 +437,30 @@ impl<'p> TracingVm<'p> {
         Some(lt)
     }
 
+    /// Shared-mode analogue of [`Self::lowered_for`]: resolves a
+    /// shared-cache id to its published artifact through a per-VM memo.
+    /// Both outcomes are permanent for a given id (the builder runs once
+    /// per hash-consed chain), so the memo never revalidates.
+    fn shared_lowered_for(&mut self, tid: TraceId) -> Option<Arc<LoweredTrace>> {
+        if let Some((hot_tid, lt)) = &self.hot_shared {
+            if *hot_tid == tid {
+                return Some(Arc::clone(lt));
+            }
+        }
+        let sess = self.shared.as_ref().expect("shared mode");
+        let lt = self
+            .shared_lowered
+            .entry(tid)
+            .or_insert_with(|| sess.cache.artifact(tid))
+            .clone()?;
+        self.hot_shared = Some((tid, Arc::clone(&lt)));
+        Some(lt)
+    }
+
     /// Executes one lowered trace.
     fn execute_trace(
         &mut self,
-        lt: &Rc<LoweredTrace>,
+        lt: &LoweredTrace,
         pre_entry: Option<BlockId>,
     ) -> Result<TraceRun, VmError> {
         self.trace_stats.entered += 1;
@@ -410,11 +499,7 @@ impl<'p> TracingVm<'p> {
                 self.stats.block_dispatches += 1;
                 let bid = BlockId::new(exit.func, exit.block);
                 let _ = self.bcg.observe(bid);
-                if self.bcg.has_signals() {
-                    self.bcg.drain_signals_into(&mut self.signal_buf);
-                    self.constructor
-                        .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
-                }
+                self.dispatch_signals();
                 self.prev_block = Some(bid);
                 self.trace_stats.blocks_outside += 1;
                 return Ok(TraceRun::SideExited);

@@ -37,9 +37,13 @@ pub mod engine;
 pub mod fuse;
 pub mod lower;
 pub mod opt;
+pub mod shared;
 
-pub use compile::{compile, CompileError, CompiledTrace, CondKind, TInstr};
+pub use compile::{compile, compile_blocks, CompileError, CompiledTrace, CondKind, TInstr};
 pub use engine::{EngineConfig, TracingVm};
 pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
-pub use lower::{lower_trace, Exit, LoweredTrace, XInstr};
+pub use lower::{lower_trace, lower_trace_frozen, Exit, LoweredTrace, XInstr};
 pub use opt::{optimize, OptStats};
+pub use shared::{
+    artifact_builder, run_shared_constructor, shared_session, SharedCache, SharedSession,
+};

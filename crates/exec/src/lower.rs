@@ -169,6 +169,46 @@ pub fn lower_trace(
     decoded: &mut DecodedProgram,
     ct: &CompiledTrace,
 ) -> LoweredTrace {
+    // Pre-encode the plain ops first: interning is the only step that
+    // mutates the decoded program, so everything after it can read it
+    // immutably (shared with the frozen path below).
+    let ops: Vec<DOp> = ct
+        .code
+        .iter()
+        .filter_map(|t| match t {
+            TInstr::Op(ins) => Some(
+                decoded
+                    .encode_straightline(program, ins)
+                    .expect("trace Op instructions are straight-line"),
+            ),
+            _ => None,
+        })
+        .collect();
+    lower_body(decoded, ct, ops)
+}
+
+/// Lowers a compiled trace against a *frozen* decoded program: no
+/// interning, so the decoded streams can be shared read-only across
+/// threads. Returns `None` if any plain op needs a constant that is not
+/// already in the pools (only the optimizer invents those; unoptimized
+/// traces always lower).
+pub fn lower_trace_frozen(
+    program: &Program,
+    decoded: &DecodedProgram,
+    ct: &CompiledTrace,
+) -> Option<LoweredTrace> {
+    let mut ops = Vec::new();
+    for t in &ct.code {
+        if let TInstr::Op(ins) = t {
+            ops.push(decoded.encode_straightline_frozen(program, ins)?);
+        }
+    }
+    Some(lower_body(decoded, ct, ops))
+}
+
+/// The read-only remainder of lowering: rebases pc anchors and stitches
+/// the pre-encoded plain ops back into the stream in order.
+fn lower_body(decoded: &DecodedProgram, ct: &CompiledTrace, ops: Vec<DOp>) -> LoweredTrace {
     let exit_of = |decoded: &DecodedProgram, func: FuncId, pc: u32| -> Exit {
         let df = decoded.func(func);
         let dpc = df.pc_map[pc as usize];
@@ -182,15 +222,12 @@ pub fn lower_trace(
         decoded.func(func).block_entry(target)
     };
 
+    let mut ops = ops.into_iter();
     let code = ct
         .code
         .iter()
         .map(|t| match t {
-            TInstr::Op(ins) => XInstr::Op(
-                decoded
-                    .encode_straightline(program, ins)
-                    .expect("trace Op instructions are straight-line"),
-            ),
+            TInstr::Op(_) => XInstr::Op(ops.next().expect("one pre-encoded DOp per plain op")),
             TInstr::Fused(f) => XInstr::Fused(*f),
             TInstr::FallThrough => XInstr::FallThrough,
             TInstr::Jump { target, func, pc } => {
@@ -359,6 +396,28 @@ mod tests {
         // Interning is idempotent.
         let again = d.encode_straightline(&p, &Instr::IConst(42)).unwrap();
         assert_eq!(again.b, dop.b);
+    }
+
+    #[test]
+    fn frozen_lowering_matches_interning_lowering() {
+        let (p, d, lt) = lowered_loop();
+        // Rebuild the compiled trace the same way lowered_loop did.
+        let blk = |b: u32| BlockId::new(p.entry(), b);
+        let mut cache = TraceCache::new();
+        let (id, _) = cache.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2), blk(1)], 0.99);
+        let ct = crate::compile::compile(&p, cache.trace(id)).unwrap();
+        let frozen = lower_trace_frozen(&p, &d, &ct).expect("paper-default traces lower frozen");
+        assert_eq!(frozen, lt);
+    }
+
+    #[test]
+    fn frozen_lowering_refuses_missing_constants() {
+        let p = loop_program();
+        let d = DecodedProgram::decode(&p);
+        assert!(!d.iconsts.contains(&42));
+        assert!(d
+            .encode_straightline_frozen(&p, &Instr::IConst(42))
+            .is_none());
     }
 
     #[test]

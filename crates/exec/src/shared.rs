@@ -1,0 +1,253 @@
+//! Shared-cache sessions: many VMs, one trace cache, one constructor.
+//!
+//! In the single-VM engine every piece of the pipeline lives on the
+//! dispatch thread. A *shared session* splits it:
+//!
+//! * the [`SharedCache`] (a [`trace_cache::SharedTraceCache`] whose
+//!   artifacts are [`LoweredTrace`]s) is probed lock-free by every
+//!   dispatching VM;
+//! * construction runs on a background thread: dispatchers drain their
+//!   profiler signals into a bounded [`ConstructionQueue`] as
+//!   [`BcgSnapshot`]s, and [`run_shared_constructor`] plans, hash-conses
+//!   and lowers on the other side;
+//! * lowering uses the **frozen** path ([`crate::lower_trace_frozen`])
+//!   against a private decoded copy — decoding is deterministic, so the
+//!   builder's pools agree with every VM's pools and the published
+//!   artifact's constant indices resolve identically everywhere.
+//!
+//! Degradation contract: when the queue is full the dispatcher defers
+//! the drained signals back into its profiler
+//! ([`trace_bcg::BranchCorrelationGraph::defer_signals`]); the next decay
+//! cycle re-raises them, so a momentary burst delays construction but
+//! never loses it.
+//!
+//! A session is **per program**: [`jvm_bytecode::BlockId`]s carry no
+//! program identity, so VMs running different programs must not share a
+//! cache. Each VM must also route *all* of its lookups through the one
+//! session cache — the BCG trace-link stamps it writes are only
+//! meaningful to the cache that stamped them.
+
+use std::sync::Arc;
+
+use jvm_bytecode::{BlockId, Program};
+use jvm_vm::DecodedProgram;
+use trace_cache::{
+    construction_channel, run_constructor_service, BuilderStats, ConstructionQueue,
+    ConstructionReceiver, SharedTraceCache, TraceId,
+};
+
+use crate::compile::compile_blocks;
+use crate::engine::EngineConfig;
+use crate::fuse::fuse_trace;
+use crate::lower::{lower_trace_frozen, LoweredTrace};
+use crate::opt::optimize_trace;
+
+/// The shared cache type every concurrent VM dispatches against.
+pub type SharedCache = SharedTraceCache<LoweredTrace>;
+
+/// Default bound on the construction queue (snapshot batches in flight).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default per-snapshot node cap (see
+/// [`trace_cache::BcgSnapshot::capture_bounded`]).
+pub const DEFAULT_SNAPSHOT_LIMIT: usize = 4096;
+
+/// One VM's handle onto a shared session: the cache plus the sending
+/// side of the construction queue. Cloned once per worker VM.
+#[derive(Clone)]
+pub struct SharedSession {
+    /// The shared trace cache.
+    pub cache: Arc<SharedCache>,
+    /// Sending side of the construction queue.
+    pub queue: ConstructionQueue,
+    /// Node cap applied when capturing signal snapshots.
+    pub snapshot_limit: usize,
+}
+
+impl SharedSession {
+    /// Estimated bytes held by the whole session: shard slot tables,
+    /// hash-cons state, `Arc`'d lowered artifacts, and the snapshots
+    /// currently in flight on the construction channel.
+    pub fn memory_estimate(&self) -> usize {
+        self.cache.memory_estimate(|lt| lt.memory_estimate()) + self.queue.stats().bytes
+    }
+}
+
+impl std::fmt::Debug for SharedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSession")
+            .field("traces", &self.cache.trace_count())
+            .field("links", &self.cache.link_count())
+            .field("queue", &self.queue.stats())
+            .field("snapshot_limit", &self.snapshot_limit)
+            .finish()
+    }
+}
+
+/// Everything a shared deployment needs: the cache, the per-VM session
+/// template, and the receiving side to hand the constructor thread.
+pub fn shared_session(
+    queue_capacity: usize,
+) -> (Arc<SharedCache>, SharedSession, ConstructionReceiver) {
+    let cache = Arc::new(SharedCache::new());
+    let (queue, rx) = construction_channel(queue_capacity);
+    let session = SharedSession {
+        cache: Arc::clone(&cache),
+        queue,
+        snapshot_limit: DEFAULT_SNAPSHOT_LIMIT,
+    };
+    (cache, session, rx)
+}
+
+/// The artifact build hook for a shared cache: compile → (optionally)
+/// optimize → (optionally) fuse → frozen-lower against a private decoded
+/// copy of the program. Returns `None` — an artifact-less trace, which
+/// VMs simply keep interpreting — when the block chain no longer matches
+/// the program's control flow or when the optimizer invented a constant
+/// the frozen pools don't hold.
+///
+/// The placeholder id stamped into the artifact is never read by the
+/// engine (dispatch keys artifacts by the *cache's* id); the cache's
+/// hash-consing makes one artifact serve every VM that links the same
+/// block chain.
+pub fn artifact_builder(
+    program: &Program,
+    config: EngineConfig,
+) -> impl FnMut(&[BlockId]) -> Option<LoweredTrace> + '_ {
+    let decoded = DecodedProgram::decode(program);
+    move |blocks: &[BlockId]| {
+        let mut ct = compile_blocks(program, TraceId::from_raw(u32::MAX), blocks).ok()?;
+        if config.optimize {
+            optimize_trace(&mut ct);
+        }
+        if config.superinstructions {
+            fuse_trace(&mut ct);
+        }
+        lower_trace_frozen(program, &decoded, &ct)
+    }
+}
+
+/// Runs the construction service for a shared session until every queue
+/// handle is dropped; returns the builder's counters. Spawn on a
+/// background thread (e.g. inside [`std::thread::scope`]).
+pub fn run_shared_constructor(
+    rx: ConstructionReceiver,
+    cache: &SharedCache,
+    program: &Program,
+    config: EngineConfig,
+) -> BuilderStats {
+    run_constructor_service(
+        rx,
+        cache,
+        config.jit.constructor_config(),
+        artifact_builder(program, config),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TracingVm;
+    use jvm_bytecode::{CmpOp, ProgramBuilder};
+    use jvm_vm::{NullObserver, Value, Vm};
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+        pb.build(f).unwrap()
+    }
+
+    #[test]
+    fn artifact_builder_lowers_connected_chains_and_rejects_broken_ones() {
+        let program = loop_program();
+        let blk = |b: u32| BlockId::new(program.entry(), b);
+        let mut build = artifact_builder(&program, EngineConfig::paper_default());
+        let lt = build(&[blk(1), blk(2), blk(1)]).expect("connected chain lowers");
+        assert_eq!(lt.src_blocks, vec![blk(1), blk(2), blk(1)]);
+        assert!(build(&[blk(0), blk(2)]).is_none(), "disconnected chain");
+    }
+
+    #[test]
+    fn shared_session_matches_interpreter_semantics() {
+        // One VM dispatching against a shared cache, constructor on a
+        // background thread: result + checksum must match the plain
+        // interpreter bit-for-bit, and traces must actually run.
+        let program = loop_program();
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(40_000)], &mut NullObserver).unwrap();
+
+        // Cold pass: profile and enqueue while the service drains;
+        // dropping the session disconnects the queue and the service
+        // exits. Whether this VM itself enters traces is a scheduling
+        // race, so only semantics are asserted here.
+        let config = EngineConfig::paper_default();
+        let (cache, session, rx) = shared_session(DEFAULT_QUEUE_CAPACITY);
+        let cold = std::thread::scope(|s| {
+            let svc = s.spawn(|| run_shared_constructor(rx, &cache, &program, config));
+            let report = {
+                let mut vm = TracingVm::new_shared(&program, config, session);
+                vm.run(&[Value::Int(40_000)]).unwrap()
+            }; // session (queue handle) dropped here → service exits
+            let stats = svc.join().expect("constructor thread");
+            assert!(stats.traces_created > 0, "constructor must build traces");
+            report
+        });
+        assert_eq!(cold.result, want);
+        assert_eq!(cold.exec.instructions, plain.stats().instructions);
+        assert!(cache.trace_count() > 0);
+
+        // Warm pass: joining the service is a happens-before for every
+        // published trace, so a fresh VM against the populated cache must
+        // dispatch them. Its queue is disconnected — submits fail and
+        // defer into the profiler, which is the degradation contract.
+        let (queue, dead_rx) = construction_channel(1);
+        drop(dead_rx);
+        let warm_session = SharedSession {
+            cache: Arc::clone(&cache),
+            queue,
+            snapshot_limit: DEFAULT_SNAPSHOT_LIMIT,
+        };
+        let warm = {
+            let mut vm = TracingVm::new_shared(&program, config, warm_session);
+            vm.run(&[Value::Int(40_000)]).unwrap()
+        };
+        assert_eq!(warm.result, want);
+        assert!(warm.traces.entered > 0, "shared traces must dispatch");
+    }
+
+    #[test]
+    fn two_vms_dedup_against_one_cache() {
+        // Two VMs running the same workload raise identical construction
+        // requests. Keeping the constructor parked until both finish
+        // forces the cold case — both VMs profile and submit — and the
+        // service must then hash-cons the second VM's chains into the
+        // first's traces.
+        let program = loop_program();
+        let config = EngineConfig::paper_default();
+        let (cache, session, rx) = shared_session(DEFAULT_QUEUE_CAPACITY);
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let mut vm = TracingVm::new_shared(&program, config, session.clone());
+            results.push(vm.run(&[Value::Int(40_000)]).unwrap().result);
+        }
+        assert_eq!(results[0], results[1]);
+        drop(session);
+        let built = run_shared_constructor(rx, &cache, &program, config);
+        assert!(built.traces_created > 0, "first VM's chains must build");
+        let stats = cache.stats();
+        assert!(
+            stats.traces_deduped > 0,
+            "second VM's identical chains must hash-cons: {stats:?}"
+        );
+    }
+}

@@ -179,215 +179,335 @@ impl TraceConstructor {
         cache: &mut TraceCache,
     ) -> u64 {
         self.stats.signals_handled += 1;
-        let entries = self.find_entry_points(origin, bcg);
-        self.stats.entry_points += entries.len() as u64;
-        let mut created = 0;
-        for entry in entries {
-            let (path, loop_start) = self.walk_path(entry, bcg);
-            self.stats.paths_walked += 1;
-            // Everything examined is now up to date.
-            for &n in &path {
-                bcg.mark_generation(n, self.generation);
-            }
-            created += self.cut_and_emit(&path, loop_start, bcg, cache);
+        let mut plan = TracePlan::default();
+        plan_for_signal(origin, bcg, &self.config, &mut plan);
+        self.stats.entry_points += plan.counters.entry_points;
+        self.stats.paths_walked += plan.counters.paths_walked;
+        self.stats.loops_unrolled += plan.counters.loops_unrolled;
+        // Everything examined is now up to date. (Marks are only read
+        // across signals, at the `handle_batch` suppression check, so
+        // stamping after planning is equivalent to stamping mid-walk.)
+        for &n in &plan.touched {
+            bcg.mark_generation(n, self.generation);
         }
-        created
-    }
-
-    /// Step 1: back-track along strongly-correlated edges to the set of
-    /// trace entry points that may reach the changed node. If the region
-    /// is a pure cycle with no external entry, the origin itself serves
-    /// as entry.
-    fn find_entry_points(&mut self, origin: NodeIdx, bcg: &BranchCorrelationGraph) -> Vec<NodeIdx> {
-        let mut visited: HashSet<NodeIdx> = HashSet::new();
-        let mut stack = vec![origin];
-        visited.insert(origin);
-        let mut entries = Vec::new();
-        while let Some(n) = stack.pop() {
-            if entries.len() >= self.config.max_entry_points {
-                break;
-            }
-            let mut has_strong_pred = false;
-            for &p in bcg.node(n).predecessors() {
-                let pn = bcg.node(p);
-                // Stale predecessor entries are filtered here: the edge
-                // must still exist as p's maximum-likelihood successor and
-                // p must itself be traceable.
-                if pn.state().is_traceable() && pn.max_successor().is_some_and(|s| s.node == n) {
-                    has_strong_pred = true;
-                    if visited.insert(p) {
-                        stack.push(p);
+        let mut created = 0;
+        for op in plan.ops {
+            match op {
+                LinkOp::Install {
+                    entry,
+                    blocks,
+                    completion,
+                } => {
+                    let (_, new) = cache.insert_and_link(entry, blocks, completion);
+                    self.stats.links_written += 1;
+                    if new {
+                        self.stats.traces_created += 1;
+                        created += 1;
+                    }
+                }
+                LinkOp::Remove { entry } => {
+                    if cache.unlink(entry).is_some() {
+                        self.stats.links_removed += 1;
                     }
                 }
             }
-            if !has_strong_pred {
-                entries.push(n);
-            }
-        }
-        if entries.is_empty() {
-            entries.push(origin);
-        }
-        entries
-    }
-
-    /// Step 2: follow the path of maximum likelihood from `entry` until a
-    /// loop (returns its start index), a non-traceable node, or a cap.
-    fn walk_path(
-        &mut self,
-        entry: NodeIdx,
-        bcg: &BranchCorrelationGraph,
-    ) -> (Vec<NodeIdx>, Option<usize>) {
-        let mut path = vec![entry];
-        let mut pos_of: HashMap<NodeIdx, usize> = HashMap::new();
-        pos_of.insert(entry, 0);
-        loop {
-            let cur = *path.last().expect("path nonempty");
-            let node = bcg.node(cur);
-            // Only traceable nodes may be extended *through*; a weak node
-            // can end a trace but never predicts past itself.
-            if !node.state().is_traceable() {
-                break;
-            }
-            let Some(ms) = node.max_successor() else {
-                break;
-            };
-            if ms.count == 0 {
-                break;
-            }
-            let next = ms.node;
-            if let Some(&k) = pos_of.get(&next) {
-                self.stats.loops_unrolled += 1;
-                return (path, Some(k));
-            }
-            // Rare code never enters a trace (start-state filtering).
-            if !bcg.node(next).state().is_hot() {
-                break;
-            }
-            path.push(next);
-            pos_of.insert(next, path.len() - 1);
-            if path.len() >= self.config.max_path_nodes {
-                break;
-            }
-        }
-        (path, None)
-    }
-
-    /// Step 3: cut the node path into traces above the completion
-    /// threshold and install them. A terminating loop is processed first,
-    /// unrolled once (§4.2).
-    fn cut_and_emit(
-        &mut self,
-        path: &[NodeIdx],
-        loop_start: Option<usize>,
-        bcg: &BranchCorrelationGraph,
-        cache: &mut TraceCache,
-    ) -> u64 {
-        match loop_start {
-            None => self.cut_chain(path, path.len(), bcg, cache),
-            Some(k) => {
-                // The loop body is path[k..]; build the unrolled chain of
-                // 1 + loop_unroll body copies — the link probability
-                // joining consecutive copies is the back-edge correlation,
-                // which the generic per-edge computation below derives
-                // like any other link. Only segments *starting* in the
-                // first copy are emitted (later-copy starts would
-                // duplicate entry links).
-                let body = &path[k..];
-                let copies = 1 + self.config.loop_unroll;
-                let mut unrolled: Vec<NodeIdx> = Vec::with_capacity(body.len() * copies);
-                for _ in 0..copies {
-                    unrolled.extend_from_slice(body);
-                }
-                let mut created = self.cut_chain(&unrolled, body.len(), bcg, cache);
-                // Then the remaining prefix path[..k] (it flows into the
-                // loop head, so cut path[..=k] with the head as terminal
-                // block, emitting only starts before k).
-                if k > 0 {
-                    created += self.cut_chain(&path[..=k], k, bcg, cache);
-                }
-                created
-            }
-        }
-    }
-
-    /// Cuts a node chain into threshold-satisfying segments, emitting a
-    /// trace for every segment starting before `emit_limit`.
-    fn cut_chain(
-        &mut self,
-        chain: &[NodeIdx],
-        emit_limit: usize,
-        bcg: &BranchCorrelationGraph,
-        cache: &mut TraceCache,
-    ) -> u64 {
-        if chain.len() < 2 {
-            // Nothing traceable here; drop any stale link at the lone
-            // node's branch.
-            if let Some(&n) = chain.first() {
-                if cache.unlink(bcg.node(n).branch()).is_some() {
-                    self.stats.links_removed += 1;
-                }
-            }
-            return 0;
-        }
-        // link_prob[i] = P(chain[i+1]'s branch | chain[i]'s branch).
-        let link_prob: Vec<f64> = (0..chain.len() - 1)
-            .map(|i| {
-                let node = bcg.node(chain[i]);
-                let next_block = bcg.node(chain[i + 1]).branch().1;
-                node.correlation_to(next_block)
-            })
-            .collect();
-
-        let mut created = 0;
-        let mut i = 0;
-        while i < chain.len() && i < emit_limit {
-            let mut j = i;
-            let mut prob = 1.0;
-            while j + 1 < chain.len() && (j + 1 - i) < self.config.max_trace_blocks {
-                let extended = prob * link_prob[j];
-                if extended < self.config.threshold {
-                    break;
-                }
-                prob = extended;
-                j += 1;
-            }
-            let len = j + 1 - i;
-            if len >= self.config.min_trace_blocks {
-                let entry = bcg.node(chain[i]).branch();
-                let blocks: Vec<BlockId> = chain[i..=j]
-                    .iter()
-                    .map(|&n| bcg.node(n).branch().1)
-                    .collect();
-                #[cfg(feature = "debug-invariants")]
-                {
-                    assert!(
-                        len <= self.config.max_trace_blocks,
-                        "emitted trace of {len} blocks exceeds the cap"
-                    );
-                    assert!(
-                        len == 1 || prob >= self.config.threshold,
-                        "emitted trace completion {prob} below threshold {}",
-                        self.config.threshold
-                    );
-                    assert_eq!(entry.1, blocks[0], "entry must land on block 0");
-                }
-                let (_, new) = cache.insert_and_link(entry, blocks, prob);
-                self.stats.links_written += 1;
-                if new {
-                    self.stats.traces_created += 1;
-                    created += 1;
-                }
-                i = j + 1;
-            } else {
-                // The graph does not support a trace starting here; remove
-                // any stale link so dispatch stops using it.
-                if cache.unlink(bcg.node(chain[i]).branch()).is_some() {
-                    self.stats.links_removed += 1;
-                }
-                i += 1;
-            }
         }
         created
+    }
+}
+
+/// Read-only view of a branch correlation graph, as the trace planner
+/// needs it. Implemented by the live [`BranchCorrelationGraph`] (the
+/// in-thread constructor) and by [`crate::BcgSnapshot`] (the off-thread
+/// constructor, which plans against a frozen copy so the dispatch thread
+/// keeps mutating the real graph meanwhile).
+pub trait CorrelationView {
+    /// The branch `(X, Y)` of node `n`.
+    fn branch(&self, n: NodeIdx) -> trace_bcg::Branch;
+    /// Whether a trace may be extended *through* `n`.
+    fn is_traceable(&self, n: NodeIdx) -> bool;
+    /// Whether `n` is hot enough to join a trace at all.
+    fn is_hot(&self, n: NodeIdx) -> bool;
+    /// Possibly-stale predecessor indices (the planner re-validates).
+    fn predecessors(&self, n: NodeIdx) -> &[NodeIdx];
+    /// Maximum-likelihood successor as `(target node, target block,
+    /// count)`. `None` when the node has no successors — or, for a
+    /// snapshot, when the target fell outside the captured region (the
+    /// walk then ends early, which only shortens traces).
+    fn max_successor(&self, n: NodeIdx) -> Option<(NodeIdx, BlockId, u16)>;
+    /// Correlation ratio of `n` toward `block` (0.0 if never observed).
+    fn correlation_to(&self, n: NodeIdx, block: BlockId) -> f64;
+}
+
+impl CorrelationView for BranchCorrelationGraph {
+    fn branch(&self, n: NodeIdx) -> trace_bcg::Branch {
+        self.node(n).branch()
+    }
+    fn is_traceable(&self, n: NodeIdx) -> bool {
+        self.node(n).state().is_traceable()
+    }
+    fn is_hot(&self, n: NodeIdx) -> bool {
+        self.node(n).state().is_hot()
+    }
+    fn predecessors(&self, n: NodeIdx) -> &[NodeIdx] {
+        self.node(n).predecessors()
+    }
+    fn max_successor(&self, n: NodeIdx) -> Option<(NodeIdx, BlockId, u16)> {
+        self.node(n)
+            .max_successor()
+            .map(|s| (s.node, s.to_block, s.count))
+    }
+    fn correlation_to(&self, n: NodeIdx, block: BlockId) -> f64 {
+        self.node(n).correlation_to(block)
+    }
+}
+
+/// A cache mutation the planner decided on. Pure data: applying ops in
+/// order to a [`TraceCache`] (or a [`crate::SharedTraceCache`]) yields
+/// the same link table the original in-place constructor produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkOp {
+    /// Hash-cons `blocks` and link it at `entry`.
+    Install {
+        entry: trace_bcg::Branch,
+        blocks: Vec<BlockId>,
+        completion: f64,
+    },
+    /// Drop any stale link at `entry`.
+    Remove { entry: trace_bcg::Branch },
+}
+
+/// Planner activity counters, folded into [`ConstructorStats`] by the
+/// caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanCounters {
+    pub entry_points: u64,
+    pub paths_walked: u64,
+    pub loops_unrolled: u64,
+}
+
+/// Output of planning one signal: cache ops, nodes examined (for
+/// generation stamping / cascade suppression), and counters.
+#[derive(Debug, Default)]
+pub struct TracePlan {
+    pub ops: Vec<LinkOp>,
+    pub touched: Vec<NodeIdx>,
+    pub counters: PlanCounters,
+}
+
+impl TracePlan {
+    /// Clears accumulated state, retaining buffers.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.touched.clear();
+        self.counters = PlanCounters::default();
+    }
+}
+
+/// Runs the full §4.2 pipeline — back-track to entry points, walk each
+/// maximum-likelihood path, cut into threshold-satisfying traces — for
+/// one signal about `origin`, appending results to `plan`.
+pub fn plan_for_signal<V: CorrelationView>(
+    origin: NodeIdx,
+    view: &V,
+    config: &ConstructorConfig,
+    plan: &mut TracePlan,
+) {
+    let entries = find_entry_points(origin, view, config);
+    plan.counters.entry_points += entries.len() as u64;
+    for entry in entries {
+        let (path, loop_start) = walk_path(entry, view, config);
+        plan.counters.paths_walked += 1;
+        if loop_start.is_some() {
+            plan.counters.loops_unrolled += 1;
+        }
+        plan.touched.extend_from_slice(&path);
+        cut_and_emit(&path, loop_start, view, config, &mut plan.ops);
+    }
+}
+
+/// Step 1: back-track along strongly-correlated edges to the set of
+/// trace entry points that may reach the changed node. If the region
+/// is a pure cycle with no external entry, the origin itself serves
+/// as entry.
+fn find_entry_points<V: CorrelationView>(
+    origin: NodeIdx,
+    view: &V,
+    config: &ConstructorConfig,
+) -> Vec<NodeIdx> {
+    let mut visited: HashSet<NodeIdx> = HashSet::new();
+    let mut stack = vec![origin];
+    visited.insert(origin);
+    let mut entries = Vec::new();
+    while let Some(n) = stack.pop() {
+        if entries.len() >= config.max_entry_points {
+            break;
+        }
+        let mut has_strong_pred = false;
+        for &p in view.predecessors(n) {
+            // Stale predecessor entries are filtered here: the edge
+            // must still exist as p's maximum-likelihood successor and
+            // p must itself be traceable.
+            if view.is_traceable(p) && view.max_successor(p).is_some_and(|(t, _, _)| t == n) {
+                has_strong_pred = true;
+                if visited.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        if !has_strong_pred {
+            entries.push(n);
+        }
+    }
+    if entries.is_empty() {
+        entries.push(origin);
+    }
+    entries
+}
+
+/// Step 2: follow the path of maximum likelihood from `entry` until a
+/// loop (returns its start index), a non-traceable node, or a cap.
+fn walk_path<V: CorrelationView>(
+    entry: NodeIdx,
+    view: &V,
+    config: &ConstructorConfig,
+) -> (Vec<NodeIdx>, Option<usize>) {
+    let mut path = vec![entry];
+    let mut pos_of: HashMap<NodeIdx, usize> = HashMap::new();
+    pos_of.insert(entry, 0);
+    loop {
+        let cur = *path.last().expect("path nonempty");
+        // Only traceable nodes may be extended *through*; a weak node
+        // can end a trace but never predicts past itself.
+        if !view.is_traceable(cur) {
+            break;
+        }
+        let Some((next, _, count)) = view.max_successor(cur) else {
+            break;
+        };
+        if count == 0 {
+            break;
+        }
+        if let Some(&k) = pos_of.get(&next) {
+            return (path, Some(k));
+        }
+        // Rare code never enters a trace (start-state filtering).
+        if !view.is_hot(next) {
+            break;
+        }
+        path.push(next);
+        pos_of.insert(next, path.len() - 1);
+        if path.len() >= config.max_path_nodes {
+            break;
+        }
+    }
+    (path, None)
+}
+
+/// Step 3: cut the node path into traces above the completion
+/// threshold and emit install ops. A terminating loop is processed
+/// first, unrolled once (§4.2).
+fn cut_and_emit<V: CorrelationView>(
+    path: &[NodeIdx],
+    loop_start: Option<usize>,
+    view: &V,
+    config: &ConstructorConfig,
+    ops: &mut Vec<LinkOp>,
+) {
+    match loop_start {
+        None => cut_chain(path, path.len(), view, config, ops),
+        Some(k) => {
+            // The loop body is path[k..]; build the unrolled chain of
+            // 1 + loop_unroll body copies — the link probability
+            // joining consecutive copies is the back-edge correlation,
+            // which the generic per-edge computation below derives
+            // like any other link. Only segments *starting* in the
+            // first copy are emitted (later-copy starts would
+            // duplicate entry links).
+            let body = &path[k..];
+            let copies = 1 + config.loop_unroll;
+            let mut unrolled: Vec<NodeIdx> = Vec::with_capacity(body.len() * copies);
+            for _ in 0..copies {
+                unrolled.extend_from_slice(body);
+            }
+            cut_chain(&unrolled, body.len(), view, config, ops);
+            // Then the remaining prefix path[..k] (it flows into the
+            // loop head, so cut path[..=k] with the head as terminal
+            // block, emitting only starts before k).
+            if k > 0 {
+                cut_chain(&path[..=k], k, view, config, ops);
+            }
+        }
+    }
+}
+
+/// Cuts a node chain into threshold-satisfying segments, emitting a
+/// trace for every segment starting before `emit_limit`.
+fn cut_chain<V: CorrelationView>(
+    chain: &[NodeIdx],
+    emit_limit: usize,
+    view: &V,
+    config: &ConstructorConfig,
+    ops: &mut Vec<LinkOp>,
+) {
+    if chain.len() < 2 {
+        // Nothing traceable here; drop any stale link at the lone
+        // node's branch.
+        if let Some(&n) = chain.first() {
+            ops.push(LinkOp::Remove {
+                entry: view.branch(n),
+            });
+        }
+        return;
+    }
+    // link_prob[i] = P(chain[i+1]'s branch | chain[i]'s branch).
+    let link_prob: Vec<f64> = (0..chain.len() - 1)
+        .map(|i| view.correlation_to(chain[i], view.branch(chain[i + 1]).1))
+        .collect();
+
+    let mut i = 0;
+    while i < chain.len() && i < emit_limit {
+        let mut j = i;
+        let mut prob = 1.0;
+        while j + 1 < chain.len() && (j + 1 - i) < config.max_trace_blocks {
+            let extended = prob * link_prob[j];
+            if extended < config.threshold {
+                break;
+            }
+            prob = extended;
+            j += 1;
+        }
+        let len = j + 1 - i;
+        if len >= config.min_trace_blocks {
+            let entry = view.branch(chain[i]);
+            let blocks: Vec<BlockId> = chain[i..=j].iter().map(|&n| view.branch(n).1).collect();
+            #[cfg(feature = "debug-invariants")]
+            {
+                assert!(
+                    len <= config.max_trace_blocks,
+                    "emitted trace of {len} blocks exceeds the cap"
+                );
+                assert!(
+                    len == 1 || prob >= config.threshold,
+                    "emitted trace completion {prob} below threshold {}",
+                    config.threshold
+                );
+                assert_eq!(entry.1, blocks[0], "entry must land on block 0");
+            }
+            ops.push(LinkOp::Install {
+                entry,
+                blocks,
+                completion: prob,
+            });
+            i = j + 1;
+        } else {
+            // The graph does not support a trace starting here; remove
+            // any stale link so dispatch stops using it.
+            ops.push(LinkOp::Remove {
+                entry: view.branch(chain[i]),
+            });
+            i += 1;
+        }
     }
 }
 

@@ -23,15 +23,31 @@
 //! entries, completions, early exits, and the instruction-stream coverage
 //! of trace-resident code.
 
+//!
+//! For concurrent deployments, [`shared`] provides a lock-striped
+//! [`SharedTraceCache`] many VMs dispatch against, and [`offthread`]
+//! moves construction to a background thread fed by bounded snapshot
+//! batches.
+
 pub mod cache;
 pub mod constructor;
 pub mod dot;
 pub mod metrics;
+pub mod offthread;
 pub mod runtime;
+pub mod shared;
 pub mod trace;
 
 pub use cache::{CacheStats, TraceCache};
-pub use constructor::{ConstructorConfig, ConstructorStats, TraceConstructor};
+pub use constructor::{
+    plan_for_signal, ConstructorConfig, ConstructorStats, CorrelationView, LinkOp, PlanCounters,
+    TraceConstructor, TracePlan,
+};
 pub use metrics::TraceExecStats;
+pub use offthread::{
+    construction_channel, run_constructor_service, BcgSnapshot, BuilderStats, ConstructionQueue,
+    ConstructionReceiver, OffThreadBuilder, QueueStats,
+};
 pub use runtime::TraceRuntime;
+pub use shared::{SharedCacheStats, SharedTrace, SharedTraceCache};
 pub use trace::{Trace, TraceId};

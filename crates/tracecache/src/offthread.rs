@@ -1,0 +1,644 @@
+//! Off-thread trace construction.
+//!
+//! The in-thread pipeline reacts to profiler signals by back-tracking,
+//! walking and cutting the BCG *on the dispatch thread* — construction
+//! cost lands squarely in the interpreter's hot loop. This module moves
+//! it off-thread:
+//!
+//! 1. When a dispatch thread drains a signal batch, it captures a
+//!    [`BcgSnapshot`] — a bounded, self-contained copy of the graph
+//!    region the planner could possibly examine — and `try_send`s it
+//!    down a bounded [`ConstructionQueue`].
+//! 2. A background thread ([`run_constructor_service`]) drains the
+//!    queue, runs the identical planning algorithm
+//!    ([`crate::plan_for_signal`]) against the frozen snapshot, lowers
+//!    artifacts, and publishes results into a
+//!    [`SharedTraceCache`](crate::SharedTraceCache).
+//!
+//! # Graceful degradation
+//!
+//! The queue is bounded and the dispatch thread never blocks on it. If
+//! the queue is full the batch is **dropped** — and because the profiler
+//! only signals on *changes*, a dropped signal would otherwise be lost
+//! forever (the node's state won't change again while it stays hot).
+//! The dispatch thread therefore parks the dropped batch back into the
+//! BCG with [`BranchCorrelationGraph::defer_signals`]; the profiler
+//! re-raises the parked signals at its next decay cycle, when the queue
+//! has likely drained. Construction is delayed, never silently skipped.
+//!
+//! # Staleness
+//!
+//! The snapshot is a moment-in-time copy: by the time the constructor
+//! plans it, the live graph has moved on. That is the same tolerance the
+//! paper already demands of the single-threaded design (signals are
+//! processed after the dispatch that caused them), just with a longer
+//! window. A trace built from a stale snapshot is still a *valid* trace
+//! — guards catch any path the program no longer takes — and the next
+//! signal about the region replaces the link.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use jvm_bytecode::BlockId;
+use trace_bcg::{Branch, BranchCorrelationGraph, NodeIdx, NodeState, Signal};
+
+use crate::constructor::{plan_for_signal, ConstructorConfig, CorrelationView, LinkOp, TracePlan};
+use crate::shared::SharedTraceCache;
+
+/// Sentinel for successor targets that fell outside the captured region.
+const SNAP_NONE: NodeIdx = NodeIdx(u32::MAX);
+
+/// Default cap on nodes per snapshot; regions the planner can examine
+/// are far smaller in practice (`max_path_nodes` bounds each walk).
+pub const SNAPSHOT_NODE_LIMIT: usize = 4096;
+
+#[derive(Debug, Clone)]
+struct SnapNode {
+    branch: Branch,
+    state: NodeState,
+    total_weight: u32,
+    /// `(to_block, count, target)` with `target` remapped to a snapshot
+    /// index, or [`SNAP_NONE`] if the target was not captured. Slot
+    /// order matches the live node, preserving max-successor tie
+    /// breaking.
+    succs: Vec<(BlockId, u16, NodeIdx)>,
+    /// Predecessors that were captured, remapped. (Uncaptured preds are
+    /// by construction unqualified for back-tracking.)
+    preds: Vec<NodeIdx>,
+}
+
+/// A bounded, immutable copy of the BCG region reachable from a signal
+/// batch — everything [`plan_for_signal`] could examine: the transitive
+/// qualified-predecessor closure (entry-point back-tracking) and the
+/// maximum-likelihood forward closure (path walking).
+///
+/// Node indices are snapshot-local; the snapshot implements
+/// [`CorrelationView`] so the planner runs on it unchanged.
+#[derive(Debug, Clone)]
+pub struct BcgSnapshot {
+    nodes: Vec<SnapNode>,
+    /// Snapshot-local indices of the signal origins, in batch order.
+    origins: Vec<NodeIdx>,
+    truncated: bool,
+}
+
+impl BcgSnapshot {
+    /// Captures the region around `signals` with the default node cap.
+    pub fn capture(bcg: &BranchCorrelationGraph, signals: &[Signal]) -> Self {
+        Self::capture_bounded(bcg, signals, SNAPSHOT_NODE_LIMIT)
+    }
+
+    /// Captures with an explicit node cap. If the cap is hit the
+    /// snapshot is marked [`truncated`](Self::is_truncated); planning
+    /// still works but walks may end early (shorter traces, never wrong
+    /// ones).
+    pub fn capture_bounded(bcg: &BranchCorrelationGraph, signals: &[Signal], limit: usize) -> Self {
+        let mut map: HashMap<NodeIdx, u32> = HashMap::new();
+        let mut order: Vec<NodeIdx> = Vec::new();
+        let mut work: Vec<NodeIdx> = Vec::new();
+        let mut truncated = false;
+        let mut include = |n: NodeIdx,
+                           map: &mut HashMap<NodeIdx, u32>,
+                           order: &mut Vec<NodeIdx>,
+                           work: &mut Vec<NodeIdx>|
+         -> bool {
+            if map.contains_key(&n) {
+                return true;
+            }
+            if order.len() >= limit {
+                truncated = true;
+                return false;
+            }
+            map.insert(n, order.len() as u32);
+            order.push(n);
+            work.push(n);
+            true
+        };
+
+        let mut origins = Vec::with_capacity(signals.len());
+        for sig in signals {
+            if include(sig.node, &mut map, &mut order, &mut work) {
+                origins.push(NodeIdx(map[&sig.node]));
+            }
+        }
+        while let Some(n) = work.pop() {
+            let node = bcg.node(n);
+            // Backward: predecessors that qualify for entry-point
+            // back-tracking (same filter as the planner applies).
+            for &p in node.predecessors() {
+                let pn = bcg.node(p);
+                if pn.state().is_traceable() && pn.max_successor().is_some_and(|s| s.node == n) {
+                    include(p, &mut map, &mut order, &mut work);
+                }
+            }
+            // Forward: the maximum-likelihood successor (the only edge a
+            // path walk can follow out of `n`).
+            if node.state().is_traceable() {
+                if let Some(ms) = node.max_successor() {
+                    if ms.count > 0 {
+                        include(ms.node, &mut map, &mut order, &mut work);
+                    }
+                }
+            }
+        }
+
+        let nodes = order
+            .iter()
+            .map(|&orig| {
+                let node = bcg.node(orig);
+                SnapNode {
+                    branch: node.branch(),
+                    state: node.state(),
+                    total_weight: node.total_weight(),
+                    succs: node
+                        .successors()
+                        .iter()
+                        .map(|s| {
+                            let target = map.get(&s.node).map_or(SNAP_NONE, |&i| NodeIdx(i));
+                            (s.to_block, s.count, target)
+                        })
+                        .collect(),
+                    preds: node
+                        .predecessors()
+                        .iter()
+                        .filter_map(|p| map.get(p).map(|&i| NodeIdx(i)))
+                        .collect(),
+                }
+            })
+            .collect();
+        BcgSnapshot {
+            nodes,
+            origins,
+            truncated,
+        }
+    }
+
+    /// Snapshot-local indices of the signal origins.
+    pub fn origins(&self) -> &[NodeIdx] {
+        &self.origins
+    }
+
+    /// Nodes captured.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the node cap cut the region short.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Approximate heap bytes held by this snapshot (queue accounting).
+    pub fn memory_estimate(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.capacity() * size_of::<SnapNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.succs.capacity() * size_of::<(BlockId, u16, NodeIdx)>()
+                        + n.preds.capacity() * size_of::<NodeIdx>()
+                })
+                .sum::<usize>()
+            + self.origins.capacity() * size_of::<NodeIdx>()
+    }
+}
+
+impl CorrelationView for BcgSnapshot {
+    fn branch(&self, n: NodeIdx) -> Branch {
+        self.nodes[n.index()].branch
+    }
+    fn is_traceable(&self, n: NodeIdx) -> bool {
+        self.nodes[n.index()].state.is_traceable()
+    }
+    fn is_hot(&self, n: NodeIdx) -> bool {
+        self.nodes[n.index()].state.is_hot()
+    }
+    fn predecessors(&self, n: NodeIdx) -> &[NodeIdx] {
+        &self.nodes[n.index()].preds
+    }
+    fn max_successor(&self, n: NodeIdx) -> Option<(NodeIdx, BlockId, u16)> {
+        // Same tie semantics as `Node::max_successor` (last maximum in
+        // slot order). A target outside the snapshot ends the walk.
+        self.nodes[n.index()]
+            .succs
+            .iter()
+            .max_by_key(|s| s.1)
+            .and_then(|&(block, count, target)| {
+                (target != SNAP_NONE).then_some((target, block, count))
+            })
+    }
+    fn correlation_to(&self, n: NodeIdx, block: BlockId) -> f64 {
+        let node = &self.nodes[n.index()];
+        if node.total_weight == 0 {
+            return 0.0;
+        }
+        node.succs
+            .iter()
+            .find(|s| s.0 == block)
+            .map_or(0.0, |s| f64::from(s.1) / f64::from(node.total_weight))
+    }
+}
+
+/// Queue counters, shared between senders and the receiver.
+#[derive(Debug, Default)]
+struct QueueShared {
+    depth: AtomicUsize,
+    max_depth: AtomicUsize,
+    submitted: AtomicU64,
+    dropped: AtomicU64,
+    /// Estimated bytes of the snapshots currently in flight.
+    bytes: AtomicUsize,
+}
+
+/// Snapshot of [`ConstructionQueue`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Batches currently enqueued.
+    pub depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_depth: usize,
+    /// Batches accepted.
+    pub submitted: u64,
+    /// Batches rejected because the queue was full (or the constructor
+    /// exited); the dispatcher re-parks these via `defer_signals`.
+    pub dropped: u64,
+    /// Estimated bytes of the snapshots currently in flight (the
+    /// channel's contribution to a shared session's memory footprint).
+    pub bytes: usize,
+}
+
+/// The dispatch-thread side of the bounded construction channel.
+/// Cloneable: every worker VM holds one.
+#[derive(Debug, Clone)]
+pub struct ConstructionQueue {
+    tx: SyncSender<BcgSnapshot>,
+    shared: Arc<QueueShared>,
+}
+
+impl ConstructionQueue {
+    /// Non-blocking submit. Returns `false` if the queue is full or the
+    /// constructor is gone — the caller must re-park the batch's signals
+    /// ([`BranchCorrelationGraph::defer_signals`]) so the next decay
+    /// cycle re-raises them.
+    pub fn submit(&self, snapshot: BcgSnapshot) -> bool {
+        // Gauge up *before* sending: once the batch is in the channel the
+        // receiver may dequeue — and decrement — ahead of us, transiently
+        // wrapping the depth below zero.
+        let d = self.shared.depth.fetch_add(1, Relaxed) + 1;
+        let bytes = snapshot.memory_estimate();
+        self.shared.bytes.fetch_add(bytes, Relaxed);
+        match self.tx.try_send(snapshot) {
+            Ok(()) => {
+                self.shared.max_depth.fetch_max(d, Relaxed);
+                self.shared.submitted.fetch_add(1, Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shared.depth.fetch_sub(1, Relaxed);
+                self.shared.bytes.fetch_sub(bytes, Relaxed);
+                self.shared.dropped.fetch_add(1, Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            depth: self.shared.depth.load(Relaxed),
+            max_depth: self.shared.max_depth.load(Relaxed),
+            submitted: self.shared.submitted.load(Relaxed),
+            dropped: self.shared.dropped.load(Relaxed),
+            bytes: self.shared.bytes.load(Relaxed),
+        }
+    }
+}
+
+/// The constructor-thread side of the channel.
+pub struct ConstructionReceiver {
+    rx: Receiver<BcgSnapshot>,
+    shared: Arc<QueueShared>,
+}
+
+impl ConstructionReceiver {
+    /// Blocks for the next batch; `None` when every sender is gone.
+    pub fn recv(&self) -> Option<BcgSnapshot> {
+        let snap = self.rx.recv().ok()?;
+        self.shared.depth.fetch_sub(1, Relaxed);
+        self.shared.bytes.fetch_sub(snap.memory_estimate(), Relaxed);
+        Some(snap)
+    }
+}
+
+/// Creates a bounded construction channel holding at most `capacity`
+/// in-flight snapshot batches.
+pub fn construction_channel(capacity: usize) -> (ConstructionQueue, ConstructionReceiver) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    let shared = Arc::new(QueueShared::default());
+    (
+        ConstructionQueue {
+            tx,
+            shared: Arc::clone(&shared),
+        },
+        ConstructionReceiver { rx, shared },
+    )
+}
+
+/// Builder activity counters (the off-thread analogue of
+/// [`crate::ConstructorStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuilderStats {
+    /// Snapshot batches processed.
+    pub jobs: u64,
+    /// Signals that triggered planning.
+    pub signals_handled: u64,
+    /// Signals skipped because their node was already examined earlier
+    /// in the same batch (cascade suppression).
+    pub signals_suppressed: u64,
+    /// Entry points discovered by back-tracking.
+    pub entry_points: u64,
+    /// Forward path walks performed.
+    pub paths_walked: u64,
+    /// Loops detected and unrolled.
+    pub loops_unrolled: u64,
+    /// Entry links written to the shared cache.
+    pub links_written: u64,
+    /// New trace objects the shared cache constructed for our inserts.
+    pub traces_created: u64,
+    /// Stale links removed.
+    pub links_removed: u64,
+    /// Jobs whose snapshot hit the node cap.
+    pub snapshots_truncated: u64,
+}
+
+/// Plans traces from snapshots and publishes them to a shared cache.
+pub struct OffThreadBuilder {
+    config: ConstructorConfig,
+    stats: BuilderStats,
+    plan: TracePlan,
+}
+
+impl OffThreadBuilder {
+    /// A builder with the given planner configuration.
+    pub fn new(config: ConstructorConfig) -> Self {
+        OffThreadBuilder {
+            config,
+            stats: BuilderStats::default(),
+            plan: TracePlan::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> BuilderStats {
+        self.stats
+    }
+
+    /// Processes one snapshot batch: plans every origin signal (with
+    /// within-batch cascade suppression, like the in-thread
+    /// constructor) and applies the resulting ops to `cache`, lowering
+    /// artifacts for newly constructed traces via `build`.
+    pub fn handle_job<A>(
+        &mut self,
+        snapshot: &BcgSnapshot,
+        cache: &SharedTraceCache<A>,
+        build: &mut impl FnMut(&[BlockId]) -> Option<A>,
+    ) {
+        self.stats.jobs += 1;
+        if snapshot.is_truncated() {
+            self.stats.snapshots_truncated += 1;
+        }
+        let mut touched: HashSet<NodeIdx> = HashSet::new();
+        for &origin in snapshot.origins() {
+            if touched.contains(&origin) {
+                self.stats.signals_suppressed += 1;
+                continue;
+            }
+            self.stats.signals_handled += 1;
+            self.plan.clear();
+            plan_for_signal(origin, snapshot, &self.config, &mut self.plan);
+            self.stats.entry_points += self.plan.counters.entry_points;
+            self.stats.paths_walked += self.plan.counters.paths_walked;
+            self.stats.loops_unrolled += self.plan.counters.loops_unrolled;
+            touched.extend(self.plan.touched.iter().copied());
+            for op in &self.plan.ops {
+                match op {
+                    LinkOp::Install {
+                        entry,
+                        blocks,
+                        completion,
+                    } => {
+                        let (_, new) =
+                            cache.insert_and_link_with(*entry, blocks.clone(), *completion, |b| {
+                                build(b)
+                            });
+                        self.stats.links_written += 1;
+                        if new {
+                            self.stats.traces_created += 1;
+                        }
+                    }
+                    LinkOp::Remove { entry } => {
+                        if cache.unlink(*entry).is_some() {
+                            self.stats.links_removed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the constructor service until every [`ConstructionQueue`] clone
+/// is dropped, then returns the builder's counters. Spawn this on a
+/// background thread (e.g. inside `std::thread::scope`).
+pub fn run_constructor_service<A>(
+    rx: ConstructionReceiver,
+    cache: &SharedTraceCache<A>,
+    config: ConstructorConfig,
+    mut build: impl FnMut(&[BlockId]) -> Option<A>,
+) -> BuilderStats {
+    let mut builder = OffThreadBuilder::new(config);
+    while let Some(snapshot) = rx.recv() {
+        builder.handle_job(&snapshot, cache, &mut build);
+    }
+    builder.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceCache, TraceConstructor};
+    use jvm_bytecode::FuncId;
+    use trace_bcg::BcgConfig;
+
+    fn blk(b: u32) -> BlockId {
+        BlockId::new(FuncId(0), b)
+    }
+
+    fn bcg_with(delay: u32, threshold: f64) -> BranchCorrelationGraph {
+        BranchCorrelationGraph::new(
+            BcgConfig::default()
+                .with_start_delay(delay)
+                .with_threshold(threshold),
+        )
+    }
+
+    /// The frozen-snapshot planner must reproduce the live in-thread
+    /// constructor exactly when both see the same batches: drive one
+    /// profiler, feed every batch to both pipelines, and compare the
+    /// final link tables.
+    #[test]
+    fn snapshot_planning_matches_live_constructor() {
+        for pattern in [
+            vec![0u32, 1, 2],
+            vec![9, 0, 1, 2, 3, 4],
+            vec![5, 0, 1, 2],
+            {
+                let mut p = vec![9u32];
+                p.extend(std::iter::repeat_n(0, 20));
+                p
+            },
+        ] {
+            let mut bcg = bcg_with(4, 0.97);
+            let mut private = TraceCache::new();
+            let mut ctor = TraceConstructor::new(ConstructorConfig::default());
+            let shared: SharedTraceCache<()> = SharedTraceCache::new();
+            let mut builder = OffThreadBuilder::new(ConstructorConfig::default());
+            let mut buf = Vec::new();
+            for _ in 0..400 {
+                for &b in &pattern {
+                    bcg.observe(blk(b));
+                    if bcg.has_signals() {
+                        bcg.drain_signals_into(&mut buf);
+                        let snap = BcgSnapshot::capture(&bcg, &buf);
+                        assert!(!snap.is_truncated());
+                        ctor.handle_batch(&buf, &mut bcg, &mut private);
+                        builder.handle_job(&snap, &shared, &mut |_| None);
+                    }
+                }
+            }
+            // Identical link tables: every private link exists in the
+            // shared cache with the same block sequence, and vice versa.
+            let mut private_links: Vec<(Branch, Vec<BlockId>)> = private
+                .iter_links()
+                .map(|(e, t)| (e, t.blocks().to_vec()))
+                .collect();
+            private_links.sort_by_key(|(e, _)| (e.0.func.0, e.0.block, e.1.func.0, e.1.block));
+            assert_eq!(
+                private.link_count(),
+                shared.link_count(),
+                "link counts diverged for pattern {pattern:?}"
+            );
+            for (entry, blocks) in private_links {
+                let id = shared
+                    .lookup_entry(entry)
+                    .unwrap_or_else(|| panic!("missing shared link at {entry:?}"));
+                let t = shared.trace(id).unwrap();
+                assert_eq!(&t.blocks[..], &blocks[..], "blocks diverged at {entry:?}");
+            }
+            let s = builder.stats();
+            let c = ctor.stats();
+            assert_eq!(s.signals_handled, c.signals_handled);
+            assert_eq!(s.entry_points, c.entry_points);
+            assert_eq!(s.paths_walked, c.paths_walked);
+            assert_eq!(s.loops_unrolled, c.loops_unrolled);
+            assert_eq!(s.links_written, c.links_written);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_self_contained_and_bounded() {
+        let mut bcg = bcg_with(1, 0.97);
+        let mut buf = Vec::new();
+        for _ in 0..300 {
+            for b in 0..12u32 {
+                bcg.observe(blk(b));
+            }
+        }
+        bcg.drain_signals_into(&mut buf);
+        assert!(!buf.is_empty());
+        let snap = BcgSnapshot::capture(&bcg, &buf);
+        assert!(!snap.is_empty());
+        assert!(snap.memory_estimate() > 0);
+        // A tiny cap truncates but still yields a usable snapshot.
+        let small = BcgSnapshot::capture_bounded(&bcg, &buf, 2);
+        assert!(small.is_truncated());
+        assert!(small.len() <= 2);
+        let cache: SharedTraceCache<()> = SharedTraceCache::new();
+        let mut builder = OffThreadBuilder::new(ConstructorConfig::default());
+        builder.handle_job(&small, &cache, &mut |_| None);
+        assert_eq!(builder.stats().snapshots_truncated, 1);
+    }
+
+    #[test]
+    fn queue_bounds_and_counts_drops() {
+        let (tx, rx) = construction_channel(1);
+        let mut bcg = bcg_with(1, 0.97);
+        for _ in 0..50 {
+            for b in 0..3u32 {
+                bcg.observe(blk(b));
+            }
+        }
+        let sigs = bcg.take_signals();
+        let snap = BcgSnapshot::capture(&bcg, &sigs);
+        assert!(tx.submit(snap.clone()));
+        assert!(!tx.submit(snap.clone()), "second submit must hit the cap");
+        let s = tx.stats();
+        assert_eq!((s.submitted, s.dropped, s.depth, s.max_depth), (1, 1, 1, 1));
+        assert!(rx.recv().is_some());
+        assert_eq!(tx.stats().depth, 0);
+        assert!(tx.submit(snap));
+        drop(tx);
+        assert!(rx.recv().is_some());
+        assert!(rx.recv().is_none(), "closed channel must end the service");
+    }
+
+    /// The degradation contract end to end: a full queue drops the
+    /// batch, the dispatcher parks it, the next decay cycle re-raises
+    /// it, and a later submit finally constructs the trace.
+    #[test]
+    fn dropped_batches_are_reraised_and_eventually_built() {
+        let (tx, rx) = construction_channel(1);
+        let mut bcg = bcg_with(1, 0.97);
+        let mut buf = Vec::new();
+        for _ in 0..300 {
+            for b in 0..3u32 {
+                bcg.observe(blk(b));
+            }
+        }
+        bcg.drain_signals_into(&mut buf);
+        assert!(!buf.is_empty());
+        // Occupy the queue's only slot so the real batch is dropped.
+        let filler = BcgSnapshot::capture(&bcg, &[]);
+        assert!(tx.submit(filler));
+        if !tx.submit(BcgSnapshot::capture(&bcg, &buf)) {
+            bcg.defer_signals(&buf);
+        }
+        assert!(bcg.deferred_len() > 0);
+        assert!(!bcg.has_signals());
+        // The decay cycle re-raises the parked signals...
+        let n01 = bcg.node_index((blk(0), blk(1))).expect("loop branch node");
+        bcg.force_decay(n01);
+        assert!(bcg.has_signals());
+        bcg.drain_signals_into(&mut buf);
+        // ...and with queue space available the batch now goes through.
+        let _ = rx.recv();
+        assert!(tx.submit(BcgSnapshot::capture(&bcg, &buf)));
+        let cache: SharedTraceCache<()> = SharedTraceCache::new();
+        drop(tx);
+        let stats = run_constructor_service(rx, &cache, ConstructorConfig::default(), |_| None);
+        assert!(stats.jobs >= 1);
+        assert!(
+            cache.link_count() > 0,
+            "re-raised batch must build the loop trace"
+        );
+    }
+}

@@ -605,6 +605,46 @@ impl DecodedProgram {
         })
     }
 
+    /// Read-only variant of [`Self::encode_straightline`]: encodes a
+    /// straight-line instruction **without interning**, returning `None`
+    /// if the instruction is control flow *or* mentions a constant the
+    /// pools do not already hold.
+    ///
+    /// The decode pass is deterministic, so two `DecodedProgram`s decoded
+    /// from the same program have byte-identical pools and streams. A
+    /// `DOp` produced read-only against one copy is therefore valid
+    /// against *every* copy — which is what lets a shared trace cache
+    /// lower traces once, on a constructor thread, and hand the artifact
+    /// to many VMs that each own a private decoded copy. Only optimizer-
+    /// invented constants (absent from the original program) fail here.
+    pub fn encode_straightline_frozen(&self, program: &Program, ins: &Instr) -> Option<DOp> {
+        match ins {
+            Instr::IConst(v) => {
+                let i = self.iconsts.iter().position(|x| x == v)?;
+                Some(DOp::new(op::ICONST, 0, i as u32))
+            }
+            Instr::FConst(v) => {
+                let i = self
+                    .fconsts
+                    .iter()
+                    .position(|x| x.to_bits() == v.to_bits())?;
+                Some(DOp::new(op::FCONST, 0, i as u32))
+            }
+            _ => {
+                // Every other straight-line shape touches no pool; the
+                // mutable encoder is pure for them. (It can intern only
+                // via the two constant arms handled above.)
+                let mut probe = Self {
+                    funcs: Vec::new(),
+                    iconsts: Vec::new(),
+                    fconsts: Vec::new(),
+                    switches: Vec::new(),
+                };
+                probe.encode_straightline(program, ins)
+            }
+        }
+    }
+
     /// Real byte footprint (capacities, not lengths).
     pub fn memory_estimate(&self) -> DecodedMemory {
         let mut m = DecodedMemory::default();
@@ -741,6 +781,34 @@ mod tests {
     #[test]
     fn dop_is_eight_bytes() {
         assert_eq!(std::mem::size_of::<DOp>(), 8);
+    }
+
+    #[test]
+    fn frozen_encoding_matches_mutable_and_refuses_novel_constants() {
+        let p = loop_program();
+        let mut d = DecodedProgram::decode(&p);
+        // Pooled constant and pool-free shapes agree with the interner.
+        for ins in [Instr::IConst(0), Instr::IAdd, Instr::Load(0), Instr::Dup] {
+            let frozen = d.encode_straightline_frozen(&p, &ins);
+            assert_eq!(frozen, d.encode_straightline(&p, &ins), "{ins:?}");
+            assert!(frozen.is_some(), "{ins:?}");
+        }
+        // Control flow refuses, as in the mutable encoder.
+        assert!(d.encode_straightline_frozen(&p, &Instr::Goto(0)).is_none());
+        // A constant the program never mentioned cannot be encoded
+        // read-only — and the attempt must not grow the pools.
+        let pool = d.iconsts.clone();
+        assert!(d
+            .encode_straightline_frozen(&p, &Instr::IConst(424_242))
+            .is_none());
+        assert_eq!(d.iconsts, pool);
+        // Decode determinism: two copies have identical pools, so a DOp
+        // encoded against one indexes the same constant in the other.
+        let d2 = DecodedProgram::decode(&p);
+        assert_eq!(d.iconsts, d2.iconsts);
+        assert_eq!(d.fconsts, d2.fconsts);
+        let dop = d.encode_straightline_frozen(&p, &Instr::IConst(0)).unwrap();
+        assert_eq!(d2.iconsts[dop.b as usize], 0);
     }
 
     #[test]
