@@ -26,6 +26,12 @@ echo "== conformance (lockstep + chaos campaigns + corpus replay, in-situ assert
 cargo test -p trace-conformance --features debug-invariants -q
 cargo test -p trace-conformance --features debug-invariants -q --release
 
+echo "== fault-injection conformance (supervised deployment vs interpreter oracle)"
+# Engine-level fault campaigns: corrupt artifacts, failed budget checks,
+# constructor kills, dropped/duplicated batches — results must never move.
+cargo test -p trace-conformance --features debug-invariants -q --test faults
+cargo test -p trace-conformance -q --release --test faults
+
 echo "== concurrent shared-cache tests (debug-invariants: threaded paths assert in situ)"
 cargo test -p trace-cache -p trace-exec --features trace-cache/debug-invariants -q
 
@@ -37,6 +43,10 @@ cargo run --release -p trace-bench --bin interp_speed -- --smoke --out /tmp/BENC
 
 echo "== concurrent shared-cache bench smoke (2 threads, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --out /tmp/BENCH_concurrent.smoke.json
+
+echo "== degraded-mode bench smoke (fault injection, 2 threads, test scale)"
+cargo run --release -p trace-bench --bin concurrent -- --smoke --faults 0xFA17_BE4C \
+    --out /tmp/BENCH_concurrent_faults.smoke.json
 
 echo "== bench harness smoke (1 sample, test scale)"
 TRACE_BENCH_SCALE=test TRACE_BENCH_SAMPLES=1 \

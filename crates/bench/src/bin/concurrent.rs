@@ -6,13 +6,20 @@
 //!
 //! ```text
 //! concurrent [--scale test|small|paper] [--threads N] [--repeats N]
-//!            [--workload NAME] [--smoke] [--out PATH]
+//!            [--workload NAME] [--smoke] [--faults SEED] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the CI setting: test scale, 2 threads, 1 repeat —
 //! seconds, not minutes. Default is small scale, 8 threads, 3 repeats.
 //! `TRACE_BENCH_SCALE` is honoured when `--scale` is absent, matching
 //! the other benches.
+//!
+//! `--faults SEED` switches to the fault-injection mode: every workload
+//! runs the supervised, payload-budgeted shared deployment under three
+//! deterministic fault profiles (none / standard / constructor-killer)
+//! and the report records eviction, quarantine, and restart counters
+//! plus the throughput retained under faults and in permanently
+//! degraded (interpreter-only) mode.
 
 use trace_bench::concurrent;
 use trace_bench::parse_scale;
@@ -25,6 +32,7 @@ fn main() {
     let mut workload: Option<String> = None;
     let mut out = String::from("BENCH_concurrent.json");
     let mut smoke = false;
+    let mut faults: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,10 +76,23 @@ fn main() {
                 });
             }
             "--smoke" => smoke = true,
+            "--faults" => {
+                let v = args.next().unwrap_or_default();
+                let digits = v.trim_start_matches("0x").replace('_', "");
+                let parsed = if v.starts_with("0x") {
+                    u64::from_str_radix(&digits, 16).ok()
+                } else {
+                    digits.parse().ok()
+                };
+                faults = Some(parsed.unwrap_or_else(|| {
+                    eprintln!("--faults needs a seed (decimal or 0x hex), got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "concurrent [--scale test|small|paper] [--threads N] [--repeats N] \
-                     [--workload NAME] [--smoke] [--out PATH]"
+                     [--workload NAME] [--smoke] [--faults SEED] [--out PATH]"
                 );
                 return;
             }
@@ -99,6 +120,43 @@ fn main() {
             repeats.unwrap_or(3),
         )
     };
+
+    if let Some(seed) = faults {
+        // Injected constructor kills are routine here — the supervisor
+        // absorbs them — so keep their backtraces out of the bench
+        // output. Anything else (e.g. a checksum assert) still prints.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            let injected = msg.is_some_and(|m| m.contains("injected constructor kill"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+        let report =
+            concurrent::run_faults_filtered(scale, threads, repeats, seed, workload.as_deref());
+        print!("{}", report.render());
+        let degraded = report.rows.iter().filter(|r| r.degraded).count();
+        println!(
+            "constructor-killer ended permanently degraded on {}/{} workloads; \
+             every run matched its expected checksum",
+            degraded,
+            report.rows.len(),
+        );
+        let json = report.to_json();
+        match std::fs::write(&out, &json) {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let report = concurrent::run_filtered(scale, threads, repeats, workload.as_deref());
     print!("{}", report.render());

@@ -455,6 +455,303 @@ pub fn run_filtered(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection mode (`concurrent --faults <seed>`)
+// ---------------------------------------------------------------------------
+
+/// Payload budget applied to the shared cache in faulted runs — small
+/// enough that the busier workloads overflow it and the second-chance
+/// eviction sweep runs for real.
+pub fn fault_budget_bytes() -> usize {
+    6 * trace_cache::trace_cost(16)
+}
+
+/// One workload's faulted measurements: the same M-VM shared deployment
+/// as the throughput harness, but supervised, payload-budgeted, and run
+/// under three fault profiles (none / standard / constructor-killer).
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Workload name (registry name).
+    pub name: &'static str,
+    /// Clean supervised+budgeted baseline, aggregate instr/s.
+    pub clean_instr_per_s: f64,
+    /// Standard fault plan, aggregate instr/s.
+    pub faulted_instr_per_s: f64,
+    /// Constructor-killer plan (permanently degraded), aggregate instr/s.
+    pub degraded_instr_per_s: f64,
+    /// Faults fired by the standard plan in the best faulted repeat.
+    pub faults_fired: u64,
+    /// Eviction / quarantine counters from the best faulted repeat.
+    pub traces_evicted: u64,
+    pub links_evicted: u64,
+    pub traces_quarantined: u64,
+    pub quarantine_rejected: u64,
+    pub budget_overruns: u64,
+    /// Supervisor health from the best faulted repeat.
+    pub restarts: u64,
+    pub panics: u64,
+    /// The constructor-killer run ended permanently degraded.
+    pub degraded: bool,
+}
+
+impl FaultRow {
+    /// Throughput retained under the standard fault plan relative to the
+    /// clean supervised baseline (1.0 = no overhead).
+    pub fn faulted_retention(&self) -> f64 {
+        if self.clean_instr_per_s == 0.0 {
+            return 0.0;
+        }
+        self.faulted_instr_per_s / self.clean_instr_per_s
+    }
+
+    /// Throughput retained in permanently degraded (interpreter-only)
+    /// mode relative to the clean supervised baseline.
+    pub fn degraded_retention(&self) -> f64 {
+        if self.clean_instr_per_s == 0.0 {
+            return 0.0;
+        }
+        self.degraded_instr_per_s / self.clean_instr_per_s
+    }
+}
+
+/// Fault-mode report: one row per workload, all at one thread count.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Workload scale measured.
+    pub scale: Scale,
+    /// Worker threads per measurement.
+    pub threads: usize,
+    /// Timed repeats per point (min wall is reported).
+    pub repeats: usize,
+    /// Base fault seed (per-workload seeds are streamed from it).
+    pub seed: u64,
+    /// Payload budget applied to every faulted session.
+    pub budget_bytes: usize,
+    /// Per-workload rows.
+    pub rows: Vec<FaultRow>,
+}
+
+impl FaultReport {
+    /// Serialises the fault report as JSON (hand-rolled, like
+    /// [`ConcurrentReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"fault_seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"budget_bytes\": {},\n", self.budget_bytes));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"clean_instr_per_s\": {:.1}, \
+                 \"faulted_instr_per_s\": {:.1}, \"degraded_instr_per_s\": {:.1}, \
+                 \"faulted_retention\": {:.4}, \"degraded_retention\": {:.4}, \
+                 \"faults_fired\": {}, \"traces_evicted\": {}, \"links_evicted\": {}, \
+                 \"traces_quarantined\": {}, \"quarantine_rejected\": {}, \
+                 \"budget_overruns\": {}, \"restarts\": {}, \"panics\": {}, \
+                 \"degraded\": {}}}{}\n",
+                r.name,
+                r.clean_instr_per_s,
+                r.faulted_instr_per_s,
+                r.degraded_instr_per_s,
+                r.faulted_retention(),
+                r.degraded_retention(),
+                r.faults_fired,
+                r.traces_evicted,
+                r.links_evicted,
+                r.traces_quarantined,
+                r.quarantine_rejected,
+                r.budget_overruns,
+                r.restarts,
+                r.panics,
+                r.degraded,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders an aligned text table for terminals and EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fault-injected trace serving, aggregate Minstr/s (scale {:?}, {} threads, \
+             min of {} runs, seed {:#x}, budget {} B)\n",
+            self.scale, self.threads, self.repeats, self.seed, self.budget_bytes
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+            "workload",
+            "clean",
+            "faulted",
+            "degraded",
+            "fired",
+            "evict",
+            "quar",
+            "rejct",
+            "ovrn",
+            "rstrt",
+            "flt-ret",
+            "deg-ret"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7.0}% {:>7.0}%\n",
+                r.name,
+                r.clean_instr_per_s / 1e6,
+                r.faulted_instr_per_s / 1e6,
+                r.degraded_instr_per_s / 1e6,
+                r.faults_fired,
+                r.traces_evicted,
+                r.traces_quarantined,
+                r.quarantine_rejected,
+                r.budget_overruns,
+                r.restarts,
+                r.faulted_retention() * 100.0,
+                r.degraded_retention() * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Counters captured from the best (fastest) faulted repeat.
+struct FaultCounters {
+    fired: u64,
+    cache: trace_cache::SharedCacheStats,
+    health: trace_cache::ServiceHealthSnapshot,
+}
+
+/// One supervised, payload-budgeted, fault-injected shared measurement:
+/// `m` worker VMs against one session whose constructor runs under the
+/// supervisor with the given plan. Every worker still asserts its
+/// checksum, so a fault that changed results aborts the bench.
+fn measure_faulted(
+    w: &Workload,
+    config: EngineConfig,
+    m: usize,
+    repeats: usize,
+    fault: trace_cache::FaultConfig,
+    seed: u64,
+) -> (f64, FaultCounters) {
+    use std::sync::Arc;
+    use trace_cache::{FaultPlan, SupervisorConfig};
+    use trace_exec::run_supervised_shared_constructor;
+
+    let supervisor = SupervisorConfig {
+        max_restarts: 3,
+        backoff_base_ms: 0,
+        backoff_max_ms: 0,
+    };
+    let mut best_wall = f64::INFINITY;
+    let mut best_instr = 0u64;
+    let mut best = FaultCounters {
+        fired: 0,
+        cache: Default::default(),
+        health: Default::default(),
+    };
+    for _ in 0..repeats.max(1) {
+        let (cache, session, rx) = shared_session(QUEUE_CAPACITY);
+        let plan = Arc::new(FaultPlan::new(seed, fault));
+        cache.set_faults(Arc::clone(&plan));
+        session.queue.set_faults(Arc::clone(&plan));
+        session.set_cache_budget(Some(fault_budget_bytes()));
+        let health = Arc::clone(&session.health);
+        let r = std::thread::scope(|s| {
+            let h = Arc::clone(&health);
+            let c = Arc::clone(&cache);
+            let svc_plan = Arc::clone(&plan);
+            let svc = s.spawn(move || {
+                run_supervised_shared_constructor(
+                    rx,
+                    &c,
+                    &w.program,
+                    config,
+                    supervisor,
+                    &h,
+                    Some(svc_plan),
+                )
+            });
+            let r = run_workers(w, config, m, Some(&session));
+            drop(session);
+            svc.join().expect("supervisor thread must not panic");
+            r
+        });
+        if r.0 < best_wall {
+            best_wall = r.0;
+            best_instr = r.1;
+            best = FaultCounters {
+                fired: plan.stats().total_fired(),
+                cache: cache.stats(),
+                health: health.snapshot(),
+            };
+        }
+    }
+    (best_instr as f64 / best_wall.max(f64::MIN_POSITIVE), best)
+}
+
+/// Measures every registry workload under the three fault profiles at a
+/// single thread count. The clean profile uses the same supervised,
+/// budgeted deployment (so retention numbers isolate the *faults*, not
+/// the supervision machinery).
+pub fn run_faults(scale: Scale, threads: usize, repeats: usize, seed: u64) -> FaultReport {
+    run_faults_filtered(scale, threads, repeats, seed, None)
+}
+
+/// Like [`run_faults`], optionally restricted to a single workload name.
+pub fn run_faults_filtered(
+    scale: Scale,
+    threads: usize,
+    repeats: usize,
+    seed: u64,
+    only: Option<&str>,
+) -> FaultReport {
+    use trace_cache::FaultConfig;
+    use trace_workloads::prng::seed_stream;
+
+    let config = EngineConfig::paper_default();
+    let m = threads.max(1);
+    let mut rows = Vec::new();
+    for (k, w) in registry::all(scale).iter().enumerate() {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
+        let ws = seed_stream(seed, k as u64);
+        let (clean_ips, _) = measure_faulted(w, config, m, repeats, FaultConfig::none(), ws);
+        let (faulted_ips, fc) = measure_faulted(w, config, m, repeats, FaultConfig::standard(), ws);
+        let (degraded_ips, dc) =
+            measure_faulted(w, config, m, repeats, FaultConfig::constructor_killer(), ws);
+        rows.push(FaultRow {
+            name: w.name,
+            clean_instr_per_s: clean_ips,
+            faulted_instr_per_s: faulted_ips,
+            degraded_instr_per_s: degraded_ips,
+            faults_fired: fc.fired,
+            traces_evicted: fc.cache.traces_evicted,
+            links_evicted: fc.cache.links_evicted,
+            traces_quarantined: fc.cache.traces_quarantined,
+            quarantine_rejected: fc.cache.quarantine_rejected,
+            budget_overruns: fc.cache.budget_overruns,
+            restarts: fc.health.restarts,
+            panics: fc.health.panics,
+            degraded: dc.health.degraded,
+        });
+    }
+    FaultReport {
+        scale,
+        threads: m,
+        repeats,
+        seed,
+        budget_bytes: fault_budget_bytes(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +781,25 @@ mod tests {
         assert!(json.contains("\"shared_cold\""));
         assert!(json.contains("\"dedup_hit_rate\""));
         assert!(json.contains("\"host_cpus\""));
+        assert!(report.render().contains("compress"));
+    }
+
+    #[test]
+    fn faulted_smoke_degrades_the_killer_run_and_keeps_results() {
+        // One workload, two threads, one repeat: the constructor-killer
+        // profile must end permanently degraded with zero constructed
+        // traces surviving, while every worker checksum still matched
+        // (run_workers asserts them). The report carries the counters.
+        let report = run_faults_filtered(Scale::Test, 2, 1, 0xFA17_BE4C, Some("compress"));
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert!(row.clean_instr_per_s > 0.0);
+        assert!(row.faulted_instr_per_s > 0.0);
+        assert!(row.degraded_instr_per_s > 0.0);
+        assert!(row.degraded, "killer profile must end degraded");
+        let json = report.to_json();
+        assert!(json.contains("\"degraded_retention\""));
+        assert!(json.contains("\"traces_quarantined\""));
         assert!(report.render().contains("compress"));
     }
 

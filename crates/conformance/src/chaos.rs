@@ -27,7 +27,7 @@
 //! shrinking its statement AST (see [`shrink`]).
 
 use trace_bcg::BcgConfig;
-use trace_cache::ConstructorConfig;
+use trace_cache::{trace_cost, ConstructorConfig, FaultConfig};
 use trace_workloads::prng::{seed_stream, Xoshiro256StarStar};
 
 use crate::genprog::{args_from, build_program, gen_block, Stmt};
@@ -48,16 +48,28 @@ pub enum Perturbation {
     /// Drop the next signal batch back to both profilers (construction
     /// queue full), exercising the decay-cycle re-raise.
     QueueOverload,
+    /// Set (or shrink) a payload byte budget on both caches, forcing the
+    /// second-chance eviction sweep to pick identical victims.
+    BudgetPressure,
+    /// Quarantine the trace linked at one live entry on both caches
+    /// (a faulting trace), exercising tombstone + blacklist parity.
+    QuarantineTrace,
+    /// Feed the next signal batch to both constructors twice (duplicated
+    /// queue delivery); hash-consing must make the replay idempotent.
+    DuplicateBatch,
 }
 
 impl Perturbation {
     /// Every class, for full-coverage campaigns.
-    pub const ALL: [Perturbation; 5] = [
+    pub const ALL: [Perturbation; 8] = [
         Perturbation::ForcedDecay,
         Perturbation::SignalReorder,
         Perturbation::CachePressure,
         Perturbation::MidTraceInvalidation,
         Perturbation::QueueOverload,
+        Perturbation::BudgetPressure,
+        Perturbation::QuarantineTrace,
+        Perturbation::DuplicateBatch,
     ];
 
     /// Stable name, used by the corpus format.
@@ -68,6 +80,9 @@ impl Perturbation {
             Perturbation::CachePressure => "cache-pressure",
             Perturbation::MidTraceInvalidation => "mid-trace-invalidation",
             Perturbation::QueueOverload => "queue-overload",
+            Perturbation::BudgetPressure => "budget-pressure",
+            Perturbation::QuarantineTrace => "quarantine-trace",
+            Perturbation::DuplicateBatch => "duplicate-batch",
         }
     }
 
@@ -235,6 +250,22 @@ fn inject(
         Perturbation::QueueOverload => {
             ls.drop_next_batch();
         }
+        Perturbation::BudgetPressure => {
+            // A budget of a few two-block traces, drawn small enough to
+            // force evictions as the constructors keep building.
+            let traces = rng.range_usize(2, chaos.cache_cap.clamp(3, 16) + 2);
+            ls.set_cache_budget(trace_cost(2) * traces)?;
+        }
+        Perturbation::QuarantineTrace => {
+            let entries = ls.linked_entries();
+            if !entries.is_empty() {
+                let e = entries[rng.range_usize(0, entries.len())];
+                ls.quarantine(e, rng.range_u32(1, 4))?;
+            }
+        }
+        Perturbation::DuplicateBatch => {
+            ls.duplicate_next_batch();
+        }
     }
     Ok(())
 }
@@ -339,6 +370,10 @@ pub struct CorpusCase {
     pub seed: u64,
     /// Enabled perturbation classes.
     pub chaos: ChaosConfig,
+    /// Engine-level fault-injection profile and its plan seed, if the
+    /// case also runs through the execution-engine fault harness
+    /// (`faults=` / `fault_seed=` keys).
+    pub faults: Option<(FaultConfig, u64)>,
 }
 
 /// Parses the `key=value`-per-line corpus format:
@@ -350,10 +385,14 @@ pub struct CorpusCase {
 /// rate=0.05
 /// cache_cap=4
 /// defer_window=24
+/// faults=standard
+/// fault_seed=0x5eed
 /// ```
 pub fn parse_corpus_case(text: &str) -> Result<CorpusCase, String> {
     let mut seed = None;
     let mut chaos = ChaosConfig::none();
+    let mut fault_profile: Option<FaultConfig> = None;
+    let mut fault_seed: Option<u64> = None;
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -403,12 +442,37 @@ pub fn parse_corpus_case(text: &str) -> Result<CorpusCase, String> {
                     .parse()
                     .map_err(|e| format!("bad defer_window: {e}"))?;
             }
+            "faults" => {
+                fault_profile = match value.trim() {
+                    "none" => None,
+                    "standard" => Some(FaultConfig::standard()),
+                    "constructor-killer" => Some(FaultConfig::constructor_killer()),
+                    other => return Err(format!("unknown fault profile {other}")),
+                };
+            }
+            "fault_seed" => {
+                let v = value.trim().replace('_', "");
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                fault_seed = Some(parsed.map_err(|e| format!("bad fault_seed {v}: {e}"))?);
+            }
             other => return Err(format!("unknown corpus key {other}")),
         }
     }
+    let seed = seed.ok_or("corpus case missing seed=")?;
+    let faults = match fault_profile {
+        // The fault plan seed defaults to the case seed.
+        Some(cfg) => Some((cfg, fault_seed.unwrap_or(seed))),
+        None if fault_seed.is_some() => return Err("fault_seed= given without faults=".to_string()),
+        None => None,
+    };
     Ok(CorpusCase {
-        seed: seed.ok_or("corpus case missing seed=")?,
+        seed,
         chaos,
+        faults,
     })
 }
 
@@ -433,6 +497,18 @@ mod tests {
         assert!(parse_corpus_case("seed=1\nchaos=queue-overload\n").is_ok());
         assert!(parse_corpus_case("chaos=forced-decay\n").is_err());
         assert!(parse_corpus_case("seed=1\nchaos=warp-core-breach\n").is_err());
+        assert!(parse_corpus_case(
+            "seed=1\nchaos=budget-pressure,quarantine-trace,duplicate-batch\n"
+        )
+        .is_ok());
+
+        // Engine-level fault keys.
+        let f = parse_corpus_case("seed=7\nfaults=standard\nfault_seed=0x5eed\n").expect("parses");
+        assert_eq!(f.faults, Some((FaultConfig::standard(), 0x5eed)));
+        let f = parse_corpus_case("seed=7\nfaults=constructor-killer\n").expect("parses");
+        assert_eq!(f.faults, Some((FaultConfig::constructor_killer(), 7)));
+        assert!(parse_corpus_case("seed=7\nfaults=gamma-ray\n").is_err());
+        assert!(parse_corpus_case("seed=7\nfault_seed=3\n").is_err());
     }
 
     #[test]

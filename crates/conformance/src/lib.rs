@@ -24,16 +24,23 @@
 //! * [`chaos`] + [`genprog`] — deterministic chaos campaigns replaying
 //!   generated fuzz programs under injected perturbations (forced decay
 //!   ticks, signal reordering, cache pressure, mid-trace invalidation,
-//!   construction-queue overload), optionally under the harness's
+//!   construction-queue overload, budget pressure, trace quarantine,
+//!   duplicated batches), optionally under the harness's
 //!   deferred-construction mode, with per-case seeds, AST shrinking of
 //!   failures, and a saved corpus replayed in CI.
+//! * [`faults`] — engine-level fault injection: a real [`trace_exec`]
+//!   shared deployment (budgeted cache + supervised constructor) driven
+//!   under a deterministic [`trace_cache::FaultPlan`], with the plain
+//!   interpreter as the result oracle.
 
 pub mod chaos;
+pub mod faults;
 pub mod genprog;
 pub mod invariants;
 pub mod lockstep;
 pub mod model;
 
 pub use chaos::{run_campaign, run_case, ChaosConfig, CorpusCase, Perturbation};
+pub use faults::{run_fault_case, FaultCaseReport};
 pub use lockstep::{Divergence, Lockstep};
 pub use model::{ModelBcg, Quirk};

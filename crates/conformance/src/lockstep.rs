@@ -81,6 +81,10 @@ pub struct Lockstep {
     /// constructing (chaos: construction-queue overload).
     drop_next: bool,
     batches_dropped: u64,
+    /// Feed the next non-empty batch to both constructors twice
+    /// (chaos: duplicated delivery — construction must be idempotent).
+    duplicate_next: bool,
+    batches_duplicated: u64,
 }
 
 impl Lockstep {
@@ -104,6 +108,8 @@ impl Lockstep {
             parked_model: Vec::new(),
             drop_next: false,
             batches_dropped: 0,
+            duplicate_next: false,
+            batches_duplicated: 0,
         }
     }
 
@@ -119,9 +125,17 @@ impl Lockstep {
         self
     }
 
-    /// Plants a deliberate model bug (regression-test fixture).
+    /// Plants a deliberate model bug (regression-test fixture). Profiler
+    /// quirks land in the model BCG, cache quirks in the model cache.
     pub fn with_model_quirk(mut self, quirk: Quirk) -> Self {
-        self.model_bcg = ModelBcg::new(*self.model_bcg.config()).with_quirk(quirk);
+        match quirk {
+            Quirk::ForcedDecayKeepsZeroEdges | Quirk::DroppedSignalsForgotten => {
+                self.model_bcg = ModelBcg::new(*self.model_bcg.config()).with_quirk(quirk);
+            }
+            Quirk::EvictionLeavesStaleLink | Quirk::QuarantineForgotten => {
+                self.model_cache = ModelCache::new().with_quirk(quirk);
+            }
+        }
         self
     }
 
@@ -201,6 +215,36 @@ impl Lockstep {
         self.compare_caches()
     }
 
+    /// Sets the payload byte budget on both caches (chaos: budget
+    /// pressure) — both immediately enforce it by their second-chance
+    /// sweeps, which must pick identical victims.
+    pub fn set_cache_budget(&mut self, bytes: usize) -> Result<(), Divergence> {
+        self.cache.set_budget(Some(bytes));
+        self.model_cache.set_budget(Some(bytes));
+        self.compare_caches()
+    }
+
+    /// Quarantines the trace linked at `entry` on both caches (chaos:
+    /// a trace faulted during execution). Both must tombstone the trace,
+    /// remove all its links, and blacklist the same `(entry, path)` key.
+    pub fn quarantine(&mut self, entry: Branch, cooldown: u32) -> Result<(), Divergence> {
+        self.cache.quarantine(entry, cooldown);
+        self.model_cache.quarantine(entry, cooldown);
+        self.compare_caches()
+    }
+
+    /// Feeds the next non-empty signal batch to both constructors twice
+    /// (chaos: duplicated queue delivery). Hash-consing makes the replay
+    /// idempotent, so conformance must hold.
+    pub fn duplicate_next_batch(&mut self) {
+        self.duplicate_next = true;
+    }
+
+    /// Batches duplicated so far via [`Self::duplicate_next_batch`].
+    pub fn batches_duplicated(&self) -> u64 {
+        self.batches_duplicated
+    }
+
     /// Entry branches currently linked, in a deterministic order.
     pub fn linked_entries(&self) -> Vec<Branch> {
         let mut entries: Vec<Branch> = self.cache.iter_links().map(|(b, _)| b).collect();
@@ -262,21 +306,33 @@ impl Lockstep {
             self.model_sig_buf.rotate_left(k);
         }
 
+        let copies = if self.duplicate_next {
+            self.duplicate_next = false;
+            self.batches_duplicated += 1;
+            2
+        } else {
+            1
+        };
+
         if self.defer_window > 0 {
-            self.parked_real.extend_from_slice(&self.sig_buf);
-            self.parked_model.extend_from_slice(&self.model_sig_buf);
+            for _ in 0..copies {
+                self.parked_real.extend_from_slice(&self.sig_buf);
+                self.parked_model.extend_from_slice(&self.model_sig_buf);
+            }
             let deadline = self.step + self.defer_window;
             self.defer_deadline.get_or_insert(deadline);
             return Ok(());
         }
 
-        self.ctor
-            .handle_batch(&self.sig_buf, &mut self.bcg, &mut self.cache);
-        self.model_ctor.handle_batch(
-            &self.model_sig_buf,
-            &mut self.model_bcg,
-            &mut self.model_cache,
-        );
+        for _ in 0..copies {
+            self.ctor
+                .handle_batch(&self.sig_buf, &mut self.bcg, &mut self.cache);
+            self.model_ctor.handle_batch(
+                &self.model_sig_buf,
+                &mut self.model_bcg,
+                &mut self.model_cache,
+            );
+        }
         self.compare_caches()
     }
 
@@ -394,6 +450,22 @@ impl Lockstep {
                     trace.expected_completion()
                 )));
             }
+        }
+        if self.cache.payload_bytes() != self.model_cache.payload_bytes() {
+            return Err(self.diverged(format!(
+                "payload bytes {} vs model {}",
+                self.cache.payload_bytes(),
+                self.model_cache.payload_bytes()
+            )));
+        }
+        let real_q: Vec<(Branch, Vec<BlockId>, u32)> = self
+            .cache
+            .iter_quarantine()
+            .map(|(b, p, r)| (b, p.to_vec(), r))
+            .collect();
+        let model_q = self.model_cache.quarantine_list();
+        if real_q != model_q {
+            return Err(self.diverged(format!("quarantine list {real_q:?} vs model {model_q:?}")));
         }
         #[cfg(feature = "debug-invariants")]
         self.cache.assert_cache_invariants();

@@ -24,11 +24,11 @@
 //! * a saturated counter (`count == max_counter`) bumps **neither** the
 //!   count nor `total_weight`, keeping correlation ratios frozen.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use jvm_bytecode::BlockId;
-use trace_bcg::{BcgConfig, Branch, NodeState, SignalKind};
-use trace_cache::ConstructorConfig;
+use trace_bcg::{BcgConfig, Branch, NodeState, PackedBranch, SignalKind};
+use trace_cache::{trace_cost, ConstructorConfig};
 
 /// A deliberately planted model bug, used by the regression tests to
 /// prove the harness detects real divergences. `None` in normal runs.
@@ -44,6 +44,16 @@ pub enum Quirk {
     /// defer path only runs under construction-queue overload, so only
     /// a chaos campaign that drops signal batches can expose this bug.
     DroppedSignalsForgotten,
+    /// The model's budget sweep reclaims the victim trace but forgets to
+    /// remove its entry link, leaving a stale link behind. Eviction only
+    /// runs once a byte budget is set, so only a chaos campaign that
+    /// applies budget pressure can expose this bug.
+    EvictionLeavesStaleLink,
+    /// The model's quarantine tombstones the faulting trace but forgets
+    /// to blacklist its `(entry, path)` key, so refused rebuilds differ.
+    /// Only a chaos campaign that quarantines live traces can expose
+    /// this bug.
+    QuarantineForgotten,
 }
 
 /// A profiler signal in model coordinates (branches, not node indices).
@@ -418,15 +428,33 @@ impl ModelBcg {
 }
 
 /// The model trace cache: hash-consed sequences plus entry links, with
-/// no packed tables.
+/// no packed tables. Mirrors the production cache's robustness policy —
+/// the closed-form [`trace_cost`] byte accounting, the second-chance
+/// (clock) eviction sweep, tombstoning (ids never reused), and the
+/// quarantine blacklist with its per-refusal cooldown decay — written
+/// the slow way over `Branch`-keyed hash maps.
 #[derive(Debug, Default)]
 pub struct ModelCache {
-    /// Trace block sequences with their completion estimate, in
-    /// construction order.
-    pub traces: Vec<(Vec<BlockId>, f64)>,
+    /// Trace slots in construction order; tombstoned (evicted or
+    /// quarantined) traces are `None`. Slots are never reused.
+    traces: Vec<Option<(Vec<BlockId>, f64)>>,
+    /// Byte cost charged per trace; zeroed when tombstoned.
+    costs: Vec<usize>,
+    /// Live entry links per trace (the reverse of `links`).
+    entry_links: Vec<Vec<Branch>>,
     by_blocks: HashMap<Vec<BlockId>, usize>,
     /// Entry branch → index into `traces`.
-    pub links: HashMap<Branch, usize>,
+    links: HashMap<Branch, usize>,
+    /// Second-chance sweep order (may hold stale entries; `referenced`
+    /// is the source of truth, exactly as in production).
+    clock: VecDeque<Branch>,
+    /// Live link → second-chance bit.
+    referenced: HashMap<Branch, bool>,
+    /// Blacklist: entry → (exact block path, refusals remaining).
+    quarantined: HashMap<Branch, (Vec<BlockId>, u32)>,
+    payload: usize,
+    budget: Option<usize>,
+    quirk: Option<Quirk>,
 }
 
 impl ModelCache {
@@ -435,7 +463,14 @@ impl ModelCache {
         Self::default()
     }
 
-    /// Number of distinct trace objects ever constructed.
+    /// Plants a deliberate bug (regression-test fixture).
+    pub fn with_quirk(mut self, quirk: Quirk) -> Self {
+        self.quirk = Some(quirk);
+        self
+    }
+
+    /// Number of distinct trace objects ever constructed (including
+    /// tombstoned ones — ids are never reused, as in production).
     pub fn trace_count(&self) -> usize {
         self.traces.len()
     }
@@ -445,27 +480,193 @@ impl ModelCache {
         self.links.len()
     }
 
+    /// Bytes currently charged against the budget.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload
+    }
+
+    /// Sets (or clears) the payload byte budget and immediately enforces
+    /// it, like the production cache.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+        self.enforce_budget(None);
+    }
+
+    /// The quarantine blacklist, sorted by packed entry key — the same
+    /// deterministic order the production cache's `iter_quarantine`
+    /// reports, so the lockstep harness can compare them directly.
+    pub fn quarantine_list(&self) -> Vec<(Branch, Vec<BlockId>, u32)> {
+        let mut q: Vec<(Branch, Vec<BlockId>, u32)> = self
+            .quarantined
+            .iter()
+            .map(|(&b, (p, r))| (b, p.clone(), *r))
+            .collect();
+        q.sort_by_key(|(b, _, _)| PackedBranch::pack(*b).0);
+        q
+    }
+
     fn insert_and_link(&mut self, entry: Branch, blocks: Vec<BlockId>, completion: f64) {
         let id = match self.by_blocks.get(&blocks) {
             Some(&id) => id,
             None => {
                 let id = self.traces.len();
-                self.traces.push((blocks.clone(), completion));
+                let cost = trace_cost(blocks.len());
+                self.traces.push(Some((blocks.clone(), completion)));
+                self.costs.push(cost);
+                self.entry_links.push(Vec::new());
+                self.payload += cost;
                 self.by_blocks.insert(blocks, id);
                 id
             }
         };
-        self.links.insert(entry, id);
+        if let Some(old) = self.links.insert(entry, id) {
+            if old != id {
+                self.entry_links[old].retain(|&b| b != entry);
+                self.reclaim_if_unlinked(old);
+            }
+        }
+        match self.referenced.entry(entry) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.insert(true);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(false);
+                self.clock.push_back(entry);
+            }
+        }
+        if !self.entry_links[id].contains(&entry) {
+            self.entry_links[id].push(entry);
+        }
+        self.enforce_budget(Some(entry));
+    }
+
+    /// [`Self::insert_and_link`] behind the quarantine blacklist,
+    /// mirroring the production cooldown decay: a refused attempt ticks
+    /// the cooldown down, and at zero the key is re-admitted (the *next*
+    /// attempt succeeds). Returns whether the insert was admitted.
+    fn try_insert_and_link(
+        &mut self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        completion: f64,
+    ) -> bool {
+        if let Some((qblocks, remaining)) = self.quarantined.get_mut(&entry) {
+            if *qblocks == blocks {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.quarantined.remove(&entry);
+                }
+                return false;
+            }
+        }
+        self.insert_and_link(entry, blocks, completion);
+        true
     }
 
     /// Removes the link at an entry branch.
     pub fn unlink(&mut self, entry: Branch) -> bool {
-        self.links.remove(&entry).is_some()
+        let Some(id) = self.links.remove(&entry) else {
+            return false;
+        };
+        self.referenced.remove(&entry);
+        self.entry_links[id].retain(|&b| b != entry);
+        self.reclaim_if_unlinked(id);
+        true
+    }
+
+    /// Tombstones the trace linked at `entry` and blacklists its
+    /// `(entry, path)` key, mirroring the production cache: every entry
+    /// link of the trace is removed, only the faulting entry is
+    /// blacklisted. Returns whether anything was linked there.
+    pub fn quarantine(&mut self, entry: Branch, cooldown: u32) -> bool {
+        let Some(&id) = self.links.get(&entry) else {
+            return false;
+        };
+        if self.quirk != Some(Quirk::QuarantineForgotten) {
+            let path = self.traces[id]
+                .as_ref()
+                .expect("linked trace is live")
+                .0
+                .clone();
+            self.quarantined.insert(entry, (path, cooldown.max(1)));
+        }
+        for b in std::mem::take(&mut self.entry_links[id]) {
+            self.links.remove(&b);
+            self.referenced.remove(&b);
+        }
+        self.tombstone(id);
+        true
+    }
+
+    fn tombstone(&mut self, id: usize) {
+        self.payload -= self.costs[id];
+        self.costs[id] = 0;
+        if let Some((blocks, _)) = self.traces[id].take() {
+            self.by_blocks.remove(&blocks);
+        }
+    }
+
+    /// In budget mode an unlinked trace is reclaimed as soon as its last
+    /// link goes; without a budget it stays retrievable (production
+    /// parity).
+    fn reclaim_if_unlinked(&mut self, id: usize) {
+        if self.budget.is_some() && self.entry_links[id].is_empty() && self.traces[id].is_some() {
+            self.tombstone(id);
+        }
+    }
+
+    /// The second-chance sweep, transcribed from the production cache:
+    /// two passes over the clock clear referenced bits, the just-written
+    /// link is protected, and an empty sweep (only the protected link
+    /// left) ends the pass over budget.
+    fn enforce_budget(&mut self, protect: Option<Branch>) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        while self.payload > budget {
+            let mut victim = None;
+            let mut remaining = 2 * self.clock.len() + 1;
+            while remaining > 0 {
+                remaining -= 1;
+                let Some(key) = self.clock.pop_front() else {
+                    break;
+                };
+                match self.referenced.get(&key).copied() {
+                    None => continue, // stale: unlinked outside the sweep
+                    Some(_) if Some(key) == protect => self.clock.push_back(key),
+                    Some(true) => {
+                        self.referenced.insert(key, false);
+                        self.clock.push_back(key);
+                    }
+                    Some(false) => {
+                        victim = Some(key);
+                        break;
+                    }
+                }
+            }
+            let Some(key) = victim else {
+                break;
+            };
+            let id = if self.quirk == Some(Quirk::EvictionLeavesStaleLink) {
+                // Planted bug: the victim's payload is reclaimed but its
+                // entry link survives, dangling.
+                *self.links.get(&key).expect("sweep key must be linked")
+            } else {
+                self.links.remove(&key).expect("sweep key must be linked")
+            };
+            self.referenced.remove(&key);
+            self.entry_links[id].retain(|&b| b != key);
+            if self.entry_links[id].is_empty() {
+                self.tombstone(id);
+            }
+        }
     }
 
     /// The linked `(blocks, completion)` at an entry, if any.
     pub fn lookup(&self, entry: Branch) -> Option<&(Vec<BlockId>, f64)> {
-        self.links.get(&entry).map(|&i| &self.traces[i])
+        self.links
+            .get(&entry)
+            .and_then(|&i| self.traces[i].as_ref())
     }
 }
 
@@ -643,7 +844,9 @@ impl ModelConstructor {
             if len >= self.config.min_trace_blocks {
                 let entry = chain[i];
                 let blocks: Vec<BlockId> = chain[i..=j].iter().map(|b| b.1).collect();
-                cache.insert_and_link(entry, blocks, prob);
+                // Quarantine refusals tick the cooldown and install
+                // nothing, exactly like the production constructor.
+                let _ = cache.try_insert_and_link(entry, blocks, prob);
                 i = j + 1;
             } else {
                 cache.unlink(chain[i]);

@@ -122,9 +122,24 @@ enum Step {
 
 enum TraceRun {
     Completed,
-    SideExited,
+    SideExited {
+        /// The trace exited before completing even its first block — the
+        /// entry guard failed immediately. A streak of these means the
+        /// link serves a path the program no longer takes.
+        immediate: bool,
+    },
     Finished(Option<Value>),
 }
+
+/// Consecutive immediate entry side-exits of the same trace before the
+/// engine quarantines it: the trace costs an entry + guard evaluation
+/// every dispatch and never makes progress, so it is retired and its
+/// key blacklisted until the cooldown decays.
+const ENTRY_EXIT_STREAK_LIMIT: u32 = 8;
+
+/// Quarantine cooldown (refused construction attempts) applied by the
+/// engine's fault triggers — corrupt artifacts and entry-exit streaks.
+const QUARANTINE_COOLDOWN: u32 = 4;
 
 /// The trace-executing VM: decoded-form interpreter + profiler + trace
 /// cache + trace compiler + guarded trace execution, in one engine.
@@ -171,6 +186,9 @@ pub struct TracingVm<'p> {
     shared_lowered: HashMap<TraceId, Option<Arc<LoweredTrace>>>,
     /// Shared-mode analogue of `hot_trace`.
     hot_shared: Option<(TraceId, Arc<LoweredTrace>)>,
+    /// `(trace id, consecutive immediate entry side-exits)` — the
+    /// engine-side quarantine trigger (see [`ENTRY_EXIT_STREAK_LIMIT`]).
+    entry_exit_streak: Option<(TraceId, u32)>,
 }
 
 impl<'p> TracingVm<'p> {
@@ -200,6 +218,7 @@ impl<'p> TracingVm<'p> {
             shared: None,
             shared_lowered: HashMap::new(),
             hot_shared: None,
+            entry_exit_streak: None,
         }
     }
 
@@ -320,10 +339,13 @@ impl<'p> TracingVm<'p> {
                     (_, None) => None,
                 };
                 let ran = match tid {
-                    Some(tid) if self.shared.is_some() => match self.shared_lowered_for(tid) {
-                        Some(lt) => Some(self.execute_trace(&lt, prev)?),
-                        None => None,
-                    },
+                    Some(tid) if self.shared.is_some() => {
+                        let entry = (prev.expect("linked entry has a source block"), bid);
+                        match self.shared_lowered_for(tid, entry) {
+                            Some(lt) => Some(self.execute_trace(&lt, prev)?),
+                            None => None,
+                        }
+                    }
                     Some(tid) => match self.lowered_for(tid) {
                         Some(lt) => Some(self.execute_trace(&lt, prev)?),
                         None => None,
@@ -332,7 +354,13 @@ impl<'p> TracingVm<'p> {
                 };
                 match ran {
                     Some(TraceRun::Finished(v)) => break v,
-                    Some(TraceRun::Completed | TraceRun::SideExited) => {}
+                    Some(TraceRun::SideExited { immediate: true }) => {
+                        let entry = (prev.expect("linked entry has a source block"), bid);
+                        self.note_immediate_entry_exit(tid.expect("trace ran"), entry);
+                    }
+                    Some(TraceRun::Completed | TraceRun::SideExited { immediate: false }) => {
+                        self.entry_exit_streak = None;
+                    }
                     None => self.trace_stats.blocks_outside += 1,
                 }
                 continue;
@@ -371,7 +399,10 @@ impl<'p> TracingVm<'p> {
     /// construction in private mode; bounded snapshot submission to the
     /// off-thread constructor in shared mode, deferring the batch back
     /// into the profiler (for decay-driven re-raise) when the queue is
-    /// full.
+    /// full. Once the construction service is permanently degraded the
+    /// signals are discarded outright — no snapshot is captured, no
+    /// submit attempted, and nothing is parked for a constructor that
+    /// will never come back.
     #[inline]
     fn dispatch_signals(&mut self) {
         if !self.bcg.has_signals() {
@@ -384,12 +415,43 @@ impl<'p> TracingVm<'p> {
                     .handle_batch(&self.signal_buf, &mut self.bcg, &mut self.cache);
             }
             Some(sess) => {
+                if sess.health.is_degraded() {
+                    sess.health.note_degraded_discard();
+                    return;
+                }
                 let snap =
                     BcgSnapshot::capture_bounded(&self.bcg, &self.signal_buf, sess.snapshot_limit);
                 if !sess.queue.submit(snap) {
                     self.bcg.defer_signals(&self.signal_buf);
                 }
             }
+        }
+    }
+
+    /// Records an immediate entry side-exit of `tid`; at
+    /// [`ENTRY_EXIT_STREAK_LIMIT`] consecutive occurrences the trace is
+    /// quarantined — retired from the cache with its `(entry, path)` key
+    /// blacklisted — so dispatch stops paying for an entry that never
+    /// makes progress.
+    fn note_immediate_entry_exit(&mut self, tid: TraceId, entry: trace_bcg::Branch) {
+        let streak = match self.entry_exit_streak {
+            Some((t, n)) if t == tid => n + 1,
+            _ => 1,
+        };
+        if streak >= ENTRY_EXIT_STREAK_LIMIT {
+            self.entry_exit_streak = None;
+            match &self.shared {
+                Some(sess) => {
+                    sess.cache.quarantine(entry, QUARANTINE_COOLDOWN);
+                    self.hot_shared = None;
+                }
+                None => {
+                    self.cache.quarantine(entry, QUARANTINE_COOLDOWN);
+                    self.hot_trace = None;
+                }
+            }
+        } else {
+            self.entry_exit_streak = Some((tid, streak));
         }
     }
 
@@ -440,19 +502,53 @@ impl<'p> TracingVm<'p> {
     /// Shared-mode analogue of [`Self::lowered_for`]: resolves a
     /// shared-cache id to its published artifact through a per-VM memo.
     /// Both outcomes are permanent for a given id (the builder runs once
-    /// per hash-consed chain), so the memo never revalidates.
-    fn shared_lowered_for(&mut self, tid: TraceId) -> Option<Arc<LoweredTrace>> {
+    /// per hash-consed chain, and ids are never reused), so the memo
+    /// never revalidates.
+    ///
+    /// Failures surface as "no artifact" — the VM keeps interpreting. A
+    /// corrupt artifact additionally quarantines the trace so every VM
+    /// stops dispatching it and the constructor cools down before
+    /// rebuilding the key.
+    fn shared_lowered_for(
+        &mut self,
+        tid: TraceId,
+        entry: trace_bcg::Branch,
+    ) -> Option<Arc<LoweredTrace>> {
         if let Some((hot_tid, lt)) = &self.hot_shared {
             if *hot_tid == tid {
                 return Some(Arc::clone(lt));
             }
         }
+        if let Some(memo) = self.shared_lowered.get(&tid) {
+            let lt = memo.clone()?;
+            self.hot_shared = Some((tid, Arc::clone(&lt)));
+            return Some(lt);
+        }
         let sess = self.shared.as_ref().expect("shared mode");
-        let lt = self
-            .shared_lowered
-            .entry(tid)
-            .or_insert_with(|| sess.cache.artifact(tid))
-            .clone()?;
+        let resolved = match sess.cache.artifact_checked(tid) {
+            Ok(artifact) => {
+                #[cfg(feature = "debug-invariants")]
+                if let Some(lt) = &artifact {
+                    assert_eq!(
+                        lt.src_blocks.first().copied(),
+                        Some(entry.1),
+                        "published artifact must start at the linked entry's target"
+                    );
+                }
+                artifact
+            }
+            Err(trace_cache::TraceCacheError::CorruptArtifact(_)) => {
+                // Never execute a corrupt artifact: retire the trace for
+                // everyone and blacklist its key until the cooldown
+                // decays.
+                sess.cache.quarantine(entry, QUARANTINE_COOLDOWN);
+                None
+            }
+            // Evicted (link outlived its trace by one probe) or unknown:
+            // ids are never reused, so "no artifact" is permanent.
+            Err(_) => None,
+        };
+        let lt = self.shared_lowered.entry(tid).or_insert(resolved).clone()?;
         self.hot_shared = Some((tid, Arc::clone(&lt)));
         Some(lt)
     }
@@ -502,7 +598,9 @@ impl<'p> TracingVm<'p> {
                 self.dispatch_signals();
                 self.prev_block = Some(bid);
                 self.trace_stats.blocks_outside += 1;
-                return Ok(TraceRun::SideExited);
+                return Ok(TraceRun::SideExited {
+                    immediate: blocks_done == 0,
+                });
             }};
         }
 

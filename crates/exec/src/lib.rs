@@ -45,5 +45,6 @@ pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
 pub use lower::{lower_trace, lower_trace_frozen, Exit, LoweredTrace, XInstr};
 pub use opt::{optimize, OptStats};
 pub use shared::{
-    artifact_builder, run_shared_constructor, shared_session, SharedCache, SharedSession,
+    artifact_builder, run_shared_constructor, run_supervised_shared_constructor, shared_session,
+    SharedCache, SharedSession,
 };

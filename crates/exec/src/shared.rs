@@ -32,8 +32,9 @@ use std::sync::Arc;
 use jvm_bytecode::{BlockId, Program};
 use jvm_vm::DecodedProgram;
 use trace_cache::{
-    construction_channel, run_constructor_service, BuilderStats, ConstructionQueue,
-    ConstructionReceiver, SharedTraceCache, TraceId,
+    construction_channel, run_constructor_service, run_supervised_constructor_service,
+    BuilderStats, ConstructionQueue, ConstructionReceiver, FaultPlan, ServiceHealth,
+    SharedTraceCache, SupervisorConfig, TraceId,
 };
 
 use crate::compile::compile_blocks;
@@ -62,6 +63,11 @@ pub struct SharedSession {
     pub queue: ConstructionQueue,
     /// Node cap applied when capturing signal snapshots.
     pub snapshot_limit: usize,
+    /// Health gauges of the (supervised) construction service.
+    /// Dispatchers check [`ServiceHealth::is_degraded`] *before*
+    /// capturing a snapshot, so a dead constructor stops costing capture
+    /// work immediately rather than on the next failed send.
+    pub health: Arc<ServiceHealth>,
 }
 
 impl SharedSession {
@@ -70,6 +76,13 @@ impl SharedSession {
     /// currently in flight on the construction channel.
     pub fn memory_estimate(&self) -> usize {
         self.cache.memory_estimate(|lt| lt.memory_estimate()) + self.queue.stats().bytes
+    }
+
+    /// Bounds the cache's payload bytes (block sequences + lowered
+    /// artifacts); inserts beyond the budget evict cold entry links via
+    /// the cache's second-chance sweep. `None` removes the bound.
+    pub fn set_cache_budget(&self, budget: Option<usize>) {
+        self.cache.set_budget(budget, |lt| lt.memory_estimate());
     }
 }
 
@@ -95,6 +108,7 @@ pub fn shared_session(
         cache: Arc::clone(&cache),
         queue,
         snapshot_limit: DEFAULT_SNAPSHOT_LIMIT,
+        health: Arc::new(ServiceHealth::new()),
     };
     (cache, session, rx)
 }
@@ -140,6 +154,32 @@ pub fn run_shared_constructor(
         rx,
         cache,
         config.jit.constructor_config(),
+        artifact_builder(program, config),
+    )
+}
+
+/// [`run_shared_constructor`] under supervision: worker panics (real or
+/// injected via `faults`) are absorbed and the worker restarted with
+/// exponential backoff until `supervisor.max_restarts` is exhausted, at
+/// which point `health` flips to permanently degraded, the receiver
+/// drops, and every dispatcher falls back to interpreter-only execution
+/// — slower, never wrong.
+pub fn run_supervised_shared_constructor(
+    rx: ConstructionReceiver,
+    cache: &SharedCache,
+    program: &Program,
+    config: EngineConfig,
+    supervisor: SupervisorConfig,
+    health: &ServiceHealth,
+    faults: Option<Arc<FaultPlan>>,
+) -> BuilderStats {
+    run_supervised_constructor_service(
+        rx,
+        cache,
+        config.jit.constructor_config(),
+        supervisor,
+        health,
+        faults,
         artifact_builder(program, config),
     )
 }
@@ -216,6 +256,7 @@ mod tests {
             cache: Arc::clone(&cache),
             queue,
             snapshot_limit: DEFAULT_SNAPSHOT_LIMIT,
+            health: Arc::new(ServiceHealth::new()),
         };
         let warm = {
             let mut vm = TracingVm::new_shared(&program, config, warm_session);
@@ -249,5 +290,113 @@ mod tests {
             stats.traces_deduped > 0,
             "second VM's identical chains must hash-cons: {stats:?}"
         );
+    }
+
+    /// Satellite regression: once the service is degraded, dispatch must
+    /// stop queueing *immediately* — not on the next failed send. The
+    /// queue sees zero traffic and the discards are gauged.
+    #[test]
+    fn degraded_service_stops_snapshot_capture_immediately() {
+        let program = loop_program();
+        let config = EngineConfig::paper_default();
+        let (_cache, session, rx) = shared_session(DEFAULT_QUEUE_CAPACITY);
+        drop(rx); // no constructor ever ran
+        session.health.mark_degraded();
+        let health = Arc::clone(&session.health);
+        let queue = session.queue.clone();
+
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(40_000)], &mut NullObserver).unwrap();
+        let report = {
+            let mut vm = TracingVm::new_shared(&program, config, session);
+            vm.run(&[Value::Int(40_000)]).unwrap()
+        };
+        assert_eq!(report.result, want);
+        assert_eq!(report.exec.instructions, plain.stats().instructions);
+        let qs = queue.stats();
+        assert_eq!(
+            (qs.submitted, qs.dropped),
+            (0, 0),
+            "degraded dispatch must never touch the queue: {qs:?}"
+        );
+        let hs = health.snapshot();
+        assert!(hs.degraded_discards > 0, "discards must be gauged: {hs:?}");
+    }
+
+    /// Acceptance: killing the constructor mid-run degrades throughput
+    /// (no traces are ever built) but never changes results or
+    /// deadlocks.
+    #[test]
+    fn constructor_killed_mid_run_degrades_but_results_match() {
+        use trace_cache::{FaultConfig, FaultPlan, SupervisorConfig};
+        let program = loop_program();
+        let config = EngineConfig::paper_default();
+        let (cache, session, rx) = shared_session(DEFAULT_QUEUE_CAPACITY);
+        let health = Arc::clone(&session.health);
+        let plan = Arc::new(FaultPlan::new(11, FaultConfig::constructor_killer()));
+        let supervisor = SupervisorConfig {
+            max_restarts: 0,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+        };
+
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(40_000)], &mut NullObserver).unwrap();
+        let report = std::thread::scope(|s| {
+            let h = Arc::clone(&health);
+            let c = Arc::clone(&cache);
+            let p = &program;
+            let svc = s.spawn(move || {
+                run_supervised_shared_constructor(rx, &c, p, config, supervisor, &h, Some(plan))
+            });
+            let report = {
+                let mut vm = TracingVm::new_shared(&program, config, session);
+                vm.run(&[Value::Int(40_000)]).unwrap()
+            }; // dropping the session also ends the service if it never saw a batch
+            let stats = svc.join().expect("supervisor must not panic");
+            assert_eq!(stats.traces_created, 0, "every batch died mid-build");
+            report
+        });
+        assert_eq!(report.result, want);
+        assert_eq!(report.checksum, plain.checksum());
+        assert_eq!(cache.trace_count(), 0);
+        let hs = health.snapshot();
+        assert!(hs.panics >= 1, "the kill fault must have fired: {hs:?}");
+        assert!(hs.degraded, "restarts=0 degrades on first panic: {hs:?}");
+    }
+
+    /// A trace that side-exits at entry on every dispatch — its path no
+    /// longer matches the program flow — is quarantined after a streak,
+    /// so dispatch stops paying for it.
+    #[test]
+    fn repeated_immediate_entry_exits_quarantine_the_trace() {
+        let program = loop_program();
+        let config = EngineConfig::paper_default();
+        let blk = |b: u32| BlockId::new(program.entry(), b);
+        let (cache, session, _rx) = shared_session(DEFAULT_QUEUE_CAPACITY);
+        // Plant the loop trace by hand. With argument 0 the loop guard
+        // fails at entry (0 <= 0 exits immediately), so every dispatch
+        // of this trace is an immediate side exit.
+        let mut build = artifact_builder(&program, config);
+        cache.insert_and_link_with((blk(0), blk(1)), vec![blk(1), blk(2), blk(1)], 0.99, |b| {
+            build(b)
+        });
+        let mut plain = Vm::new(&program);
+        let want = plain.run(&[Value::Int(0)], &mut NullObserver).unwrap();
+
+        let mut vm = TracingVm::new_shared(&program, config, session);
+        for run in 0..12 {
+            let report = vm.run(&[Value::Int(0)]).unwrap();
+            assert_eq!(report.result, want, "run {run}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.traces_quarantined, 1, "streak must quarantine");
+        assert_eq!(cache.lookup_entry((blk(0), blk(1))), None);
+        assert!(!cache.quarantine_snapshot().is_empty());
+        // Trace-entry counters are cumulative across the VM's lifetime:
+        // once quarantined, further runs must not enter any trace.
+        let entered_at_quarantine = vm.run(&[Value::Int(0)]).unwrap().traces.entered;
+        let report = vm.run(&[Value::Int(0)]).unwrap();
+        assert_eq!(report.traces.entered, entered_at_quarantine);
     }
 }

@@ -1,12 +1,28 @@
 //! The hash-consed trace store.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use jvm_bytecode::BlockId;
 use trace_bcg::node::NO_TRACE_LINK;
 use trace_bcg::{Branch, BranchCorrelationGraph, BranchTable, NodeIdx, PackedBranch};
 
+use crate::error::TraceCacheError;
 use crate::trace::{Trace, TraceId};
+
+/// Fixed per-trace bookkeeping charge in the byte-budget accounting:
+/// covers the trace object, its hash-cons index entry, and the entry
+/// link(s). A named constant so the conformance model can mirror the
+/// accounting exactly.
+pub const TRACE_BYTES_OVERHEAD: usize = 64;
+
+/// The byte cost a trace of `blocks` blocks charges against the cache
+/// budget (artifact bytes, if any, are added on top by the shared
+/// cache). Deliberately a closed form over the block count — not real
+/// allocator numbers — so the eviction *policy* is reproducible in the
+/// conformance model.
+pub fn trace_cost(blocks: usize) -> usize {
+    blocks * std::mem::size_of::<BlockId>() + TRACE_BYTES_OVERHEAD
+}
 
 /// Cache bookkeeping counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +36,19 @@ pub struct CacheStats {
     /// instability events; the paper's stability criterion wants these
     /// rare, §3.6).
     pub links_replaced: u64,
+    /// Entry links removed by the budget's second-chance sweep.
+    pub links_evicted: u64,
+    /// Trace objects tombstoned because their last link was evicted (or
+    /// they were quarantined) and their storage reclaimed.
+    pub traces_evicted: u64,
+    /// Traces tombstoned by [`TraceCache::quarantine`].
+    pub traces_quarantined: u64,
+    /// Construction attempts refused because the `(entry, path)` key is
+    /// quarantined.
+    pub quarantine_rejected: u64,
+    /// Budget-enforcement passes that ended while still over budget
+    /// (a single trace larger than the whole budget).
+    pub budget_overruns: u64,
     /// Entry branches currently linked.
     pub links_live: usize,
 }
@@ -31,6 +60,29 @@ pub struct CacheStats {
 /// entry branches may be "linked into the code" against the same cached
 /// sequence, and relinking an entry never destroys a trace object (old
 /// ids stay valid for the execution monitor).
+///
+/// # Memory budget and eviction
+///
+/// [`set_budget`](Self::set_budget) bounds the payload bytes the cache
+/// may hold ([`payload_bytes`](Self::payload_bytes), the closed-form
+/// [`trace_cost`] accounting). When an insert pushes the cache over
+/// budget, entry links are evicted by a deterministic second-chance
+/// (clock) sweep in insertion order: a link touched again since it was
+/// last considered gets one more round, otherwise it is unlinked. A
+/// trace whose last link goes is *tombstoned* — removed from the
+/// hash-cons index (so a rebuild mints a fresh id; ids are never
+/// reused) and its storage reclaimed. Every eviction bumps
+/// [`version`](Self::version), so inline BCG link slots and in-flight
+/// cached dispatches revalidate and fall back to block dispatch.
+///
+/// # Quarantine
+///
+/// [`quarantine`](Self::quarantine) tombstones a faulting trace and
+/// blacklists its `(entry, path)` key;
+/// [`try_insert_and_link`](Self::try_insert_and_link) then refuses to
+/// rebuild that exact trace at that entry until the cooldown decays
+/// (one tick per refused attempt), so a trace that keeps faulting
+/// cannot thrash the constructor.
 ///
 /// ```
 /// use jvm_bytecode::{BlockId, FuncId};
@@ -47,12 +99,30 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 pub struct TraceCache {
     traces: Vec<Trace>,
+    /// Byte cost charged for each trace; zeroed when tombstoned.
+    costs: Vec<usize>,
+    /// Live entry-link keys per trace (the reverse of `by_entry`).
+    entry_keys: Vec<Vec<u64>>,
     /// Hash-consing index; only touched at construction time, so a std
     /// `HashMap` keyed by the full block sequence is fine here.
+    /// Tombstoned traces are removed, so a rebuild mints a fresh id.
     by_blocks: HashMap<Vec<BlockId>, TraceId>,
     /// The dispatch table: entry branch → linked trace. Queried at every
     /// block boundary, hence the packed-key open-addressed table.
     by_entry: BranchTable<TraceId>,
+    /// Second-chance sweep order: live link keys, oldest first. May hold
+    /// stale keys (unlinked outside eviction); `referenced` is the
+    /// source of truth and stale keys are dropped when popped.
+    clock: VecDeque<u64>,
+    /// Live link keys → second-chance bit (set when an insert touches an
+    /// already-linked entry).
+    referenced: HashMap<u64, bool>,
+    /// Blacklist: entry key → (exact block path, refusals remaining).
+    quarantined: HashMap<u64, (Vec<BlockId>, u32)>,
+    /// Sum of `costs` over live traces.
+    payload: usize,
+    /// Byte budget on `payload`; `None` disables eviction entirely.
+    budget: Option<usize>,
     stats: CacheStats,
     /// Bumped on every link mutation; lets executors cache lookups.
     version: u64,
@@ -64,7 +134,8 @@ impl TraceCache {
         Self::default()
     }
 
-    /// Number of distinct trace objects ever constructed.
+    /// Number of distinct trace objects ever constructed (including
+    /// tombstoned ones — ids are never reused).
     pub fn trace_count(&self) -> usize {
         self.traces.len()
     }
@@ -87,6 +158,27 @@ impl TraceCache {
         s
     }
 
+    /// Sets (or clears) the payload byte budget and immediately enforces
+    /// it.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+        // `u64::MAX` is no packed branch, so nothing is protected here.
+        self.enforce_budget(u64::MAX);
+        #[cfg(feature = "debug-invariants")]
+        self.assert_cache_invariants();
+    }
+
+    /// The configured payload budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Bytes currently charged against the budget: the [`trace_cost`]
+    /// sum over live (non-tombstoned) traces.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload
+    }
+
     /// The trace with the given id.
     ///
     /// # Panics
@@ -95,6 +187,26 @@ impl TraceCache {
     #[inline]
     pub fn trace(&self, id: TraceId) -> &Trace {
         &self.traces[id.index()]
+    }
+
+    /// The trace with the given id, surfacing unknown and evicted ids as
+    /// errors instead of panicking / handing back a tombstone. Dispatch
+    /// paths use this and fall back to block dispatch on `Err`.
+    #[inline]
+    pub fn trace_checked(&self, id: TraceId) -> Result<&Trace, TraceCacheError> {
+        match self.traces.get(id.index()) {
+            None => Err(TraceCacheError::UnknownTrace(id)),
+            Some(t) if t.blocks.is_empty() => Err(TraceCacheError::Evicted(id)),
+            Some(t) => Ok(t),
+        }
+    }
+
+    /// Whether the id was assigned and later tombstoned (evicted or
+    /// quarantined).
+    pub fn is_evicted(&self, id: TraceId) -> bool {
+        self.traces
+            .get(id.index())
+            .is_some_and(|t| t.blocks.is_empty())
     }
 
     /// The trace linked at an entry branch, if any. This is the dispatch
@@ -149,15 +261,31 @@ impl TraceCache {
             .map(|(b, id)| (b.unpack(), self.trace(id)))
     }
 
-    /// Iterates over every trace object ever constructed (including ones
-    /// no longer linked).
+    /// Iterates over every trace object ever constructed — including
+    /// unlinked ones, and tombstoned ones (which report empty blocks).
     pub fn iter_traces(&self) -> impl Iterator<Item = &Trace> {
         self.traces.iter()
     }
 
+    /// Iterates over the quarantine blacklist: `(entry, path, refusals
+    /// remaining)`, sorted by packed entry key (for deterministic
+    /// comparison harnesses).
+    pub fn iter_quarantine(&self) -> impl Iterator<Item = (Branch, &[BlockId], u32)> {
+        let mut keys: Vec<&u64> = self.quarantined.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| {
+            let (blocks, remaining) = &self.quarantined[k];
+            (PackedBranch(*k).unpack(), blocks.as_slice(), *remaining)
+        })
+    }
+
     /// Hash-conses a block sequence into the cache and links it at
-    /// `entry`. Returns the trace id and whether a new trace object was
-    /// constructed.
+    /// `entry`, then enforces the byte budget (the just-written link is
+    /// never the victim). Returns the trace id and whether a new trace
+    /// object was constructed.
+    ///
+    /// This path does **not** consult the quarantine blacklist — the
+    /// constructor goes through [`Self::try_insert_and_link`].
     ///
     /// # Panics
     ///
@@ -181,31 +309,87 @@ impl TraceCache {
             }
             None => {
                 let id = TraceId(self.traces.len() as u32);
+                let cost = trace_cost(blocks.len());
                 self.traces.push(Trace {
                     id,
                     blocks: blocks.clone(),
                     expected_completion,
                 });
+                self.costs.push(cost);
+                self.entry_keys.push(Vec::new());
+                self.payload += cost;
                 self.by_blocks.insert(blocks, id);
                 self.stats.traces_constructed += 1;
                 (id, true)
             }
         };
-        match self.by_entry.insert(PackedBranch::pack(entry), id) {
-            Some(old) if old != id => self.stats.links_replaced += 1,
+        let key = PackedBranch::pack(entry).0;
+        match self.by_entry.insert(PackedBranch(key), id) {
+            Some(old) if old != id => {
+                self.stats.links_replaced += 1;
+                self.entry_keys[old.index()].retain(|&k| k != key);
+                self.reclaim_if_unlinked(old);
+            }
             _ => {}
         }
+        // Second-chance bookkeeping: a first-time link enters the sweep
+        // unreferenced; touching a live link grants it another round.
+        match self.referenced.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.insert(true);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(false);
+                self.clock.push_back(key);
+            }
+        }
+        if !self.entry_keys[id.index()].contains(&key) {
+            self.entry_keys[id.index()].push(key);
+        }
         self.version += 1;
+        self.enforce_budget(key);
         #[cfg(feature = "debug-invariants")]
         self.assert_cache_invariants();
         (id, created)
     }
 
+    /// [`Self::insert_and_link`] behind the quarantine blacklist: if the
+    /// exact `(entry, path)` key is quarantined the insert is refused,
+    /// the cooldown ticks down by one, and at zero the key is
+    /// re-admitted (the *next* attempt succeeds).
+    pub fn try_insert_and_link(
+        &mut self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        expected_completion: f64,
+    ) -> Result<(TraceId, bool), TraceCacheError> {
+        let key = PackedBranch::pack(entry).0;
+        if let Some((qblocks, remaining)) = self.quarantined.get_mut(&key) {
+            if *qblocks == blocks {
+                *remaining -= 1;
+                let left = *remaining;
+                if left == 0 {
+                    self.quarantined.remove(&key);
+                }
+                self.stats.quarantine_rejected += 1;
+                return Err(TraceCacheError::Quarantined {
+                    entry,
+                    remaining: left,
+                });
+            }
+        }
+        Ok(self.insert_and_link(entry, blocks, expected_completion))
+    }
+
     /// Removes the link at an entry branch, if any. Used when a trace's
     /// entry is found to no longer satisfy the criteria.
     pub fn unlink(&mut self, entry: Branch) -> Option<TraceId> {
-        let removed = self.by_entry.remove(PackedBranch::pack(entry));
-        if removed.is_some() {
+        let key = PackedBranch::pack(entry).0;
+        let removed = self.by_entry.remove(PackedBranch(key));
+        if let Some(id) = removed {
+            self.referenced.remove(&key);
+            self.entry_keys[id.index()].retain(|&k| k != key);
+            self.reclaim_if_unlinked(id);
             self.version += 1;
             #[cfg(feature = "debug-invariants")]
             self.assert_cache_invariants();
@@ -213,28 +397,148 @@ impl TraceCache {
         removed
     }
 
+    /// Tombstones the trace linked at `entry` and blacklists its
+    /// `(entry, path)` key for `cooldown` refused construction attempts.
+    /// *Every* entry link of the trace is removed (the version bump
+    /// forces in-flight cached dispatches to revalidate); only the
+    /// faulting entry is blacklisted. Returns the tombstoned id, or
+    /// `None` if nothing is linked at `entry`.
+    pub fn quarantine(&mut self, entry: Branch, cooldown: u32) -> Option<TraceId> {
+        let key = PackedBranch::pack(entry).0;
+        let id = self.by_entry.get(PackedBranch(key))?;
+        self.quarantined.insert(
+            key,
+            (self.traces[id.index()].blocks.clone(), cooldown.max(1)),
+        );
+        for k in std::mem::take(&mut self.entry_keys[id.index()]) {
+            self.by_entry.remove(PackedBranch(k));
+            self.referenced.remove(&k);
+        }
+        self.tombstone(id);
+        self.stats.traces_quarantined += 1;
+        self.version += 1;
+        #[cfg(feature = "debug-invariants")]
+        self.assert_cache_invariants();
+        Some(id)
+    }
+
+    /// Tombstones a trace: reclaims its payload bytes and removes it
+    /// from the hash-cons index so a rebuild mints a fresh id.
+    fn tombstone(&mut self, id: TraceId) {
+        let i = id.index();
+        debug_assert!(self.entry_keys[i].is_empty());
+        self.payload -= self.costs[i];
+        self.costs[i] = 0;
+        let blocks = std::mem::take(&mut self.traces[i].blocks);
+        self.by_blocks.remove(&blocks);
+        self.stats.traces_evicted += 1;
+    }
+
+    /// In budget mode an unlinked trace can never be chosen by the
+    /// sweep, so it is reclaimed as soon as its last link goes. Without
+    /// a budget the legacy contract holds: unlinked traces stay
+    /// retrievable by id.
+    fn reclaim_if_unlinked(&mut self, id: TraceId) {
+        if self.budget.is_some()
+            && self.entry_keys[id.index()].is_empty()
+            && !self.traces[id.index()].blocks.is_empty()
+        {
+            self.tombstone(id);
+        }
+    }
+
+    /// Evicts links (second-chance, insertion order) until the payload
+    /// fits the budget. `protect` — the just-written link — is never
+    /// evicted; if it alone remains and the cache is still over budget,
+    /// the overrun is counted and the trace stands.
+    fn enforce_budget(&mut self, protect: u64) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        while self.payload > budget {
+            let mut victim = None;
+            // Two passes over the clock suffice: the first clears
+            // second-chance bits (and drops stale keys), the second must
+            // then land on an unreferenced, unprotected key if any
+            // exists.
+            let mut remaining = 2 * self.clock.len() + 1;
+            while remaining > 0 {
+                remaining -= 1;
+                let Some(key) = self.clock.pop_front() else {
+                    break;
+                };
+                match self.referenced.get(&key).copied() {
+                    None => continue, // stale: unlinked outside the sweep
+                    Some(_) if key == protect => self.clock.push_back(key),
+                    Some(true) => {
+                        self.referenced.insert(key, false);
+                        self.clock.push_back(key);
+                    }
+                    Some(false) => {
+                        victim = Some(key);
+                        break;
+                    }
+                }
+            }
+            let Some(key) = victim else {
+                self.stats.budget_overruns += 1;
+                break;
+            };
+            let id = self
+                .by_entry
+                .remove(PackedBranch(key))
+                .expect("sweep key must be linked");
+            self.referenced.remove(&key);
+            self.entry_keys[id.index()].retain(|&k| k != key);
+            self.stats.links_evicted += 1;
+            if self.entry_keys[id.index()].is_empty() {
+                self.tombstone(id);
+            }
+            self.version += 1;
+        }
+    }
+
     /// Machine-checked structural invariants, asserted after every link
     /// mutation when the `debug-invariants` feature is on:
     ///
     /// - **hash-consing uniqueness** — the block-sequence index has
-    ///   exactly one entry per trace object, every entry round-trips to a
-    ///   trace with that exact sequence, and no two trace objects share a
-    ///   sequence (§4.2: an identical trace "is retrieved and linked",
-    ///   never duplicated);
+    ///   exactly one entry per *live* trace object, every entry
+    ///   round-trips to a trace with that exact sequence, and no two
+    ///   live trace objects share a sequence (§4.2: an identical trace
+    ///   "is retrieved and linked", never duplicated);
     /// - **id coherence** — `traces[i].id == i`;
-    /// - **link validity** — every entry link targets an in-range trace
-    ///   whose first block is the entry branch's target, and the trace is
-    ///   non-empty with a completion estimate in `(0, 1]`.
+    /// - **link validity** — every entry link targets an in-range,
+    ///   *live* trace whose first block is the entry branch's target,
+    ///   and the trace is non-empty with a completion estimate in
+    ///   `(0, 1]`;
+    /// - **budget accounting** — the payload counter equals the
+    ///   recomputed cost of the live traces, and every live link is
+    ///   tracked by the second-chance sweep.
     #[cfg(feature = "debug-invariants")]
     pub fn assert_cache_invariants(&self) {
+        let live = self.traces.iter().filter(|t| !t.blocks.is_empty()).count();
         assert_eq!(
             self.by_blocks.len(),
-            self.traces.len(),
-            "hash-consing index must have exactly one entry per trace"
+            live,
+            "hash-consing index must have exactly one entry per live trace"
         );
+        let mut payload = 0usize;
         for (i, t) in self.traces.iter().enumerate() {
             assert_eq!(t.id.index(), i, "trace id must equal its slot");
-            assert!(!t.blocks.is_empty(), "cached trace must be non-empty");
+            if t.blocks.is_empty() {
+                assert_eq!(self.costs[i], 0, "tombstoned trace {i} must cost nothing");
+                assert!(
+                    self.entry_keys[i].is_empty(),
+                    "tombstoned trace {i} must hold no links"
+                );
+                continue;
+            }
+            assert_eq!(
+                self.costs[i],
+                trace_cost(t.blocks.len()),
+                "trace {i} cost must match the closed form"
+            );
+            payload += self.costs[i];
             assert!(
                 t.expected_completion > 0.0 && t.expected_completion <= 1.0,
                 "completion estimate {} out of (0, 1] for trace {i}",
@@ -246,16 +550,34 @@ impl TraceCache {
                 "trace {i} must be findable under its own block sequence"
             );
         }
+        assert_eq!(payload, self.payload, "payload accounting drifted");
+        assert_eq!(
+            self.referenced.len(),
+            self.by_entry.len(),
+            "sweep must track exactly the live links"
+        );
         for (entry, id) in self.by_entry.iter() {
             let (_, to) = entry.unpack();
             assert!(
                 id.index() < self.traces.len(),
                 "entry link targets out-of-range trace {id:?}"
             );
+            let t = &self.traces[id.index()];
+            assert!(
+                !t.blocks.is_empty(),
+                "entry link targets tombstoned trace {id:?}"
+            );
             assert_eq!(
-                self.traces[id.index()].blocks[0],
-                to,
+                t.blocks[0], to,
                 "entry link must land on its trace's first block"
+            );
+            assert!(
+                self.referenced.contains_key(&entry.0),
+                "live link missing from the sweep"
+            );
+            assert!(
+                self.entry_keys[id.index()].contains(&entry.0),
+                "reverse link list out of sync"
             );
         }
     }
@@ -433,5 +755,185 @@ mod tests {
                 );
             }
         }
+    }
+
+    // --- budget / eviction / quarantine ---
+
+    /// Budget sized for exactly `n` two-block traces.
+    fn budget_for(n: usize) -> usize {
+        n * trace_cost(2)
+    }
+
+    #[test]
+    fn budget_evicts_oldest_unreferenced_link_first() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(2)));
+        let e = |i: u32| (blk(10 * i), blk(10 * i + 1));
+        let t = |i: u32| vec![blk(10 * i + 1), blk(10 * i + 2)];
+        let (a, _) = c.insert_and_link(e(0), t(0), 0.99);
+        let (b, _) = c.insert_and_link(e(1), t(1), 0.99);
+        assert!(c.payload_bytes() <= budget_for(2));
+        // Third insert forces out the oldest (a).
+        let (d, _) = c.insert_and_link(e(2), t(2), 0.99);
+        assert!(c.payload_bytes() <= budget_for(2));
+        assert_eq!(c.lookup_entry(e(0)), None, "oldest link must be evicted");
+        assert_eq!(c.lookup_entry(e(1)), Some(b));
+        assert_eq!(c.lookup_entry(e(2)), Some(d));
+        assert!(c.is_evicted(a));
+        assert!(c.trace_checked(a).is_err());
+        let s = c.stats();
+        assert_eq!(s.links_evicted, 1);
+        assert_eq!(s.traces_evicted, 1);
+        assert_eq!(s.budget_overruns, 0);
+    }
+
+    #[test]
+    fn second_chance_spares_a_retouched_link() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(2)));
+        let e = |i: u32| (blk(10 * i), blk(10 * i + 1));
+        let t = |i: u32| vec![blk(10 * i + 1), blk(10 * i + 2)];
+        let (a, _) = c.insert_and_link(e(0), t(0), 0.99);
+        let (_b, _) = c.insert_and_link(e(1), t(1), 0.99);
+        // Re-touch the oldest: it gets a second chance, so the sweep
+        // skips it and evicts e(1) instead.
+        let _ = c.insert_and_link(e(0), t(0), 0.99);
+        let _ = c.insert_and_link(e(2), t(2), 0.99);
+        assert_eq!(c.lookup_entry(e(0)), Some(a), "retouched link survives");
+        assert_eq!(c.lookup_entry(e(1)), None, "unreferenced link evicted");
+    }
+
+    #[test]
+    fn budget_exactly_at_trace_size_admits_one_trace() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(trace_cost(2)));
+        let (a, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.payload_bytes(), trace_cost(2));
+        assert_eq!(c.stats().budget_overruns, 0);
+        // The next trace displaces the first: still exactly at budget.
+        let (b, _) = c.insert_and_link((blk(5), blk(6)), vec![blk(6), blk(7)], 0.99);
+        assert_eq!(c.payload_bytes(), trace_cost(2));
+        assert!(c.is_evicted(a));
+        assert_eq!(c.lookup_entry((blk(5), blk(6))), Some(b));
+    }
+
+    #[test]
+    fn oversized_trace_overruns_but_stands_alone() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(trace_cost(2)));
+        let blocks: Vec<BlockId> = (1..=20).map(blk).collect();
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), blocks, 0.99);
+        assert_eq!(c.lookup_entry((blk(0), blk(1))), Some(id));
+        assert!(c.payload_bytes() > trace_cost(2));
+        assert_eq!(c.stats().budget_overruns, 1);
+    }
+
+    #[test]
+    fn eviction_bumps_version_and_invalidates_cached_links() {
+        let (mut bcg, n) = bcg_with_branch();
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(1)));
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        // The next insert evicts (blk0, blk1); the stamped slot must
+        // revalidate to None, never serve the dangling id.
+        let _ = c.insert_and_link((blk(5), blk(6)), vec![blk(6), blk(7)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+        assert!(c.is_evicted(id));
+    }
+
+    #[test]
+    fn evicted_sequence_rebuilds_under_a_fresh_id() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(1)));
+        let (a, created) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert!(created);
+        let _ = c.insert_and_link((blk(5), blk(6)), vec![blk(6), blk(7)], 0.99);
+        assert!(c.is_evicted(a));
+        let (b, created) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert!(created, "tombstoned sequence must rebuild, not dedup");
+        assert_ne!(a, b, "ids are never reused");
+    }
+
+    #[test]
+    fn unlinked_trace_reclaimed_only_in_budget_mode() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(8)));
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.unlink((blk(0), blk(1))), Some(id));
+        assert!(c.is_evicted(id), "budget mode reclaims unlinked traces");
+        assert_eq!(c.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn quarantine_tombstones_blacklists_and_readmits_after_cooldown() {
+        let mut c = TraceCache::new();
+        let entry = (blk(0), blk(1));
+        let path = vec![blk(1), blk(2)];
+        let (id, _) = c.insert_and_link(entry, path.clone(), 0.99);
+        // Second entry onto the same trace: quarantine removes both.
+        let _ = c.insert_and_link((blk(9), blk(1)), path.clone(), 0.99);
+        assert_eq!(c.quarantine(entry, 2), Some(id));
+        assert_eq!(c.lookup_entry(entry), None);
+        assert_eq!(c.lookup_entry((blk(9), blk(1))), None, "all links removed");
+        assert!(c.is_evicted(id));
+        assert_eq!(c.iter_quarantine().count(), 1);
+        // Two refused attempts decay the cooldown...
+        assert!(matches!(
+            c.try_insert_and_link(entry, path.clone(), 0.99),
+            Err(TraceCacheError::Quarantined { remaining: 1, .. })
+        ));
+        assert!(matches!(
+            c.try_insert_and_link(entry, path.clone(), 0.99),
+            Err(TraceCacheError::Quarantined { remaining: 0, .. })
+        ));
+        // ...and the third succeeds with a fresh id.
+        let (nid, created) = c.try_insert_and_link(entry, path.clone(), 0.99).unwrap();
+        assert!(created);
+        assert_ne!(nid, id);
+        assert_eq!(c.lookup_entry(entry), Some(nid));
+        assert_eq!(c.stats().quarantine_rejected, 2);
+        assert_eq!(c.iter_quarantine().count(), 0);
+    }
+
+    #[test]
+    fn quarantine_only_blocks_the_exact_path() {
+        let mut c = TraceCache::new();
+        let entry = (blk(0), blk(1));
+        c.insert_and_link(entry, vec![blk(1), blk(2)], 0.99);
+        c.quarantine(entry, 4);
+        // A different path at the same entry is admitted.
+        let (id, _) = c
+            .try_insert_and_link(entry, vec![blk(1), blk(3)], 0.99)
+            .expect("different path must be admitted");
+        assert_eq!(c.lookup_entry(entry), Some(id));
+        // The blacklisted path is still refused.
+        assert!(c
+            .try_insert_and_link(entry, vec![blk(1), blk(2)], 0.99)
+            .is_err());
+    }
+
+    #[test]
+    fn quarantine_without_link_is_a_noop() {
+        let mut c = TraceCache::new();
+        assert_eq!(c.quarantine((blk(0), blk(1)), 3), None);
+        assert_eq!(c.iter_quarantine().count(), 0);
+    }
+
+    #[test]
+    fn clearing_budget_disables_eviction() {
+        let mut c = TraceCache::new();
+        c.set_budget(Some(budget_for(1)));
+        c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        c.set_budget(None);
+        for i in 1..10u32 {
+            c.insert_and_link(
+                (blk(10 * i), blk(10 * i + 1)),
+                vec![blk(10 * i + 1), blk(10 * i + 2)],
+                0.99,
+            );
+        }
+        assert_eq!(c.link_count(), 10);
+        assert_eq!(c.stats().links_evicted, 0);
     }
 }

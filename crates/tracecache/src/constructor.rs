@@ -98,6 +98,9 @@ pub struct ConstructorStats {
     /// Entry links removed because the graph no longer supports a trace
     /// there.
     pub links_removed: u64,
+    /// Install ops refused by the cache's quarantine blacklist (the
+    /// faulting `(entry, path)` key is still cooling down).
+    pub links_quarantine_rejected: u64,
 }
 
 /// The trace constructor. Owns no graph or cache — it is driven with
@@ -197,14 +200,20 @@ impl TraceConstructor {
                     entry,
                     blocks,
                     completion,
-                } => {
-                    let (_, new) = cache.insert_and_link(entry, blocks, completion);
-                    self.stats.links_written += 1;
-                    if new {
-                        self.stats.traces_created += 1;
-                        created += 1;
+                } => match cache.try_insert_and_link(entry, blocks, completion) {
+                    Ok((_, new)) => {
+                        self.stats.links_written += 1;
+                        if new {
+                            self.stats.traces_created += 1;
+                            created += 1;
+                        }
                     }
-                }
+                    Err(_) => {
+                        // Quarantined: the path faulted recently; skip the
+                        // install and let the cooldown decay.
+                        self.stats.links_quarantine_rejected += 1;
+                    }
+                },
                 LinkOp::Remove { entry } => {
                     if cache.unlink(entry).is_some() {
                         self.stats.links_removed += 1;

@@ -1,0 +1,269 @@
+//! Deterministic fault injection for the trace-serving stack.
+//!
+//! The robustness layer (budgeted eviction, quarantine, supervised
+//! construction) only earns trust if its failure paths are *exercised*.
+//! A [`FaultPlan`] is a seeded, thread-safe oracle the production code
+//! consults at well-defined sites; each site draws from its own
+//! counter-indexed pseudo-random sequence, so a given `(seed, config)`
+//! produces the same fault pattern on every run regardless of how sites
+//! interleave across threads.
+//!
+//! The plan is deliberately dependency-free: callers derive seeds with
+//! their own stream splitter (e.g. `trace_workloads::prng::seed_stream`)
+//! and hand the plan down via `Arc`.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Flip the corruption flag on a freshly built artifact.
+    CorruptArtifact = 0,
+    /// Fail an allocation-sized budget check: one insert behaves as if
+    /// the byte budget were zero, forcing maximal eviction pressure.
+    BudgetCheck = 1,
+    /// Kill the constructor worker mid-batch (a panic the supervisor
+    /// must absorb).
+    KillConstructor = 2,
+    /// Drop a signal batch at the queue (the dispatcher must re-park it
+    /// via `defer_signals`).
+    DropBatch = 3,
+    /// Duplicate a signal batch at the queue (construction must be
+    /// idempotent under replay).
+    DuplicateBatch = 4,
+}
+
+/// Number of distinct [`FaultSite`]s.
+const SITES: usize = 5;
+
+/// Per-site injection probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an artifact build is marked corrupt.
+    pub corrupt_artifact: f64,
+    /// Probability an insert's budget check is failed.
+    pub fail_budget_check: f64,
+    /// Probability a batch kills the constructor worker.
+    pub kill_constructor: f64,
+    /// Probability a queue submit drops its batch.
+    pub drop_batch: f64,
+    /// Probability a queue submit is duplicated.
+    pub duplicate_batch: f64,
+}
+
+impl FaultConfig {
+    /// No faults; `fire` always answers `false`.
+    pub fn none() -> Self {
+        FaultConfig {
+            corrupt_artifact: 0.0,
+            fail_budget_check: 0.0,
+            kill_constructor: 0.0,
+            drop_batch: 0.0,
+            duplicate_batch: 0.0,
+        }
+    }
+
+    /// The standard chaos mix: every class enabled at a low rate.
+    pub fn standard() -> Self {
+        FaultConfig {
+            corrupt_artifact: 0.05,
+            fail_budget_check: 0.05,
+            kill_constructor: 0.02,
+            drop_batch: 0.05,
+            duplicate_batch: 0.05,
+        }
+    }
+
+    /// Kills the constructor on its very first batch — the degraded-mode
+    /// regression configuration.
+    pub fn constructor_killer() -> Self {
+        FaultConfig {
+            kill_constructor: 1.0,
+            ..FaultConfig::none()
+        }
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::CorruptArtifact => self.corrupt_artifact,
+            FaultSite::BudgetCheck => self.fail_budget_check,
+            FaultSite::KillConstructor => self.kill_constructor,
+            FaultSite::DropBatch => self.drop_batch,
+            FaultSite::DuplicateBatch => self.duplicate_batch,
+        }
+    }
+}
+
+/// Snapshot of a plan's draw/fire counters, per site in
+/// [`FaultSite`] discriminant order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Times each site consulted the plan.
+    pub draws: [u64; SITES],
+    /// Times each site was told to fault.
+    pub fired: [u64; SITES],
+}
+
+impl FaultStats {
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+/// A seeded fault oracle shared (via `Arc`) between the cache, the
+/// construction queue and the supervised constructor service.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultConfig,
+    draws: [AtomicU64; SITES],
+    fired: [AtomicU64; SITES],
+}
+
+/// Per-site salt so the five sequences are uncorrelated.
+const SITE_SALT: [u64; SITES] = [
+    0x9E6C_63D0_985E_5F21,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x165F_A76B_3A4C_9D01,
+    0xD6E8_FEB8_6659_FD93,
+    0x8F1B_BCDC_BFA5_3E0B,
+];
+
+/// SplitMix64 finalizer — a full-avalanche mix of the 64-bit input.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan drawing from `seed` with the given per-site rates.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        FaultPlan {
+            seed,
+            cfg,
+            draws: Default::default(),
+            fired: Default::default(),
+        }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Consults the plan at a site: the `n`-th draw at a given site is a
+    /// pure function of `(seed, site, n)`, so the decision sequence is
+    /// reproducible independent of cross-site interleaving.
+    pub fn fire(&self, site: FaultSite) -> bool {
+        let i = site as usize;
+        let n = self.draws[i].fetch_add(1, Relaxed);
+        let rate = self.cfg.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let x = splitmix64(self.seed ^ SITE_SALT[i] ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
+        // 53 uniform mantissa bits → u in [0, 1).
+        let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let hit = u < rate;
+        if hit {
+            self.fired[i].fetch_add(1, Relaxed);
+        }
+        hit
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FaultStats {
+        let mut s = FaultStats::default();
+        for i in 0..SITES {
+            s.draws[i] = self.draws[i].load(Relaxed);
+            s.fired[i] = self.fired[i].load(Relaxed);
+        }
+        s
+    }
+
+    /// Faults fired at one site.
+    pub fn fired_at(&self, site: FaultSite) -> u64 {
+        self.fired[site as usize].load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let p = FaultPlan::new(42, FaultConfig::none());
+        for _ in 0..1000 {
+            assert!(!p.fire(FaultSite::CorruptArtifact));
+            assert!(!p.fire(FaultSite::DropBatch));
+        }
+        assert_eq!(p.stats().total_fired(), 0);
+        assert_eq!(p.stats().draws[FaultSite::CorruptArtifact as usize], 1000);
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let p = FaultPlan::new(
+            7,
+            FaultConfig {
+                kill_constructor: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        for _ in 0..10 {
+            assert!(p.fire(FaultSite::KillConstructor));
+        }
+        assert_eq!(p.fired_at(FaultSite::KillConstructor), 10);
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_seed_sensitive() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let p = FaultPlan::new(seed, FaultConfig::standard());
+            (0..256).map(|_| p.fire(FaultSite::DropBatch)).collect()
+        };
+        assert_eq!(draw(1), draw(1), "same seed must replay identically");
+        assert_ne!(draw(1), draw(2), "different seeds must differ");
+    }
+
+    #[test]
+    fn sites_draw_independent_sequences() {
+        // Interleaving draws across sites must not perturb either
+        // site's own sequence.
+        let solo = {
+            let p = FaultPlan::new(99, FaultConfig::standard());
+            (0..128)
+                .map(|_| p.fire(FaultSite::CorruptArtifact))
+                .collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let p = FaultPlan::new(99, FaultConfig::standard());
+            (0..128)
+                .map(|_| {
+                    let _ = p.fire(FaultSite::DropBatch);
+                    let _ = p.fire(FaultSite::BudgetCheck);
+                    p.fire(FaultSite::CorruptArtifact)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn standard_rates_fire_roughly_in_proportion() {
+        let p = FaultPlan::new(12345, FaultConfig::standard());
+        for _ in 0..10_000 {
+            let _ = p.fire(FaultSite::DropBatch);
+        }
+        let fired = p.fired_at(FaultSite::DropBatch);
+        assert!(
+            (200..=900).contains(&fired),
+            "5% of 10k draws should fire ~500 times, got {fired}"
+        );
+    }
+}

@@ -28,25 +28,39 @@
 //! [`SharedTraceCache`] many VMs dispatch against, and [`offthread`]
 //! moves construction to a background thread fed by bounded snapshot
 //! batches.
+//!
+//! The robustness layer spans several modules: both caches enforce a
+//! payload byte budget with second-chance eviction and keep a
+//! quarantine blacklist for faulting traces ([`cache`], [`shared`]);
+//! recoverable failures surface as [`TraceCacheError`] ([`error`]);
+//! [`offthread`] supervises the constructor worker (restart with
+//! backoff, then permanent degraded mode) behind [`ServiceHealth`]
+//! gauges; and [`faults`] provides the deterministic [`FaultPlan`]
+//! oracle the conformance chaos campaigns drive all of it with.
 
 pub mod cache;
 pub mod constructor;
 pub mod dot;
+pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod offthread;
 pub mod runtime;
 pub mod shared;
 pub mod trace;
 
-pub use cache::{CacheStats, TraceCache};
+pub use cache::{trace_cost, CacheStats, TraceCache, TRACE_BYTES_OVERHEAD};
 pub use constructor::{
     plan_for_signal, ConstructorConfig, ConstructorStats, CorrelationView, LinkOp, PlanCounters,
     TraceConstructor, TracePlan,
 };
+pub use error::TraceCacheError;
+pub use faults::{FaultConfig, FaultPlan, FaultSite, FaultStats};
 pub use metrics::TraceExecStats;
 pub use offthread::{
-    construction_channel, run_constructor_service, BcgSnapshot, BuilderStats, ConstructionQueue,
-    ConstructionReceiver, OffThreadBuilder, QueueStats,
+    construction_channel, run_constructor_service, run_supervised_constructor_service, BcgSnapshot,
+    BuilderStats, ConstructionQueue, ConstructionReceiver, OffThreadBuilder, QueueStats,
+    ServiceHealth, ServiceHealthSnapshot, SupervisorConfig,
 };
 pub use runtime::TraceRuntime;
 pub use shared::{SharedCacheStats, SharedTrace, SharedTraceCache};

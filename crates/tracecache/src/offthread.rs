@@ -37,15 +37,18 @@
 //! signal about the region replaces the link.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering::Relaxed;
-use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use jvm_bytecode::BlockId;
 use trace_bcg::{Branch, BranchCorrelationGraph, NodeIdx, NodeState, Signal};
 
 use crate::constructor::{plan_for_signal, ConstructorConfig, CorrelationView, LinkOp, TracePlan};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::shared::SharedTraceCache;
 
 /// Sentinel for successor targets that fell outside the captured region.
@@ -257,6 +260,9 @@ struct QueueShared {
     dropped: AtomicU64,
     /// Estimated bytes of the snapshots currently in flight.
     bytes: AtomicUsize,
+    /// Optional fault oracle: [`FaultSite::DropBatch`] and
+    /// [`FaultSite::DuplicateBatch`] fire per submit.
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 /// Snapshot of [`ConstructionQueue`] counters.
@@ -285,11 +291,36 @@ pub struct ConstructionQueue {
 }
 
 impl ConstructionQueue {
+    /// Attaches a fault plan (shared by all clones of this queue); first
+    /// call wins. A [`FaultSite::DropBatch`] hit makes `submit` drop the
+    /// batch as if the queue were full — the dispatcher's existing
+    /// `defer_signals` path re-parks it. A [`FaultSite::DuplicateBatch`]
+    /// hit replays a successful submit once (construction must be
+    /// idempotent under replay thanks to hash-consing).
+    pub fn set_faults(&self, plan: Arc<FaultPlan>) {
+        let _ = self.shared.faults.set(plan);
+    }
+
     /// Non-blocking submit. Returns `false` if the queue is full or the
     /// constructor is gone — the caller must re-park the batch's signals
     /// ([`BranchCorrelationGraph::defer_signals`]) so the next decay
     /// cycle re-raises them.
     pub fn submit(&self, snapshot: BcgSnapshot) -> bool {
+        if let Some(plan) = self.shared.faults.get() {
+            if plan.fire(FaultSite::DropBatch) {
+                self.shared.dropped.fetch_add(1, Relaxed);
+                return false;
+            }
+            if plan.fire(FaultSite::DuplicateBatch) {
+                // Replay first so the duplicate can't be the *only* copy
+                // that fits when the queue is nearly full.
+                let _ = self.submit_inner(snapshot.clone());
+            }
+        }
+        self.submit_inner(snapshot)
+    }
+
+    fn submit_inner(&self, snapshot: BcgSnapshot) -> bool {
         // Gauge up *before* sending: once the batch is in the channel the
         // receiver may dequeue — and decrement — ahead of us, transiently
         // wrapping the depth below zero.
@@ -376,8 +407,28 @@ pub struct BuilderStats {
     pub traces_created: u64,
     /// Stale links removed.
     pub links_removed: u64,
+    /// Install ops refused by the shared cache's quarantine blacklist.
+    pub links_quarantine_rejected: u64,
     /// Jobs whose snapshot hit the node cap.
     pub snapshots_truncated: u64,
+}
+
+impl BuilderStats {
+    /// Field-wise accumulation (used by the supervisor to fold counters
+    /// across worker incarnations).
+    fn merge(&mut self, o: BuilderStats) {
+        self.jobs += o.jobs;
+        self.signals_handled += o.signals_handled;
+        self.signals_suppressed += o.signals_suppressed;
+        self.entry_points += o.entry_points;
+        self.paths_walked += o.paths_walked;
+        self.loops_unrolled += o.loops_unrolled;
+        self.links_written += o.links_written;
+        self.traces_created += o.traces_created;
+        self.links_removed += o.links_removed;
+        self.links_quarantine_rejected += o.links_quarantine_rejected;
+        self.snapshots_truncated += o.snapshots_truncated;
+    }
 }
 
 /// Plans traces from snapshots and publishes them to a shared cache.
@@ -436,13 +487,23 @@ impl OffThreadBuilder {
                         blocks,
                         completion,
                     } => {
-                        let (_, new) =
-                            cache.insert_and_link_with(*entry, blocks.clone(), *completion, |b| {
-                                build(b)
-                            });
-                        self.stats.links_written += 1;
-                        if new {
-                            self.stats.traces_created += 1;
+                        match cache.try_insert_and_link_with(
+                            *entry,
+                            blocks.clone(),
+                            *completion,
+                            |b| build(b),
+                        ) {
+                            Ok((_, new)) => {
+                                self.stats.links_written += 1;
+                                if new {
+                                    self.stats.traces_created += 1;
+                                }
+                            }
+                            Err(_) => {
+                                // Quarantined path still cooling down;
+                                // skip the install.
+                                self.stats.links_quarantine_rejected += 1;
+                            }
                         }
                     }
                     LinkOp::Remove { entry } => {
@@ -470,6 +531,178 @@ pub fn run_constructor_service<A>(
         builder.handle_job(&snapshot, cache, &mut build);
     }
     builder.stats()
+}
+
+/// Service lifecycle state, shared (via `Arc`) between the supervised
+/// constructor thread and every dispatcher.
+///
+/// The gauge fixes the silent-death window of the unsupervised service:
+/// a dispatcher used to learn the constructor was gone only when its
+/// *next* `submit` hit a disconnected channel. With the supervisor
+/// marking itself degraded the moment restarts are exhausted,
+/// dispatchers check [`is_degraded`](Self::is_degraded) *before*
+/// capturing a snapshot and stop queueing immediately.
+#[derive(Debug, Default)]
+pub struct ServiceHealth {
+    /// 0 = running, 1 = permanently degraded.
+    state: AtomicU8,
+    restarts: AtomicU64,
+    panics: AtomicU64,
+    batches_poisoned: AtomicU64,
+    degraded_discards: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServiceHealth`] gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceHealthSnapshot {
+    /// Whether the service is permanently degraded (no constructor will
+    /// ever process another batch; VMs run at interpreter speed).
+    pub degraded: bool,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Worker panics absorbed (injected or real).
+    pub panics: u64,
+    /// Batches consumed by a panicking worker. The batch itself is lost,
+    /// but the profiler's decay cycle re-raises the signals it carried
+    /// (same contract as a queue-full drop).
+    pub batches_poisoned: u64,
+    /// Signal batches a dispatcher discarded because the service was
+    /// already degraded (no snapshot was captured for them).
+    pub degraded_discards: u64,
+}
+
+impl ServiceHealth {
+    /// A healthy gauge set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the service is permanently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.state.load(Acquire) != 0
+    }
+
+    /// Marks the service permanently degraded.
+    pub fn mark_degraded(&self) {
+        self.state.store(1, Release);
+    }
+
+    /// Records a dispatcher-side batch discard in degraded mode.
+    pub fn note_degraded_discard(&self) {
+        self.degraded_discards.fetch_add(1, Relaxed);
+    }
+
+    fn note_panic(&self) {
+        self.panics.fetch_add(1, Relaxed);
+        self.batches_poisoned.fetch_add(1, Relaxed);
+    }
+
+    fn note_restart(&self) {
+        self.restarts.fetch_add(1, Relaxed);
+    }
+
+    /// Gauge snapshot.
+    pub fn snapshot(&self) -> ServiceHealthSnapshot {
+        ServiceHealthSnapshot {
+            degraded: self.is_degraded(),
+            restarts: self.restarts.load(Relaxed),
+            panics: self.panics.load(Relaxed),
+            batches_poisoned: self.batches_poisoned.load(Relaxed),
+            degraded_discards: self.degraded_discards.load(Relaxed),
+        }
+    }
+}
+
+/// Restart policy of the supervised constructor service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker restarts before the service goes permanently degraded.
+    pub max_restarts: u32,
+    /// Backoff before the first restart, doubling per restart.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 5,
+            backoff_base_ms: 10,
+            backoff_max_ms: 500,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Backoff before restart number `n` (1-based).
+    fn backoff(&self, n: u32) -> Duration {
+        let shift = n.saturating_sub(1).min(16);
+        Duration::from_millis(
+            self.backoff_base_ms
+                .saturating_mul(1 << shift)
+                .min(self.backoff_max_ms),
+        )
+    }
+}
+
+/// [`run_constructor_service`] under supervision: each batch is handled
+/// inside `catch_unwind`, a panicking worker is replaced (counters
+/// preserved) after an exponential backoff, and once `max_restarts` is
+/// exhausted the service marks itself permanently degraded and exits —
+/// dropping the receiver, so in-flight `submit`s fail fast and
+/// dispatchers fall back to `defer_signals`.
+///
+/// A batch that poisons the worker is *consumed*: its snapshot is lost,
+/// but the signals it carried are re-raised by the profiler's decay
+/// cycle exactly as for a queue-full drop (see the module docs), so
+/// construction is delayed, never silently skipped.
+///
+/// An optional [`FaultPlan`] injects [`FaultSite::KillConstructor`]
+/// panics ahead of each batch (the deterministic chaos hook).
+pub fn run_supervised_constructor_service<A>(
+    rx: ConstructionReceiver,
+    cache: &SharedTraceCache<A>,
+    config: ConstructorConfig,
+    supervisor: SupervisorConfig,
+    health: &ServiceHealth,
+    faults: Option<Arc<FaultPlan>>,
+    mut build: impl FnMut(&[BlockId]) -> Option<A>,
+) -> BuilderStats {
+    let mut total = BuilderStats::default();
+    let mut builder = OffThreadBuilder::new(config);
+    let mut restarts_used = 0u32;
+    while let Some(snapshot) = rx.recv() {
+        let kill = faults
+            .as_ref()
+            .is_some_and(|p| p.fire(FaultSite::KillConstructor));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if kill {
+                panic!("injected constructor kill (FaultSite::KillConstructor)");
+            }
+            builder.handle_job(&snapshot, cache, &mut build);
+        }));
+        if outcome.is_err() {
+            health.note_panic();
+            if restarts_used >= supervisor.max_restarts {
+                health.mark_degraded();
+                break;
+            }
+            restarts_used += 1;
+            health.note_restart();
+            // The worker's internal state may be torn mid-job; its
+            // counters are plain sums and stay valid. Fold them in and
+            // start a fresh incarnation.
+            total.merge(builder.stats());
+            builder = OffThreadBuilder::new(config);
+            let backoff = supervisor.backoff(restarts_used);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    total.merge(builder.stats());
+    total
 }
 
 #[cfg(test)]
@@ -640,5 +873,164 @@ mod tests {
             cache.link_count() > 0,
             "re-raised batch must build the loop trace"
         );
+    }
+
+    /// Builds a snapshot carrying real signals from a warmed loop.
+    fn loop_snapshot() -> BcgSnapshot {
+        let mut bcg = bcg_with(1, 0.97);
+        for _ in 0..300 {
+            for b in 0..3u32 {
+                bcg.observe(blk(b));
+            }
+        }
+        let sigs = bcg.take_signals();
+        assert!(!sigs.is_empty());
+        BcgSnapshot::capture(&bcg, &sigs)
+    }
+
+    #[test]
+    fn injected_drop_fault_rejects_submits() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (tx, rx) = construction_channel(8);
+        tx.set_faults(Arc::new(FaultPlan::new(
+            3,
+            FaultConfig {
+                drop_batch: 1.0,
+                ..FaultConfig::none()
+            },
+        )));
+        let snap = loop_snapshot();
+        assert!(!tx.submit(snap.clone()));
+        assert!(!tx.submit(snap));
+        let s = tx.stats();
+        assert_eq!((s.submitted, s.dropped, s.depth), (0, 2, 0));
+        drop(tx);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn injected_duplicate_fault_replays_the_batch() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (tx, rx) = construction_channel(8);
+        tx.set_faults(Arc::new(FaultPlan::new(
+            3,
+            FaultConfig {
+                duplicate_batch: 1.0,
+                ..FaultConfig::none()
+            },
+        )));
+        assert!(tx.submit(loop_snapshot()));
+        let s = tx.stats();
+        assert_eq!((s.submitted, s.depth), (2, 2), "batch must be replayed");
+        // Replay is idempotent: the service hash-conses both copies into
+        // the same traces.
+        let cache: SharedTraceCache<()> = SharedTraceCache::new();
+        drop(tx);
+        let stats = run_constructor_service(rx, &cache, ConstructorConfig::default(), |_| None);
+        assert_eq!(stats.jobs, 2);
+        assert!(cache.stats().traces_deduped > 0 || cache.trace_count() > 0);
+    }
+
+    #[test]
+    fn supervisor_restarts_then_degrades_permanently() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (tx, rx) = construction_channel(16);
+        let cache: SharedTraceCache<()> = SharedTraceCache::new();
+        let health = Arc::new(ServiceHealth::new());
+        let plan = Arc::new(FaultPlan::new(1, FaultConfig::constructor_killer()));
+        let supervisor = SupervisorConfig {
+            max_restarts: 2,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+        };
+        let snap = loop_snapshot();
+        for _ in 0..3 {
+            assert!(tx.submit(snap.clone()));
+        }
+        let h = Arc::clone(&health);
+        let stats = std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                run_supervised_constructor_service(
+                    rx,
+                    &cache,
+                    ConstructorConfig::default(),
+                    supervisor,
+                    &h,
+                    Some(plan),
+                    |_| None,
+                )
+            });
+            handle.join().expect("supervisor itself must not panic")
+        });
+        // Kill, restart; kill, restart; kill, restarts exhausted →
+        // degraded, receiver dropped.
+        let hs = health.snapshot();
+        assert!(hs.degraded, "service must end degraded: {hs:?}");
+        assert_eq!(hs.restarts, 2);
+        assert_eq!(hs.panics, 3);
+        assert_eq!(hs.batches_poisoned, 3);
+        assert_eq!(stats.jobs, 0, "every batch died before processing");
+        assert_eq!(cache.link_count(), 0);
+        // Senders now fail fast; the dispatcher defers instead.
+        assert!(!tx.submit(snap));
+    }
+
+    #[test]
+    fn supervised_service_without_faults_builds_normally() {
+        let (tx, rx) = construction_channel(16);
+        let cache: SharedTraceCache<()> = SharedTraceCache::new();
+        let health = ServiceHealth::new();
+        assert!(tx.submit(loop_snapshot()));
+        drop(tx);
+        let stats = run_supervised_constructor_service(
+            rx,
+            &cache,
+            ConstructorConfig::default(),
+            SupervisorConfig::default(),
+            &health,
+            None,
+            |_| None,
+        );
+        assert!(stats.jobs == 1 && stats.links_written > 0);
+        assert!(cache.link_count() > 0);
+        let hs = health.snapshot();
+        assert!(!hs.degraded && hs.panics == 0 && hs.restarts == 0);
+    }
+
+    #[test]
+    fn supervisor_survives_a_real_builder_panic_and_keeps_serving() {
+        let (tx, rx) = construction_channel(16);
+        let cache: SharedTraceCache<u32> = SharedTraceCache::new();
+        let health = ServiceHealth::new();
+        let snap = loop_snapshot();
+        assert!(tx.submit(snap.clone()));
+        assert!(tx.submit(snap));
+        drop(tx);
+        // The *build* callback panics on the first batch only — a stand-in
+        // for a lowering bug — and the second batch must still be served.
+        let mut first = true;
+        let stats = run_supervised_constructor_service(
+            rx,
+            &cache,
+            ConstructorConfig::default(),
+            SupervisorConfig {
+                max_restarts: 3,
+                backoff_base_ms: 0,
+                backoff_max_ms: 0,
+            },
+            &health,
+            None,
+            |blocks| {
+                if std::mem::take(&mut first) {
+                    panic!("lowering bug");
+                }
+                Some(blocks.len() as u32)
+            },
+        );
+        let hs = health.snapshot();
+        assert!(!hs.degraded, "one panic must not degrade: {hs:?}");
+        assert_eq!((hs.panics, hs.restarts), (1, 1));
+        assert!(stats.links_written > 0, "second batch must be served");
+        assert!(cache.link_count() > 0);
     }
 }

@@ -47,16 +47,41 @@
 //! under a concurrent reader's feet); growth publishes a rehashed table
 //! through an `AtomicPtr` and retires the old one until the cache drops,
 //! so a reader mid-probe keeps a valid (if stale) table.
+//!
+//! # Memory budget, eviction, quarantine
+//!
+//! [`set_budget`](SharedTraceCache::set_budget) bounds the payload bytes
+//! the cache may hold; every insert then runs the same deterministic
+//! second-chance sweep as the single-owner cache (see
+//! [`crate::TraceCache`] docs), unlinking cold entries and tombstoning
+//! traces whose last link goes. An eviction is just another link
+//! mutation under this protocol: the shard write + version bump force
+//! every VM's inline slots to revalidate, and a VM already holding the
+//! artifact `Arc` finishes its dispatch safely on the retired trace —
+//! never a dangling artifact, at worst one stale (but valid) entry.
+//! [`quarantine`](SharedTraceCache::quarantine) tombstones a faulting
+//! trace, removes all its links and blacklists the `(entry, path)` key
+//! until the cooldown decays (one tick per refused
+//! [`try_insert_and_link_with`](SharedTraceCache::try_insert_and_link_with)).
+//!
+//! An attached [`FaultPlan`](crate::FaultPlan) can deterministically
+//! corrupt freshly built artifacts (surfaced to executors through
+//! [`artifact_checked`](SharedTraceCache::artifact_checked)) and fail
+//! budget checks; both are exercise paths for the degradation ladder,
+//! never semantic changes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use jvm_bytecode::BlockId;
 use trace_bcg::node::NO_TRACE_LINK;
 use trace_bcg::{Branch, BranchCorrelationGraph, NodeIdx, PackedBranch};
 
+use crate::cache::trace_cost;
+use crate::error::TraceCacheError;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::trace::TraceId;
 
 /// Empty-slot key marker; `PackedBranch` cannot produce it for a real
@@ -74,6 +99,14 @@ const SHARD_MIX: u64 = 0xA24B_AED4_963E_E407;
 const INITIAL_SLOTS: usize = 16;
 /// Default shard count.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Locks a mutex, recovering the data on poisoning: a constructor
+/// worker that panicked mid-insert leaves individually-valid state
+/// (links are written atomically, counters are monotonic), and the
+/// supervisor is the layer that decides whether to keep going.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Slot {
     key: AtomicU64,
@@ -255,15 +288,12 @@ impl Shard {
         }
         w.tombstones = 0;
         let old_ptr = self.table.swap(Box::into_raw(new), Release);
-        self.retired.lock().unwrap().push(Retired(old_ptr));
+        lock_recover(&self.retired).push(Retired(old_ptr));
     }
 
     fn memory_bytes(&self) -> usize {
         let current = self.table().slots.len() * std::mem::size_of::<Slot>();
-        let retired: usize = self
-            .retired
-            .lock()
-            .unwrap()
+        let retired: usize = lock_recover(&self.retired)
             .iter()
             .map(|r| unsafe { (*r.0).mask + 1 } * std::mem::size_of::<Slot>())
             .sum();
@@ -275,7 +305,11 @@ impl Drop for Shard {
     fn drop(&mut self) {
         unsafe {
             drop(Box::from_raw(self.table.load(Relaxed)));
-            for r in self.retired.get_mut().unwrap().drain(..) {
+            let retired = self
+                .retired
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner);
+            for r in retired.drain(..) {
                 drop(Box::from_raw(r.0));
             }
         }
@@ -290,8 +324,15 @@ pub struct SharedTrace<A> {
     pub blocks: Arc<[BlockId]>,
     /// Completion probability estimated at first construction.
     pub expected_completion: f64,
-    /// Execution artifact, if the builder produced one.
+    /// Execution artifact, if the builder produced one. Raw access —
+    /// executors must go through
+    /// [`SharedTraceCache::artifact_checked`] so corruption is caught.
     pub artifact: Option<Arc<A>>,
+    /// Integrity flag set by fault injection
+    /// ([`FaultSite::CorruptArtifact`]). A corrupt artifact must never
+    /// be executed; [`SharedTraceCache::artifact_checked`] surfaces it
+    /// as [`TraceCacheError::CorruptArtifact`].
+    pub corrupted: bool,
 }
 
 impl<A> Clone for SharedTrace<A> {
@@ -300,13 +341,53 @@ impl<A> Clone for SharedTrace<A> {
             blocks: self.blocks.clone(),
             expected_completion: self.expected_completion,
             artifact: self.artifact.clone(),
+            corrupted: self.corrupted,
         }
     }
 }
 
 struct ConsState<A> {
     by_blocks: HashMap<Arc<[BlockId]>, TraceId>,
-    traces: Vec<SharedTrace<A>>,
+    /// Slot per id ever assigned; `None` marks a tombstoned (evicted or
+    /// quarantined) trace. Ids are never reused.
+    traces: Vec<Option<SharedTrace<A>>>,
+    /// Byte cost charged per trace; zeroed when tombstoned.
+    costs: Vec<usize>,
+    /// Live entry-link keys per trace (reverse of the shard tables).
+    entry_keys: Vec<Vec<u64>>,
+    /// Second-chance sweep order (may hold stale keys; `referenced` is
+    /// the source of truth).
+    clock: VecDeque<u64>,
+    /// Live link keys → second-chance bit.
+    referenced: HashMap<u64, bool>,
+    /// Blacklist: entry key → (exact block path, refusals remaining).
+    quarantined: HashMap<u64, (Vec<BlockId>, u32)>,
+    /// Sum of `costs` over live traces.
+    payload: usize,
+    /// Byte budget on `payload`; `None` disables eviction.
+    budget: Option<usize>,
+    /// Artifact byte-measure hook, installed with the budget.
+    measure: Option<MeasureFn<A>>,
+}
+
+/// Artifact byte-measure hook installed alongside a payload budget.
+type MeasureFn<A> = Box<dyn Fn(&A) -> usize + Send + Sync>;
+
+impl<A> ConsState<A> {
+    fn new() -> Self {
+        ConsState {
+            by_blocks: HashMap::new(),
+            traces: Vec::new(),
+            costs: Vec::new(),
+            entry_keys: Vec::new(),
+            clock: VecDeque::new(),
+            referenced: HashMap::new(),
+            quarantined: HashMap::new(),
+            payload: 0,
+            budget: None,
+            measure: None,
+        }
+    }
 }
 
 /// Snapshot of the shared cache's counters.
@@ -323,6 +404,17 @@ pub struct SharedCacheStats {
     pub links_replaced: u64,
     /// Links removed.
     pub links_removed: u64,
+    /// Links evicted by the budget's second-chance sweep.
+    pub links_evicted: u64,
+    /// Traces tombstoned (last link evicted, or quarantined) and their
+    /// storage reclaimed.
+    pub traces_evicted: u64,
+    /// Traces tombstoned by [`SharedTraceCache::quarantine`].
+    pub traces_quarantined: u64,
+    /// Construction attempts refused by the quarantine blacklist.
+    pub quarantine_rejected: u64,
+    /// Budget-enforcement passes that ended while still over budget.
+    pub budget_overruns: u64,
     /// Entry branches currently linked.
     pub links_live: usize,
     /// Current publication version.
@@ -348,6 +440,11 @@ struct StatsAtomic {
     links_written: AtomicU64,
     links_replaced: AtomicU64,
     links_removed: AtomicU64,
+    links_evicted: AtomicU64,
+    traces_evicted: AtomicU64,
+    traces_quarantined: AtomicU64,
+    quarantine_rejected: AtomicU64,
+    budget_overruns: AtomicU64,
     links_live: AtomicUsize,
 }
 
@@ -371,6 +468,7 @@ pub struct SharedTraceCache<A> {
     version: AtomicU64,
     cons: Mutex<ConsState<A>>,
     stats: StatsAtomic,
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 impl<A> Default for SharedTraceCache<A> {
@@ -393,12 +491,22 @@ impl<A> SharedTraceCache<A> {
             shards: (0..n).map(|_| Shard::new()).collect(),
             shard_mask: n - 1,
             version: AtomicU64::new(0),
-            cons: Mutex::new(ConsState {
-                by_blocks: HashMap::new(),
-                traces: Vec::new(),
-            }),
+            cons: Mutex::new(ConsState::new()),
             stats: StatsAtomic::default(),
+            faults: OnceLock::new(),
         }
+    }
+
+    fn cons(&self) -> MutexGuard<'_, ConsState<A>> {
+        lock_recover(&self.cons)
+    }
+
+    /// Attaches a fault plan; first call wins, later calls are ignored.
+    /// The plan fires at [`FaultSite::CorruptArtifact`] (once per built
+    /// artifact) and [`FaultSite::BudgetCheck`] (once per insert; a hit
+    /// enforces a zero budget for that insert).
+    pub fn set_faults(&self, plan: Arc<FaultPlan>) {
+        let _ = self.faults.set(plan);
     }
 
     #[inline]
@@ -448,12 +556,16 @@ impl<A> SharedTraceCache<A> {
     }
 
     /// Hash-conses a block sequence (building its artifact on first
-    /// construction) and links it at `entry`. Returns the trace id and
-    /// whether a new trace object was constructed.
+    /// construction), links it at `entry`, and enforces the byte budget
+    /// (the just-written link is never the victim). Returns the trace
+    /// id and whether a new trace object was constructed.
     ///
     /// `build` runs under the construction mutex — acceptable because
     /// construction is rare and (in the off-thread design) single-caller;
     /// dispatch threads never take that mutex on the hot path.
+    ///
+    /// This path does **not** consult the quarantine blacklist — the
+    /// constructor goes through [`Self::try_insert_and_link_with`].
     ///
     /// # Panics
     ///
@@ -465,40 +577,99 @@ impl<A> SharedTraceCache<A> {
         expected_completion: f64,
         build: impl FnOnce(&[BlockId]) -> Option<A>,
     ) -> (TraceId, bool) {
+        match self.insert_inner(entry, blocks, expected_completion, build, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("quarantine is not consulted on this path"),
+        }
+    }
+
+    /// [`Self::insert_and_link_with`] behind the quarantine blacklist:
+    /// a quarantined `(entry, path)` key is refused and its cooldown
+    /// ticks down by one; at zero the key is re-admitted and the *next*
+    /// attempt succeeds.
+    pub fn try_insert_and_link_with(
+        &self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        expected_completion: f64,
+        build: impl FnOnce(&[BlockId]) -> Option<A>,
+    ) -> Result<(TraceId, bool), TraceCacheError> {
+        self.insert_inner(entry, blocks, expected_completion, build, true)
+    }
+
+    fn insert_inner(
+        &self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        expected_completion: f64,
+        build: impl FnOnce(&[BlockId]) -> Option<A>,
+        check_quarantine: bool,
+    ) -> Result<(TraceId, bool), TraceCacheError> {
         assert!(!blocks.is_empty(), "trace must contain at least one block");
         assert_eq!(
             entry.1, blocks[0],
             "entry branch must target the trace's first block"
         );
-        let (id, created) = {
-            let mut cons = self.cons.lock().unwrap();
-            match cons.by_blocks.get(blocks.as_slice()) {
-                Some(&id) => {
-                    self.stats.traces_deduped.fetch_add(1, Relaxed);
-                    (id, false)
-                }
-                None => {
-                    let blocks: Arc<[BlockId]> = blocks.into();
-                    let id = TraceId(cons.traces.len() as u32);
-                    let artifact = build(&blocks).map(Arc::new);
-                    cons.traces.push(SharedTrace {
-                        blocks: blocks.clone(),
-                        expected_completion,
-                        artifact,
+        let key = PackedBranch::pack(entry).0;
+        let mut cons = self.cons();
+        if check_quarantine {
+            if let Some((qblocks, remaining)) = cons.quarantined.get_mut(&key) {
+                if *qblocks == blocks {
+                    *remaining -= 1;
+                    let left = *remaining;
+                    if left == 0 {
+                        cons.quarantined.remove(&key);
+                    }
+                    self.stats.quarantine_rejected.fetch_add(1, Relaxed);
+                    return Err(TraceCacheError::Quarantined {
+                        entry,
+                        remaining: left,
                     });
-                    cons.by_blocks.insert(blocks, id);
-                    self.stats.traces_constructed.fetch_add(1, Relaxed);
-                    (id, true)
                 }
             }
+        }
+        let (id, created) = match cons.by_blocks.get(blocks.as_slice()) {
+            Some(&id) => {
+                self.stats.traces_deduped.fetch_add(1, Relaxed);
+                (id, false)
+            }
+            None => {
+                let blocks: Arc<[BlockId]> = blocks.into();
+                let id = TraceId(cons.traces.len() as u32);
+                let artifact = build(&blocks).map(Arc::new);
+                let corrupted = artifact.is_some()
+                    && self
+                        .faults
+                        .get()
+                        .is_some_and(|p| p.fire(FaultSite::CorruptArtifact));
+                let cost = trace_cost(blocks.len())
+                    + match (&artifact, &cons.measure) {
+                        (Some(a), Some(m)) => m(a),
+                        _ => 0,
+                    };
+                cons.traces.push(Some(SharedTrace {
+                    blocks: blocks.clone(),
+                    expected_completion,
+                    artifact,
+                    corrupted,
+                }));
+                cons.costs.push(cost);
+                cons.entry_keys.push(Vec::new());
+                cons.payload += cost;
+                cons.by_blocks.insert(blocks, id);
+                self.stats.traces_constructed.fetch_add(1, Relaxed);
+                (id, true)
+            }
         };
-        let key = PackedBranch::pack(entry).0;
         let shard = self.shard_for(key);
         {
-            let mut w = shard.write.lock().unwrap();
+            let mut w = lock_recover(&shard.write);
             match shard.insert(key, u64::from(id.0), &mut w) {
                 Some(old) if old != u64::from(id.0) => {
                     self.stats.links_replaced.fetch_add(1, Relaxed);
+                    let old = TraceId(old as u32);
+                    cons.entry_keys[old.index()].retain(|&k| k != key);
+                    self.reclaim_if_unlinked(&mut cons, old);
                 }
                 Some(_) => {}
                 None => {
@@ -507,10 +678,35 @@ impl<A> SharedTraceCache<A> {
             }
             self.stats.links_written.fetch_add(1, Relaxed);
         }
+        // Second-chance bookkeeping: first-time links enter the sweep
+        // unreferenced; touching a live link grants it another round.
+        match cons.referenced.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.insert(true);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(false);
+                cons.clock.push_back(key);
+            }
+        }
+        if !cons.entry_keys[id.index()].contains(&key) {
+            cons.entry_keys[id.index()].push(key);
+        }
+        let budget = if self
+            .faults
+            .get()
+            .is_some_and(|p| p.fire(FaultSite::BudgetCheck))
+        {
+            Some(0)
+        } else {
+            cons.budget
+        };
+        self.enforce_budget(&mut cons, budget, key);
+        drop(cons);
         // Bump *after* the mutation: a reader that observes this version
         // is guaranteed to observe the link (Release/Acquire pairing).
         self.version.fetch_add(1, Release);
-        (id, created)
+        Ok((id, created))
     }
 
     /// [`Self::insert_and_link_with`] without an artifact.
@@ -523,40 +719,224 @@ impl<A> SharedTraceCache<A> {
         self.insert_and_link_with(entry, blocks, expected_completion, |_| None)
     }
 
+    /// [`Self::try_insert_and_link_with`] without an artifact.
+    pub fn try_insert_and_link(
+        &self,
+        entry: Branch,
+        blocks: Vec<BlockId>,
+        expected_completion: f64,
+    ) -> Result<(TraceId, bool), TraceCacheError> {
+        self.try_insert_and_link_with(entry, blocks, expected_completion, |_| None)
+    }
+
     /// Removes the link at an entry branch, if any.
     pub fn unlink(&self, entry: Branch) -> Option<TraceId> {
         let key = PackedBranch::pack(entry).0;
+        let mut cons = self.cons();
         let shard = self.shard_for(key);
         let removed = {
-            let mut w = shard.write.lock().unwrap();
+            let mut w = lock_recover(&shard.write);
             shard.remove(key, &mut w)
         };
         removed.map(|v| {
+            let id = TraceId(v as u32);
             self.stats.links_removed.fetch_add(1, Relaxed);
             self.stats.links_live.fetch_sub(1, Relaxed);
+            cons.referenced.remove(&key);
+            cons.entry_keys[id.index()].retain(|&k| k != key);
+            self.reclaim_if_unlinked(&mut cons, id);
+            drop(cons);
             self.version.fetch_add(1, Release);
-            TraceId(v as u32)
+            id
         })
     }
 
-    /// The shared trace object for an id (blocks, completion, artifact).
-    pub fn trace(&self, id: TraceId) -> Option<SharedTrace<A>> {
-        self.cons.lock().unwrap().traces.get(id.index()).cloned()
+    /// Tombstones the trace linked at `entry`, removes *all* of its
+    /// entry links, and blacklists the faulting `(entry, path)` key for
+    /// `cooldown` refused construction attempts. The version bump
+    /// forces every VM's cached dispatches to revalidate. Returns the
+    /// tombstoned id, or `None` if nothing is linked at `entry`.
+    pub fn quarantine(&self, entry: Branch, cooldown: u32) -> Option<TraceId> {
+        let key = PackedBranch::pack(entry).0;
+        let mut cons = self.cons();
+        let raw = self.shard_for(key).lookup(key)?;
+        let id = TraceId(raw as u32);
+        let blocks = cons.traces[id.index()].as_ref()?.blocks.to_vec();
+        cons.quarantined.insert(key, (blocks, cooldown.max(1)));
+        for k in std::mem::take(&mut cons.entry_keys[id.index()]) {
+            let shard = self.shard_for(k);
+            let mut w = lock_recover(&shard.write);
+            if shard.remove(k, &mut w).is_some() {
+                self.stats.links_removed.fetch_add(1, Relaxed);
+                self.stats.links_live.fetch_sub(1, Relaxed);
+            }
+            cons.referenced.remove(&k);
+        }
+        self.tombstone(&mut cons, id);
+        self.stats.traces_quarantined.fetch_add(1, Relaxed);
+        drop(cons);
+        self.version.fetch_add(1, Release);
+        Some(id)
     }
 
-    /// The execution artifact for a trace, if one was built.
+    /// Sets (or clears) the payload byte budget, installs the artifact
+    /// byte-measure hook, and immediately enforces the budget. Set the
+    /// budget *before* populating the cache: traces inserted earlier
+    /// were costed without artifact bytes.
+    pub fn set_budget(
+        &self,
+        budget: Option<usize>,
+        measure: impl Fn(&A) -> usize + Send + Sync + 'static,
+    ) {
+        let mut cons = self.cons();
+        cons.budget = budget;
+        cons.measure = Some(Box::new(measure));
+        let b = cons.budget;
+        self.enforce_budget(&mut cons, b, u64::MAX);
+        drop(cons);
+        self.version.fetch_add(1, Release);
+    }
+
+    /// The configured payload budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.cons().budget
+    }
+
+    /// Bytes currently charged against the budget: block sequences,
+    /// per-trace overhead, and measured artifact bytes of live traces.
+    pub fn payload_bytes(&self) -> usize {
+        self.cons().payload
+    }
+
+    /// The quarantine blacklist: `(entry, path, refusals remaining)`,
+    /// sorted by packed entry key.
+    pub fn quarantine_snapshot(&self) -> Vec<(Branch, Vec<BlockId>, u32)> {
+        let cons = self.cons();
+        let mut keys: Vec<&u64> = cons.quarantined.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| {
+                let (blocks, remaining) = &cons.quarantined[k];
+                (PackedBranch(*k).unpack(), blocks.clone(), *remaining)
+            })
+            .collect()
+    }
+
+    fn tombstone(&self, cons: &mut ConsState<A>, id: TraceId) {
+        let i = id.index();
+        debug_assert!(cons.entry_keys[i].is_empty());
+        cons.payload -= cons.costs[i];
+        cons.costs[i] = 0;
+        if let Some(t) = cons.traces[i].take() {
+            cons.by_blocks.remove(&t.blocks[..]);
+        }
+        self.stats.traces_evicted.fetch_add(1, Relaxed);
+    }
+
+    /// In budget mode an unlinked trace can never be chosen by the
+    /// sweep, so it is reclaimed as soon as its last link goes (same
+    /// rule as the single-owner cache).
+    fn reclaim_if_unlinked(&self, cons: &mut ConsState<A>, id: TraceId) {
+        if cons.budget.is_some()
+            && cons.entry_keys[id.index()].is_empty()
+            && cons.traces[id.index()].is_some()
+        {
+            self.tombstone(cons, id);
+        }
+    }
+
+    /// Evicts links (second-chance, insertion order — identical policy
+    /// to [`crate::TraceCache`]) until the payload fits `budget`.
+    fn enforce_budget(&self, cons: &mut ConsState<A>, budget: Option<usize>, protect: u64) {
+        let Some(budget) = budget else {
+            return;
+        };
+        while cons.payload > budget {
+            let mut victim = None;
+            let mut remaining = 2 * cons.clock.len() + 1;
+            while remaining > 0 {
+                remaining -= 1;
+                let Some(key) = cons.clock.pop_front() else {
+                    break;
+                };
+                match cons.referenced.get(&key).copied() {
+                    None => continue, // stale: unlinked outside the sweep
+                    Some(_) if key == protect => cons.clock.push_back(key),
+                    Some(true) => {
+                        cons.referenced.insert(key, false);
+                        cons.clock.push_back(key);
+                    }
+                    Some(false) => {
+                        victim = Some(key);
+                        break;
+                    }
+                }
+            }
+            let Some(key) = victim else {
+                self.stats.budget_overruns.fetch_add(1, Relaxed);
+                break;
+            };
+            let shard = self.shard_for(key);
+            let removed = {
+                let mut w = lock_recover(&shard.write);
+                shard.remove(key, &mut w)
+            };
+            cons.referenced.remove(&key);
+            let Some(raw) = removed else {
+                continue; // sweep raced an unlink; key already gone
+            };
+            let id = TraceId(raw as u32);
+            self.stats.links_evicted.fetch_add(1, Relaxed);
+            self.stats.links_live.fetch_sub(1, Relaxed);
+            cons.entry_keys[id.index()].retain(|&k| k != key);
+            if cons.entry_keys[id.index()].is_empty() {
+                self.tombstone(cons, id);
+            }
+        }
+    }
+
+    /// The shared trace object for an id (blocks, completion, artifact);
+    /// `None` for unknown or tombstoned ids.
+    pub fn trace(&self, id: TraceId) -> Option<SharedTrace<A>> {
+        self.cons().traces.get(id.index()).and_then(|t| t.clone())
+    }
+
+    /// The execution artifact for a trace, if one was built. Raw access
+    /// — dispatch paths use [`Self::artifact_checked`].
     pub fn artifact(&self, id: TraceId) -> Option<Arc<A>> {
-        self.cons
-            .lock()
-            .unwrap()
+        self.cons()
             .traces
             .get(id.index())
+            .and_then(|t| t.as_ref())
             .and_then(|t| t.artifact.clone())
     }
 
-    /// Number of distinct trace objects ever constructed.
+    /// The execution artifact with integrity surfaced: `Err` for ids
+    /// this cache never assigned, tombstoned traces, and corrupt
+    /// artifacts; `Ok(None)` for live artifact-less traces (keep
+    /// interpreting). A VM receiving
+    /// [`TraceCacheError::CorruptArtifact`] must not execute the
+    /// artifact and should [`Self::quarantine`] the entry it dispatched
+    /// from.
+    pub fn artifact_checked(&self, id: TraceId) -> Result<Option<Arc<A>>, TraceCacheError> {
+        let cons = self.cons();
+        match cons.traces.get(id.index()) {
+            None => Err(TraceCacheError::UnknownTrace(id)),
+            Some(None) => Err(TraceCacheError::Evicted(id)),
+            Some(Some(t)) if t.corrupted => Err(TraceCacheError::CorruptArtifact(id)),
+            Some(Some(t)) => Ok(t.artifact.clone()),
+        }
+    }
+
+    /// Number of distinct trace objects ever constructed (tombstoned
+    /// slots included; ids are never reused).
     pub fn trace_count(&self) -> usize {
-        self.cons.lock().unwrap().traces.len()
+        self.cons().traces.len()
+    }
+
+    /// Number of live (non-tombstoned) trace objects.
+    pub fn live_trace_count(&self) -> usize {
+        self.cons().traces.iter().flatten().count()
     }
 
     /// Number of live entry links.
@@ -572,6 +952,11 @@ impl<A> SharedTraceCache<A> {
             links_written: self.stats.links_written.load(Relaxed),
             links_replaced: self.stats.links_replaced.load(Relaxed),
             links_removed: self.stats.links_removed.load(Relaxed),
+            links_evicted: self.stats.links_evicted.load(Relaxed),
+            traces_evicted: self.stats.traces_evicted.load(Relaxed),
+            traces_quarantined: self.stats.traces_quarantined.load(Relaxed),
+            quarantine_rejected: self.stats.quarantine_rejected.load(Relaxed),
+            budget_overruns: self.stats.budget_overruns.load(Relaxed),
             links_live: self.stats.links_live.load(Relaxed),
             version: self.version.load(Acquire),
         }
@@ -580,16 +965,18 @@ impl<A> SharedTraceCache<A> {
     /// Estimated heap footprint in bytes: shard tables (current and
     /// retired), the hash-consing index, trace objects and their block
     /// sequences, and artifacts as measured by `artifact_bytes`.
+    /// Tombstoned traces contribute only their (empty) table slot.
     pub fn memory_estimate(&self, artifact_bytes: impl Fn(&A) -> usize) -> usize {
         use std::mem::size_of;
         let shards: usize = self.shards.iter().map(|s| s.memory_bytes()).sum();
-        let cons = self.cons.lock().unwrap();
+        let cons = self.cons();
         let index = cons.by_blocks.capacity()
             * (size_of::<Arc<[BlockId]>>() + size_of::<TraceId>() + size_of::<u64>());
-        let traces = cons.traces.capacity() * size_of::<SharedTrace<A>>();
+        let traces = cons.traces.capacity() * size_of::<Option<SharedTrace<A>>>();
         let payload: usize = cons
             .traces
             .iter()
+            .flatten()
             .map(|t| {
                 t.blocks.len() * size_of::<BlockId>()
                     + t.artifact.as_deref().map_or(0, &artifact_bytes)
@@ -602,6 +989,7 @@ impl<A> SharedTraceCache<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
     use jvm_bytecode::FuncId;
 
     fn blk(b: u32) -> BlockId {
@@ -670,6 +1058,10 @@ mod tests {
         let a2 = c.artifact(id).unwrap();
         assert!(Arc::ptr_eq(&a1, &a2));
         assert_eq!(&a1[..], &[blk(1), blk(2)]);
+        assert_eq!(
+            c.artifact_checked(id).unwrap().unwrap()[..],
+            [blk(1), blk(2)]
+        );
     }
 
     #[test]
@@ -833,5 +1225,182 @@ mod tests {
             full > empty,
             "estimate must grow with contents: {empty} -> {full}"
         );
+    }
+
+    // --- budget / eviction / quarantine / faults ---
+
+    #[test]
+    fn budget_bounds_payload_at_every_post_insert_point() {
+        let c: SharedTraceCache<Vec<BlockId>> = SharedTraceCache::with_shards(2);
+        let measure = |a: &Vec<BlockId>| a.capacity() * std::mem::size_of::<BlockId>();
+        let budget = 4 * (trace_cost(2) + 2 * std::mem::size_of::<BlockId>());
+        c.set_budget(Some(budget), measure);
+        for i in 0..64u32 {
+            c.insert_and_link_with(
+                (blk(i), blk(i + 1)),
+                vec![blk(i + 1), blk(i + 2)],
+                0.99,
+                |b| Some(b.to_vec()),
+            );
+            assert!(
+                c.payload_bytes() <= budget,
+                "payload {} over budget {budget} after insert {i}",
+                c.payload_bytes()
+            );
+        }
+        let s = c.stats();
+        assert!(s.links_evicted >= 60, "churn must evict: {s:?}");
+        assert_eq!(s.budget_overruns, 0);
+        assert!(c.live_trace_count() <= 4);
+        assert_eq!(c.trace_count(), 64, "ids are never reused");
+    }
+
+    #[test]
+    fn eviction_bumps_version_so_cached_dispatch_revalidates() {
+        let mut bcg = trace_bcg::BranchCorrelationGraph::new(trace_bcg::BcgConfig::paper_default());
+        bcg.observe(blk(0));
+        let n = bcg.observe(blk(1)).expect("branch node");
+        let c: SharedTraceCache<()> = SharedTraceCache::new();
+        c.set_budget(Some(trace_cost(2)), |_| 0);
+        let (id, _) = c.insert_and_link((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), Some(id));
+        // Next insert evicts the first trace; the stamped slot must
+        // revalidate to None rather than serve the dangling id.
+        let _ = c.insert_and_link((blk(5), blk(6)), vec![blk(6), blk(7)], 0.99);
+        assert_eq!(c.lookup_entry_cached(&mut bcg, n), None);
+        assert!(c.trace(id).is_none(), "evicted trace is tombstoned");
+        assert!(matches!(
+            c.artifact_checked(id),
+            Err(TraceCacheError::Evicted(_))
+        ));
+    }
+
+    #[test]
+    fn quarantine_blacklists_and_cooldown_readmits() {
+        let c: SharedTraceCache<()> = SharedTraceCache::new();
+        let entry = (blk(0), blk(1));
+        let path = vec![blk(1), blk(2)];
+        let (id, _) = c.insert_and_link(entry, path.clone(), 0.99);
+        let _ = c.insert_and_link((blk(9), blk(1)), path.clone(), 0.99);
+        assert_eq!(c.quarantine(entry, 2), Some(id));
+        assert_eq!(c.lookup_entry(entry), None);
+        assert_eq!(c.lookup_entry((blk(9), blk(1))), None, "all links removed");
+        assert!(c.trace(id).is_none());
+        assert_eq!(c.quarantine_snapshot().len(), 1);
+        assert!(matches!(
+            c.try_insert_and_link(entry, path.clone(), 0.99),
+            Err(TraceCacheError::Quarantined { remaining: 1, .. })
+        ));
+        assert!(matches!(
+            c.try_insert_and_link(entry, path.clone(), 0.99),
+            Err(TraceCacheError::Quarantined { remaining: 0, .. })
+        ));
+        let (nid, created) = c.try_insert_and_link(entry, path, 0.99).unwrap();
+        assert!(created, "tombstoned path must rebuild under a fresh id");
+        assert_ne!(nid, id);
+        assert_eq!(c.stats().quarantine_rejected, 2);
+        assert!(c.quarantine_snapshot().is_empty());
+    }
+
+    #[test]
+    fn corrupt_artifact_fault_is_surfaced_not_served() {
+        let c: SharedTraceCache<Vec<BlockId>> = SharedTraceCache::new();
+        c.set_faults(Arc::new(FaultPlan::new(
+            1,
+            FaultConfig {
+                corrupt_artifact: 1.0,
+                ..FaultConfig::none()
+            },
+        )));
+        let (id, _) = c.insert_and_link_with((blk(0), blk(1)), vec![blk(1), blk(2)], 0.99, |b| {
+            Some(b.to_vec())
+        });
+        assert!(matches!(
+            c.artifact_checked(id),
+            Err(TraceCacheError::CorruptArtifact(_))
+        ));
+        // Quarantining the entry retires the corrupt trace for good.
+        assert_eq!(c.quarantine((blk(0), blk(1)), 1), Some(id));
+        assert!(matches!(
+            c.artifact_checked(id),
+            Err(TraceCacheError::Evicted(_))
+        ));
+    }
+
+    #[test]
+    fn budget_check_fault_forces_eviction_pressure() {
+        let c: SharedTraceCache<()> = SharedTraceCache::new();
+        c.set_faults(Arc::new(FaultPlan::new(
+            7,
+            FaultConfig {
+                fail_budget_check: 1.0,
+                ..FaultConfig::none()
+            },
+        )));
+        // No budget configured — but every insert's budget check fails,
+        // so only the just-inserted trace ever survives.
+        for i in 0..8u32 {
+            c.insert_and_link((blk(10 * i), blk(10 * i + 1)), vec![blk(10 * i + 1)], 0.99);
+        }
+        assert_eq!(c.live_trace_count(), 1);
+        assert_eq!(c.link_count(), 1);
+        assert!(c.stats().links_evicted >= 7);
+    }
+
+    /// Satellite: eviction races a reader mid-probe. A writer churns
+    /// inserts under a tiny budget (constant eviction) while a reader
+    /// probes and resolves; every resolved trace must be coherent and
+    /// every evicted id must answer `None`/`Err`, never garbage.
+    #[test]
+    fn eviction_races_reader_mid_probe() {
+        let cache: Arc<SharedTraceCache<Vec<BlockId>>> = Arc::new(SharedTraceCache::with_shards(2));
+        cache.set_budget(Some(3 * (trace_cost(2) + 64)), |a| {
+            a.capacity() * std::mem::size_of::<BlockId>()
+        });
+        const ROUNDS: u32 = 3_000;
+        std::thread::scope(|s| {
+            let c = Arc::clone(&cache);
+            s.spawn(move || {
+                for i in 0..ROUNDS {
+                    let k = i % 24;
+                    c.insert_and_link_with(
+                        (blk(k), blk(100 + k)),
+                        vec![blk(100 + k), blk(200 + k)],
+                        0.99,
+                        |b| Some(b.to_vec()),
+                    );
+                    if i % 5 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let c = Arc::clone(&cache);
+            s.spawn(move || {
+                let mut resolved = 0u32;
+                for i in 0..ROUNDS {
+                    let k = i % 24;
+                    if let Some(id) = c.lookup_entry((blk(k), blk(100 + k))) {
+                        // The link may be evicted between probe and
+                        // fetch; a tombstone is fine, garbage is not.
+                        if let Some(t) = c.trace(id) {
+                            assert_eq!(t.blocks[0], blk(100 + k), "incoherent trace");
+                            resolved += 1;
+                        } else {
+                            assert!(matches!(
+                                c.artifact_checked(id),
+                                Err(TraceCacheError::Evicted(_))
+                            ));
+                        }
+                    }
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                assert!(resolved > 0, "reader must resolve some live traces");
+            });
+        });
+        let budget = cache.budget().unwrap();
+        assert!(cache.payload_bytes() <= budget);
+        assert!(cache.stats().links_evicted > 0);
     }
 }
