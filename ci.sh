@@ -35,8 +35,21 @@ cargo test -p trace-conformance -q --release --test faults
 echo "== concurrent shared-cache tests (debug-invariants: threaded paths assert in situ)"
 cargo test -p trace-cache -p trace-exec --features trace-cache/debug-invariants -q
 
+echo "== register-IR differential (debug: register-bounds + invariant asserts; release: at speed)"
+# The register-lowered trace tier against the plain interpreter: six
+# workloads, seeded fuzz, and the guard-flip chaos programs that force
+# a side-exit resume from every guard kind.
+cargo test --features debug-invariants -q --test reg_differential --test reg_golden
+cargo test -q --release --test reg_differential
+
 echo "== hot-path bench smoke (test scale)"
 cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
+
+echo "== register-IR bench smoke (scimark, lowered-reg leg must be present)"
+cargo run --release -p trace-bench --bin hot_path -- --smoke --workload scimark \
+    --out /tmp/BENCH_hot_path.reg.smoke.json
+grep -q '"lowered-reg"' /tmp/BENCH_hot_path.reg.smoke.json
+grep -q '"reg_lowering"' /tmp/BENCH_hot_path.reg.smoke.json
 
 echo "== interp-speed bench smoke (test scale)"
 cargo run --release -p trace-bench --bin interp_speed -- --smoke --out /tmp/BENCH_interp.smoke.json

@@ -12,6 +12,10 @@
 //!   cache at every block boundary) vs the overhauled path (`observe`
 //!   returning the context node, whose inline trace-link slot answers
 //!   the entry check without hashing).
+//! * **trace execution** — full warm [`TracingVm`] runs: decoded-DOp
+//!   trace execution (`reg_ir` off) vs the register-lowered form
+//!   (`reg_ir` on), the end-to-end payoff of folding stack traffic into
+//!   three-address code.
 //!
 //! Methodology: the dynamic block stream of each workload is captured
 //! once by running the interpreter, then replayed straight into the
@@ -29,6 +33,7 @@ use jvm_bytecode::{BlockId, Program};
 use jvm_vm::Vm;
 use trace_bcg::{BranchCorrelationGraph, ReferenceBcg, Signal};
 use trace_cache::{TraceCache, TraceConstructor, TraceRuntime};
+use trace_exec::{EngineConfig, RegStats, TracingVm};
 use trace_jit::TraceJitConfig;
 use trace_workloads::registry::{self, Scale, Workload};
 
@@ -63,6 +68,13 @@ pub struct HotPathRow {
     pub profiled: PathTiming,
     /// Profiler + trace monitor dispatch against a warmed cache.
     pub trace_mode: PathTiming,
+    /// Warm trace-*executing* engine, full runs: decoded-DOp traces
+    /// (baseline) vs register-lowered traces (new), normalised to ns per
+    /// dynamic block dispatch of the workload's stream.
+    pub exec: PathTiming,
+    /// Lowering-shape counters from the register engine (cumulative
+    /// over its compiled traces).
+    pub reg: RegStats,
 }
 
 /// Full report, one row per workload.
@@ -109,7 +121,12 @@ impl HotPathReport {
                     "     \"profiled_ns_per_dispatch\": ",
                     "{{\"baseline\": {:.3}, \"new\": {:.3}, \"improvement_pct\": {:.2}}},\n",
                     "     \"trace_ns_per_dispatch\": ",
-                    "{{\"baseline\": {:.3}, \"new\": {:.3}, \"improvement_pct\": {:.2}}}}}{}\n",
+                    "{{\"baseline\": {:.3}, \"new\": {:.3}, \"improvement_pct\": {:.2}}},\n",
+                    "     \"exec_ns_per_dispatch\": ",
+                    "{{\"decoded-dop\": {:.3}, \"lowered-reg\": {:.3}, \"improvement_pct\": {:.2}}},\n",
+                    "     \"reg_lowering\": ",
+                    "{{\"before\": {}, \"after\": {}, \"regs\": {}, ",
+                    "\"eliminated\": {}, \"guards_fused\": {}}}}}{}\n",
                 ),
                 r.name,
                 r.dispatches,
@@ -119,6 +136,14 @@ impl HotPathReport {
                 r.trace_mode.baseline_ns,
                 r.trace_mode.new_ns,
                 r.trace_mode.improvement_pct(),
+                r.exec.baseline_ns,
+                r.exec.new_ns,
+                r.exec.improvement_pct(),
+                r.reg.before,
+                r.reg.after,
+                r.reg.regs,
+                r.reg.eliminated,
+                r.reg.guards_fused,
                 if i + 1 == self.rows.len() { "" } else { "," },
             ));
         }
@@ -134,12 +159,22 @@ impl HotPathReport {
             self.scale, self.repeats
         ));
         out.push_str(&format!(
-            "{:<10} {:>12} {:>10} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
-            "workload", "dispatches", "prof-ref", "prof", "gain%", "trace-ref", "trace", "gain%"
+            "{:<10} {:>12} {:>10} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9} {:>9} {:>8}\n",
+            "workload",
+            "dispatches",
+            "prof-ref",
+            "prof",
+            "gain%",
+            "trace-ref",
+            "trace",
+            "gain%",
+            "exec-dop",
+            "exec-reg",
+            "gain%"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<10} {:>12} {:>10.2} {:>8.2} {:>8.1} {:>10.2} {:>8.2} {:>8.1}\n",
+                "{:<10} {:>12} {:>10.2} {:>8.2} {:>8.1} {:>10.2} {:>8.2} {:>8.1} {:>9.2} {:>9.2} {:>8.1}\n",
                 r.name,
                 r.dispatches,
                 r.profiled.baseline_ns,
@@ -148,6 +183,9 @@ impl HotPathReport {
                 r.trace_mode.baseline_ns,
                 r.trace_mode.new_ns,
                 r.trace_mode.improvement_pct(),
+                r.exec.baseline_ns,
+                r.exec.new_ns,
+                r.exec.improvement_pct(),
             ));
         }
         out
@@ -227,6 +265,56 @@ fn build_warm_state(
     }
     runtime.finish_stream();
     (bcg, cache)
+}
+
+/// Full-engine run timings: decoded-DOp trace execution (`reg_ir` off)
+/// vs register-lowered trace execution (`reg_ir` on), both with a warm
+/// private cache (one untimed run compiles the traces). Unlike the
+/// replay timings these include out-of-trace interpretation — they are
+/// the end-to-end cost of the run, normalised by the same dynamic
+/// dispatch count so the two legs are directly comparable.
+fn engine_timing(
+    w: &Workload,
+    dispatches: u64,
+    config: &TraceJitConfig,
+    repeats: usize,
+) -> (PathTiming, RegStats) {
+    let mk = |reg_ir: bool| {
+        let mut jit = *config;
+        jit.vm.capture_output = false;
+        EngineConfig {
+            jit,
+            optimize: true,
+            superinstructions: true,
+            reg_ir,
+        }
+    };
+    let mut dop = TracingVm::new(&w.program, mk(false));
+    let warm = dop.run(&w.args).expect("workload runs");
+    assert_eq!(
+        warm.checksum, w.expected_checksum,
+        "{}: decoded leg",
+        w.name
+    );
+    let baseline_ns = min_ns_per_dispatch(dispatches, repeats, || {
+        let r = dop.run(&w.args).expect("workload runs");
+        std::hint::black_box(r.checksum);
+    });
+
+    let mut reg = TracingVm::new(&w.program, mk(true));
+    let warm = reg.run(&w.args).expect("workload runs");
+    assert_eq!(warm.checksum, w.expected_checksum, "{}: reg leg", w.name);
+    let new_ns = min_ns_per_dispatch(dispatches, repeats, || {
+        let r = reg.run(&w.args).expect("workload runs");
+        std::hint::black_box(r.checksum);
+    });
+    (
+        PathTiming {
+            baseline_ns,
+            new_ns,
+        },
+        reg.reg_stats(),
+    )
 }
 
 /// Trace-mode replay timings against the (frozen) warmed cache.
@@ -310,11 +398,14 @@ pub fn run_filtered(scale: Scale, repeats: usize, only: Option<&str>) -> HotPath
         let stream = capture_stream(&w);
         let profiled = profiled_timing(&stream, &config, repeats);
         let trace_mode = trace_mode_timing(&stream, &w.program, &config, repeats);
+        let (exec, reg) = engine_timing(&w, stream.len() as u64, &config, repeats);
         rows.push(HotPathRow {
             name: w.name,
             dispatches: stream.len() as u64,
             profiled,
             trace_mode,
+            exec,
+            reg,
         });
     }
     HotPathReport {
@@ -357,6 +448,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"workloads\""));
         assert!(json.contains("\"profiled_ns_per_dispatch\""));
+        assert!(json.contains("\"lowered-reg\""), "reg leg must be in JSON");
+        assert!(json.contains("\"reg_lowering\""));
         // Every workload appears in both renderings.
         let table = report.render();
         for r in &report.rows {

@@ -20,11 +20,27 @@
 //!
 //! The report also carries the decoded-code and frame-arena byte
 //! footprints, since the decoded form trades memory for dispatch speed.
+//!
+//! Two additions ride along: a **lowered-reg** leg (a warm [`TracingVm`]
+//! executing register-lowered traces, same ns/instruction denominator)
+//! showing what the trace pipeline buys end-to-end over straight
+//! interpretation, and a per-workload **opcode-pair histogram** — the
+//! hottest dynamic `(op, op)` adjacencies, reconstructed exactly from
+//! the block-dispatch stream — which is the evidence base for choosing
+//! superinstructions and lowering fusions.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
-use jvm_vm::{DecodedMemory, NullObserver, ReferenceVm, Vm, VmConfig};
+use jvm_bytecode::BlockId;
+use jvm_vm::decode::op;
+use jvm_vm::{DecodedMemory, DecodedProgram, NullObserver, ReferenceVm, Vm, VmConfig};
+use trace_exec::{EngineConfig, TracingVm};
+use trace_jit::TraceJitConfig;
 use trace_workloads::registry::{self, Scale, Workload};
+
+/// How many hot opcode pairs each row reports.
+pub const TOP_PAIRS: usize = 8;
 
 /// One workload's timings (all minima over the repeat count).
 #[derive(Debug, Clone)]
@@ -39,6 +55,13 @@ pub struct InterpRow {
     pub reference_ns_per_instr: f64,
     /// Decoded engine, ns per instruction.
     pub decoded_ns_per_instr: f64,
+    /// Warm trace-executing engine with register-lowered traces, ns per
+    /// (source) instruction. Below `decoded_ns_per_instr` once the hot
+    /// paths run from three-address code.
+    pub lowered_reg_ns_per_instr: f64,
+    /// Hottest dynamic opcode pairs `(first, second, count)` — the
+    /// fusion/lowering shopping list for this workload.
+    pub hot_pairs: Vec<(&'static str, &'static str, u64)>,
     /// Decoded-code footprint for this workload's program (bytes).
     pub decoded_memory: DecodedMemory,
     /// Frame-arena slab footprint after the runs (bytes).
@@ -63,6 +86,21 @@ impl InterpRow {
     /// Decoded engine, ns per block dispatch.
     pub fn decoded_ns_per_dispatch(&self) -> f64 {
         self.decoded_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+
+    /// Register-trace engine, ns per block dispatch (of the source
+    /// stream — the engine itself dispatches far fewer blocks).
+    pub fn lowered_reg_ns_per_dispatch(&self) -> f64 {
+        self.lowered_reg_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+
+    /// Percentage reduction of the register-trace engine relative to the
+    /// decoded interpreter (positive = register traces faster).
+    pub fn lowered_reg_improvement_pct(&self) -> f64 {
+        if self.decoded_ns_per_instr == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.lowered_reg_ns_per_instr / self.decoded_ns_per_instr) * 100.0
     }
 }
 
@@ -115,13 +153,20 @@ impl InterpReport {
         ));
         out.push_str("  \"workloads\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let pairs: Vec<String> = r
+                .hot_pairs
+                .iter()
+                .map(|(a, b, n)| format!("{{\"pair\": \"{a} {b}\", \"count\": {n}}}"))
+                .collect();
             out.push_str(&format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"instructions\": {}, \"dispatches\": {},\n",
                     "     \"ns_per_instruction\": ",
-                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"improvement_pct\": {:.2}}},\n",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"lowered-reg\": {:.3}, ",
+                    "\"improvement_pct\": {:.2}, \"reg_improvement_pct\": {:.2}}},\n",
                     "     \"ns_per_dispatch\": ",
-                    "{{\"reference\": {:.3}, \"decoded\": {:.3}}},\n",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"lowered-reg\": {:.3}}},\n",
+                    "     \"hot_opcode_pairs\": [{}],\n",
                     "     \"decoded_code_bytes\": {}, \"decoded_map_bytes\": {}, ",
                     "\"decoded_pool_bytes\": {}, \"arena_bytes\": {}}}{}\n",
                 ),
@@ -130,9 +175,13 @@ impl InterpReport {
                 r.dispatches,
                 r.reference_ns_per_instr,
                 r.decoded_ns_per_instr,
+                r.lowered_reg_ns_per_instr,
                 r.improvement_pct(),
+                r.lowered_reg_improvement_pct(),
                 r.reference_ns_per_dispatch(),
                 r.decoded_ns_per_dispatch(),
+                r.lowered_reg_ns_per_dispatch(),
+                pairs.join(", "),
                 r.decoded_memory.code_bytes,
                 r.decoded_memory.map_bytes,
                 r.decoded_memory.pool_bytes,
@@ -152,11 +201,12 @@ impl InterpReport {
             self.scale, self.repeats
         ));
         out.push_str(&format!(
-            "{:<10} {:>14} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
+            "{:<10} {:>14} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
             "workload",
             "instructions",
             "ref",
             "decoded",
+            "reg",
             "gain%",
             "ref-disp",
             "dec-disp",
@@ -164,16 +214,25 @@ impl InterpReport {
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<10} {:>14} {:>9.3} {:>9.3} {:>7.1} {:>10.2} {:>10.2} {:>10.1}\n",
+                "{:<10} {:>14} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>10.2} {:>10.2} {:>10.1}\n",
                 r.name,
                 r.instructions,
                 r.reference_ns_per_instr,
                 r.decoded_ns_per_instr,
+                r.lowered_reg_ns_per_instr,
                 r.improvement_pct(),
                 r.reference_ns_per_dispatch(),
                 r.decoded_ns_per_dispatch(),
                 r.decoded_memory.total() as f64 / 1024.0,
             ));
+        }
+        for r in &self.rows {
+            let pairs: Vec<String> = r
+                .hot_pairs
+                .iter()
+                .map(|(a, b, n)| format!("{a} {b} ({n})"))
+                .collect();
+            out.push_str(&format!("hot pairs {:<10}: {}\n", r.name, pairs.join(", ")));
         }
         out.push_str(&format!(
             "geomean speedup {:.3}x ({:.1}% ns/instruction)\n",
@@ -182,6 +241,115 @@ impl InterpReport {
         ));
         out
     }
+}
+
+/// Bare mnemonic for a decoded opcode, families collapsed to their
+/// generic name (all six `if_icmp` comparisons count as one pair key —
+/// the dispatch cost is per family, not per comparison).
+fn mnemonic(o: u8) -> &'static str {
+    match o {
+        op::ENTER_BLOCK => "enter_block",
+        op::ICONST => "iconst",
+        op::FCONST => "fconst",
+        op::CONST_NULL => "const_null",
+        op::DUP => "dup",
+        op::DUP2 => "dup2",
+        op::POP => "pop",
+        op::SWAP => "swap",
+        op::LOAD => "load",
+        op::STORE => "store",
+        op::IINC => "iinc",
+        op::IADD => "iadd",
+        op::ISUB => "isub",
+        op::IMUL => "imul",
+        op::IDIV => "idiv",
+        op::IREM => "irem",
+        op::INEG => "ineg",
+        op::ISHL => "ishl",
+        op::ISHR => "ishr",
+        op::IUSHR => "iushr",
+        op::IAND => "iand",
+        op::IOR => "ior",
+        op::IXOR => "ixor",
+        op::FADD => "fadd",
+        op::FSUB => "fsub",
+        op::FMUL => "fmul",
+        op::FDIV => "fdiv",
+        op::FNEG => "fneg",
+        op::I2F => "i2f",
+        op::F2I => "f2i",
+        op::IF_ICMP_EQ..=op::IF_ICMP_GE => "if_icmp",
+        op::IF_I_EQ..=op::IF_I_GE => "if",
+        op::IF_FCMP_EQ..=op::IF_FCMP_GE => "if_fcmp",
+        op::IF_NULL => "if_null",
+        op::IF_NON_NULL => "if_nonnull",
+        op::GOTO => "goto",
+        op::TABLE_SWITCH => "tableswitch",
+        op::INVOKE_STATIC => "invokestatic",
+        op::INVOKE_VIRTUAL => "invokevirtual",
+        op::RETURN => "return",
+        op::RETURN_VOID => "return_void",
+        op::NEW => "new",
+        op::GET_FIELD => "getfield",
+        op::PUT_FIELD => "putfield",
+        op::NEW_ARRAY => "newarray",
+        op::ALOAD => "aload",
+        op::ASTORE => "astore",
+        op::ARRAY_LEN => "arraylen",
+        op::NOP => "nop",
+        op::SQRT..=op::CHECKSUM => "intrinsic",
+        _ => "?",
+    }
+}
+
+/// The hottest dynamic opcode pairs of a workload, reconstructed
+/// exactly from its basic-block dispatch stream: blocks are
+/// straight-line, so the dynamic instruction stream is the
+/// concatenation of the dispatched blocks' decoded bodies (markers
+/// skipped), and pair counts fall out of one pass with no
+/// per-instruction instrumentation in the timed engines.
+fn hot_opcode_pairs(w: &Workload, top: usize) -> Vec<(&'static str, &'static str, u64)> {
+    let mut stream: Vec<BlockId> = Vec::new();
+    let mut vm = Vm::new(&w.program);
+    vm.run(&w.args, &mut |b| stream.push(b)).expect("runs");
+
+    // Decoded spans of every block: marker index + 1 .. next marker.
+    let decoded = DecodedProgram::decode(&w.program);
+    let mut spans: HashMap<(u32, u32), (usize, usize)> = HashMap::new();
+    for func in w.program.functions() {
+        let df = decoded.func(func.id());
+        let mut marks: Vec<(u32, usize)> = df
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.op == op::ENTER_BLOCK)
+            .map(|(i, d)| (d.b, i))
+            .collect();
+        marks.sort_by_key(|&(_, i)| i);
+        for (k, &(block, start)) in marks.iter().enumerate() {
+            let end = marks.get(k + 1).map_or(df.code.len(), |&(_, i)| i);
+            spans.insert((func.id().0, block), (start + 1, end));
+        }
+    }
+
+    let mut counts: HashMap<(u8, u8), u64> = HashMap::new();
+    let mut prev: Option<u8> = None;
+    for b in stream {
+        let &(start, end) = spans.get(&(b.func.0, b.block)).expect("dispatched block");
+        for d in &decoded.func(b.func).code[start..end] {
+            if let Some(p) = prev {
+                *counts.entry((p, d.op)).or_insert(0) += 1;
+            }
+            prev = Some(d.op);
+        }
+    }
+    let mut pairs: Vec<((u8, u8), u64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs
+        .into_iter()
+        .take(top)
+        .map(|((a, b), n)| (mnemonic(a), mnemonic(b), n))
+        .collect()
 }
 
 /// Minimum wall-clock seconds over `repeats` timed calls of `pass`, with
@@ -216,6 +384,25 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         std::hint::black_box(r);
     });
 
+    // Warm trace-executing engine on register-lowered traces: the
+    // untimed warm-up run inside `min_secs` compiles the hot traces, so
+    // the timed passes run them from three-address register code.
+    let mut jit = TraceJitConfig::paper_default();
+    jit.vm.capture_output = false;
+    let mut reg_engine = TracingVm::new(
+        &w.program,
+        EngineConfig {
+            jit,
+            optimize: true,
+            superinstructions: true,
+            reg_ir: true,
+        },
+    );
+    let reg_secs = min_secs(repeats, || {
+        let r = reg_engine.run(&w.args).expect("runs");
+        std::hint::black_box(r.checksum);
+    });
+
     // Both engines must have done the identical semantic work — this is
     // the same equivalence the differential suite pins, re-checked on
     // the timed configuration.
@@ -235,6 +422,13 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         w.name
     );
 
+    assert_eq!(
+        reg_engine.run(&w.args).expect("runs").checksum,
+        w.expected_checksum,
+        "{}: register-trace engine diverged",
+        w.name
+    );
+
     let instructions = ds.instructions.max(1);
     InterpRow {
         name: w.name.to_owned(),
@@ -242,6 +436,8 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         dispatches: ds.block_dispatches,
         reference_ns_per_instr: ref_secs * 1e9 / instructions as f64,
         decoded_ns_per_instr: dec_secs * 1e9 / instructions as f64,
+        lowered_reg_ns_per_instr: reg_secs * 1e9 / instructions as f64,
+        hot_pairs: hot_opcode_pairs(w, TOP_PAIRS),
         decoded_memory: decoded.decoded().memory_estimate(),
         arena_bytes: decoded.arena_memory(),
     }
@@ -279,12 +475,16 @@ mod tests {
             dispatches: 100,
             reference_ns_per_instr: 10.0,
             decoded_ns_per_instr: 5.0,
+            lowered_reg_ns_per_instr: 2.5,
+            hot_pairs: Vec::new(),
             decoded_memory: DecodedMemory::default(),
             arena_bytes: 0,
         };
         assert!((r.improvement_pct() - 50.0).abs() < 1e-9);
         assert!((r.reference_ns_per_dispatch() - 100.0).abs() < 1e-9);
         assert!((r.decoded_ns_per_dispatch() - 50.0).abs() < 1e-9);
+        assert!((r.lowered_reg_ns_per_dispatch() - 25.0).abs() < 1e-9);
+        assert!((r.lowered_reg_improvement_pct() - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -295,6 +495,8 @@ mod tests {
             dispatches: 1,
             reference_ns_per_instr: ref_ns,
             decoded_ns_per_instr: dec_ns,
+            lowered_reg_ns_per_instr: dec_ns,
+            hot_pairs: Vec::new(),
             decoded_memory: DecodedMemory::default(),
             arena_bytes: 0,
         };
@@ -315,6 +517,12 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"geomean_speedup\""));
         assert!(json.contains("\"ns_per_instruction\""));
+        assert!(json.contains("\"lowered-reg\""), "reg leg must be in JSON");
+        assert!(json.contains("\"hot_opcode_pairs\""));
+        assert!(
+            report.rows.iter().all(|r| !r.hot_pairs.is_empty()),
+            "every workload has hot pairs"
+        );
         let table = report.render();
         for r in &report.rows {
             assert!(json.contains(&r.name));

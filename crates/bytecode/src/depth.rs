@@ -83,19 +83,23 @@ fn slot_returns(program: &Program, slot: u16) -> bool {
     false
 }
 
-/// Maximum operand-stack depth of a verified function, over all reachable
-/// pcs.
+/// Operand-stack depth **at entry** to every pc of a verified function.
+///
+/// `result[pc]` is `Some(depth)` for reachable pcs and `None` for
+/// unreachable ones. This is the full per-pc projection the verifier
+/// proves consistent; [`max_stack`] folds it into a frame-sizing bound,
+/// and the trace register-lowering pass uses it directly to seed its
+/// abstract stack when a trace enters a function mid-flight.
 ///
 /// # Panics
 ///
 /// May panic (or return nonsense) on unverified code; debug builds assert
 /// the verifier's consistency invariants.
-pub fn max_stack(program: &Program, func: FuncId) -> u32 {
+pub fn stack_depths(program: &Program, func: FuncId) -> Vec<Option<u32>> {
     let code = program.function(func).code();
     let mut depth_at: Vec<Option<u32>> = vec![None; code.len()];
     let mut worklist: Vec<u32> = vec![0];
     depth_at[0] = Some(0);
-    let mut max = 0u32;
 
     while let Some(pc) = worklist.pop() {
         let depth = depth_at[pc as usize].expect("worklist entries have depths");
@@ -103,7 +107,6 @@ pub fn max_stack(program: &Program, func: FuncId) -> u32 {
         let (pops, pushes) = stack_effect(program, ins);
         debug_assert!(depth >= pops, "verified code cannot underflow");
         let out = depth - pops + pushes;
-        max = max.max(depth.max(out));
 
         let mut propagate = |t: u32, d: u32, worklist: &mut Vec<u32>| match depth_at[t as usize] {
             None => {
@@ -118,6 +121,25 @@ pub fn max_stack(program: &Program, func: FuncId) -> u32 {
         if ins.falls_through() && !ins.is_return() {
             propagate(pc + 1, out, &mut worklist);
         }
+    }
+    depth_at
+}
+
+/// Maximum operand-stack depth of a verified function, over all reachable
+/// pcs.
+///
+/// # Panics
+///
+/// May panic (or return nonsense) on unverified code; debug builds assert
+/// the verifier's consistency invariants.
+pub fn max_stack(program: &Program, func: FuncId) -> u32 {
+    let code = program.function(func).code();
+    let depth_at = stack_depths(program, func);
+    let mut max = 0u32;
+    for (pc, depth) in depth_at.iter().enumerate() {
+        let Some(depth) = *depth else { continue };
+        let (pops, pushes) = stack_effect(program, &code[pc]);
+        max = max.max(depth).max(depth - pops + pushes);
     }
     max
 }

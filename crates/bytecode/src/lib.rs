@@ -61,7 +61,7 @@ pub mod verifier;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cfg::{Block, TerminatorKind};
 pub use class::Class;
-pub use depth::max_stack;
+pub use depth::{max_stack, stack_depths};
 pub use error::BuildError;
 pub use function::Function;
 pub use ids::{BlockId, ClassId, FuncId, Label};

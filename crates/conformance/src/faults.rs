@@ -63,6 +63,7 @@ pub fn fault_campaign_config() -> EngineConfig {
         .with_threshold(0.90),
         optimize: false,
         superinstructions: true,
+        reg_ir: true,
     }
 }
 

@@ -44,6 +44,7 @@ use crate::compile::{compile, CondKind};
 use crate::fuse::{fuse_trace, FuseStats, Fused};
 use crate::lower::{lower_trace, LoweredTrace, XInstr};
 use crate::opt::{optimize_trace, OptStats};
+use crate::reg::{lower_reg, FrameImage, RBin, RInstr, RUn, RegStats, RegTrace, TraceArtifact};
 use crate::shared::SharedSession;
 
 /// Engine configuration.
@@ -56,16 +57,22 @@ pub struct EngineConfig {
     /// Whether compiled traces are fused into superinstructions
     /// (accounting-transparent; on by default).
     pub superinstructions: bool,
+    /// Whether compiled traces are lowered to the register IR
+    /// ([`crate::reg`]) and run in the register-file loop; traces the
+    /// register lowering refuses fall back to the decoded form. On by
+    /// default.
+    pub reg_ir: bool,
 }
 
 impl EngineConfig {
     /// Paper parameters, optimizer off (pure trace execution),
-    /// superinstruction fusion on.
+    /// superinstruction fusion on, register-IR lowering on.
     pub fn paper_default() -> Self {
         EngineConfig {
             jit: TraceJitConfig::paper_default(),
             optimize: false,
             superinstructions: true,
+            reg_ir: true,
         }
     }
 
@@ -78,6 +85,12 @@ impl EngineConfig {
     /// Returns this configuration with superinstruction fusion toggled.
     pub fn with_superinstructions(mut self, on: bool) -> Self {
         self.superinstructions = on;
+        self
+    }
+
+    /// Returns this configuration with register-IR lowering toggled.
+    pub fn with_reg_ir(mut self, on: bool) -> Self {
+        self.reg_ir = on;
         self
     }
 }
@@ -113,6 +126,28 @@ impl ExFrame {
             stack: Vec::with_capacity(8),
         }
     }
+}
+
+/// Reads virtual register `r` without a release-mode bounds check.
+///
+/// `lower_reg` numbers every operand below the trace's `num_regs` and
+/// [`TracingVm::execute_reg_trace`] grows the register file to at least
+/// that length on entry, so all register accesses are in range by
+/// construction (the same argument as the interpreter's slab `slot`).
+#[inline(always)]
+fn rget(regs: &[Value], r: crate::reg::Reg) -> Value {
+    debug_assert!((r as usize) < regs.len(), "lowered register bounds");
+    // SAFETY: see above — register numbers are bounded by the lowering.
+    unsafe { *regs.get_unchecked(r as usize) }
+}
+
+/// Writes virtual register `r` without a release-mode bounds check
+/// (see [`rget`]).
+#[inline(always)]
+fn rset(regs: &mut [Value], r: crate::reg::Reg, v: Value) {
+    debug_assert!((r as usize) < regs.len(), "lowered register bounds");
+    // SAFETY: see `rget` — register numbers are bounded by the lowering.
+    unsafe { *regs.get_unchecked_mut(r as usize) = v }
 }
 
 enum Step {
@@ -154,10 +189,11 @@ pub struct TracingVm<'p> {
     bcg: BranchCorrelationGraph,
     constructor: TraceConstructor,
     cache: TraceCache,
-    lowered: HashMap<TraceId, Rc<LoweredTrace>>,
+    lowered: HashMap<TraceId, Rc<TraceArtifact>>,
     uncompilable: std::collections::HashSet<TraceId>,
     opt_stats: OptStats,
     fuse_stats: FuseStats,
+    reg_stats: RegStats,
     // Run state.
     heap: Heap,
     frames: Vec<ExFrame>,
@@ -172,7 +208,11 @@ pub struct TracingVm<'p> {
     /// removes the `lowered` map probe for loop traces that re-enter
     /// through the same branch every iteration. No version stamp needed:
     /// a `TraceId`'s lowered form never changes.
-    hot_trace: Option<(TraceId, Rc<LoweredTrace>)>,
+    hot_trace: Option<(TraceId, Rc<TraceArtifact>)>,
+    /// Reusable register file for register-trace execution: sized (and
+    /// constant-seeded) per trace on entry, recycled across entries so
+    /// the hot path never allocates.
+    reg_file: Vec<Value>,
     /// Reusable signal drain buffer: the dispatch loop never allocates.
     signal_buf: Vec<Signal>,
     /// Shared-cache session, when this VM dispatches against a cache
@@ -183,9 +223,9 @@ pub struct TracingVm<'p> {
     /// Per-VM memo of shared-cache artifacts (`None` = trace exists but
     /// has no artifact, e.g. its chain stopped matching the program flow;
     /// both outcomes are permanent for a given id).
-    shared_lowered: HashMap<TraceId, Option<Arc<LoweredTrace>>>,
+    shared_lowered: HashMap<TraceId, Option<Arc<TraceArtifact>>>,
     /// Shared-mode analogue of `hot_trace`.
-    hot_shared: Option<(TraceId, Arc<LoweredTrace>)>,
+    hot_shared: Option<(TraceId, Arc<TraceArtifact>)>,
     /// `(trace id, consecutive immediate entry side-exits)` — the
     /// engine-side quarantine trigger (see [`ENTRY_EXIT_STREAK_LIMIT`]).
     entry_exit_streak: Option<(TraceId, u32)>,
@@ -206,6 +246,7 @@ impl<'p> TracingVm<'p> {
             uncompilable: std::collections::HashSet::new(),
             opt_stats: OptStats::default(),
             fuse_stats: FuseStats::default(),
+            reg_stats: RegStats::default(),
             heap: Heap::new(config.jit.vm.gc_threshold),
             frames: Vec::new(),
             stats: ExecStats::default(),
@@ -214,6 +255,7 @@ impl<'p> TracingVm<'p> {
             output: Vec::new(),
             prev_block: None,
             hot_trace: None,
+            reg_file: Vec::new(),
             signal_buf: Vec::new(),
             shared: None,
             shared_lowered: HashMap::new(),
@@ -259,14 +301,28 @@ impl<'p> TracingVm<'p> {
         self.fuse_stats
     }
 
+    /// Aggregated register-lowering statistics over all compiled traces
+    /// (registers allocated, stack ops eliminated, guards fused).
+    pub fn reg_stats(&self) -> RegStats {
+        self.reg_stats
+    }
+
     /// Number of traces compiled (and lowered) so far.
     pub fn compiled_count(&self) -> usize {
         self.lowered.len()
     }
 
+    /// Number of compiled traces running in register form.
+    pub fn reg_lowered_count(&self) -> usize {
+        self.lowered
+            .values()
+            .filter(|a| matches!(***a, TraceArtifact::Reg(_)))
+            .count()
+    }
+
     /// Real byte footprint of all lowered traces.
     pub fn lowered_memory(&self) -> usize {
-        self.lowered.values().map(|lt| lt.memory_estimate()).sum()
+        self.lowered.values().map(|a| a.memory_estimate()).sum()
     }
 
     /// Output captured from print intrinsics during the most recent run
@@ -342,12 +398,18 @@ impl<'p> TracingVm<'p> {
                     Some(tid) if self.shared.is_some() => {
                         let entry = (prev.expect("linked entry has a source block"), bid);
                         match self.shared_lowered_for(tid, entry) {
-                            Some(lt) => Some(self.execute_trace(&lt, prev)?),
+                            Some(art) => Some(match &*art {
+                                TraceArtifact::Reg(rt) => self.execute_reg_trace(rt, prev)?,
+                                TraceArtifact::Decoded(lt) => self.execute_trace(lt, prev)?,
+                            }),
                             None => None,
                         }
                     }
                     Some(tid) => match self.lowered_for(tid) {
-                        Some(lt) => Some(self.execute_trace(&lt, prev)?),
+                        Some(art) => Some(match &*art {
+                            TraceArtifact::Reg(rt) => self.execute_reg_trace(rt, prev)?,
+                            TraceArtifact::Decoded(lt) => self.execute_trace(lt, prev)?,
+                        }),
                         None => None,
                     },
                     None => None,
@@ -456,12 +518,15 @@ impl<'p> TracingVm<'p> {
     }
 
     /// Resolves a linked trace id to its lowered form, compiling
-    /// (optimizing and fusing as configured) and lowering on first use;
-    /// refreshes the monomorphic hot-trace cache on success.
-    fn lowered_for(&mut self, tid: TraceId) -> Option<Rc<LoweredTrace>> {
-        if let Some((hot_tid, lt)) = &self.hot_trace {
+    /// (optimizing, register-lowering or fusing as configured) and
+    /// lowering on first use; refreshes the monomorphic hot-trace cache
+    /// on success. Register lowering runs on the post-opt, pre-fusion
+    /// code (its own pass subsumes fusion's stack-traffic wins); traces
+    /// it refuses fall back to fusion + decoded lowering.
+    fn lowered_for(&mut self, tid: TraceId) -> Option<Rc<TraceArtifact>> {
+        if let Some((hot_tid, art)) = &self.hot_trace {
             if *hot_tid == tid {
-                return Some(Rc::clone(lt));
+                return Some(Rc::clone(art));
             }
         }
         if self.uncompilable.contains(&tid) {
@@ -479,14 +544,33 @@ impl<'p> TracingVm<'p> {
                         self.opt_stats.identities += s.identities;
                         self.opt_stats.reductions += s.reductions;
                     }
-                    if self.config.superinstructions {
-                        let s = fuse_trace(&mut ct);
-                        self.fuse_stats.before += s.before;
-                        self.fuse_stats.after += s.after;
-                        self.fuse_stats.fused_groups += s.fused_groups;
-                    }
-                    let lt = lower_trace(self.program, &mut self.decoded, &ct);
-                    self.lowered.insert(tid, Rc::new(lt));
+                    let reg = if self.config.reg_ir {
+                        lower_reg(self.program, &self.decoded, &ct)
+                    } else {
+                        None
+                    };
+                    let artifact = match reg {
+                        Some(rt) => {
+                            let s = rt.stats;
+                            self.reg_stats.before += s.before;
+                            self.reg_stats.after += s.after;
+                            self.reg_stats.regs += s.regs;
+                            self.reg_stats.eliminated += s.eliminated;
+                            self.reg_stats.guards_fused += s.guards_fused;
+                            TraceArtifact::Reg(rt)
+                        }
+                        None => {
+                            if self.config.superinstructions {
+                                let s = fuse_trace(&mut ct);
+                                self.fuse_stats.before += s.before;
+                                self.fuse_stats.after += s.after;
+                                self.fuse_stats.fused_groups += s.fused_groups;
+                            }
+                            let lt = lower_trace(self.program, &mut self.decoded, &ct);
+                            TraceArtifact::Decoded(lt)
+                        }
+                    };
+                    self.lowered.insert(tid, Rc::new(artifact));
                 }
                 Err(_) => {
                     self.uncompilable.insert(tid);
@@ -494,9 +578,9 @@ impl<'p> TracingVm<'p> {
                 }
             }
         }
-        let lt = Rc::clone(&self.lowered[&tid]);
-        self.hot_trace = Some((tid, Rc::clone(&lt)));
-        Some(lt)
+        let art = Rc::clone(&self.lowered[&tid]);
+        self.hot_trace = Some((tid, Rc::clone(&art)));
+        Some(art)
     }
 
     /// Shared-mode analogue of [`Self::lowered_for`]: resolves a
@@ -513,24 +597,24 @@ impl<'p> TracingVm<'p> {
         &mut self,
         tid: TraceId,
         entry: trace_bcg::Branch,
-    ) -> Option<Arc<LoweredTrace>> {
-        if let Some((hot_tid, lt)) = &self.hot_shared {
+    ) -> Option<Arc<TraceArtifact>> {
+        if let Some((hot_tid, art)) = &self.hot_shared {
             if *hot_tid == tid {
-                return Some(Arc::clone(lt));
+                return Some(Arc::clone(art));
             }
         }
         if let Some(memo) = self.shared_lowered.get(&tid) {
-            let lt = memo.clone()?;
-            self.hot_shared = Some((tid, Arc::clone(&lt)));
-            return Some(lt);
+            let art = memo.clone()?;
+            self.hot_shared = Some((tid, Arc::clone(&art)));
+            return Some(art);
         }
         let sess = self.shared.as_ref().expect("shared mode");
         let resolved = match sess.cache.artifact_checked(tid) {
             Ok(artifact) => {
                 #[cfg(feature = "debug-invariants")]
-                if let Some(lt) = &artifact {
+                if let Some(art) = &artifact {
                     assert_eq!(
-                        lt.src_blocks.first().copied(),
+                        art.src_blocks().first().copied(),
                         Some(entry.1),
                         "published artifact must start at the linked entry's target"
                     );
@@ -548,9 +632,9 @@ impl<'p> TracingVm<'p> {
             // ids are never reused, so "no artifact" is permanent.
             Err(_) => None,
         };
-        let lt = self.shared_lowered.entry(tid).or_insert(resolved).clone()?;
-        self.hot_shared = Some((tid, Arc::clone(&lt)));
-        Some(lt)
+        let art = self.shared_lowered.entry(tid).or_insert(resolved).clone()?;
+        self.hot_shared = Some((tid, Arc::clone(&art)));
+        Some(art)
     }
 
     /// Executes one lowered trace.
@@ -864,6 +948,583 @@ impl<'p> TracingVm<'p> {
         let last = *lt.src_blocks.last().expect("traces are nonempty");
         self.bcg.set_context(last);
         self.prev_block = Some(last);
+        Ok(TraceRun::Completed)
+    }
+
+    /// Writes a frame image back into the current frame: dirty locals
+    /// first, then the register stack on top of the frame's real prefix.
+    /// Used at side exits (full deopt), calls (arguments cross the real
+    /// stack) and allocations (collection roots).
+    #[inline]
+    fn materialize(&mut self, image: &FrameImage, regs: &[Value]) {
+        let f = self.frames.last_mut().expect("frame exists");
+        for &(slot, r) in image.dirty.iter() {
+            f.locals[slot as usize] = rget(regs, r);
+        }
+        debug_assert_eq!(
+            f.stack.len(),
+            image.base as usize,
+            "real stack prefix must match the lowering's model"
+        );
+        for &r in image.stack.iter() {
+            f.stack.push(rget(regs, r));
+        }
+    }
+
+    /// Executes one register-lowered trace in the tight register-file
+    /// loop: a flat `Vec<Value>` register frame, no per-op operand-stack
+    /// bookkeeping. Fuel is charged in batches (each instruction's
+    /// weight covers the stack ops folded into it), which is
+    /// observationally identical to per-op ticking — see [`crate::reg`].
+    fn execute_reg_trace(
+        &mut self,
+        rt: &RegTrace,
+        pre_entry: Option<BlockId>,
+    ) -> Result<TraceRun, VmError> {
+        self.trace_stats.entered += 1;
+        let mut instrs = 0u64;
+        let max_steps = self.config.jit.vm.max_steps;
+        // Fuel is accounted against a local budget while inside the
+        // trace — per-instruction ticking compares two values the
+        // compiler keeps in registers — and folded back into the
+        // engine-wide counter once per exit path. Nothing reached from
+        // inside the loop reads `stats.instructions` (tick() is never
+        // called here), so the deferred sync is unobservable.
+        let budget = max_steps - self.stats.instructions;
+        let mut regs = std::mem::take(&mut self.reg_file);
+        // The lowering is single-assignment: every non-constant register
+        // is written before it is read, so stale values from an earlier
+        // trace are never observable and the file only needs to grow to
+        // this trace's high-water mark — no per-entry zero fill. Hot
+        // short traces are entered millions of times, so this setup cost
+        // is the dominant fixed overhead.
+        if regs.len() < rt.num_regs as usize {
+            regs.resize(rt.num_regs as usize, Value::default());
+        }
+        for &(r, v) in &rt.consts {
+            rset(&mut regs, r, v);
+        }
+
+        macro_rules! tick_n {
+            ($n:expr) => {{
+                let n = $n as u64;
+                if n > budget - instrs {
+                    // Saturate exactly where per-op ticking would stop.
+                    self.stats.instructions = max_steps;
+                    self.reg_file = regs;
+                    return Err(VmError::OutOfFuel);
+                }
+                instrs += n;
+            }};
+        }
+
+        macro_rules! reg_exit {
+            ($idx:expr) => {{
+                self.stats.instructions += instrs;
+                let exit = &rt.exits[$idx as usize];
+                self.materialize(&rt.images[exit.image as usize], &regs);
+                {
+                    let f = self.frames.last_mut().expect("frame exists");
+                    debug_assert_eq!(f.func, exit.func);
+                    f.pc = exit.dpc;
+                }
+                self.trace_stats.exited_early += 1;
+                self.trace_stats.blocks_in_partial += exit.blocks_done as u64;
+                self.trace_stats.instrs_in_partial += instrs;
+                let prev = if exit.blocks_done == 0 {
+                    pre_entry
+                } else {
+                    Some(rt.src_blocks[exit.blocks_done as usize - 1])
+                };
+                if let Some(p) = prev {
+                    self.bcg.set_context(p);
+                } else {
+                    self.bcg.begin_stream();
+                }
+                // Eager resume-dispatch accounting, exactly as in
+                // `execute_trace`'s side_exit!.
+                self.stats.block_dispatches += 1;
+                let bid = BlockId::new(exit.func, exit.block);
+                let _ = self.bcg.observe(bid);
+                self.dispatch_signals();
+                self.prev_block = Some(bid);
+                self.trace_stats.blocks_outside += 1;
+                let immediate = exit.blocks_done == 0;
+                self.reg_file = regs;
+                return Ok(TraceRun::SideExited { immediate });
+            }};
+        }
+
+        macro_rules! bin_i {
+            ($a:expr, $b:expr, $f:expr) => {{
+                // Type errors surface in interpreter pop order: right
+                // operand first.
+                let vb = rget(&regs, $b).as_int()?;
+                let va = rget(&regs, $a).as_int()?;
+                Value::Int($f(va, vb))
+            }};
+        }
+        macro_rules! bin_f {
+            ($a:expr, $b:expr, $f:expr) => {{
+                let vb = rget(&regs, $b).as_float()?;
+                let va = rget(&regs, $a).as_float()?;
+                Value::Float($f(va, vb))
+            }};
+        }
+
+        for t in rt.code.iter() {
+            match t {
+                RInstr::PullStack { dst } => {
+                    // Pure data movement from the real entry stack; no
+                    // source instruction, no fuel.
+                    let v = self
+                        .frames
+                        .last_mut()
+                        .expect("frame exists")
+                        .stack
+                        .pop()
+                        .expect("lowering tracked the entry stack");
+                    rset(&mut regs, *dst, v);
+                }
+                RInstr::LoadLocal { slot, dst, w } => {
+                    tick_n!(*w);
+                    let f = self.frames.last().expect("frame exists");
+                    rset(&mut regs, *dst, f.locals[*slot as usize]);
+                }
+                RInstr::IncLocal { slot, dst, imm, w } => {
+                    tick_n!(*w);
+                    let f = self.frames.last().expect("frame exists");
+                    let v = f.locals[*slot as usize].as_int()?;
+                    rset(&mut regs, *dst, Value::Int(v.wrapping_add(*imm as i64)));
+                }
+                RInstr::IncReg { src, dst, imm, w } => {
+                    tick_n!(*w);
+                    let v = rget(&regs, *src).as_int()?;
+                    rset(&mut regs, *dst, Value::Int(v.wrapping_add(*imm as i64)));
+                }
+                RInstr::Bin { op, a, b, dst, w } => {
+                    tick_n!(*w);
+                    let v = match op {
+                        RBin::IAdd => bin_i!(*a, *b, |x: i64, y: i64| x.wrapping_add(y)),
+                        RBin::ISub => bin_i!(*a, *b, |x: i64, y: i64| x.wrapping_sub(y)),
+                        RBin::IMul => bin_i!(*a, *b, |x: i64, y: i64| x.wrapping_mul(y)),
+                        RBin::IDiv => {
+                            let vb = rget(&regs, *b).as_int()?;
+                            let va = rget(&regs, *a).as_int()?;
+                            if vb == 0 {
+                                return Err(VmError::DivisionByZero);
+                            }
+                            Value::Int(va.wrapping_div(vb))
+                        }
+                        RBin::IRem => {
+                            let vb = rget(&regs, *b).as_int()?;
+                            let va = rget(&regs, *a).as_int()?;
+                            if vb == 0 {
+                                return Err(VmError::DivisionByZero);
+                            }
+                            Value::Int(va.wrapping_rem(vb))
+                        }
+                        RBin::IShl => {
+                            bin_i!(*a, *b, |x: i64, y: i64| x.wrapping_shl(y as u32 & 63))
+                        }
+                        RBin::IShr => {
+                            bin_i!(*a, *b, |x: i64, y: i64| x.wrapping_shr(y as u32 & 63))
+                        }
+                        RBin::IUShr => {
+                            bin_i!(*a, *b, |x: i64, y: i64| ((x as u64) >> (y as u32 & 63))
+                                as i64)
+                        }
+                        RBin::IAnd => bin_i!(*a, *b, |x: i64, y: i64| x & y),
+                        RBin::IOr => bin_i!(*a, *b, |x: i64, y: i64| x | y),
+                        RBin::IXor => bin_i!(*a, *b, |x: i64, y: i64| x ^ y),
+                        RBin::FAdd => bin_f!(*a, *b, |x: f64, y: f64| x + y),
+                        RBin::FSub => bin_f!(*a, *b, |x: f64, y: f64| x - y),
+                        RBin::FMul => bin_f!(*a, *b, |x: f64, y: f64| x * y),
+                        RBin::FDiv => bin_f!(*a, *b, |x: f64, y: f64| x / y),
+                    };
+                    rset(&mut regs, *dst, v);
+                }
+                RInstr::Un { op, a, dst, w } => {
+                    tick_n!(*w);
+                    let v = match op {
+                        RUn::INeg => Value::Int(rget(&regs, *a).as_int()?.wrapping_neg()),
+                        RUn::FNeg => Value::Float(-rget(&regs, *a).as_float()?),
+                        RUn::I2F => Value::Float(rget(&regs, *a).as_int()? as f64),
+                        RUn::F2I => Value::Int(rget(&regs, *a).as_float()? as i64),
+                    };
+                    rset(&mut regs, *dst, v);
+                }
+                RInstr::Intrinsic { i, a, b, dst, w } => {
+                    tick_n!(*w);
+                    match i {
+                        Intrinsic::Sqrt => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.sqrt());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::Sin => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.sin());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::Cos => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.cos());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::Exp => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.exp());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::Log => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.ln());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::AbsF => {
+                            let v = Value::Float(rget(&regs, *a).as_float()?.abs());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::AbsI => {
+                            let v = Value::Int(rget(&regs, *a).as_int()?.wrapping_abs());
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::MinI => {
+                            let v = bin_i!(*a, *b, |x: i64, y: i64| x.min(y));
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::MaxI => {
+                            let v = bin_i!(*a, *b, |x: i64, y: i64| x.max(y));
+                            rset(&mut regs, *dst, v);
+                        }
+                        Intrinsic::PrintInt => {
+                            let v = rget(&regs, *a).as_int()?;
+                            if self.config.jit.vm.capture_output {
+                                self.output.push(OutputItem::Int(v));
+                            }
+                        }
+                        Intrinsic::PrintFloat => {
+                            let v = rget(&regs, *a).as_float()?;
+                            if self.config.jit.vm.capture_output {
+                                self.output.push(OutputItem::Float(v));
+                            }
+                        }
+                        Intrinsic::Checksum => {
+                            let v = rget(&regs, *a).as_int()?;
+                            self.checksum = fold_checksum(self.checksum, v);
+                        }
+                    }
+                }
+                RInstr::GetField { obj, field, dst, w } => {
+                    tick_n!(*w);
+                    let o = rget(&regs, *obj).as_ref_id()?;
+                    match self.heap.get(o) {
+                        HeapObj::Object { fields, .. } => {
+                            let v = *fields.get(*field as usize).ok_or(VmError::BadField {
+                                field: *field,
+                                num_fields: fields.len() as u16,
+                            })?;
+                            rset(&mut regs, *dst, v);
+                        }
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object",
+                                found: "array",
+                            })
+                        }
+                    }
+                }
+                RInstr::PutField { obj, val, field, w } => {
+                    tick_n!(*w);
+                    let o = rget(&regs, *obj).as_ref_id()?;
+                    let v = rget(&regs, *val);
+                    match self.heap.get_mut(o) {
+                        HeapObj::Object { fields, .. } => {
+                            let len = fields.len();
+                            *fields.get_mut(*field as usize).ok_or(VmError::BadField {
+                                field: *field,
+                                num_fields: len as u16,
+                            })? = v;
+                        }
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object",
+                                found: "array",
+                            })
+                        }
+                    }
+                }
+                RInstr::ALoad { arr, idx, dst, w } => {
+                    tick_n!(*w);
+                    let iv = rget(&regs, *idx).as_int()?;
+                    let av = rget(&regs, *arr).as_ref_id()?;
+                    match self.heap.get(av) {
+                        HeapObj::Array { elems } => {
+                            if iv < 0 || iv as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: iv,
+                                    len: elems.len(),
+                                });
+                            }
+                            rset(&mut regs, *dst, elems[iv as usize]);
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                RInstr::AStore { arr, idx, val, w } => {
+                    tick_n!(*w);
+                    let v = rget(&regs, *val);
+                    let iv = rget(&regs, *idx).as_int()?;
+                    let av = rget(&regs, *arr).as_ref_id()?;
+                    match self.heap.get_mut(av) {
+                        HeapObj::Array { elems } => {
+                            if iv < 0 || iv as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: iv,
+                                    len: elems.len(),
+                                });
+                            }
+                            elems[iv as usize] = v;
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                RInstr::ArrayLen { arr, dst, w } => {
+                    tick_n!(*w);
+                    let av = rget(&regs, *arr).as_ref_id()?;
+                    match self.heap.get(av) {
+                        HeapObj::Array { elems } => {
+                            rset(&mut regs, *dst, Value::Int(elems.len() as i64));
+                        }
+                        HeapObj::Object { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "array",
+                                found: "object",
+                            })
+                        }
+                    }
+                }
+                RInstr::NewObj {
+                    class,
+                    nfields,
+                    dst,
+                    image,
+                    w,
+                } => {
+                    tick_n!(*w);
+                    // Root every live register through the real frame,
+                    // collect, then pull the stack back (the values stay
+                    // in registers).
+                    let img = &rt.images[*image as usize];
+                    self.materialize(img, &regs);
+                    self.maybe_collect();
+                    let r = self.heap.alloc_object(*class, *nfields);
+                    self.frames
+                        .last_mut()
+                        .expect("frame exists")
+                        .stack
+                        .truncate(img.base as usize);
+                    rset(&mut regs, *dst, Value::Ref(r));
+                }
+                RInstr::NewArray { len, dst, image, w } => {
+                    tick_n!(*w);
+                    // The interpreter pops the length before collecting.
+                    let lv = rget(&regs, *len).as_int()?;
+                    let img = &rt.images[*image as usize];
+                    self.materialize(img, &regs);
+                    self.maybe_collect();
+                    let r = self.heap.alloc_array(lv)?;
+                    self.frames
+                        .last_mut()
+                        .expect("frame exists")
+                        .stack
+                        .truncate(img.base as usize);
+                    rset(&mut regs, *dst, Value::Ref(r));
+                }
+                RInstr::GuardCond {
+                    kind,
+                    a,
+                    b,
+                    expected_taken,
+                    exit,
+                    pre,
+                } => {
+                    tick_n!(*pre);
+                    let taken = match kind {
+                        CondKind::ICmp(op) => {
+                            let vb = rget(&regs, *b).as_int()?;
+                            let va = rget(&regs, *a).as_int()?;
+                            op.eval_i64(va, vb)
+                        }
+                        CondKind::IZero(op) => op.eval_i64(rget(&regs, *a).as_int()?, 0),
+                        CondKind::FCmp(op) => {
+                            let vb = rget(&regs, *b).as_float()?;
+                            let va = rget(&regs, *a).as_float()?;
+                            op.eval_f64(va, vb)
+                        }
+                        CondKind::Null => matches!(rget(&regs, *a), Value::Null),
+                        CondKind::NonNull => !matches!(rget(&regs, *a), Value::Null),
+                    };
+                    if taken != *expected_taken {
+                        reg_exit!(*exit);
+                    }
+                    tick_n!(1u32);
+                    self.stats.branches += 1;
+                    if taken {
+                        self.stats.taken_branches += 1;
+                    }
+                }
+                RInstr::GuardSwitch {
+                    low,
+                    targets,
+                    default,
+                    expected,
+                    selector,
+                    exit,
+                    pre,
+                } => {
+                    tick_n!(*pre);
+                    let v = rget(&regs, *selector).as_int()?;
+                    let idx = v.wrapping_sub(*low);
+                    let actual = if idx >= 0 && (idx as usize) < targets.len() {
+                        targets[idx as usize]
+                    } else {
+                        *default
+                    };
+                    if actual != *expected {
+                        reg_exit!(*exit);
+                    }
+                    tick_n!(1u32);
+                    self.stats.branches += 1;
+                    self.stats.taken_branches += 1;
+                }
+                RInstr::EnterStatic {
+                    callee,
+                    ret,
+                    image,
+                    w,
+                } => {
+                    tick_n!(*w);
+                    // Arguments cross the real stack: materialize, then
+                    // let the frame push consume them.
+                    self.materialize(&rt.images[*image as usize], &regs);
+                    self.frames.last_mut().expect("frame exists").pc = *ret;
+                    if let Err(e) = self.push_call(*callee, 1) {
+                        self.stats.instructions += instrs;
+                        self.reg_file = regs;
+                        return Err(e);
+                    }
+                }
+                RInstr::GuardVirtual {
+                    slot,
+                    argc: _,
+                    recv,
+                    expected,
+                    ret,
+                    exit,
+                    pre,
+                } => {
+                    tick_n!(*pre);
+                    let rid = rget(&regs, *recv).as_ref_id()?;
+                    let class = match self.heap.get(rid) {
+                        HeapObj::Object { class, .. } => *class,
+                        HeapObj::Array { .. } => {
+                            return Err(VmError::TypeError {
+                                expected: "object receiver",
+                                found: "array",
+                            })
+                        }
+                    };
+                    let callee = self.program.class(class).resolve(*slot);
+                    if callee != *expected {
+                        reg_exit!(*exit);
+                    }
+                    tick_n!(1u32);
+                    self.stats.virtual_calls += 1;
+                    // The exit's image doubles as the call
+                    // materialization: both need the full frame.
+                    let img_idx = rt.exits[*exit as usize].image;
+                    self.materialize(&rt.images[img_idx as usize], &regs);
+                    self.frames.last_mut().expect("frame exists").pc = *ret;
+                    if let Err(e) = self.push_call(callee, 1) {
+                        self.stats.instructions += instrs;
+                        self.reg_file = regs;
+                        return Err(e);
+                    }
+                }
+                RInstr::RetStatic { w } => {
+                    tick_n!(*w);
+                    self.stats.returns += 1;
+                    // The return value (if any) lives in a register; the
+                    // callee frame just goes away.
+                    self.frames.pop();
+                }
+                RInstr::GuardReturn {
+                    has_value,
+                    retval,
+                    expected,
+                    exit,
+                    pre,
+                } => {
+                    tick_n!(*pre);
+                    if self.frames.len() < 2 {
+                        reg_exit!(*exit);
+                    }
+                    let caller = &self.frames[self.frames.len() - 2];
+                    let cont = BlockId::new(
+                        caller.func,
+                        self.decoded.func(caller.func).block_of[caller.pc as usize],
+                    );
+                    if cont != *expected {
+                        reg_exit!(*exit);
+                    }
+                    tick_n!(1u32);
+                    self.stats.returns += 1;
+                    self.frames.pop();
+                    if *has_value {
+                        let v = rget(&regs, *retval);
+                        self.frames.last_mut().expect("caller exists").stack.push(v);
+                    }
+                }
+                RInstr::Finish { op: d, exit, pre } => {
+                    tick_n!(*pre);
+                    let e = &rt.exits[*exit as usize];
+                    self.materialize(&rt.images[e.image as usize], &regs);
+                    self.frames.last_mut().expect("frame exists").pc = e.dpc;
+                    tick_n!(1u32);
+                    self.stats.instructions += instrs;
+                    match self.exec(*d) {
+                        Err(e) => {
+                            self.reg_file = regs;
+                            return Err(e);
+                        }
+                        Ok(Step::Ok) => {}
+                        Ok(Step::Finished(v)) => {
+                            self.trace_stats.completed += 1;
+                            self.trace_stats.blocks_in_completed += rt.src_blocks.len() as u64;
+                            self.trace_stats.instrs_in_completed += instrs;
+                            self.reg_file = regs;
+                            return Ok(TraceRun::Finished(v));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Trace ran to completion.
+        self.trace_stats.completed += 1;
+        self.trace_stats.blocks_in_completed += rt.src_blocks.len() as u64;
+        self.trace_stats.instrs_in_completed += instrs;
+        let last = *rt.src_blocks.last().expect("traces are nonempty");
+        self.bcg.set_context(last);
+        self.prev_block = Some(last);
+        self.reg_file = regs;
         Ok(TraceRun::Completed)
     }
 

@@ -24,6 +24,14 @@
 //!   are 8-byte decoded `DOp`s and whose guards carry pre-resolved
 //!   side-[`Exit`]s (decoded pc + block), so leaving a trace lands the
 //!   decoded interpreter directly on the right instruction.
+//! * [`reg`] — the final lowering stage: an abstract-stack pass renames
+//!   operand-stack slots and locals to **virtual registers**, folding
+//!   stack traffic into three-address [`RInstr`]s, fusing
+//!   compare-and-branch into single guard ops, and pre-resolving
+//!   constants into a per-trace constant table. Every guard carries a
+//!   [`FrameImage`] mapping live registers back to the stack/locals
+//!   frame, so a side exit reconstructs the interpreter frame exactly
+//!   at the guarded instruction.
 //! * [`engine`] — [`TracingVm`], a complete execution engine that
 //!   interprets out-of-trace code block-by-block over the decoded
 //!   streams (with the profiler attached, as in the base system) and
@@ -37,6 +45,7 @@ pub mod engine;
 pub mod fuse;
 pub mod lower;
 pub mod opt;
+pub mod reg;
 pub mod shared;
 
 pub use compile::{compile, compile_blocks, CompileError, CompiledTrace, CondKind, TInstr};
@@ -44,6 +53,10 @@ pub use engine::{EngineConfig, TracingVm};
 pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
 pub use lower::{lower_trace, lower_trace_frozen, Exit, LoweredTrace, XInstr};
 pub use opt::{optimize, OptStats};
+pub use reg::{
+    disassemble, lower_reg, FrameImage, RBin, RExit, RInstr, RUn, Reg, RegStats, RegTrace,
+    TraceArtifact,
+};
 pub use shared::{
     artifact_builder, run_shared_constructor, run_supervised_shared_constructor, shared_session,
     SharedCache, SharedSession,

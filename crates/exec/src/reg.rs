@@ -1,0 +1,1407 @@
+//! Register-machine lowering: from guarded stack code to a virtual-
+//! register linear IR.
+//!
+//! [`crate::compile`] produces straight-line stack code ([`TInstr`] over
+//! source instructions), and the decoded lowering ([`crate::lower`])
+//! executes it one stack push/pop at a time. A real tracing JIT resolves
+//! that operand traffic *at compile time*: inside a trace every value's
+//! producer and consumer are known, so stack slots can be renamed to
+//! virtual registers and the pushes and pops deleted (the coldbrew and
+//! b3-rs pipelines in SNIPPETS.md §1/§3 are the exemplars). This pass
+//! runs an abstract interpretation of the operand stack over the
+//! compiled trace:
+//!
+//! * each stack slot is renamed to a fresh virtual register (SSA-style:
+//!   every [`RInstr`] writes a new register), so `load a; load b; iadd;
+//!   store d` becomes one three-address [`RInstr::Bin`];
+//! * locals are renamed too — a `load` of a slot the trace already holds
+//!   in a register is deleted outright, and `store`s merely rebind the
+//!   rename table (marking the slot *dirty*);
+//! * constants are pre-resolved out of the pools into a per-trace
+//!   constant table, loaded into the register file once at entry;
+//! * compare-and-branch pairs collapse into single guard ops on
+//!   registers ([`RInstr::GuardCond`]/[`RInstr::GuardSwitch`]);
+//! * every guard carries a side-exit record ([`RExit`]) with a
+//!   [`FrameImage`]: the dirty local slots to write back and the
+//!   register list to push, reconstructing the operand-stack frame the
+//!   interpreter expects at exactly the guarded instruction. Deopt is
+//!   therefore transparent: the resumed interpreter re-executes the
+//!   guarded instruction with identical semantics.
+//!
+//! **Accounting transparency.** Deleted instructions still cost fuel:
+//! every eliminated op adds one to the *weight* of the next emitted
+//! instruction (`w`), and guards carry the accumulated weight of the
+//! eliminated ops before them (`pre`), charged before the guard
+//! evaluates. Batching is observationally identical to per-op ticking —
+//! only the last tick of a batch can fail, and both schemes leave the
+//! instruction counter saturated at the fuel limit — so the unoptimized
+//! register path executes *exactly* the interpreter's instruction count,
+//! a property the differential tests pin down.
+//!
+//! **Trace entry mid-function.** A trace may start at a block whose
+//! entry stack depth is nonzero. The lowering seeds its model from the
+//! verifier's per-pc depth map ([`jvm_bytecode::stack_depths`]) and
+//! pulls real entry-stack values into registers lazily
+//! ([`RInstr::PullStack`]) only when an instruction actually consumes
+//! one.
+//!
+//! **Calls.** Static calls and guarded virtual calls materialize the
+//! caller frame (arguments must cross the real stack into the callee
+//! frame), then continue lowering in a fresh callee context. In-trace
+//! returns whose continuation is statically known ([`RInstr::RetStatic`])
+//! pop the frame with the return value staying in a register; returns
+//! from the trace's entry depth keep a runtime continuation guard.
+//!
+//! **Allocation safety.** `new`/`newarray` may trigger a collection, and
+//! the collector roots only real frames — so both materialize the full
+//! frame image first, collect, then truncate the stack back. Lowering is
+//! sequential, so any register a later instruction reads is still
+//! referenced by the abstract state at every allocation point and thus
+//! rooted through the materialized frame.
+//!
+//! Lowering is *total* on the traces the engine compiles, with a few
+//! `None` fallbacks (the engine then runs the decoded form instead): an
+//! in-trace return whose recorded continuation contradicts the static
+//! call site, a continuation block whose entry depth is unreachable in
+//! the depth map, and register-file overflow.
+
+use std::collections::HashMap;
+
+use jvm_bytecode::{stack_depths, BlockId, ClassId, CmpOp, FuncId, Instr, Intrinsic, Program};
+use jvm_vm::{DOp, DecodedProgram, Value};
+use trace_cache::TraceId;
+
+use crate::compile::{CompiledTrace, CondKind, TInstr};
+use crate::lower::LoweredTrace;
+
+/// A virtual register index into the trace's flat register file.
+pub type Reg = u16;
+
+/// Binary operations a [`RInstr::Bin`] may perform (three-address form
+/// of the stack binops; division and remainder trap on zero exactly as
+/// the interpreter does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RBin {
+    /// Wrapping integer add.
+    IAdd,
+    /// Wrapping integer subtract.
+    ISub,
+    /// Wrapping integer multiply.
+    IMul,
+    /// Integer divide; traps on zero.
+    IDiv,
+    /// Integer remainder; traps on zero.
+    IRem,
+    /// Shift left (count masked to 63 bits).
+    IShl,
+    /// Arithmetic shift right (count masked).
+    IShr,
+    /// Logical shift right (count masked).
+    IUShr,
+    /// Bitwise and.
+    IAnd,
+    /// Bitwise or.
+    IOr,
+    /// Bitwise xor.
+    IXor,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide (IEEE; never traps).
+    FDiv,
+}
+
+impl RBin {
+    fn of(ins: &Instr) -> Option<RBin> {
+        Some(match ins {
+            Instr::IAdd => RBin::IAdd,
+            Instr::ISub => RBin::ISub,
+            Instr::IMul => RBin::IMul,
+            Instr::IDiv => RBin::IDiv,
+            Instr::IRem => RBin::IRem,
+            Instr::IShl => RBin::IShl,
+            Instr::IShr => RBin::IShr,
+            Instr::IUShr => RBin::IUShr,
+            Instr::IAnd => RBin::IAnd,
+            Instr::IOr => RBin::IOr,
+            Instr::IXor => RBin::IXor,
+            Instr::FAdd => RBin::FAdd,
+            Instr::FSub => RBin::FSub,
+            Instr::FMul => RBin::FMul,
+            Instr::FDiv => RBin::FDiv,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            RBin::IAdd => "iadd",
+            RBin::ISub => "isub",
+            RBin::IMul => "imul",
+            RBin::IDiv => "idiv",
+            RBin::IRem => "irem",
+            RBin::IShl => "ishl",
+            RBin::IShr => "ishr",
+            RBin::IUShr => "iushr",
+            RBin::IAnd => "iand",
+            RBin::IOr => "ior",
+            RBin::IXor => "ixor",
+            RBin::FAdd => "fadd",
+            RBin::FSub => "fsub",
+            RBin::FMul => "fmul",
+            RBin::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Unary operations a [`RInstr::Un`] may perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RUn {
+    /// Wrapping integer negate.
+    INeg,
+    /// Float negate.
+    FNeg,
+    /// Int to float.
+    I2F,
+    /// Float to int (truncating `as i64` cast, saturating).
+    F2I,
+}
+
+impl RUn {
+    fn name(self) -> &'static str {
+        match self {
+            RUn::INeg => "ineg",
+            RUn::FNeg => "fneg",
+            RUn::I2F => "i2f",
+            RUn::F2I => "f2i",
+        }
+    }
+}
+
+/// How to rebuild the interpreter's frame from the register file: the
+/// local slots the trace holds newer values for, and the register list
+/// to push onto the (partially real) operand stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameImage {
+    /// Number of *real* (never pulled) values already on the frame's
+    /// operand stack at this point; the registers in `stack` sit above
+    /// them.
+    pub base: u32,
+    /// Registers to push, bottom to top.
+    pub stack: Box<[Reg]>,
+    /// `(local slot, register)` pairs to write back, ascending by slot.
+    pub dirty: Box<[(u16, Reg)]>,
+}
+
+/// A side-exit record: where the interpreter resumes when a guard fails,
+/// plus the frame image and the per-block accounting at that point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RExit {
+    /// Function owning the guarded instruction.
+    pub func: FuncId,
+    /// Decoded index of the guarded instruction (the resume point, past
+    /// its block's entry marker).
+    pub dpc: u32,
+    /// Block index containing it (the dispatch accounted eagerly at the
+    /// exit).
+    pub block: u32,
+    /// Source blocks fully executed before the guard (static — guards
+    /// sit at known positions in the trace).
+    pub blocks_done: u32,
+    /// Index into [`RegTrace::images`].
+    pub image: u32,
+}
+
+/// One instruction of a register-lowered trace. Operands are virtual
+/// registers; `w` is the fuel weight (this instruction plus the
+/// eliminated stack ops folded into it), `pre` a guard's pre-evaluation
+/// weight, `exit` an index into [`RegTrace::exits`], `image` an index
+/// into [`RegTrace::images`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RInstr {
+    /// Pop one *real* entry-stack value into `dst`. Pure data movement —
+    /// never costs fuel.
+    PullStack {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = locals[slot]` — first read of a local the trace has not
+    /// renamed yet.
+    LoadLocal {
+        /// Local slot.
+        slot: u16,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = locals[slot] + imm` — an `iinc` of an unrenamed local.
+    IncLocal {
+        /// Local slot.
+        slot: u16,
+        /// Destination register.
+        dst: Reg,
+        /// Increment.
+        imm: i32,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = src + imm` — an `iinc` of a renamed local.
+    IncReg {
+        /// Current register of the local.
+        src: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Increment.
+        imm: i32,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = a <op> b` — three-address binary op.
+    Bin {
+        /// Operation.
+        op: RBin,
+        /// Left operand.
+        a: Reg,
+        /// Right operand (type-checked first, matching interpreter pop
+        /// order).
+        b: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = <op> a` — unary op.
+    Un {
+        /// Operation.
+        op: RUn,
+        /// Operand.
+        a: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// An intrinsic over registers; `dst` is written only when the
+    /// intrinsic returns a value.
+    Intrinsic {
+        /// The intrinsic.
+        i: Intrinsic,
+        /// First operand.
+        a: Reg,
+        /// Second operand for two-argument intrinsics (type-checked
+        /// first, matching pop order).
+        b: Reg,
+        /// Destination register (unused unless the intrinsic returns).
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = obj.field`.
+    GetField {
+        /// Object reference register.
+        obj: Reg,
+        /// Field index.
+        field: u16,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `obj.field = val`.
+    PutField {
+        /// Object reference register.
+        obj: Reg,
+        /// Value register.
+        val: Reg,
+        /// Field index.
+        field: u16,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = arr[idx]`.
+    ALoad {
+        /// Array reference register.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `arr[idx] = val`.
+    AStore {
+        /// Array reference register.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+        /// Value register.
+        val: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// `dst = arr.length`.
+    ArrayLen {
+        /// Array reference register.
+        arr: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// Allocate an object. Materializes `image` first (collection
+    /// roots), collects if due, then truncates the stack back.
+    NewObj {
+        /// Class to instantiate.
+        class: ClassId,
+        /// Field count (resolved at lowering).
+        nfields: u16,
+        /// Destination register.
+        dst: Reg,
+        /// Frame image for collection rooting.
+        image: u32,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// Allocate an array of length `regs[len]`; same rooting protocol.
+    NewArray {
+        /// Length register.
+        len: Reg,
+        /// Destination register.
+        dst: Reg,
+        /// Frame image for collection rooting.
+        image: u32,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// Fused compare-and-branch guard: side-exit unless the comparison
+    /// outcome equals `expected_taken`.
+    GuardCond {
+        /// Branch shape.
+        kind: CondKind,
+        /// Left operand (unary kinds use only `a`).
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Direction the trace recorded.
+        expected_taken: bool,
+        /// Side-exit record.
+        exit: u32,
+        /// Pre-evaluation fuel weight.
+        pre: u32,
+    },
+    /// Guarded `tableswitch` on a register selector; targets are decoded
+    /// marker indices (injective over blocks, so comparing them is
+    /// comparing successor blocks).
+    GuardSwitch {
+        /// Selector value mapped to `targets[0]`.
+        low: i64,
+        /// Decoded jump table.
+        targets: Box<[u32]>,
+        /// Decoded out-of-range target.
+        default: u32,
+        /// Decoded marker the trace expects.
+        expected: u32,
+        /// Selector register.
+        selector: Reg,
+        /// Side-exit record.
+        exit: u32,
+        /// Pre-evaluation fuel weight.
+        pre: u32,
+    },
+    /// Static call: materialize `image` (arguments cross the real
+    /// stack), set the caller's continuation pc, push the callee frame.
+    EnterStatic {
+        /// The callee.
+        callee: FuncId,
+        /// Decoded continuation pc in the caller.
+        ret: u32,
+        /// Frame image (all live values).
+        image: u32,
+        /// Fuel weight.
+        w: u32,
+    },
+    /// Virtual call with a receiver guard; on pass, materializes the
+    /// exit's image and pushes the callee frame.
+    GuardVirtual {
+        /// Vtable slot.
+        slot: u16,
+        /// Argument count including the receiver.
+        argc: u16,
+        /// Receiver register.
+        recv: Reg,
+        /// Callee the trace recorded.
+        expected: FuncId,
+        /// Decoded continuation pc in the caller.
+        ret: u32,
+        /// Side-exit record (its image doubles as the call
+        /// materialization).
+        exit: u32,
+        /// Pre-evaluation fuel weight.
+        pre: u32,
+    },
+    /// In-trace return whose continuation was proven statically: pop the
+    /// callee frame; the return value (if any) stays in a register.
+    RetStatic {
+        /// Fuel weight.
+        w: u32,
+    },
+    /// Return at the trace's entry depth: runtime continuation guard,
+    /// then pop the frame and push the value onto the *real* caller
+    /// stack.
+    GuardReturn {
+        /// Whether a value is returned.
+        has_value: bool,
+        /// Return-value register (unused when `has_value` is false).
+        retval: Reg,
+        /// The continuation block the trace recorded.
+        expected: BlockId,
+        /// Side-exit record.
+        exit: u32,
+        /// Pre-evaluation fuel weight.
+        pre: u32,
+    },
+    /// The final block's terminator: materialize the exit's image,
+    /// re-anchor the pc, and execute the original decoded op with full
+    /// interpreter semantics; the trace then completes.
+    Finish {
+        /// The decoded terminator.
+        op: DOp,
+        /// Exit record carrying the resume pc and frame image.
+        exit: u32,
+        /// Pre-execution fuel weight.
+        pre: u32,
+    },
+}
+
+/// Per-trace lowering statistics, aggregated by the engine like
+/// [`crate::fuse::FuseStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegStats {
+    /// Compiled (stack) instructions before lowering.
+    pub before: usize,
+    /// Register instructions after lowering.
+    pub after: usize,
+    /// Virtual registers allocated (register-file size).
+    pub regs: u64,
+    /// Stack ops eliminated outright (loads of renamed locals, stores,
+    /// constants, stack shuffles, jumps).
+    pub eliminated: u64,
+    /// Compare-and-branch pairs fused into single guard ops.
+    pub guards_fused: u64,
+}
+
+/// A trace lowered to register form, ready for the engine's register
+/// loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegTrace {
+    /// The cache id this was lowered from.
+    pub trace_id: TraceId,
+    /// The register instruction sequence.
+    pub code: Vec<RInstr>,
+    /// `(register, value)` pairs loaded into the register file at entry.
+    pub consts: Vec<(Reg, Value)>,
+    /// Side-exit records, indexed by guards.
+    pub exits: Vec<RExit>,
+    /// Frame images, indexed by exits and allocation/call instructions.
+    pub images: Vec<FrameImage>,
+    /// The source block sequence (side-exit context reconstruction and
+    /// completion accounting).
+    pub src_blocks: Vec<BlockId>,
+    /// Source instruction count (pre-optimisation baseline).
+    pub src_instrs: usize,
+    /// Register-file size.
+    pub num_regs: u16,
+    /// Lowering statistics for this trace.
+    pub stats: RegStats,
+}
+
+impl RegTrace {
+    /// Number of source basic blocks.
+    pub fn blocks(&self) -> usize {
+        self.src_blocks.len()
+    }
+
+    /// Real byte footprint of the register code (capacities).
+    pub fn memory_estimate(&self) -> usize {
+        let mut bytes = self.code.capacity() * std::mem::size_of::<RInstr>()
+            + self.consts.capacity() * std::mem::size_of::<(Reg, Value)>()
+            + self.exits.capacity() * std::mem::size_of::<RExit>()
+            + self.images.capacity() * std::mem::size_of::<FrameImage>()
+            + self.src_blocks.capacity() * std::mem::size_of::<BlockId>();
+        for img in &self.images {
+            bytes += img.stack.len() * std::mem::size_of::<Reg>()
+                + img.dirty.len() * std::mem::size_of::<(u16, Reg)>();
+        }
+        for r in &self.code {
+            if let RInstr::GuardSwitch { targets, .. } = r {
+                bytes += targets.len() * 4;
+            }
+        }
+        bytes
+    }
+}
+
+/// A published trace artifact: the register form when lowering
+/// succeeded, the decoded stack form otherwise. Both the private cache
+/// and the shared cache store this type, so the register form flows
+/// through frozen publication unchanged (its constants are inline — no
+/// pool interning).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceArtifact {
+    /// Register-lowered form (the fast path).
+    Reg(RegTrace),
+    /// Decoded stack form (fallback).
+    Decoded(LoweredTrace),
+}
+
+impl TraceArtifact {
+    /// The source block sequence.
+    pub fn src_blocks(&self) -> &[BlockId] {
+        match self {
+            TraceArtifact::Reg(rt) => &rt.src_blocks,
+            TraceArtifact::Decoded(lt) => &lt.src_blocks,
+        }
+    }
+
+    /// Real byte footprint of the artifact.
+    pub fn memory_estimate(&self) -> usize {
+        match self {
+            TraceArtifact::Reg(rt) => rt.memory_estimate(),
+            TraceArtifact::Decoded(lt) => lt.memory_estimate(),
+        }
+    }
+}
+
+/// One lowering context: the function a stretch of trace code executes
+/// in, with its local rename table and abstract stack.
+struct Ctx {
+    func: FuncId,
+    /// `slot -> (register, dirty)`; `dirty` means the register holds a
+    /// newer value than `frame.locals[slot]`.
+    rename: Vec<Option<(Reg, bool)>>,
+    /// Abstract operand stack, bottom to top, as registers.
+    stack: Vec<Reg>,
+    /// Real entry-stack values below the abstract stack, not yet pulled.
+    pending: u32,
+    /// For saved caller contexts: the continuation block the paired
+    /// return must target.
+    cont_block: BlockId,
+}
+
+impl Ctx {
+    fn new(program: &Program, func: FuncId) -> Ctx {
+        Ctx {
+            func,
+            rename: vec![None; program.function(func).num_locals() as usize],
+            stack: Vec::new(),
+            pending: 0,
+            cont_block: BlockId::new(func, 0),
+        }
+    }
+}
+
+struct Lowering<'a> {
+    program: &'a Program,
+    decoded: &'a DecodedProgram,
+    code: Vec<RInstr>,
+    consts: Vec<(Reg, Value)>,
+    exits: Vec<RExit>,
+    images: Vec<FrameImage>,
+    ctx: Ctx,
+    callers: Vec<Ctx>,
+    depths: HashMap<FuncId, Vec<Option<u32>>>,
+    next_reg: u32,
+    /// Accumulated fuel weight of eliminated ops since the last emitted
+    /// weighted instruction.
+    pending_w: u32,
+    /// Source blocks fully processed so far (block-ending `TInstr`s).
+    block_idx: u32,
+    eliminated: u64,
+    guards_fused: u64,
+}
+
+impl<'a> Lowering<'a> {
+    fn fresh(&mut self) -> Option<Reg> {
+        if self.next_reg >= u16::MAX as u32 {
+            return None;
+        }
+        let r = self.next_reg as Reg;
+        self.next_reg += 1;
+        Some(r)
+    }
+
+    /// Register holding `v`, deduplicated bit-exactly.
+    fn const_reg(&mut self, v: Value) -> Option<Reg> {
+        let same = |a: &Value| match (a, &v) {
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        };
+        if let Some(&(r, _)) = self.consts.iter().find(|(_, a)| same(a)) {
+            return Some(r);
+        }
+        let r = self.fresh()?;
+        self.consts.push((r, v));
+        Some(r)
+    }
+
+    /// Accounts one eliminated source instruction: its fuel folds into
+    /// the next emitted instruction's weight.
+    fn elim(&mut self) {
+        self.pending_w += 1;
+        self.eliminated += 1;
+    }
+
+    fn take_w(&mut self) -> u32 {
+        let w = self.pending_w + 1;
+        self.pending_w = 0;
+        w
+    }
+
+    fn take_pre(&mut self) -> u32 {
+        std::mem::take(&mut self.pending_w)
+    }
+
+    /// Pops one real entry-stack value into a fresh register; it becomes
+    /// the new *bottom* of the abstract stack.
+    fn pull(&mut self) -> Option<()> {
+        if self.ctx.pending == 0 {
+            // Verified code cannot underflow its entry depth.
+            return None;
+        }
+        let dst = self.fresh()?;
+        self.code.push(RInstr::PullStack { dst });
+        self.ctx.pending -= 1;
+        self.ctx.stack.insert(0, dst);
+        Some(())
+    }
+
+    fn ensure(&mut self, n: usize) -> Option<()> {
+        while self.ctx.stack.len() < n {
+            self.pull()?;
+        }
+        Some(())
+    }
+
+    fn pop1(&mut self) -> Option<Reg> {
+        self.ensure(1)?;
+        self.ctx.stack.pop()
+    }
+
+    /// Snapshots the current frame image.
+    fn image(&mut self) -> u32 {
+        let dirty: Vec<(u16, Reg)> = self
+            .ctx
+            .rename
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| match e {
+                Some((r, true)) => Some((slot as u16, *r)),
+                _ => None,
+            })
+            .collect();
+        self.images.push(FrameImage {
+            base: self.ctx.pending,
+            stack: self.ctx.stack.clone().into_boxed_slice(),
+            dirty: dirty.into_boxed_slice(),
+        });
+        (self.images.len() - 1) as u32
+    }
+
+    /// Builds a side-exit record anchored at source `(func, pc)` with
+    /// the current frame image and block accounting.
+    fn exit_for(&mut self, func: FuncId, pc: u32) -> u32 {
+        let image = self.image();
+        let df = self.decoded.func(func);
+        let dpc = df.pc_map[pc as usize];
+        self.exits.push(RExit {
+            func,
+            dpc,
+            block: df.block_of[dpc as usize],
+            blocks_done: self.block_idx,
+            image,
+        });
+        (self.exits.len() - 1) as u32
+    }
+
+    /// Marks every renamed local clean — called after an emitted
+    /// instruction materializes the frame at runtime.
+    fn mark_clean(&mut self) {
+        for e in self.ctx.rename.iter_mut().flatten() {
+            e.1 = false;
+        }
+    }
+
+    /// Entry stack depth of `block`'s first instruction, from the
+    /// verifier's depth map.
+    fn entry_depth(&mut self, block: BlockId) -> Option<u32> {
+        let program = self.program;
+        let depths = self
+            .depths
+            .entry(block.func)
+            .or_insert_with(|| stack_depths(program, block.func));
+        let start = program.function(block.func).block(block.block).start;
+        depths[start as usize]
+    }
+
+    /// Switches into a callee context after a call returning to decoded
+    /// pc `ret`, saving the caller. `argc` is the callee's total
+    /// argument count. At runtime the call instruction materializes the
+    /// caller's image (abstract values land on the real stack) and the
+    /// frame push pops `argc` of them into the callee's locals — so the
+    /// callee starts with its shallow argument slots renamed *clean* to
+    /// the registers that fed them, and the caller resumes with
+    /// everything real.
+    fn enter_callee(&mut self, callee: FuncId, argc: u16, ret: u32) {
+        let abs_len = self.ctx.stack.len();
+        let k = (argc as usize).min(abs_len);
+        let mut callee_ctx = Ctx::new(self.program, callee);
+        for j in 0..k {
+            // Arguments deeper than the abstract stack were already real;
+            // they reach the callee's low slots through the real stack.
+            let slot = argc as usize - k + j;
+            let r = self.ctx.stack[abs_len - k + j];
+            callee_ctx.rename[slot] = Some((r, false));
+        }
+        let caller_func = self.ctx.func;
+        debug_assert!(self.ctx.pending as usize + abs_len >= argc as usize);
+        self.ctx.pending = self.ctx.pending + abs_len as u32 - argc as u32;
+        self.ctx.stack.clear();
+        self.mark_clean();
+        self.ctx.cont_block = BlockId::new(
+            caller_func,
+            self.decoded.func(caller_func).block_of[ret as usize],
+        );
+        let saved = std::mem::replace(&mut self.ctx, callee_ctx);
+        self.callers.push(saved);
+    }
+}
+
+/// Lowers a compiled trace to register form. `decoded` is read-only —
+/// the register form pre-resolves constants inline, so this pass never
+/// interns into the pools and the same lowering serves both private and
+/// frozen (shared) publication.
+///
+/// Returns `None` when the trace cannot be expressed in register form
+/// (see the module docs); the caller falls back to the decoded lowering.
+pub fn lower_reg(
+    program: &Program,
+    decoded: &DecodedProgram,
+    ct: &CompiledTrace,
+) -> Option<RegTrace> {
+    let first = *ct.src_blocks.first()?;
+    let mut lo = Lowering {
+        program,
+        decoded,
+        code: Vec::new(),
+        consts: Vec::new(),
+        exits: Vec::new(),
+        images: Vec::new(),
+        ctx: Ctx::new(program, first.func),
+        callers: Vec::new(),
+        depths: HashMap::new(),
+        next_reg: 0,
+        pending_w: 0,
+        block_idx: 0,
+        eliminated: 0,
+        guards_fused: 0,
+    };
+    lo.ctx.pending = lo.entry_depth(first)?;
+
+    for t in &ct.code {
+        match t {
+            TInstr::Op(ins) => lo.lower_op(ins)?,
+            TInstr::Jump { .. } => {
+                // A goto costs one instruction but transfers no data; its
+                // fuel folds into the next weight.
+                lo.elim();
+                lo.block_idx += 1;
+            }
+            TInstr::FallThrough => {
+                // Not an instruction — a block-boundary marker.
+                lo.block_idx += 1;
+            }
+            TInstr::GuardCond {
+                kind,
+                expected_taken,
+                target: _,
+                func,
+                pc,
+            } => {
+                lo.ensure(kind.arity())?;
+                let n = lo.ctx.stack.len();
+                let (a, b) = if kind.arity() == 2 {
+                    (lo.ctx.stack[n - 2], lo.ctx.stack[n - 1])
+                } else {
+                    (lo.ctx.stack[n - 1], lo.ctx.stack[n - 1])
+                };
+                // The exit image keeps the operands on the abstract
+                // stack: a failed guard resumes at the branch, which
+                // re-pops them.
+                let exit = lo.exit_for(*func, *pc);
+                for _ in 0..kind.arity() {
+                    lo.ctx.stack.pop();
+                }
+                let pre = lo.take_pre();
+                lo.code.push(RInstr::GuardCond {
+                    kind: *kind,
+                    a,
+                    b,
+                    expected_taken: *expected_taken,
+                    exit,
+                    pre,
+                });
+                lo.guards_fused += 1;
+                lo.block_idx += 1;
+            }
+            TInstr::GuardSwitch {
+                low,
+                targets,
+                default,
+                expected_pc,
+                func,
+                pc,
+            } => {
+                lo.ensure(1)?;
+                let selector = *lo.ctx.stack.last().expect("ensured");
+                let exit = lo.exit_for(*func, *pc);
+                lo.ctx.stack.pop();
+                let pre = lo.take_pre();
+                let df = lo.decoded.func(*func);
+                lo.code.push(RInstr::GuardSwitch {
+                    low: *low,
+                    targets: targets.iter().map(|&t| df.block_entry(t)).collect(),
+                    default: df.block_entry(*default),
+                    expected: df.block_entry(*expected_pc),
+                    selector,
+                    exit,
+                    pre,
+                });
+                lo.guards_fused += 1;
+                lo.block_idx += 1;
+            }
+            TInstr::EnterStatic { callee, func, pc } => {
+                let argc = program.function(*callee).num_params();
+                let image = lo.image();
+                let ret = lo.decoded.func(*func).pc_map[*pc as usize] + 1;
+                let w = lo.take_w();
+                lo.code.push(RInstr::EnterStatic {
+                    callee: *callee,
+                    ret,
+                    image,
+                    w,
+                });
+                lo.enter_callee(*callee, argc, ret);
+                lo.block_idx += 1;
+            }
+            TInstr::GuardVirtual {
+                slot,
+                argc,
+                expected,
+                func,
+                pc,
+            } => {
+                lo.ensure(*argc as usize)?;
+                let n = lo.ctx.stack.len();
+                let recv = lo.ctx.stack[n - *argc as usize];
+                let exit = lo.exit_for(*func, *pc);
+                let ret = lo.decoded.func(*func).pc_map[*pc as usize] + 1;
+                let pre = lo.take_pre();
+                lo.code.push(RInstr::GuardVirtual {
+                    slot: *slot,
+                    argc: *argc,
+                    recv,
+                    expected: *expected,
+                    ret,
+                    exit,
+                    pre,
+                });
+                lo.enter_callee(*expected, *argc, ret);
+                lo.block_idx += 1;
+            }
+            TInstr::GuardReturn {
+                expected,
+                has_value,
+                func,
+                pc,
+            } => {
+                if lo.callers.is_empty() {
+                    // Return at the trace's entry depth: the caller frame
+                    // is real, so the continuation stays a runtime guard.
+                    if *has_value {
+                        lo.ensure(1)?;
+                    }
+                    let exit = lo.exit_for(*func, *pc);
+                    let retval = if *has_value {
+                        lo.ctx.stack.pop().expect("ensured")
+                    } else {
+                        0
+                    };
+                    let pre = lo.take_pre();
+                    lo.code.push(RInstr::GuardReturn {
+                        has_value: *has_value,
+                        retval,
+                        expected: *expected,
+                        exit,
+                        pre,
+                    });
+                    // Continue in the (real) caller frame: nothing
+                    // renamed, the full continuation depth is real.
+                    let pending = lo.entry_depth(*expected)?;
+                    lo.ctx = Ctx::new(program, expected.func);
+                    lo.ctx.pending = pending;
+                    lo.block_idx += 1;
+                } else {
+                    // The caller is on the lowering stack: the
+                    // continuation is statically known. A recorded
+                    // continuation that contradicts the call site cannot
+                    // execute — refuse and let the decoded form handle it.
+                    if lo.callers.last().expect("nonempty").cont_block != *expected {
+                        return None;
+                    }
+                    let retval = if *has_value { Some(lo.pop1()?) } else { None };
+                    let w = lo.take_w();
+                    lo.code.push(RInstr::RetStatic { w });
+                    lo.ctx = lo.callers.pop().expect("nonempty");
+                    if let Some(r) = retval {
+                        lo.ctx.stack.push(r);
+                    }
+                    lo.block_idx += 1;
+                }
+            }
+            TInstr::Finish { instr: _, func, pc } => {
+                let exit = lo.exit_for(*func, *pc);
+                let pre = lo.take_pre();
+                let dpc = lo.exits[exit as usize].dpc;
+                lo.code.push(RInstr::Finish {
+                    op: lo.decoded.func(*func).code[dpc as usize],
+                    exit,
+                    pre,
+                });
+                lo.block_idx += 1;
+            }
+            // Lowering runs on pre-fusion code; a fused group cannot
+            // appear. Refuse rather than trust.
+            TInstr::Fused(_) => return None,
+        }
+    }
+    debug_assert_eq!(lo.pending_w, 0, "Finish consumes all pending weight");
+    debug_assert_eq!(lo.block_idx as usize, ct.src_blocks.len());
+
+    let stats = RegStats {
+        before: ct.code.len(),
+        after: lo.code.len(),
+        regs: lo.next_reg as u64,
+        eliminated: lo.eliminated,
+        guards_fused: lo.guards_fused,
+    };
+    Some(RegTrace {
+        trace_id: ct.trace_id,
+        code: lo.code,
+        consts: lo.consts,
+        exits: lo.exits,
+        images: lo.images,
+        src_blocks: ct.src_blocks.clone(),
+        src_instrs: ct.src_instrs,
+        num_regs: lo.next_reg as u16,
+        stats,
+    })
+}
+
+impl<'a> Lowering<'a> {
+    /// Lowers one straight-line source instruction.
+    fn lower_op(&mut self, ins: &Instr) -> Option<()> {
+        if let Some(op) = RBin::of(ins) {
+            self.ensure(2)?;
+            let b = self.ctx.stack.pop().expect("ensured");
+            let a = self.ctx.stack.pop().expect("ensured");
+            let dst = self.fresh()?;
+            let w = self.take_w();
+            self.code.push(RInstr::Bin { op, a, b, dst, w });
+            self.ctx.stack.push(dst);
+            return Some(());
+        }
+        match ins {
+            Instr::IConst(v) => {
+                let r = self.const_reg(Value::Int(*v))?;
+                self.ctx.stack.push(r);
+                self.elim();
+            }
+            Instr::FConst(v) => {
+                let r = self.const_reg(Value::Float(*v))?;
+                self.ctx.stack.push(r);
+                self.elim();
+            }
+            Instr::ConstNull => {
+                let r = self.const_reg(Value::Null)?;
+                self.ctx.stack.push(r);
+                self.elim();
+            }
+            Instr::Load(slot) => match self.ctx.rename[*slot as usize] {
+                Some((r, _)) => {
+                    self.ctx.stack.push(r);
+                    self.elim();
+                }
+                None => {
+                    let dst = self.fresh()?;
+                    let w = self.take_w();
+                    self.code.push(RInstr::LoadLocal {
+                        slot: *slot,
+                        dst,
+                        w,
+                    });
+                    self.ctx.rename[*slot as usize] = Some((dst, false));
+                    self.ctx.stack.push(dst);
+                }
+            },
+            Instr::Store(slot) => {
+                let r = self.pop1()?;
+                self.ctx.rename[*slot as usize] = Some((r, true));
+                self.elim();
+            }
+            Instr::IInc(slot, imm) => {
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                match self.ctx.rename[*slot as usize] {
+                    Some((src, _)) => self.code.push(RInstr::IncReg {
+                        src,
+                        dst,
+                        imm: *imm,
+                        w,
+                    }),
+                    None => self.code.push(RInstr::IncLocal {
+                        slot: *slot,
+                        dst,
+                        imm: *imm,
+                        w,
+                    }),
+                }
+                self.ctx.rename[*slot as usize] = Some((dst, true));
+            }
+            Instr::Dup => {
+                self.ensure(1)?;
+                let r = *self.ctx.stack.last().expect("ensured");
+                self.ctx.stack.push(r);
+                self.elim();
+            }
+            Instr::Dup2 => {
+                self.ensure(2)?;
+                let n = self.ctx.stack.len();
+                let a = self.ctx.stack[n - 2];
+                let b = self.ctx.stack[n - 1];
+                self.ctx.stack.push(a);
+                self.ctx.stack.push(b);
+                self.elim();
+            }
+            Instr::Pop => {
+                self.pop1()?;
+                self.elim();
+            }
+            Instr::Swap => {
+                self.ensure(2)?;
+                let n = self.ctx.stack.len();
+                self.ctx.stack.swap(n - 1, n - 2);
+                self.elim();
+            }
+            Instr::INeg | Instr::FNeg | Instr::I2F | Instr::F2I => {
+                let op = match ins {
+                    Instr::INeg => RUn::INeg,
+                    Instr::FNeg => RUn::FNeg,
+                    Instr::I2F => RUn::I2F,
+                    _ => RUn::F2I,
+                };
+                let a = self.pop1()?;
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::Un { op, a, dst, w });
+                self.ctx.stack.push(dst);
+            }
+            Instr::Intrinsic(i) => {
+                let argc = i.arg_count();
+                self.ensure(argc)?;
+                let (a, b) = if argc == 2 {
+                    let b = self.ctx.stack.pop().expect("ensured");
+                    let a = self.ctx.stack.pop().expect("ensured");
+                    (a, b)
+                } else {
+                    let a = self.ctx.stack.pop().expect("ensured");
+                    (a, a)
+                };
+                let dst = if i.returns_value() { self.fresh()? } else { 0 };
+                let w = self.take_w();
+                self.code.push(RInstr::Intrinsic {
+                    i: *i,
+                    a,
+                    b,
+                    dst,
+                    w,
+                });
+                if i.returns_value() {
+                    self.ctx.stack.push(dst);
+                }
+            }
+            Instr::GetField(field) => {
+                let obj = self.pop1()?;
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::GetField {
+                    obj,
+                    field: *field,
+                    dst,
+                    w,
+                });
+                self.ctx.stack.push(dst);
+            }
+            Instr::PutField(field) => {
+                self.ensure(2)?;
+                let val = self.ctx.stack.pop().expect("ensured");
+                let obj = self.ctx.stack.pop().expect("ensured");
+                let w = self.take_w();
+                self.code.push(RInstr::PutField {
+                    obj,
+                    val,
+                    field: *field,
+                    w,
+                });
+            }
+            Instr::ALoad => {
+                self.ensure(2)?;
+                let idx = self.ctx.stack.pop().expect("ensured");
+                let arr = self.ctx.stack.pop().expect("ensured");
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::ALoad { arr, idx, dst, w });
+                self.ctx.stack.push(dst);
+            }
+            Instr::AStore => {
+                self.ensure(3)?;
+                let val = self.ctx.stack.pop().expect("ensured");
+                let idx = self.ctx.stack.pop().expect("ensured");
+                let arr = self.ctx.stack.pop().expect("ensured");
+                let w = self.take_w();
+                self.code.push(RInstr::AStore { arr, idx, val, w });
+            }
+            Instr::ArrayLen => {
+                let arr = self.pop1()?;
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::ArrayLen { arr, dst, w });
+                self.ctx.stack.push(dst);
+            }
+            Instr::New(class) => {
+                // Collection happens before the push: image the live
+                // frame as-is.
+                let image = self.image();
+                let nfields = self.program.class(*class).num_fields();
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::NewObj {
+                    class: *class,
+                    nfields,
+                    dst,
+                    image,
+                    w,
+                });
+                self.ctx.stack.push(dst);
+                self.mark_clean();
+            }
+            Instr::NewArray => {
+                // The interpreter pops the length before collecting.
+                let len = self.pop1()?;
+                let image = self.image();
+                let dst = self.fresh()?;
+                let w = self.take_w();
+                self.code.push(RInstr::NewArray { len, dst, image, w });
+                self.ctx.stack.push(dst);
+                self.mark_clean();
+            }
+            Instr::Nop => self.elim(),
+            // Control instructions never appear as TInstr::Op.
+            Instr::IfICmp(..)
+            | Instr::IfI(..)
+            | Instr::IfFCmp(..)
+            | Instr::IfNull(_)
+            | Instr::IfNonNull(_)
+            | Instr::Goto(_)
+            | Instr::TableSwitch { .. }
+            | Instr::InvokeStatic(_)
+            | Instr::InvokeVirtual { .. }
+            | Instr::Return
+            | Instr::ReturnVoid => return None,
+            // Binops were handled above.
+            _ => unreachable!("binop handled by RBin::of"),
+        }
+        Some(())
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+/// Human-readable listing of a register trace, for golden pinning and
+/// review: code, constant table, and exit records with their frame
+/// images.
+pub fn disassemble(rt: &RegTrace) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "reg trace: {} rinstrs, {} regs, {} consts, {} exits",
+        rt.code.len(),
+        rt.num_regs,
+        rt.consts.len(),
+        rt.exits.len()
+    );
+    for &(r, v) in &rt.consts {
+        let c = match v {
+            Value::Int(i) => format!("int {i}"),
+            Value::Float(f) => format!("float {f}"),
+            Value::Null => "null".into(),
+            Value::Ref(_) => unreachable!("no reference constants"),
+        };
+        let _ = writeln!(s, "  const r{r} = {c}");
+    }
+    for (i, r) in rt.code.iter().enumerate() {
+        let line = match r {
+            RInstr::PullStack { dst } => format!("r{dst} = pull"),
+            RInstr::LoadLocal { slot, dst, w } => format!("r{dst} = local {slot} [w={w}]"),
+            RInstr::IncLocal { slot, dst, imm, w } => {
+                format!("r{dst} = local {slot} + {imm} [w={w}]")
+            }
+            RInstr::IncReg { src, dst, imm, w } => format!("r{dst} = r{src} + {imm} [w={w}]"),
+            RInstr::Bin { op, a, b, dst, w } => {
+                format!("r{dst} = {} r{a}, r{b} [w={w}]", op.name())
+            }
+            RInstr::Un { op, a, dst, w } => format!("r{dst} = {} r{a} [w={w}]", op.name()),
+            RInstr::Intrinsic { i, a, b, dst, w } => {
+                let name = format!("{i:?}").to_lowercase();
+                if i.returns_value() {
+                    if i.arg_count() == 2 {
+                        format!("r{dst} = {name} r{a}, r{b} [w={w}]")
+                    } else {
+                        format!("r{dst} = {name} r{a} [w={w}]")
+                    }
+                } else {
+                    format!("{name} r{a} [w={w}]")
+                }
+            }
+            RInstr::GetField { obj, field, dst, w } => {
+                format!("r{dst} = field {field} of r{obj} [w={w}]")
+            }
+            RInstr::PutField { obj, val, field, w } => {
+                format!("field {field} of r{obj} = r{val} [w={w}]")
+            }
+            RInstr::ALoad { arr, idx, dst, w } => format!("r{dst} = r{arr}[r{idx}] [w={w}]"),
+            RInstr::AStore { arr, idx, val, w } => format!("r{arr}[r{idx}] = r{val} [w={w}]"),
+            RInstr::ArrayLen { arr, dst, w } => format!("r{dst} = len r{arr} [w={w}]"),
+            RInstr::NewObj {
+                class,
+                nfields,
+                dst,
+                image,
+                w,
+            } => format!("r{dst} = new class#{} fields={nfields} img={image} [w={w}]", class.0),
+            RInstr::NewArray { len, dst, image, w } => {
+                format!("r{dst} = newarray r{len} img={image} [w={w}]")
+            }
+            RInstr::GuardCond {
+                kind,
+                a,
+                b,
+                expected_taken,
+                exit,
+                pre,
+            } => {
+                let k = match kind {
+                    CondKind::ICmp(op) => format!("icmp.{} r{a}, r{b}", cmp_name(*op)),
+                    CondKind::IZero(op) => format!("izero.{} r{a}", cmp_name(*op)),
+                    CondKind::FCmp(op) => format!("fcmp.{} r{a}, r{b}", cmp_name(*op)),
+                    CondKind::Null => format!("null r{a}"),
+                    CondKind::NonNull => format!("nonnull r{a}"),
+                };
+                format!(
+                    "guard {k} == {expected_taken} else exit {exit} [pre={pre}]"
+                )
+            }
+            RInstr::GuardSwitch {
+                selector,
+                expected,
+                exit,
+                pre,
+                ..
+            } => format!(
+                "guard switch r{selector} -> marker {expected} else exit {exit} [pre={pre}]"
+            ),
+            RInstr::EnterStatic {
+                callee,
+                ret,
+                image,
+                w,
+            } => format!("call fn#{} ret={ret} img={image} [w={w}]", callee.0),
+            RInstr::GuardVirtual {
+                slot,
+                argc,
+                recv,
+                expected,
+                ret,
+                exit,
+                pre,
+            } => format!(
+                "guard vcall slot {slot} argc {argc} recv r{recv} == fn#{} ret={ret} else exit {exit} [pre={pre}]",
+                expected.0
+            ),
+            RInstr::RetStatic { w } => format!("ret.static [w={w}]"),
+            RInstr::GuardReturn {
+                has_value,
+                retval,
+                expected,
+                exit,
+                pre,
+            } => {
+                let v = if *has_value {
+                    format!(" r{retval}")
+                } else {
+                    String::new()
+                };
+                format!("guard ret{v} -> {expected} else exit {exit} [pre={pre}]")
+            }
+            RInstr::Finish { exit, pre, .. } => format!("finish exit {exit} [pre={pre}]"),
+        };
+        let _ = writeln!(s, "{i:4}: {line}");
+    }
+    for (i, e) in rt.exits.iter().enumerate() {
+        let img = &rt.images[e.image as usize];
+        let stack: Vec<String> = img.stack.iter().map(|r| format!("r{r}")).collect();
+        let dirty: Vec<String> = img
+            .dirty
+            .iter()
+            .map(|(s, r)| format!("{s}<-r{r}"))
+            .collect();
+        let _ = writeln!(
+            s,
+            "exit {i}: fn#{} dpc={} block={} done={} base={} stack=[{}] dirty=[{}]",
+            e.func.0,
+            e.dpc,
+            e.block,
+            e.blocks_done,
+            img.base,
+            stack.join(" "),
+            dirty.join(" ")
+        );
+    }
+    s
+}

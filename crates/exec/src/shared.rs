@@ -40,11 +40,12 @@ use trace_cache::{
 use crate::compile::compile_blocks;
 use crate::engine::EngineConfig;
 use crate::fuse::fuse_trace;
-use crate::lower::{lower_trace_frozen, LoweredTrace};
+use crate::lower::lower_trace_frozen;
 use crate::opt::optimize_trace;
+use crate::reg::{lower_reg, TraceArtifact};
 
 /// The shared cache type every concurrent VM dispatches against.
-pub type SharedCache = SharedTraceCache<LoweredTrace>;
+pub type SharedCache = SharedTraceCache<TraceArtifact>;
 
 /// Default bound on the construction queue (snapshot batches in flight).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
@@ -75,14 +76,14 @@ impl SharedSession {
     /// hash-cons state, `Arc`'d lowered artifacts, and the snapshots
     /// currently in flight on the construction channel.
     pub fn memory_estimate(&self) -> usize {
-        self.cache.memory_estimate(|lt| lt.memory_estimate()) + self.queue.stats().bytes
+        self.cache.memory_estimate(|a| a.memory_estimate()) + self.queue.stats().bytes
     }
 
     /// Bounds the cache's payload bytes (block sequences + lowered
     /// artifacts); inserts beyond the budget evict cold entry links via
     /// the cache's second-chance sweep. `None` removes the bound.
     pub fn set_cache_budget(&self, budget: Option<usize>) {
-        self.cache.set_budget(budget, |lt| lt.memory_estimate());
+        self.cache.set_budget(budget, |a| a.memory_estimate());
     }
 }
 
@@ -114,11 +115,16 @@ pub fn shared_session(
 }
 
 /// The artifact build hook for a shared cache: compile → (optionally)
-/// optimize → (optionally) fuse → frozen-lower against a private decoded
-/// copy of the program. Returns `None` — an artifact-less trace, which
-/// VMs simply keep interpreting — when the block chain no longer matches
+/// optimize → register-lower (when `reg_ir` is on) → fall back to
+/// (optionally) fuse + frozen-lower against a private decoded copy of
+/// the program. Returns `None` — an artifact-less trace, which VMs
+/// simply keep interpreting — when the block chain no longer matches
 /// the program's control flow or when the optimizer invented a constant
 /// the frozen pools don't hold.
+///
+/// Register lowering needs no pool interning at all (constants ride in
+/// the per-trace constant table), so it publishes against the read-only
+/// decoded copy without any frozen-path caveats.
 ///
 /// The placeholder id stamped into the artifact is never read by the
 /// engine (dispatch keys artifacts by the *cache's* id); the cache's
@@ -127,17 +133,22 @@ pub fn shared_session(
 pub fn artifact_builder(
     program: &Program,
     config: EngineConfig,
-) -> impl FnMut(&[BlockId]) -> Option<LoweredTrace> + '_ {
+) -> impl FnMut(&[BlockId]) -> Option<TraceArtifact> + '_ {
     let decoded = DecodedProgram::decode(program);
     move |blocks: &[BlockId]| {
         let mut ct = compile_blocks(program, TraceId::from_raw(u32::MAX), blocks).ok()?;
         if config.optimize {
             optimize_trace(&mut ct);
         }
+        if config.reg_ir {
+            if let Some(rt) = lower_reg(program, &decoded, &ct) {
+                return Some(TraceArtifact::Reg(rt));
+            }
+        }
         if config.superinstructions {
             fuse_trace(&mut ct);
         }
-        lower_trace_frozen(program, &decoded, &ct)
+        lower_trace_frozen(program, &decoded, &ct).map(TraceArtifact::Decoded)
     }
 }
 
@@ -212,8 +223,8 @@ mod tests {
         let program = loop_program();
         let blk = |b: u32| BlockId::new(program.entry(), b);
         let mut build = artifact_builder(&program, EngineConfig::paper_default());
-        let lt = build(&[blk(1), blk(2), blk(1)]).expect("connected chain lowers");
-        assert_eq!(lt.src_blocks, vec![blk(1), blk(2), blk(1)]);
+        let art = build(&[blk(1), blk(2), blk(1)]).expect("connected chain lowers");
+        assert_eq!(art.src_blocks(), vec![blk(1), blk(2), blk(1)]);
         assert!(build(&[blk(0), blk(2)]).is_none(), "disconnected chain");
     }
 

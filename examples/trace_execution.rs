@@ -47,13 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let profiled_time = t0.elapsed();
 
-    // Trace-executing engine (second run = warm cache).
+    // Trace-executing engine (second run = warm cache), decoded form.
     let mut engine = TracingVm::new(
         &w.program,
         EngineConfig {
             jit,
             optimize: false,
             superinstructions: true,
+            reg_ir: false,
         },
     );
     engine.run(&w.args)?;
@@ -69,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             jit,
             optimize: true,
             superinstructions: true,
+            reg_ir: false,
         },
     );
     opt_engine.run(&w.args)?;
@@ -76,6 +78,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opt_report = opt_engine.run(&w.args)?;
     let opt_time = t0.elapsed();
     assert_eq!(opt_report.checksum, w.expected_checksum);
+
+    // Register-lowered traces: the final lowering stage.
+    let mut reg_engine = TracingVm::new(
+        &w.program,
+        EngineConfig {
+            jit,
+            optimize: true,
+            superinstructions: true,
+            reg_ir: true,
+        },
+    );
+    reg_engine.run(&w.args)?;
+    let t0 = Instant::now();
+    let reg_report = reg_engine.run(&w.args)?;
+    let reg_time = t0.elapsed();
+    assert_eq!(reg_report.checksum, w.expected_checksum);
 
     println!("interpreter (no profiler) : {plain_time:>10.2?}  {plain_dispatches} dispatches");
     println!(
@@ -91,6 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "engine + trace optimizer  : {opt_time:>10.2?}  {} instructions executed (vs {})",
         opt_report.exec.instructions, report.exec.instructions
     );
+    println!("engine + register traces  : {reg_time:>10.2?}");
     let s = opt_engine.opt_stats();
     println!(
         "\ntrace optimizer: {} folds, {} dead-stack eliminations, {} identities, {} strength reductions — {:.1}% of compiled trace code removed",
@@ -100,6 +119,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "superinstructions: {} groups fused, compiled code {} -> {} entries",
         fs.fused_groups, fs.before, fs.after
+    );
+    let rs = reg_engine.reg_stats();
+    println!(
+        "register lowering: {} -> {} instrs, {} virtual regs, {} stack ops eliminated, {} guards fused",
+        rs.before, rs.after, rs.regs, rs.eliminated, rs.guards_fused
     );
     println!(
         "trace quality in engine   : completion {:.2}%, {} traces compiled",

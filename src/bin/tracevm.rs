@@ -26,6 +26,7 @@ struct Options {
     threshold: f64,
     delay: u32,
     unroll: usize,
+    reg_ir: bool,
     out: String,
 }
 
@@ -37,6 +38,7 @@ impl Default for Options {
             threshold: 0.97,
             delay: 64,
             unroll: 1,
+            reg_ir: true,
             out: ".".into(),
         }
     }
@@ -45,7 +47,7 @@ impl Default for Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]\n\
-         \x20                        [--threshold T] [--delay D] [--unroll N]\n\
+         \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg]\n\
          \x20 tracevm disasm <workload> [--scale ...]\n\
          \x20 tracevm dot <workload> [--out DIR] [--scale ...]\n\
          \x20 tracevm compare <workload> [--scale ...]\n\
@@ -90,6 +92,7 @@ fn parse_options(args: &mut std::env::Args, opts: &mut Options) -> Result<(), St
                     .parse()
                     .map_err(|e| format!("bad unroll: {e}"))?
             }
+            "--no-reg" => opts.reg_ir = false,
             "--out" => opts.out = need("--out")?,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -183,6 +186,7 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                     jit: jit_config(opts),
                     optimize: opts.engine == "exec-opt",
                     superinstructions: true,
+                    reg_ir: opts.reg_ir,
                 },
             );
             let r = engine.run(&w.args)?;

@@ -93,6 +93,7 @@ fn engines_agree_on_random_programs() {
                 jit,
                 optimize: false,
                 superinstructions: true,
+                reg_ir: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");
@@ -108,6 +109,7 @@ fn engines_agree_on_random_programs() {
                 jit,
                 optimize: true,
                 superinstructions: true,
+                reg_ir: true,
             },
         );
         let r = opt.run(&args).expect("optimizing engine runs");
@@ -146,6 +148,7 @@ fn unrolling_preserves_semantics_on_random_programs() {
                 jit,
                 optimize: true,
                 superinstructions: true,
+                reg_ir: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");

@@ -1,0 +1,69 @@
+//! Golden test: the register-lowered form of a fixed trace is stable
+//! and readable. The companion of `decoded_golden.rs` one layer up:
+//! same program shape, but listing the three-address virtual-register
+//! code a hot trace actually executes — stack traffic folded away,
+//! compares fused into guards, constants hoisted into the per-trace
+//! table, and every side exit's frame-reconstruction image spelled out.
+
+use tracecache_repro::bytecode::{BlockId, CmpOp, Intrinsic, ProgramBuilder};
+use tracecache_repro::exec::{compile_blocks, disassemble, lower_reg};
+use tracecache_repro::tracecache::TraceId;
+use tracecache_repro::vm::DecodedProgram;
+
+#[test]
+fn register_listing_matches_golden() {
+    // The decoded_golden program: a counted loop calling a leaf, so the
+    // lowering exhibits a conditional guard, a static call, a return
+    // guard and an intrinsic in one short trace.
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.declare_function("leaf", 1, true);
+    pb.function_mut(leaf).load(0).iconst(1).iadd().ret();
+    let main_f = pb.declare_function("main", 1, false);
+    {
+        let b = pb.function_mut(main_f);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(0).invoke_static(leaf).intrinsic(Intrinsic::Checksum);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.ret_void();
+    }
+    let program = pb.build(main_f).unwrap();
+    let decoded = DecodedProgram::decode(&program);
+
+    // The loop trace, entered at the body: call the leaf, return, close
+    // the back edge, and re-test the loop condition.
+    let chain = vec![
+        BlockId::new(main_f, 1),
+        BlockId::new(leaf, 0),
+        BlockId::new(main_f, 2),
+        BlockId::new(main_f, 0),
+    ];
+    let ct = compile_blocks(&program, TraceId::from_raw(7), &chain).unwrap();
+    let rt = lower_reg(&program, &decoded, &ct).expect("trace lowers to register form");
+
+    // The full listing is pinned: any change to virtual-register
+    // assignment, weight accounting, guard fusion, or exit images must
+    // show up here as a reviewed diff.
+    let expected = "\
+reg trace: 7 rinstrs, 4 regs, 1 consts, 1 exits
+  const r1 = int 1
+   0: r0 = local 0 [w=1]
+   1: call fn#0 ret=6 img=0 [w=1]
+   2: r2 = iadd r0, r1 [w=3]
+   3: ret.static [w=1]
+   4: checksum r2 [w=1]
+   5: r3 = r0 + -1 [w=1]
+   6: finish exit 0 [pre=2]
+exit 0: fn#1 dpc=2 block=0 done=3 base=0 stack=[r3] dirty=[0<-r3]
+";
+    assert_eq!(disassemble(&rt), expected);
+
+    // The lowering's own accounting agrees with the listing: 11
+    // compiled trace instructions became 7, the pure stack traffic
+    // vanished, and the trailing compare fused into the exit.
+    assert_eq!((rt.stats.before, rt.stats.after), (11, 7));
+    assert_eq!(rt.stats.eliminated, 4);
+    assert_eq!(rt.stats.regs, 4);
+}
