@@ -42,6 +42,14 @@ echo "== register-IR differential (debug: register-bounds + invariant asserts; r
 cargo test --features debug-invariants -q --test reg_differential --test reg_golden
 cargo test -q --release --test reg_differential
 
+echo "== superinstruction fusion differential (debug: stack/shadow asserts; release: at speed)"
+# The fused decoded interpreter against the reference oracle: six
+# workloads, seeded fuzz with every fusible site fused, fuel-straddle
+# cuts inside fused groups, the pinned golden listing, and the planted
+# mis-fused-boundary quirk the harness must catch.
+cargo test --features debug-invariants -q --test fusion_differential --test fusion_golden
+cargo test -q --release --test fusion_differential
+
 echo "== hot-path bench smoke (test scale)"
 cargo run --release -p trace-bench --bin hot_path -- --smoke --out /tmp/BENCH_hot_path.smoke.json
 
@@ -51,8 +59,13 @@ cargo run --release -p trace-bench --bin hot_path -- --smoke --workload scimark 
 grep -q '"lowered-reg"' /tmp/BENCH_hot_path.reg.smoke.json
 grep -q '"reg_lowering"' /tmp/BENCH_hot_path.reg.smoke.json
 
-echo "== interp-speed bench smoke (test scale)"
+echo "== interp-speed bench smoke (test scale; fused leg + fusion stats must be present)"
 cargo run --release -p trace-bench --bin interp_speed -- --smoke --out /tmp/BENCH_interp.smoke.json
+grep -q '"fused"' /tmp/BENCH_interp.smoke.json
+grep -q '"engine-dop"' /tmp/BENCH_interp.smoke.json
+grep -q '"fusion"' /tmp/BENCH_interp.smoke.json
+grep -q '"dispatches_eliminated"' /tmp/BENCH_interp.smoke.json
+grep -q '"hot_opcode_triples"' /tmp/BENCH_interp.smoke.json
 
 echo "== concurrent shared-cache bench smoke (2 threads, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --out /tmp/BENCH_concurrent.smoke.json

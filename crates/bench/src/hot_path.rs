@@ -287,6 +287,7 @@ fn engine_timing(
             optimize: true,
             superinstructions: true,
             reg_ir,
+            dop_fusion: true,
         }
     };
     let mut dop = TracingVm::new(&w.program, mk(false));

@@ -21,26 +21,57 @@
 //! The report also carries the decoded-code and frame-arena byte
 //! footprints, since the decoded form trades memory for dispatch speed.
 //!
-//! Two additions ride along: a **lowered-reg** leg (a warm [`TracingVm`]
-//! executing register-lowered traces, same ns/instruction denominator)
-//! showing what the trace pipeline buys end-to-end over straight
-//! interpretation, and a per-workload **opcode-pair histogram** — the
-//! hottest dynamic `(op, op)` adjacencies, reconstructed exactly from
-//! the block-dispatch stream — which is the evidence base for choosing
-//! superinstructions and lowering fusions.
+//! Four additions ride along:
+//!
+//! * a **fused** leg — the same decoded `Vm` after the profile-driven
+//!   superinstruction pass (`jvm_vm::fuse`): a profiling run collects
+//!   block visits, selection picks the patterns that clear the default
+//!   thresholds, and the timed passes execute the quickened stream;
+//! * an **engine-dop** leg — a warm [`TracingVm`] with `reg_ir` *off*,
+//!   so hot traces execute from decoded `DOp` streams. This is the
+//!   apples-to-apples baseline for the register tier:
+//!   `reg_improvement_pct` compares the two warm engines, never a warm
+//!   engine against a bare interpreter (the old methodology double-
+//!   counted trace-pipeline overheads on one side — see EXPERIMENTS.md);
+//! * a **lowered-reg** leg (warm `TracingVm`, register-lowered traces),
+//!   as before;
+//! * per-workload **opcode pair and triple histograms** — the hottest
+//!   dynamic adjacencies, reconstructed exactly from the block-dispatch
+//!   stream — the evidence base for the superinstruction table, plus
+//!   the fusion pass's own statistics (candidates, groups planted,
+//!   dispatches eliminated, selected patterns).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use jvm_bytecode::BlockId;
 use jvm_vm::decode::op;
-use jvm_vm::{DecodedMemory, DecodedProgram, NullObserver, ReferenceVm, Vm, VmConfig};
+use jvm_vm::{
+    BlockCounts, DecodedMemory, DecodedProgram, FusionConfig, NullObserver, ReferenceVm, Vm,
+    VmConfig,
+};
 use trace_exec::{EngineConfig, TracingVm};
 use trace_jit::TraceJitConfig;
 use trace_workloads::registry::{self, Scale, Workload};
 
 /// How many hot opcode pairs each row reports.
 pub const TOP_PAIRS: usize = 8;
+
+/// How many hot opcode triples each row reports.
+pub const TOP_TRIPLES: usize = 8;
+
+/// Statistics of one workload's profile-driven fusion rewrite.
+#[derive(Debug, Clone, Default)]
+pub struct FusionStats {
+    /// Statically matchable group sites (full table, before selection).
+    pub candidates: u64,
+    /// Groups actually planted under the selected patterns.
+    pub applied: u64,
+    /// Estimated dynamic dispatches eliminated (profile-weighted).
+    pub dispatches_eliminated: u64,
+    /// Selected pattern names, union across functions, table order.
+    pub selected: Vec<&'static str>,
+}
 
 /// One workload's timings (all minima over the repeat count).
 #[derive(Debug, Clone)]
@@ -55,6 +86,13 @@ pub struct InterpRow {
     pub reference_ns_per_instr: f64,
     /// Decoded engine, ns per instruction.
     pub decoded_ns_per_instr: f64,
+    /// Decoded engine after profile-driven superinstruction fusion, ns
+    /// per (source) instruction.
+    pub fused_ns_per_instr: f64,
+    /// Warm trace-executing engine with decoded-`DOp` traces (`reg_ir`
+    /// off), ns per (source) instruction — the fair baseline for the
+    /// register tier.
+    pub engine_dop_ns_per_instr: f64,
     /// Warm trace-executing engine with register-lowered traces, ns per
     /// (source) instruction. Below `decoded_ns_per_instr` once the hot
     /// paths run from three-address code.
@@ -62,6 +100,10 @@ pub struct InterpRow {
     /// Hottest dynamic opcode pairs `(first, second, count)` — the
     /// fusion/lowering shopping list for this workload.
     pub hot_pairs: Vec<(&'static str, &'static str, u64)>,
+    /// Hottest dynamic opcode triples `(a, b, c, count)`.
+    pub hot_triples: Vec<(&'static str, &'static str, &'static str, u64)>,
+    /// The fusion pass's own numbers for this workload.
+    pub fusion: FusionStats,
     /// Decoded-code footprint for this workload's program (bytes).
     pub decoded_memory: DecodedMemory,
     /// Frame-arena slab footprint after the runs (bytes).
@@ -88,6 +130,26 @@ impl InterpRow {
         self.decoded_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
     }
 
+    /// Fused decoded engine, ns per block dispatch.
+    pub fn fused_ns_per_dispatch(&self) -> f64 {
+        self.fused_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+
+    /// Percentage reduction of the fused decoded engine relative to the
+    /// unfused decoded engine (positive = fusion pays).
+    pub fn fused_improvement_pct(&self) -> f64 {
+        if self.decoded_ns_per_instr == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.fused_ns_per_instr / self.decoded_ns_per_instr) * 100.0
+    }
+
+    /// Decoded-trace engine, ns per block dispatch (of the source
+    /// stream — the engine itself dispatches far fewer blocks).
+    pub fn engine_dop_ns_per_dispatch(&self) -> f64 {
+        self.engine_dop_ns_per_instr * self.instructions as f64 / self.dispatches.max(1) as f64
+    }
+
     /// Register-trace engine, ns per block dispatch (of the source
     /// stream — the engine itself dispatches far fewer blocks).
     pub fn lowered_reg_ns_per_dispatch(&self) -> f64 {
@@ -95,12 +157,16 @@ impl InterpRow {
     }
 
     /// Percentage reduction of the register-trace engine relative to the
-    /// decoded interpreter (positive = register traces faster).
-    pub fn lowered_reg_improvement_pct(&self) -> f64 {
-        if self.decoded_ns_per_instr == 0.0 {
+    /// *decoded-trace engine* (positive = register traces faster). Both
+    /// sides are warm `TracingVm`s differing only in `reg_ir`, so this
+    /// isolates the lowering itself; comparing a warm engine against a
+    /// bare interpreter (the pre-fix methodology) mixes trace-pipeline
+    /// overheads into one side and is not reported any more.
+    pub fn reg_improvement_pct(&self) -> f64 {
+        if self.engine_dop_ns_per_instr == 0.0 {
             return 0.0;
         }
-        (1.0 - self.lowered_reg_ns_per_instr / self.decoded_ns_per_instr) * 100.0
+        (1.0 - self.lowered_reg_ns_per_instr / self.engine_dop_ns_per_instr) * 100.0
     }
 }
 
@@ -136,6 +202,29 @@ impl InterpReport {
         (1.0 - 1.0 / self.geomean_speedup()) * 100.0
     }
 
+    /// Geometric-mean speedup of the fused decoded engine over the
+    /// unfused decoded engine (> 1 means fusion pays).
+    pub fn geomean_fused_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.decoded_ns_per_instr / r.fused_ns_per_instr).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Workloads on which the fused leg beat the unfused decoded leg on
+    /// ns/dispatch.
+    pub fn fused_wins(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.fused_ns_per_dispatch() < r.decoded_ns_per_dispatch())
+            .count()
+    }
+
     /// Serialises the report as JSON (hand-rolled: the workspace has no
     /// serde and the shape is fixed).
     pub fn to_json(&self) -> String {
@@ -151,6 +240,11 @@ impl InterpReport {
             "  \"geomean_improvement_pct\": {:.2},\n",
             self.geomean_improvement_pct()
         ));
+        out.push_str(&format!(
+            "  \"geomean_fused_speedup\": {:.4},\n",
+            self.geomean_fused_speedup()
+        ));
+        out.push_str(&format!("  \"fused_wins\": {},\n", self.fused_wins()));
         out.push_str("  \"workloads\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let pairs: Vec<String> = r
@@ -158,15 +252,32 @@ impl InterpReport {
                 .iter()
                 .map(|(a, b, n)| format!("{{\"pair\": \"{a} {b}\", \"count\": {n}}}"))
                 .collect();
+            let triples: Vec<String> = r
+                .hot_triples
+                .iter()
+                .map(|(a, b, c, n)| format!("{{\"triple\": \"{a} {b} {c}\", \"count\": {n}}}"))
+                .collect();
+            let selected: Vec<String> = r
+                .fusion
+                .selected
+                .iter()
+                .map(|s| format!("\"{s}\""))
+                .collect();
             out.push_str(&format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"instructions\": {}, \"dispatches\": {},\n",
                     "     \"ns_per_instruction\": ",
-                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"lowered-reg\": {:.3}, ",
-                    "\"improvement_pct\": {:.2}, \"reg_improvement_pct\": {:.2}}},\n",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"fused\": {:.3}, ",
+                    "\"engine-dop\": {:.3}, \"lowered-reg\": {:.3}, ",
+                    "\"improvement_pct\": {:.2}, \"fused_improvement_pct\": {:.2}, ",
+                    "\"reg_improvement_pct\": {:.2}}},\n",
                     "     \"ns_per_dispatch\": ",
-                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"lowered-reg\": {:.3}}},\n",
+                    "{{\"reference\": {:.3}, \"decoded\": {:.3}, \"fused\": {:.3}, ",
+                    "\"engine-dop\": {:.3}, \"lowered-reg\": {:.3}}},\n",
+                    "     \"fusion\": {{\"candidates\": {}, \"applied\": {}, ",
+                    "\"dispatches_eliminated\": {}, \"selected\": [{}]}},\n",
                     "     \"hot_opcode_pairs\": [{}],\n",
+                    "     \"hot_opcode_triples\": [{}],\n",
                     "     \"decoded_code_bytes\": {}, \"decoded_map_bytes\": {}, ",
                     "\"decoded_pool_bytes\": {}, \"arena_bytes\": {}}}{}\n",
                 ),
@@ -175,13 +286,23 @@ impl InterpReport {
                 r.dispatches,
                 r.reference_ns_per_instr,
                 r.decoded_ns_per_instr,
+                r.fused_ns_per_instr,
+                r.engine_dop_ns_per_instr,
                 r.lowered_reg_ns_per_instr,
                 r.improvement_pct(),
-                r.lowered_reg_improvement_pct(),
+                r.fused_improvement_pct(),
+                r.reg_improvement_pct(),
                 r.reference_ns_per_dispatch(),
                 r.decoded_ns_per_dispatch(),
+                r.fused_ns_per_dispatch(),
+                r.engine_dop_ns_per_dispatch(),
                 r.lowered_reg_ns_per_dispatch(),
+                r.fusion.candidates,
+                r.fusion.applied,
+                r.fusion.dispatches_eliminated,
+                selected.join(", "),
                 pairs.join(", "),
+                triples.join(", "),
                 r.decoded_memory.code_bytes,
                 r.decoded_memory.map_bytes,
                 r.decoded_memory.pool_bytes,
@@ -201,28 +322,30 @@ impl InterpReport {
             self.scale, self.repeats
         ));
         out.push_str(&format!(
-            "{:<10} {:>14} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
+            "{:<10} {:>14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8}\n",
             "workload",
             "instructions",
             "ref",
             "decoded",
+            "fused",
+            "eng-dop",
             "reg",
-            "gain%",
-            "ref-disp",
-            "dec-disp",
+            "fuse%",
+            "reg%",
             "dec-KiB"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<10} {:>14} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>10.2} {:>10.2} {:>10.1}\n",
+                "{:<10} {:>14} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.1} {:>6.1} {:>8.1}\n",
                 r.name,
                 r.instructions,
                 r.reference_ns_per_instr,
                 r.decoded_ns_per_instr,
+                r.fused_ns_per_instr,
+                r.engine_dop_ns_per_instr,
                 r.lowered_reg_ns_per_instr,
-                r.improvement_pct(),
-                r.reference_ns_per_dispatch(),
-                r.decoded_ns_per_dispatch(),
+                r.fused_improvement_pct(),
+                r.reg_improvement_pct(),
                 r.decoded_memory.total() as f64 / 1024.0,
             ));
         }
@@ -234,10 +357,35 @@ impl InterpReport {
                 .collect();
             out.push_str(&format!("hot pairs {:<10}: {}\n", r.name, pairs.join(", ")));
         }
+        for r in &self.rows {
+            let triples: Vec<String> = r
+                .hot_triples
+                .iter()
+                .map(|(a, b, c, n)| format!("{a} {b} {c} ({n})"))
+                .collect();
+            out.push_str(&format!(
+                "hot triples {:<10}: {}\n",
+                r.name,
+                triples.join(", ")
+            ));
+        }
+        for r in &self.rows {
+            out.push_str(&format!(
+                "fusion {:<10}: {} candidates, {} applied, {} dispatches eliminated, selected [{}]\n",
+                r.name,
+                r.fusion.candidates,
+                r.fusion.applied,
+                r.fusion.dispatches_eliminated,
+                r.fusion.selected.join(", ")
+            ));
+        }
         out.push_str(&format!(
-            "geomean speedup {:.3}x ({:.1}% ns/instruction)\n",
+            "geomean speedup {:.3}x ({:.1}% ns/instruction); fused over decoded {:.3}x, faster on {}/{} workloads\n",
             self.geomean_speedup(),
-            self.geomean_improvement_pct()
+            self.geomean_improvement_pct(),
+            self.geomean_fused_speedup(),
+            self.fused_wins(),
+            self.rows.len(),
         ));
         out
     }
@@ -302,13 +450,21 @@ fn mnemonic(o: u8) -> &'static str {
     }
 }
 
-/// The hottest dynamic opcode pairs of a workload, reconstructed
-/// exactly from its basic-block dispatch stream: blocks are
-/// straight-line, so the dynamic instruction stream is the
+/// The hottest dynamic opcode pairs and triples of a workload,
+/// reconstructed exactly from its basic-block dispatch stream: blocks
+/// are straight-line, so the dynamic instruction stream is the
 /// concatenation of the dispatched blocks' decoded bodies (markers
-/// skipped), and pair counts fall out of one pass with no
+/// skipped), and adjacency counts fall out of one pass with no
 /// per-instruction instrumentation in the timed engines.
-fn hot_opcode_pairs(w: &Workload, top: usize) -> Vec<(&'static str, &'static str, u64)> {
+#[allow(clippy::type_complexity)]
+fn hot_opcode_adjacencies(
+    w: &Workload,
+    top_pairs: usize,
+    top_triples: usize,
+) -> (
+    Vec<(&'static str, &'static str, u64)>,
+    Vec<(&'static str, &'static str, &'static str, u64)>,
+) {
     let mut stream: Vec<BlockId> = Vec::new();
     let mut vm = Vm::new(&w.program);
     vm.run(&w.args, &mut |b| stream.push(b)).expect("runs");
@@ -332,24 +488,38 @@ fn hot_opcode_pairs(w: &Workload, top: usize) -> Vec<(&'static str, &'static str
         }
     }
 
-    let mut counts: HashMap<(u8, u8), u64> = HashMap::new();
+    let mut pair_counts: HashMap<(u8, u8), u64> = HashMap::new();
+    let mut triple_counts: HashMap<(u8, u8, u8), u64> = HashMap::new();
     let mut prev: Option<u8> = None;
+    let mut prev2: Option<u8> = None;
     for b in stream {
         let &(start, end) = spans.get(&(b.func.0, b.block)).expect("dispatched block");
         for d in &decoded.func(b.func).code[start..end] {
             if let Some(p) = prev {
-                *counts.entry((p, d.op)).or_insert(0) += 1;
+                *pair_counts.entry((p, d.op)).or_insert(0) += 1;
+                if let Some(pp) = prev2 {
+                    *triple_counts.entry((pp, p, d.op)).or_insert(0) += 1;
+                }
             }
+            prev2 = prev;
             prev = Some(d.op);
         }
     }
-    let mut pairs: Vec<((u8, u8), u64)> = counts.into_iter().collect();
+    let mut pairs: Vec<((u8, u8), u64)> = pair_counts.into_iter().collect();
     pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    pairs
+    let pairs = pairs
         .into_iter()
-        .take(top)
+        .take(top_pairs)
         .map(|((a, b), n)| (mnemonic(a), mnemonic(b), n))
-        .collect()
+        .collect();
+    let mut triples: Vec<((u8, u8, u8), u64)> = triple_counts.into_iter().collect();
+    triples.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let triples = triples
+        .into_iter()
+        .take(top_triples)
+        .map(|((a, b, c), n)| (mnemonic(a), mnemonic(b), mnemonic(c), n))
+        .collect();
+    (pairs, triples)
 }
 
 /// Minimum wall-clock seconds over `repeats` timed calls of `pass`, with
@@ -384,11 +554,40 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         std::hint::black_box(r);
     });
 
-    // Warm trace-executing engine on register-lowered traces: the
-    // untimed warm-up run inside `min_secs` compiles the hot traces, so
-    // the timed passes run them from three-address register code.
+    // Fused decoded leg: an untimed profiling run collects block visits,
+    // the default thresholds select this workload's patterns, and the
+    // timed passes execute the quickened stream.
+    let mut fused = Vm::with_config(&w.program, config);
+    let mut visits = BlockCounts::for_program(&w.program);
+    fused.run(&w.args, &mut visits).expect("runs");
+    let fusion_report = fused.fuse_with_profile(visits, &FusionConfig::default());
+    let fused_secs = min_secs(repeats, || {
+        let r = fused.run(&w.args, &mut NullObserver).expect("runs");
+        std::hint::black_box(r);
+    });
+
+    // Warm trace-executing engines. The untimed warm-up run inside
+    // `min_secs` compiles the hot traces, so the timed passes run them
+    // from decoded `DOp` streams (engine-dop) and three-address register
+    // code (lowered-reg) respectively — the two legs differ only in
+    // `reg_ir`, which is what makes their ratio a fair lowering number.
     let mut jit = TraceJitConfig::paper_default();
     jit.vm.capture_output = false;
+    let mut dop_engine = TracingVm::new(
+        &w.program,
+        EngineConfig {
+            jit,
+            optimize: true,
+            superinstructions: true,
+            reg_ir: false,
+            dop_fusion: true,
+        },
+    );
+    let dop_secs = min_secs(repeats, || {
+        let r = dop_engine.run(&w.args).expect("runs");
+        std::hint::black_box(r.checksum);
+    });
+
     let mut reg_engine = TracingVm::new(
         &w.program,
         EngineConfig {
@@ -396,6 +595,7 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
             optimize: true,
             superinstructions: true,
             reg_ir: true,
+            dop_fusion: true,
         },
     );
     let reg_secs = min_secs(repeats, || {
@@ -422,6 +622,27 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         w.name
     );
 
+    // The fused stream must have done the identical semantic work too —
+    // fusion is a dispatch-cost optimisation, not a semantic one.
+    assert_eq!(
+        fused.stats(),
+        ds,
+        "{}: fused stats diverged from decoded",
+        w.name
+    );
+    assert_eq!(
+        fused.checksum(),
+        w.expected_checksum,
+        "{}: fused checksum diverged",
+        w.name
+    );
+
+    assert_eq!(
+        dop_engine.run(&w.args).expect("runs").checksum,
+        w.expected_checksum,
+        "{}: decoded-trace engine diverged",
+        w.name
+    );
     assert_eq!(
         reg_engine.run(&w.args).expect("runs").checksum,
         w.expected_checksum,
@@ -429,6 +650,7 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         w.name
     );
 
+    let (hot_pairs, hot_triples) = hot_opcode_adjacencies(w, TOP_PAIRS, TOP_TRIPLES);
     let instructions = ds.instructions.max(1);
     InterpRow {
         name: w.name.to_owned(),
@@ -436,8 +658,17 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
         dispatches: ds.block_dispatches,
         reference_ns_per_instr: ref_secs * 1e9 / instructions as f64,
         decoded_ns_per_instr: dec_secs * 1e9 / instructions as f64,
+        fused_ns_per_instr: fused_secs * 1e9 / instructions as f64,
+        engine_dop_ns_per_instr: dop_secs * 1e9 / instructions as f64,
         lowered_reg_ns_per_instr: reg_secs * 1e9 / instructions as f64,
-        hot_pairs: hot_opcode_pairs(w, TOP_PAIRS),
+        hot_pairs,
+        hot_triples,
+        fusion: FusionStats {
+            candidates: fusion_report.candidates(),
+            applied: fusion_report.fused(),
+            dispatches_eliminated: fusion_report.dispatches_eliminated(),
+            selected: fusion_report.selected_union(),
+        },
         decoded_memory: decoded.decoded().memory_estimate(),
         arena_bytes: decoded.arena_memory(),
     }
@@ -475,16 +706,24 @@ mod tests {
             dispatches: 100,
             reference_ns_per_instr: 10.0,
             decoded_ns_per_instr: 5.0,
+            fused_ns_per_instr: 4.0,
+            engine_dop_ns_per_instr: 5.0,
             lowered_reg_ns_per_instr: 2.5,
             hot_pairs: Vec::new(),
+            hot_triples: Vec::new(),
+            fusion: FusionStats::default(),
             decoded_memory: DecodedMemory::default(),
             arena_bytes: 0,
         };
         assert!((r.improvement_pct() - 50.0).abs() < 1e-9);
         assert!((r.reference_ns_per_dispatch() - 100.0).abs() < 1e-9);
         assert!((r.decoded_ns_per_dispatch() - 50.0).abs() < 1e-9);
+        assert!((r.fused_ns_per_dispatch() - 40.0).abs() < 1e-9);
+        assert!((r.fused_improvement_pct() - 20.0).abs() < 1e-9);
+        assert!((r.engine_dop_ns_per_dispatch() - 50.0).abs() < 1e-9);
         assert!((r.lowered_reg_ns_per_dispatch() - 25.0).abs() < 1e-9);
-        assert!((r.lowered_reg_improvement_pct() - 50.0).abs() < 1e-9);
+        // reg improvement is engine-vs-engine: 2.5 vs 5.0 → 50%.
+        assert!((r.reg_improvement_pct() - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -495,8 +734,12 @@ mod tests {
             dispatches: 1,
             reference_ns_per_instr: ref_ns,
             decoded_ns_per_instr: dec_ns,
+            fused_ns_per_instr: dec_ns / 2.0,
+            engine_dop_ns_per_instr: dec_ns,
             lowered_reg_ns_per_instr: dec_ns,
             hot_pairs: Vec::new(),
+            hot_triples: Vec::new(),
+            fusion: FusionStats::default(),
             decoded_memory: DecodedMemory::default(),
             arena_bytes: 0,
         };
@@ -507,6 +750,8 @@ mod tests {
         };
         assert!((report.geomean_speedup() - 2.0).abs() < 1e-9);
         assert!((report.geomean_improvement_pct() - 50.0).abs() < 1e-9);
+        assert!((report.geomean_fused_speedup() - 2.0).abs() < 1e-9);
+        assert_eq!(report.fused_wins(), 2);
     }
 
     #[test]
@@ -518,10 +763,22 @@ mod tests {
         assert!(json.contains("\"geomean_speedup\""));
         assert!(json.contains("\"ns_per_instruction\""));
         assert!(json.contains("\"lowered-reg\""), "reg leg must be in JSON");
+        assert!(json.contains("\"fused\""), "fused leg must be in JSON");
+        assert!(
+            json.contains("\"engine-dop\""),
+            "engine-dop leg must be in JSON"
+        );
+        assert!(json.contains("\"fusion\""), "fusion stats must be in JSON");
+        assert!(json.contains("\"dispatches_eliminated\""));
         assert!(json.contains("\"hot_opcode_pairs\""));
+        assert!(json.contains("\"hot_opcode_triples\""));
         assert!(
             report.rows.iter().all(|r| !r.hot_pairs.is_empty()),
             "every workload has hot pairs"
+        );
+        assert!(
+            report.rows.iter().all(|r| !r.hot_triples.is_empty()),
+            "every workload has hot triples"
         );
         let table = report.render();
         for r in &report.rows {

@@ -64,6 +64,7 @@ pub fn fault_campaign_config() -> EngineConfig {
         optimize: false,
         superinstructions: true,
         reg_ir: true,
+        dop_fusion: true,
     }
 }
 

@@ -528,6 +528,96 @@ impl Lockstep {
         outcome?;
         self.finish()
     }
+
+    /// Runs a whole program with profile-driven superinstruction fusion
+    /// applied to the decoded stream, pumping every dispatched block
+    /// through the lockstep check **and** comparing the fused dispatch
+    /// stream element-wise against an unfused [`ReferenceVm`] stream.
+    ///
+    /// The reference comparison is load-bearing: a mis-fused group that
+    /// swallows a block marker feeds the production profiler and the
+    /// model the *same* wrong stream, so lockstep alone stays green.
+    /// Only the independent oracle stream makes that bug observable —
+    /// which the planted [`FuseQuirk`](jvm_vm::fuse::FuseQuirk) test
+    /// proves.
+    ///
+    /// [`ReferenceVm`]: jvm_vm::reference::ReferenceVm
+    pub fn run_program_fused(
+        &mut self,
+        program: &jvm_bytecode::Program,
+        args: &[jvm_vm::value::Value],
+        quirk: Option<jvm_vm::fuse::FuseQuirk>,
+    ) -> Result<(), Divergence> {
+        // Independent oracle stream from the frozen reference VM.
+        let mut reference = jvm_vm::reference::ReferenceVm::new(program);
+        let mut ref_stream = jvm_vm::observer::RecordingObserver::new();
+        reference
+            .run(args, &mut ref_stream)
+            .expect("reference runs");
+
+        // Profiling warmup (not lockstep-checked), then the rewrite.
+        let mut vm = jvm_vm::interp::Vm::new(program);
+        let mut counts = jvm_vm::fuse::BlockCounts::for_program(program);
+        vm.run(args, &mut counts).expect("profiling run succeeds");
+        vm.fuse_with_profile(counts, &jvm_vm::fuse::FusionConfig::aggressive());
+        if let Some(q) = quirk {
+            assert!(
+                vm.plant_fuse_quirk(q),
+                "program offers no site for the planted quirk"
+            );
+        }
+
+        let expected = &ref_stream.blocks;
+        let mut pos = 0usize;
+        let mut outcome: Result<(), Divergence> = Ok(());
+        let mut step = self.step;
+        {
+            let mut observer = |b: BlockId| {
+                if outcome.is_err() {
+                    return;
+                }
+                step += 1;
+                if expected.get(pos) != Some(&b) {
+                    outcome = Err(Divergence {
+                        step,
+                        what: format!(
+                            "fused dispatch stream diverged at position {pos}: \
+                             got {b:?}, reference has {:?}",
+                            expected.get(pos)
+                        ),
+                    });
+                    return;
+                }
+                pos += 1;
+                if let Err(d) = self.on_block(b) {
+                    outcome = Err(d);
+                }
+            };
+            vm.run(args, &mut observer).expect("fused run succeeds");
+        }
+        outcome?;
+        if pos != expected.len() {
+            return Err(self.diverged(format!(
+                "fused dispatch stream ended early: {pos} of {} reference dispatches",
+                expected.len()
+            )));
+        }
+        if vm.stats() != reference.stats() {
+            return Err(self.diverged(format!(
+                "fused exec stats diverged: {:?} vs reference {:?}",
+                vm.stats(),
+                reference.stats()
+            )));
+        }
+        if vm.checksum() != reference.checksum() {
+            return Err(self.diverged(format!(
+                "fused checksum {:#018x} vs reference {:#018x}",
+                vm.checksum(),
+                reference.checksum()
+            )));
+        }
+        self.finish()
+    }
 }
 
 #[cfg(test)]
@@ -634,6 +724,56 @@ mod tests {
         let d = failure.expect("the forgetful model must be caught");
         assert!(
             d.what.contains("signal batch mismatch") || d.what.contains("link"),
+            "unexpected divergence field: {d}"
+        );
+    }
+
+    #[test]
+    fn fused_runs_stay_in_lockstep_on_the_workloads() {
+        // Fusion on, aggressive selection: the production pipeline, the
+        // model, and the unfused reference stream must all agree on
+        // every dispatch of every workload.
+        for w in trace_workloads::registry::all(trace_workloads::Scale::Test) {
+            let mut ls = harness();
+            ls.run_program_fused(&w.program, &w.args, None)
+                .unwrap_or_else(|d| panic!("{}: {d}", w.name));
+        }
+    }
+
+    #[test]
+    fn fused_boundary_quirk_is_detected() {
+        // A fused group that swallows a block marker produces the same
+        // wrong stream on both lockstep sides — only the reference
+        // comparison inside `run_program_fused` can see it.
+        use jvm_bytecode::{CmpOp, ProgramBuilder};
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        {
+            let b = pb.function_mut(f);
+            let other = b.new_label();
+            let merge = b.new_label();
+            b.load(0).if_i(CmpOp::Gt, other);
+            b.load(0); // ends the block; falls through into `merge`
+            b.bind(merge);
+            b.iconst(1).iadd().ret();
+            // Deep expression keeps verified max_stack above what the
+            // mis-fused group pushes, so the quirk surfaces as stream
+            // divergence rather than a frame overflow.
+            b.bind(other);
+            b.load(0).iconst(1).iconst(2).iadd().iadd().goto(merge);
+        }
+        let program = pb.build(f).unwrap();
+
+        let mut ls = harness();
+        let d = ls
+            .run_program_fused(
+                &program,
+                &[jvm_vm::value::Value::Int(-3)],
+                Some(jvm_vm::fuse::FuseQuirk::FuseAcrossBlockBoundary),
+            )
+            .expect_err("the swallowed marker must be caught");
+        assert!(
+            d.what.contains("fused dispatch stream") || d.what.contains("stats"),
             "unexpected divergence field: {d}"
         );
     }

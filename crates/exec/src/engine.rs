@@ -62,6 +62,14 @@ pub struct EngineConfig {
     /// register lowering refuses fall back to the decoded form. On by
     /// default.
     pub reg_ir: bool,
+    /// Whether the out-of-trace decoded streams are rewritten with
+    /// profile-driven DOp superinstructions ([`jvm_vm::fuse`]) after the
+    /// first run: block visits are counted during the first run and the
+    /// selection is applied when it completes. Trace execution is
+    /// unaffected (traces lower from source instructions); the engine's
+    /// fallback interpreter transparently unfuses groups it steps
+    /// through one instruction at a time. On by default.
+    pub dop_fusion: bool,
 }
 
 impl EngineConfig {
@@ -73,6 +81,7 @@ impl EngineConfig {
             optimize: false,
             superinstructions: true,
             reg_ir: true,
+            dop_fusion: true,
         }
     }
 
@@ -91,6 +100,12 @@ impl EngineConfig {
     /// Returns this configuration with register-IR lowering toggled.
     pub fn with_reg_ir(mut self, on: bool) -> Self {
         self.reg_ir = on;
+        self
+    }
+
+    /// Returns this configuration with decoded-stream DOp fusion toggled.
+    pub fn with_dop_fusion(mut self, on: bool) -> Self {
+        self.dop_fusion = on;
         self
     }
 }
@@ -194,6 +209,11 @@ pub struct TracingVm<'p> {
     opt_stats: OptStats,
     fuse_stats: FuseStats,
     reg_stats: RegStats,
+    /// Block-visit profile accumulated during the first run; input to
+    /// the DOp-fusion selection (see [`jvm_vm::fuse`]).
+    block_visits: jvm_vm::fuse::BlockCounts,
+    /// Rewrite report of the applied DOp-fusion plan, once fused.
+    dop_fusion_report: Option<jvm_vm::fuse::FusionReport>,
     // Run state.
     heap: Heap,
     frames: Vec<ExFrame>,
@@ -247,6 +267,8 @@ impl<'p> TracingVm<'p> {
             opt_stats: OptStats::default(),
             fuse_stats: FuseStats::default(),
             reg_stats: RegStats::default(),
+            block_visits: jvm_vm::fuse::BlockCounts::for_program(program),
+            dop_fusion_report: None,
             heap: Heap::new(config.jit.vm.gc_threshold),
             frames: Vec::new(),
             stats: ExecStats::default(),
@@ -360,6 +382,10 @@ impl<'p> TracingVm<'p> {
         self.frames.push(ExFrame::new(entry, ef.num_locals(), args));
         self.stats.max_frame_depth = 1;
 
+        // DOp fusion profiles the first run and rewrites when it
+        // completes; afterwards the streams are already fused.
+        let profile_fusion = self.config.dop_fusion && self.dop_fusion_report.is_none();
+
         let result = loop {
             let (func_id, pc) = {
                 let f = self.frames.last().expect("frame exists");
@@ -372,6 +398,9 @@ impl<'p> TracingVm<'p> {
                 // entry check, then fall into the block body.
                 self.frames.last_mut().expect("frame exists").pc = pc + 1;
                 self.stats.block_dispatches += 1;
+                if profile_fusion {
+                    self.block_visits.counts[func_id.0 as usize][d.b as usize] += 1;
+                }
                 let bid = BlockId::new(func_id, d.b);
                 let node = self.bcg.observe(bid);
                 self.dispatch_signals();
@@ -435,6 +464,10 @@ impl<'p> TracingVm<'p> {
             }
         };
 
+        if profile_fusion {
+            self.apply_dop_fusion();
+        }
+
         Ok(RunReport {
             result,
             checksum: self.checksum,
@@ -444,6 +477,26 @@ impl<'p> TracingVm<'p> {
             constructor: self.constructor.stats(),
             cache: self.cache.stats(),
         })
+    }
+
+    /// Applies the profile-driven DOp-fusion selection to the decoded
+    /// streams, using the block visits counted during the first run.
+    /// Quickening is in place (stream length, targets and side-exit
+    /// dpcs unchanged), so compiled traces and resume points stay valid.
+    fn apply_dop_fusion(&mut self) {
+        let visits = std::mem::take(&mut self.block_visits);
+        let profile = jvm_vm::fuse::FusionProfile::collect(&self.decoded, visits);
+        let plan =
+            jvm_vm::fuse::FusionPlan::select(profile, &jvm_vm::fuse::FusionConfig::default());
+        self.dop_fusion_report = Some(jvm_vm::fuse::apply(&mut self.decoded, &plan));
+    }
+
+    /// The DOp-fusion rewrite report: per-function candidates
+    /// considered, fusions applied and estimated dispatches eliminated.
+    /// `None` until the profiling (first) run completes or when
+    /// `dop_fusion` is off.
+    pub fn dop_fusion_report(&self) -> Option<&jvm_vm::fuse::FusionReport> {
+        self.dop_fusion_report.as_ref()
     }
 
     /// Fuel + instruction accounting, shared by interpreter and trace
@@ -1593,6 +1646,16 @@ impl<'p> TracingVm<'p> {
     /// The caller is responsible for fuel accounting ([`Self::tick`]).
     #[inline(always)]
     fn exec(&mut self, d: DOp) -> Result<Step, VmError> {
+        // A fused superinstruction head (see jvm_vm::fuse) is
+        // transparently unfused: this single-step path executes the
+        // head's original opcode (operands are preserved by the
+        // rewrite), and the group's shadow slots still hold the
+        // remaining constituents for the following steps.
+        let d = if jvm_vm::fuse::is_fused(d.op) {
+            DOp::new(jvm_vm::fuse::base_op(d.op), d.a, d.b)
+        } else {
+            d
+        };
         let program = self.program;
         macro_rules! frame {
             () => {

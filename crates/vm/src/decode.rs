@@ -729,6 +729,11 @@ impl DecodedProgram {
             op::SQRT..=op::CHECKSUM => {
                 format!("{}", INTRINSIC_ORDER[(d.op - op::SQRT) as usize])
             }
+            other if crate::fuse::is_fused(other) => {
+                let desc = crate::fuse::desc_for(other);
+                let head = DOp::new(crate::fuse::base_op(other), d.a, d.b);
+                format!("{{{}}} {}", desc.name, self.dop_to_string(&head))
+            }
             other => format!("?op{other}"),
         }
     }

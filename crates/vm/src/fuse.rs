@@ -1,0 +1,596 @@
+//! Profile-driven superinstruction fusion for the decoded interpreter.
+//!
+//! The paper's thesis is that dynamic profiles should drive code
+//! generation; this module closes that loop inside the interpreter
+//! itself. A profiling run counts block dispatches ([`BlockCounts`]),
+//! the counts are multiplied by static intra-block opcode adjacency to
+//! recover dynamic pair/triple frequencies ([`FusionProfile`]), and a
+//! per-function selection pass ([`FusionPlan::select`]) picks which
+//! entries of the superinstruction table pay for themselves. The
+//! rewrite ([`apply`]) then *quickens* the flat [`DOp`] streams in
+//! place: only the group head's opcode byte changes to a fused opcode;
+//! every constituent keeps its slot and operands.
+//!
+//! # Stream-rewrite invariants
+//!
+//! In-place quickening is what keeps the rest of the system oblivious:
+//!
+//! * **Stream length never changes.** `pc_map`, `block_of`, branch and
+//!   switch targets, and trace side-exit dpcs all stay valid because no
+//!   slot moves.
+//! * **Shadow slots keep their original instructions.** The slots
+//!   covered by a fused head still hold the original [`DOp`]s; the
+//!   fused handlers read their operands from `code[pc+1]`/`code[pc+2]`,
+//!   and a side exit resuming *into* the middle of a group simply
+//!   executes the remaining constituents unfused.
+//! * **Fusion is intra-block.** No pattern element matches
+//!   `ENTER_BLOCK` (opcode 0), so a group can never swallow a block
+//!   marker and the per-block dispatch stream — the profiler's input —
+//!   is bit-identical with fusion on. Branch targets always land on
+//!   markers, so control flow can never jump into the middle of a
+//!   group either.
+//! * **Heads are exact.** The first element of every pattern is a
+//!   concrete opcode ([`Pat::Op`]), so [`unfuse`] can restore the
+//!   original stream from the table alone; applying a plan always
+//!   unfuses first, making [`apply`] idempotent.
+//!
+//! The fused handlers in the dispatch loop preserve exact interpreter
+//! parity: per-constituent `instructions` accounting (with a fuel gate
+//! *between* constituents that falls back to the shadow slots so
+//! `OutOfFuel` fires at exactly the reference instruction), the
+//! reference operand evaluation and error order, and the branch
+//! counters of the constituent compare ops.
+
+use jvm_bytecode::{BlockId, FuncId, Program};
+
+use crate::decode::{op, DOp, DecodedProgram};
+use crate::observer::DispatchObserver;
+
+/// First fused opcode; base opcodes occupy `0..FUSED_BASE`.
+pub const FUSED_BASE: u8 = 76;
+
+/// One element of a fusion pattern: an exact opcode or an opcode
+/// family. No element matches `ENTER_BLOCK`, which is what confines
+/// fusion to a single basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pat {
+    /// Exactly this opcode.
+    Op(u8),
+    /// Any int binop (`IADD..=IXOR`), including the trapping div/rem.
+    IntBin,
+    /// Any float binop (`FADD..=FDIV`).
+    FltBin,
+    /// Any two-operand int compare-and-branch (`IF_ICMP_*`).
+    IfICmp,
+}
+
+impl Pat {
+    /// Does this element match opcode `o`?
+    #[inline]
+    pub fn matches(self, o: u8) -> bool {
+        match self {
+            Pat::Op(x) => o == x,
+            Pat::IntBin => (op::IADD..=op::IXOR).contains(&o),
+            Pat::FltBin => (op::FADD..=op::FDIV).contains(&o),
+            Pat::IfICmp => (op::IF_ICMP_EQ..=op::IF_ICMP_GE).contains(&o),
+        }
+    }
+}
+
+/// One entry of the superinstruction table.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionDesc {
+    /// The fused opcode planted on the group head.
+    pub opcode: u8,
+    /// Mnemonic, used in disassembly, stats and bench JSON.
+    pub name: &'static str,
+    /// The constituent shape; `pattern[0]` is always [`Pat::Op`].
+    pub pattern: &'static [Pat],
+}
+
+impl FusionDesc {
+    /// Group width in stream slots (2 or 3).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.pattern.len()
+    }
+}
+
+macro_rules! superinstructions {
+    ($($idx:literal $konst:ident $name:literal = [$($pat:expr),+ $(,)?];)+) => {
+        /// Fused opcode constants, `FUSED_BASE + table index`.
+        pub mod fop {
+            $(
+                #[allow(missing_docs)]
+                pub const $konst: u8 = super::FUSED_BASE + $idx;
+            )+
+        }
+
+        /// Number of superinstruction patterns.
+        pub const NUM_PATTERNS: usize = [$($idx),+].len();
+
+        /// The superinstruction table, ordered by fused opcode and with
+        /// triples before pairs so greedy matching is longest-first.
+        /// The pattern set is drawn from the opcode-pair/triple
+        /// histograms of the six workloads (`hot_opcode_pairs` /
+        /// `hot_opcode_triples` in BENCH_interp.json); *selection* per
+        /// function is what stays profile-driven at runtime.
+        pub static FUSION_TABLE: &[FusionDesc] = &[
+            $(FusionDesc { opcode: fop::$konst, name: $name, pattern: &[$($pat),+] },)+
+        ];
+    };
+}
+
+superinstructions! {
+    0  LOAD_LOAD_IBIN   "load_load_ibin"   = [Pat::Op(op::LOAD), Pat::Op(op::LOAD), Pat::IntBin];
+    1  LOAD_ICONST_IBIN "load_iconst_ibin" = [Pat::Op(op::LOAD), Pat::Op(op::ICONST), Pat::IntBin];
+    2  LOAD_LOAD_ICMP   "load_load_icmp"   = [Pat::Op(op::LOAD), Pat::Op(op::LOAD), Pat::IfICmp];
+    3  LOAD_LOAD        "load_load"        = [Pat::Op(op::LOAD), Pat::Op(op::LOAD)];
+    4  LOAD_ICONST      "load_iconst"      = [Pat::Op(op::LOAD), Pat::Op(op::ICONST)];
+    5  STORE_LOAD       "store_load"       = [Pat::Op(op::STORE), Pat::Op(op::LOAD)];
+    6  LOAD_IBIN        "load_ibin"        = [Pat::Op(op::LOAD), Pat::IntBin];
+    7  ICONST_IBIN      "iconst_ibin"      = [Pat::Op(op::ICONST), Pat::IntBin];
+    8  LOAD_ICMP        "load_icmp"        = [Pat::Op(op::LOAD), Pat::IfICmp];
+    9  ICONST_ICMP      "iconst_icmp"      = [Pat::Op(op::ICONST), Pat::IfICmp];
+    10 IINC_GOTO        "iinc_goto"        = [Pat::Op(op::IINC), Pat::Op(op::GOTO)];
+    11 IADD_STORE       "iadd_store"       = [Pat::Op(op::IADD), Pat::Op(op::STORE)];
+    12 FCONST_FBIN      "fconst_fbin"      = [Pat::Op(op::FCONST), Pat::FltBin];
+    13 LOAD_ALOAD       "load_aload"       = [Pat::Op(op::LOAD), Pat::Op(op::ALOAD)];
+    14 ICONST_ALOAD     "iconst_aload"     = [Pat::Op(op::ICONST), Pat::Op(op::ALOAD)];
+    15 ALOAD_IBIN       "aload_ibin"       = [Pat::Op(op::ALOAD), Pat::IntBin];
+    16 ALOAD_FBIN       "aload_fbin"       = [Pat::Op(op::ALOAD), Pat::FltBin];
+}
+
+/// Is `o` a fused opcode?
+#[inline]
+pub fn is_fused(o: u8) -> bool {
+    o >= FUSED_BASE && ((o - FUSED_BASE) as usize) < NUM_PATTERNS
+}
+
+/// Table entry for a fused opcode.
+#[inline]
+pub fn desc_for(fused: u8) -> &'static FusionDesc {
+    debug_assert!(is_fused(fused));
+    &FUSION_TABLE[(fused - FUSED_BASE) as usize]
+}
+
+/// The original head opcode of a fused group: pattern heads are always
+/// exact, so the source stream is recoverable from the table alone.
+#[inline]
+pub fn base_op(fused: u8) -> u8 {
+    match desc_for(fused).pattern[0] {
+        Pat::Op(x) => x,
+        _ => unreachable!("pattern heads are exact opcodes"),
+    }
+}
+
+/// Selection thresholds: a pattern is fused in a function only when the
+/// profile says the dynamic count clears both bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionConfig {
+    /// Absolute floor of estimated dynamic occurrences per function.
+    pub min_count: u64,
+    /// Floor as a fraction of the function's dynamic instructions.
+    pub min_frequency: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            min_count: 32,
+            min_frequency: 0.005,
+        }
+    }
+}
+
+impl FusionConfig {
+    /// Fuse every statically matched site regardless of the profile;
+    /// used by tests and A/B harnesses.
+    pub fn aggressive() -> Self {
+        FusionConfig {
+            min_count: 1,
+            min_frequency: 0.0,
+        }
+    }
+}
+
+/// Per-block dispatch counters: the fusion profiler's input. Attach as
+/// the [`DispatchObserver`] of a profiling run; the hot loop pays one
+/// indexed increment per block dispatch and nothing per instruction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockCounts {
+    /// `counts[func][block]` = dispatches observed.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl BlockCounts {
+    /// Zeroed counters shaped for `program`.
+    pub fn for_program(program: &Program) -> Self {
+        BlockCounts {
+            counts: program
+                .functions()
+                .iter()
+                .map(|f| vec![0; f.block_count()])
+                .collect(),
+        }
+    }
+
+    /// Total dispatches observed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Visit count for one block (0 if out of shape).
+    #[inline]
+    pub fn get(&self, func: usize, block: usize) -> u64 {
+        self.counts
+            .get(func)
+            .and_then(|f| f.get(block))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl DispatchObserver for BlockCounts {
+    #[inline]
+    fn on_block(&mut self, b: BlockId) {
+        self.counts[b.func.0 as usize][b.block as usize] += 1;
+    }
+}
+
+/// Estimated dynamic pattern frequencies: block-visit counts folded
+/// over the static intra-block adjacencies of each decoded stream.
+///
+/// The scan mirrors the greedy longest-first rewrite with *all*
+/// patterns enabled, so each count is the number of times the
+/// corresponding fused handler would have run.
+#[derive(Debug, Clone, Default)]
+pub struct FusionProfile {
+    /// `counts[func][pattern]` = estimated dynamic group executions.
+    counts: Vec<[u64; NUM_PATTERNS]>,
+    /// Dynamic instructions per function (visits × block lengths).
+    dyn_instrs: Vec<u64>,
+    /// The raw block-visit counters, kept for the rewrite's
+    /// dispatches-eliminated estimate.
+    visits: BlockCounts,
+}
+
+impl FusionProfile {
+    /// Folds a profiling run's block counts over the decoded streams.
+    pub fn collect(decoded: &DecodedProgram, visits: BlockCounts) -> Self {
+        let mut counts = vec![[0u64; NUM_PATTERNS]; decoded.funcs.len()];
+        let mut dyn_instrs = vec![0u64; decoded.funcs.len()];
+        for (f, df) in decoded.funcs.iter().enumerate() {
+            let mut i = 0usize;
+            while i < df.code.len() {
+                if df.code[i].op == op::ENTER_BLOCK {
+                    i += 1;
+                    continue;
+                }
+                let v = visits.get(f, df.block_of[i] as usize);
+                dyn_instrs[f] += v;
+                if let Some(desc) = match_at(&df.code, i, u32::MAX) {
+                    counts[f][(desc.opcode - FUSED_BASE) as usize] += v;
+                    // Account the rest of the group's instructions too.
+                    dyn_instrs[f] += v * (desc.width() as u64 - 1);
+                    i += desc.width();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        FusionProfile {
+            counts,
+            dyn_instrs,
+            visits,
+        }
+    }
+
+    /// Estimated dynamic executions of `pattern` in `func`.
+    pub fn count(&self, func: usize, pattern: usize) -> u64 {
+        self.counts[func][pattern]
+    }
+}
+
+/// A per-function selection of superinstruction patterns, derived from
+/// a [`FusionProfile`]: different workloads (different profiles) select
+/// different pattern sets.
+#[derive(Debug, Clone, Default)]
+pub struct FusionPlan {
+    /// Bitmask over `FUSION_TABLE` per function.
+    selected: Vec<u32>,
+    profile: FusionProfile,
+}
+
+impl FusionPlan {
+    /// Thresholds the profile: pattern `p` is enabled in function `f`
+    /// iff its estimated dynamic count clears both configured bars.
+    pub fn select(profile: FusionProfile, cfg: &FusionConfig) -> Self {
+        let mut selected = vec![0u32; profile.counts.len()];
+        for (f, per_pattern) in profile.counts.iter().enumerate() {
+            let rel_floor = (cfg.min_frequency * profile.dyn_instrs[f] as f64).ceil() as u64;
+            let floor = cfg.min_count.max(rel_floor);
+            for (p, &n) in per_pattern.iter().enumerate() {
+                if n >= floor && n > 0 {
+                    selected[f] |= 1 << p;
+                }
+            }
+        }
+        FusionPlan { selected, profile }
+    }
+
+    /// A plan that fuses every statically matched site in every
+    /// function; used by golden tests and A/B harnesses.
+    pub fn all(num_funcs: usize) -> Self {
+        FusionPlan {
+            selected: vec![u32::MAX; num_funcs],
+            profile: FusionProfile::default(),
+        }
+    }
+
+    /// Names of the patterns enabled for `func`, table order.
+    pub fn selected_names(&self, func: usize) -> Vec<&'static str> {
+        let mask = self.selected.get(func).copied().unwrap_or(0);
+        FUSION_TABLE
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| mask & (1 << *p) != 0)
+            .map(|(_, d)| d.name)
+            .collect()
+    }
+
+    /// True when no function selects any pattern.
+    pub fn is_empty(&self) -> bool {
+        self.selected.iter().all(|&m| m == 0)
+    }
+}
+
+/// Per-function rewrite statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncFusion {
+    /// The function.
+    pub func: FuncId,
+    /// Static sites matching *any* table pattern (selected or not).
+    pub candidates: u64,
+    /// Groups actually planted.
+    pub fused: u64,
+    /// Estimated dynamic dispatches eliminated (profile visits ×
+    /// (width−1) summed over planted groups).
+    pub dispatches_eliminated: u64,
+    /// Names of the patterns the plan enabled for this function.
+    pub selected: Vec<&'static str>,
+}
+
+/// What a fusion rewrite did, per function and per pattern.
+#[derive(Debug, Clone, Default)]
+pub struct FusionReport {
+    /// Per-function stats, indexed by function.
+    pub funcs: Vec<FuncFusion>,
+    /// Static planted sites per pattern, table order.
+    pub by_pattern: Vec<(&'static str, u64)>,
+}
+
+impl FusionReport {
+    /// Total static candidate sites.
+    pub fn candidates(&self) -> u64 {
+        self.funcs.iter().map(|f| f.candidates).sum()
+    }
+
+    /// Total groups planted.
+    pub fn fused(&self) -> u64 {
+        self.funcs.iter().map(|f| f.fused).sum()
+    }
+
+    /// Total estimated dynamic dispatches eliminated.
+    pub fn dispatches_eliminated(&self) -> u64 {
+        self.funcs.iter().map(|f| f.dispatches_eliminated).sum()
+    }
+
+    /// Union of selected pattern names across functions, table order.
+    pub fn selected_union(&self) -> Vec<&'static str> {
+        FUSION_TABLE
+            .iter()
+            .filter(|d| self.funcs.iter().any(|f| f.selected.contains(&d.name)))
+            .map(|d| d.name)
+            .collect()
+    }
+}
+
+/// Longest-first greedy match of an enabled pattern at `code[i]`.
+/// Table order puts triples first; `mask` restricts to the plan's
+/// selection. Never matches a marker or an already-fused head (no
+/// element matches opcodes outside the base set).
+fn match_at(code: &[DOp], i: usize, mask: u32) -> Option<&'static FusionDesc> {
+    for (p, desc) in FUSION_TABLE.iter().enumerate() {
+        if mask & (1 << p) == 0 {
+            continue;
+        }
+        let w = desc.width();
+        if i + w <= code.len()
+            && desc
+                .pattern
+                .iter()
+                .enumerate()
+                .all(|(k, pat)| pat.matches(code[i + k].op))
+        {
+            return Some(desc);
+        }
+    }
+    None
+}
+
+/// Restores every decoded stream to its unfused form (idempotent).
+pub fn unfuse(decoded: &mut DecodedProgram) {
+    for df in &mut decoded.funcs {
+        for d in &mut df.code {
+            if is_fused(d.op) {
+                d.op = base_op(d.op);
+            }
+        }
+    }
+}
+
+/// Rewrites the decoded streams according to `plan`: unfuses first,
+/// then plants fused opcodes on group heads (greedy, longest-first,
+/// left-to-right, intra-block). Operands and shadow slots are left
+/// untouched.
+pub fn apply(decoded: &mut DecodedProgram, plan: &FusionPlan) -> FusionReport {
+    unfuse(decoded);
+    let mut report = FusionReport {
+        funcs: Vec::with_capacity(decoded.funcs.len()),
+        by_pattern: FUSION_TABLE.iter().map(|d| (d.name, 0)).collect(),
+    };
+    for (f, df) in decoded.funcs.iter_mut().enumerate() {
+        let mut stats = FuncFusion {
+            func: FuncId(f as u32),
+            candidates: 0,
+            fused: 0,
+            dispatches_eliminated: 0,
+            selected: plan.selected_names(f),
+        };
+        // Candidate census: greedy scan with every pattern enabled.
+        let mut i = 0usize;
+        while i < df.code.len() {
+            if df.code[i].op == op::ENTER_BLOCK {
+                i += 1;
+                continue;
+            }
+            if let Some(desc) = match_at(&df.code, i, u32::MAX) {
+                stats.candidates += 1;
+                i += desc.width();
+            } else {
+                i += 1;
+            }
+        }
+        // The rewrite proper: greedy scan with the plan's selection.
+        let mask = plan.selected.get(f).copied().unwrap_or(0);
+        let mut i = 0usize;
+        while i < df.code.len() {
+            if df.code[i].op == op::ENTER_BLOCK {
+                i += 1;
+                continue;
+            }
+            if let Some(desc) = match_at(&df.code, i, mask) {
+                df.code[i].op = desc.opcode;
+                stats.fused += 1;
+                report.by_pattern[(desc.opcode - FUSED_BASE) as usize].1 += 1;
+                stats.dispatches_eliminated +=
+                    plan.profile.visits.get(f, df.block_of[i] as usize) * (desc.width() as u64 - 1);
+                i += desc.width();
+            } else {
+                i += 1;
+            }
+        }
+        report.funcs.push(stats);
+    }
+    report
+}
+
+/// Deliberately broken rewrites for testing the testers: each variant
+/// plants a bug the fusion differential / conformance lockstep must
+/// catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseQuirk {
+    /// Plants a `load_load` head whose second "constituent" is the next
+    /// block's `ENTER_BLOCK` marker — fusing across a block boundary.
+    /// The group swallows the marker, so a block dispatch (and its
+    /// observer event) silently disappears and the marker's operand
+    /// field is misread as a local index.
+    FuseAcrossBlockBoundary,
+}
+
+/// Plants `quirk` into an (already fused) decoded program. Returns
+/// `false` when the program has no site with the required shape. Only
+/// sites not covered by an existing fused group are considered, so the
+/// planted bug is guaranteed to execute when its block does.
+pub fn plant_quirk(decoded: &mut DecodedProgram, quirk: FuseQuirk) -> bool {
+    match quirk {
+        FuseQuirk::FuseAcrossBlockBoundary => {
+            for df in &mut decoded.funcs {
+                let mut i = 0usize;
+                while i < df.code.len() {
+                    let o = df.code[i].op;
+                    if is_fused(o) {
+                        i += desc_for(o).width();
+                        continue;
+                    }
+                    if o == op::LOAD
+                        && i + 1 < df.code.len()
+                        && df.code[i + 1].op == op::ENTER_BLOCK
+                    {
+                        df.code[i].op = fop::LOAD_LOAD;
+                        return true;
+                    }
+                    i += 1;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_ordered_and_heads_are_exact() {
+        assert_eq!(FUSION_TABLE.len(), NUM_PATTERNS);
+        let mut prev_width = usize::MAX;
+        for (p, desc) in FUSION_TABLE.iter().enumerate() {
+            assert_eq!(
+                desc.opcode,
+                FUSED_BASE + p as u8,
+                "table order must equal opcode order"
+            );
+            assert!(
+                matches!(desc.pattern[0], Pat::Op(_)),
+                "{}: head must be exact for unfuse",
+                desc.name
+            );
+            assert!(
+                desc.width() >= 2 && desc.width() <= 3,
+                "{}: width out of range",
+                desc.name
+            );
+            assert!(
+                desc.width() <= prev_width,
+                "{}: triples must precede pairs (longest-first matching)",
+                desc.name
+            );
+            prev_width = prev_width.min(desc.width());
+            for pat in desc.pattern {
+                assert!(
+                    !pat.matches(op::ENTER_BLOCK),
+                    "{}: no element may match a block marker",
+                    desc.name
+                );
+                for f in FUSED_BASE..=u8::MAX {
+                    assert!(
+                        !pat.matches(f),
+                        "{}: no element may match a fused opcode",
+                        desc.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_opcodes_do_not_collide_with_base_ops() {
+        for desc in FUSION_TABLE {
+            assert!(is_fused(desc.opcode));
+            assert!(desc.opcode >= FUSED_BASE);
+            assert_eq!(
+                base_op(desc.opcode),
+                match desc.pattern[0] {
+                    Pat::Op(x) => x,
+                    _ => unreachable!(),
+                }
+            );
+        }
+        assert!(!is_fused(op::CHECKSUM));
+        assert!(!is_fused(op::ENTER_BLOCK));
+        assert!(!is_fused(FUSED_BASE + NUM_PATTERNS as u8));
+    }
+}

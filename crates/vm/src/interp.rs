@@ -32,6 +32,7 @@ use jvm_bytecode::{BlockId, ClassId, FuncId, Program};
 use crate::arena::FrameArena;
 use crate::decode::{eval_f_rel, eval_i_rel, op, DOp, DecodedProgram};
 use crate::error::VmError;
+use crate::fuse::{self, fop, BlockCounts, FusionConfig, FusionPlan, FusionReport};
 use crate::heap::{Heap, HeapObj, HeapStats};
 use crate::observer::DispatchObserver;
 use crate::stats::ExecStats;
@@ -145,6 +146,35 @@ impl<'p> Vm<'p> {
     /// The pre-decoded form of the program.
     pub fn decoded(&self) -> &DecodedProgram {
         &self.decoded
+    }
+
+    /// Rewrites the decoded streams according to a superinstruction
+    /// `plan` (see [`crate::fuse`]). Idempotent: any previous fusion is
+    /// undone first. Execution semantics, statistics and the dispatch
+    /// stream are unchanged; only dispatch *cost* drops.
+    pub fn apply_fusion(&mut self, plan: &FusionPlan) -> FusionReport {
+        fuse::apply(&mut self.decoded, plan)
+    }
+
+    /// Convenience: builds a [`fuse::FusionProfile`] from a profiling
+    /// run's block `counts`, selects patterns per function with `cfg`,
+    /// and applies the resulting plan.
+    pub fn fuse_with_profile(&mut self, counts: BlockCounts, cfg: &FusionConfig) -> FusionReport {
+        let profile = fuse::FusionProfile::collect(&self.decoded, counts);
+        let plan = FusionPlan::select(profile, cfg);
+        fuse::apply(&mut self.decoded, &plan)
+    }
+
+    /// Restores the unfused decoded streams.
+    pub fn unfuse(&mut self) {
+        fuse::unfuse(&mut self.decoded);
+    }
+
+    /// Test hook: plants a deliberately broken fusion rewrite (see
+    /// [`fuse::FuseQuirk`]). The fusion differential and conformance
+    /// suites use this to prove they catch mis-fused boundaries.
+    pub fn plant_fuse_quirk(&mut self, quirk: fuse::FuseQuirk) -> bool {
+        fuse::plant_quirk(&mut self.decoded, quirk)
     }
 
     /// Byte footprint of the frame arena (slab + frame records).
@@ -292,6 +322,100 @@ impl<'p> Vm<'p> {
                 arena.push_call(callee, u32::from(cdf.num_locals), cdf.frame_size, $argc);
                 stats.max_frame_depth = stats.max_frame_depth.max(arena.depth());
                 reload!();
+            }};
+        }
+        // --- Superinstruction support (see crate::fuse) ----------------
+        // Reads the shadow slot of the $i-th constituent of a fused
+        // group; the rewrite guarantees the whole group lies inside the
+        // stream (and inside one block).
+        macro_rules! shadow {
+            ($i:expr) => {{
+                debug_assert!(((pc + $i) as usize) < code.len(), "fused group in bounds");
+                // SAFETY: fuse::apply only plants heads whose full
+                // pattern matched within the stream.
+                unsafe { *code.get_unchecked((pc + $i) as usize) }
+            }};
+        }
+        // Fuel gate between fused constituents: the head was paid for by
+        // the loop prelude; each further constituent pays here, erroring
+        // at exactly the instruction count the unfused stream would.
+        macro_rules! fstep {
+            () => {{
+                if stats.instructions >= config.max_steps {
+                    return Err(VmError::OutOfFuel);
+                }
+                stats.instructions += 1;
+            }};
+        }
+        // Evaluates the int binop `$opc` (IADD..=IXOR) with the exact
+        // semantics of the standalone handlers, including div/rem traps.
+        macro_rules! ibin {
+            ($opc:expr, $a:expr, $b:expr) => {{
+                let a: i64 = $a;
+                let b: i64 = $b;
+                match $opc {
+                    op::IADD => a.wrapping_add(b),
+                    op::ISUB => a.wrapping_sub(b),
+                    op::IMUL => a.wrapping_mul(b),
+                    op::IDIV => {
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    op::IREM => {
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    op::ISHL => a.wrapping_shl(b as u32 & 63),
+                    op::ISHR => a.wrapping_shr(b as u32 & 63),
+                    op::IUSHR => ((a as u64) >> (b as u32 & 63)) as i64,
+                    op::IAND => a & b,
+                    op::IOR => a | b,
+                    op::IXOR => a ^ b,
+                    other => unreachable!("int binop family: opcode {other}"),
+                }
+            }};
+        }
+        // Float binop family (FADD..=FDIV), same semantics as the
+        // standalone handlers.
+        macro_rules! fbin {
+            ($opc:expr, $a:expr, $b:expr) => {{
+                let a: f64 = $a;
+                let b: f64 = $b;
+                match $opc {
+                    op::FADD => a + b,
+                    op::FSUB => a - b,
+                    op::FMUL => a * b,
+                    op::FDIV => a / b,
+                    other => unreachable!("float binop family: opcode {other}"),
+                }
+            }};
+        }
+        // Array element read with the exact trap order and messages of
+        // the standalone ALOAD handler.
+        macro_rules! aload_elem {
+            ($arr:expr, $idx:expr) => {{
+                let idx: i64 = $idx;
+                match heap.get($arr) {
+                    HeapObj::Array { elems } => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            return Err(VmError::IndexOutOfBounds {
+                                index: idx,
+                                len: elems.len(),
+                            });
+                        }
+                        elems[idx as usize]
+                    }
+                    HeapObj::Object { .. } => {
+                        return Err(VmError::TypeError {
+                            expected: "array",
+                            found: "object",
+                        })
+                    }
+                }
             }};
         }
 
@@ -767,6 +891,184 @@ impl<'p> Vm<'p> {
                     let v = pop!().as_int()?;
                     *checksum = fold_checksum(*checksum, v);
                     pc += 1;
+                }
+                // --- Fused superinstructions (crate::fuse) -------------
+                // Each arm executes its constituents with the reference
+                // operand-evaluation and error order; `fstep!` charges
+                // fuel per constituent so OutOfFuel parity is exact.
+                // Operands of later constituents come from the shadow
+                // slots, which still hold the original DOps.
+                fop::LOAD_LOAD_IBIN => {
+                    let x = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let y = slot(&arena.slab, base + u32::from(d2.a));
+                    fstep!();
+                    let d3 = shadow!(2);
+                    let b = y.as_int()?;
+                    let a = x.as_int()?;
+                    push!(Value::Int(ibin!(d3.op, a, b)));
+                    pc += 3;
+                }
+                fop::LOAD_ICONST_IBIN => {
+                    let x = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let b = decoded.iconsts[d2.b as usize];
+                    fstep!();
+                    let d3 = shadow!(2);
+                    let a = x.as_int()?;
+                    push!(Value::Int(ibin!(d3.op, a, b)));
+                    pc += 3;
+                }
+                fop::LOAD_LOAD_ICMP => {
+                    let x = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let y = slot(&arena.slab, base + u32::from(d2.a));
+                    fstep!();
+                    let d3 = shadow!(2);
+                    let b = y.as_int()?;
+                    let a = x.as_int()?;
+                    stats.branches += 1;
+                    if eval_i_rel(d3.op - op::IF_ICMP_EQ, a, b) {
+                        stats.taken_branches += 1;
+                        pc = d3.b;
+                    } else {
+                        pc += 3;
+                    }
+                }
+                fop::LOAD_LOAD => {
+                    let x = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    push!(x);
+                    push!(slot(&arena.slab, base + u32::from(d2.a)));
+                    pc += 2;
+                }
+                fop::LOAD_ICONST => {
+                    let x = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    push!(x);
+                    push!(Value::Int(decoded.iconsts[d2.b as usize]));
+                    pc += 2;
+                }
+                fop::STORE_LOAD => {
+                    let v = pop!();
+                    *slot_mut(&mut arena.slab, base + u32::from(d.a)) = v;
+                    fstep!();
+                    let d2 = shadow!(1);
+                    push!(slot(&arena.slab, base + u32::from(d2.a)));
+                    pc += 2;
+                }
+                fop::LOAD_IBIN => {
+                    let y = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let b = y.as_int()?;
+                    let a = pop!().as_int()?;
+                    push!(Value::Int(ibin!(d2.op, a, b)));
+                    pc += 2;
+                }
+                fop::ICONST_IBIN => {
+                    let b = decoded.iconsts[d.b as usize];
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let a = pop!().as_int()?;
+                    push!(Value::Int(ibin!(d2.op, a, b)));
+                    pc += 2;
+                }
+                fop::LOAD_ICMP => {
+                    let y = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let b = y.as_int()?;
+                    let a = pop!().as_int()?;
+                    stats.branches += 1;
+                    if eval_i_rel(d2.op - op::IF_ICMP_EQ, a, b) {
+                        stats.taken_branches += 1;
+                        pc = d2.b;
+                    } else {
+                        pc += 2;
+                    }
+                }
+                fop::ICONST_ICMP => {
+                    let b = decoded.iconsts[d.b as usize];
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let a = pop!().as_int()?;
+                    stats.branches += 1;
+                    if eval_i_rel(d2.op - op::IF_ICMP_EQ, a, b) {
+                        stats.taken_branches += 1;
+                        pc = d2.b;
+                    } else {
+                        pc += 2;
+                    }
+                }
+                fop::IINC_GOTO => {
+                    let i = base + u32::from(d.a);
+                    let v = slot(&arena.slab, i).as_int()?;
+                    *slot_mut(&mut arena.slab, i) = Value::Int(v.wrapping_add(d.b as i32 as i64));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    // GOTO is unconditional: no branch counters, like
+                    // the standalone handler.
+                    pc = d2.b;
+                }
+                fop::IADD_STORE => {
+                    let b = pop!().as_int()?;
+                    let a = pop!().as_int()?;
+                    let v = Value::Int(a.wrapping_add(b));
+                    fstep!();
+                    let d2 = shadow!(1);
+                    *slot_mut(&mut arena.slab, base + u32::from(d2.a)) = v;
+                    pc += 2;
+                }
+                fop::FCONST_FBIN => {
+                    let b = decoded.fconsts[d.b as usize];
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let a = pop!().as_float()?;
+                    push!(Value::Float(fbin!(d2.op, a, b)));
+                    pc += 2;
+                }
+                fop::LOAD_ALOAD => {
+                    let iv = slot(&arena.slab, base + u32::from(d.a));
+                    fstep!();
+                    let idx = iv.as_int()?;
+                    let arr = pop!().as_ref_id()?;
+                    push!(aload_elem!(arr, idx));
+                    pc += 2;
+                }
+                fop::ICONST_ALOAD => {
+                    let idx = decoded.iconsts[d.b as usize];
+                    fstep!();
+                    let arr = pop!().as_ref_id()?;
+                    push!(aload_elem!(arr, idx));
+                    pc += 2;
+                }
+                fop::ALOAD_IBIN => {
+                    let idx = pop!().as_int()?;
+                    let arr = pop!().as_ref_id()?;
+                    let ev = aload_elem!(arr, idx);
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let b = ev.as_int()?;
+                    let a = pop!().as_int()?;
+                    push!(Value::Int(ibin!(d2.op, a, b)));
+                    pc += 2;
+                }
+                fop::ALOAD_FBIN => {
+                    let idx = pop!().as_int()?;
+                    let arr = pop!().as_ref_id()?;
+                    let ev = aload_elem!(arr, idx);
+                    fstep!();
+                    let d2 = shadow!(1);
+                    let b = ev.as_float()?;
+                    let a = pop!().as_float()?;
+                    push!(Value::Float(fbin!(d2.op, a, b)));
+                    pc += 2;
                 }
                 other => unreachable!("corrupt decoded stream: opcode {other}"),
             }

@@ -43,6 +43,7 @@ pub mod decode;
 pub mod dispatch;
 pub mod error;
 pub mod frame;
+pub mod fuse;
 pub mod heap;
 pub mod interp;
 pub mod observer;
@@ -54,6 +55,7 @@ pub use arena::{FrameArena, FrameInfo};
 pub use decode::{DOp, DecodedFunction, DecodedMemory, DecodedProgram};
 pub use dispatch::DispatchCounts;
 pub use error::VmError;
+pub use fuse::{BlockCounts, FuseQuirk, FusionConfig, FusionPlan, FusionProfile, FusionReport};
 pub use heap::{Heap, HeapObj};
 pub use interp::{fold_checksum, Vm, VmConfig};
 pub use observer::{DispatchObserver, NullObserver, RecordingObserver};

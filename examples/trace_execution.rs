@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             optimize: false,
             superinstructions: true,
             reg_ir: false,
+            dop_fusion: true,
         },
     );
     engine.run(&w.args)?;
@@ -71,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             optimize: true,
             superinstructions: true,
             reg_ir: false,
+            dop_fusion: true,
         },
     );
     opt_engine.run(&w.args)?;
@@ -87,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             optimize: true,
             superinstructions: true,
             reg_ir: true,
+            dop_fusion: true,
         },
     );
     reg_engine.run(&w.args)?;
@@ -125,6 +128,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "register lowering: {} -> {} instrs, {} virtual regs, {} stack ops eliminated, {} guards fused",
         rs.before, rs.after, rs.regs, rs.eliminated, rs.guards_fused
     );
+    if let Some(rep) = engine.dop_fusion_report() {
+        println!(
+            "dop fusion (out-of-trace) : {} of {} candidate sites fused, ~{} dispatches eliminated, selected [{}]",
+            rep.fused(),
+            rep.candidates(),
+            rep.dispatches_eliminated(),
+            rep.selected_union().join(", ")
+        );
+    }
     println!(
         "trace quality in engine   : completion {:.2}%, {} traces compiled",
         100.0 * report.completion_rate(),

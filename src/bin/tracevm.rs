@@ -27,6 +27,7 @@ struct Options {
     delay: u32,
     unroll: usize,
     reg_ir: bool,
+    dop_fusion: bool,
     out: String,
 }
 
@@ -39,6 +40,7 @@ impl Default for Options {
             delay: 64,
             unroll: 1,
             reg_ir: true,
+            dop_fusion: true,
             out: ".".into(),
         }
     }
@@ -47,7 +49,7 @@ impl Default for Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]\n\
-         \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg]\n\
+         \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg] [--no-fuse]\n\
          \x20 tracevm disasm <workload> [--scale ...]\n\
          \x20 tracevm dot <workload> [--out DIR] [--scale ...]\n\
          \x20 tracevm compare <workload> [--scale ...]\n\
@@ -93,6 +95,7 @@ fn parse_options(args: &mut std::env::Args, opts: &mut Options) -> Result<(), St
                     .map_err(|e| format!("bad unroll: {e}"))?
             }
             "--no-reg" => opts.reg_ir = false,
+            "--no-fuse" => opts.dop_fusion = false,
             "--out" => opts.out = need("--out")?,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -187,6 +190,7 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                     optimize: opts.engine == "exec-opt",
                     superinstructions: true,
                     reg_ir: opts.reg_ir,
+                    dop_fusion: opts.dop_fusion,
                 },
             );
             let r = engine.run(&w.args)?;
@@ -203,6 +207,27 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                 );
             }
             println!("compiled traces     : {}", engine.compiled_count());
+            match engine.dop_fusion_report() {
+                Some(rep) => {
+                    println!(
+                        "dop fusion          : {} candidates, {} applied, {} dispatches eliminated",
+                        rep.candidates(),
+                        rep.fused(),
+                        rep.dispatches_eliminated()
+                    );
+                    for ff in rep.funcs.iter().filter(|f| f.candidates > 0) {
+                        println!(
+                            "  fn {:<16}: {}/{} sites fused, {} dispatches eliminated [{}]",
+                            w.program.function(ff.func).name(),
+                            ff.fused,
+                            ff.candidates,
+                            ff.dispatches_eliminated,
+                            ff.selected.join(", ")
+                        );
+                    }
+                }
+                None => println!("dop fusion          : off (--no-fuse)"),
+            }
             let m = engine.decoded().memory_estimate();
             println!(
                 "decoded code        : {} bytes ({} code, {} maps, {} pools)",

@@ -17,6 +17,7 @@ fn engine_config() -> EngineConfig {
         optimize: false,
         superinstructions: true,
         reg_ir: false,
+        dop_fusion: true,
     }
 }
 

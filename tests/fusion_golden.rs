@@ -1,0 +1,112 @@
+//! Golden test: the fused decoded listing of a fixed function under a
+//! fixed profile is pinned. The companion of `decoded_golden.rs` with
+//! the superinstruction pass applied: any change to the fusion table,
+//! the greedy matcher, or the selection thresholds must show up here as
+//! a reviewed diff.
+//!
+//! Two profiles drive the same program to different fused forms, which
+//! is the whole point of *profile-driven* selection:
+//!
+//! * a hot profile (large loop count) clears the default thresholds and
+//!   fuses the loop body;
+//! * a cold profile (a couple of iterations) clears nothing and leaves
+//!   the stream untouched.
+
+use tracecache_repro::bytecode::{CmpOp, Program, ProgramBuilder};
+use tracecache_repro::vm::{BlockCounts, FusionConfig, NullObserver, Value, Vm};
+
+/// `main(n): acc = 0; while (n > 0) { acc += n; n -= 1 }; return acc` —
+/// the loop body offers a `load load iadd` triple and an `iinc goto`
+/// back-edge, the header a `load if`.
+fn loop_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare_function("main", 1, true);
+    {
+        let b = pb.function_mut(f);
+        let acc = b.alloc_local();
+        b.iconst(0).store(acc);
+        let head = b.bind_new_label();
+        let exit = b.new_label();
+        b.load(0).if_i(CmpOp::Le, exit);
+        b.load(acc).load(0).iadd().store(acc);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.load(acc).ret();
+    }
+    pb.build(f).unwrap()
+}
+
+/// Runs the program once with `n`, collecting the block-visit profile,
+/// then fuses under default thresholds and returns the fused listing.
+fn fused_listing(program: &Program, n: i64) -> (String, tracecache_repro::vm::FusionReport) {
+    let mut vm = Vm::new(program);
+    let mut counts = BlockCounts::for_program(program);
+    vm.run(&[Value::Int(n)], &mut counts).unwrap();
+    let report = vm.fuse_with_profile(counts, &FusionConfig::default());
+    (vm.decoded().disassemble(program), report)
+}
+
+#[test]
+fn hot_profile_fused_listing_matches_golden() {
+    let program = loop_program();
+    let (listing, report) = fused_listing(&program, 1000);
+    assert!(report.fused() > 0, "hot profile must fuse the loop body");
+
+    // In-place quickening: only group heads change; shadow slots keep
+    // the original constituents, so indices and jump targets are those
+    // of `decoded_golden.rs` verbatim.
+    let expected = "\
+fn main (fn#0) params=1 locals=2 max_stack=2 frame=4
+     0: enter_block b0
+     1: iconst 0
+     2: store 1
+     3: enter_block b1
+     4: load 0
+     5: if le -> 13
+     6: enter_block b2
+     7: {load_load_ibin} load 1
+     8: load 0
+     9: iadd
+    10: store 1
+    11: {iinc_goto} iinc 0, -1
+    12: goto -> 3
+    13: enter_block b3
+    14: load 1
+    15: return
+";
+    assert_eq!(listing, expected);
+}
+
+#[test]
+fn cold_profile_selects_nothing() {
+    let program = loop_program();
+    // Two iterations: every candidate count sits far below the default
+    // `min_count` floor of 32, so the stream must be untouched.
+    let (listing, report) = fused_listing(&program, 2);
+    assert_eq!(report.fused(), 0, "cold profile must not fuse");
+    assert!(
+        !listing.contains('{'),
+        "no fused heads may appear in the cold listing:\n{listing}"
+    );
+    // And it is exactly the unfused decoded listing.
+    let plain = tracecache_repro::vm::DecodedProgram::decode(&program).disassemble(&program);
+    assert_eq!(listing, plain);
+}
+
+/// The same stream, unfused again, is bit-identical to a fresh decode —
+/// quickening is fully reversible.
+#[test]
+fn unfuse_restores_the_original_stream() {
+    let program = loop_program();
+    let mut vm = Vm::new(&program);
+    let mut counts = BlockCounts::for_program(&program);
+    vm.run(&[Value::Int(1000)], &mut counts).unwrap();
+    let report = vm.fuse_with_profile(counts, &FusionConfig::default());
+    assert!(report.fused() > 0);
+    vm.unfuse();
+    let plain = tracecache_repro::vm::DecodedProgram::decode(&program).disassemble(&program);
+    assert_eq!(vm.decoded().disassemble(&program), plain);
+    // Still runs correctly after the round-trip.
+    let got = vm.run(&[Value::Int(10)], &mut NullObserver).unwrap();
+    assert_eq!(got, Some(Value::Int(55)));
+}

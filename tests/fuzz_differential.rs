@@ -94,6 +94,7 @@ fn engines_agree_on_random_programs() {
                 optimize: false,
                 superinstructions: true,
                 reg_ir: true,
+                dop_fusion: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");
@@ -110,6 +111,7 @@ fn engines_agree_on_random_programs() {
                 optimize: true,
                 superinstructions: true,
                 reg_ir: true,
+                dop_fusion: true,
             },
         );
         let r = opt.run(&args).expect("optimizing engine runs");
@@ -149,6 +151,7 @@ fn unrolling_preserves_semantics_on_random_programs() {
                 optimize: true,
                 superinstructions: true,
                 reg_ir: true,
+                dop_fusion: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");

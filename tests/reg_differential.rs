@@ -33,6 +33,7 @@ fn reg_config() -> EngineConfig {
         optimize: false,
         superinstructions: true,
         reg_ir: true,
+        dop_fusion: true,
     }
 }
 
@@ -45,6 +46,7 @@ fn chaos_config() -> EngineConfig {
         optimize: false,
         superinstructions: true,
         reg_ir: true,
+        dop_fusion: true,
     }
 }
 
