@@ -67,8 +67,28 @@ grep -q '"fusion"' /tmp/BENCH_interp.smoke.json
 grep -q '"dispatches_eliminated"' /tmp/BENCH_interp.smoke.json
 grep -q '"hot_opcode_triples"' /tmp/BENCH_interp.smoke.json
 
+echo "== snapshot round-trip differential (debug: decoder/merge asserts in situ)"
+# Persistence is lossless and canonical: six workloads + seeded fuzz
+# programs round-trip bit-identically, warm boot matches the interpreter
+# oracle, and the byte-level container format stays pinned.
+cargo test --features debug-invariants -q --test snapshot_differential --test snapshot_golden
+
+echo "== snapshot hostile-input campaign (release: >=256 mutants per source)"
+# Bit flips, truncations, section swaps, hostile length fields: every
+# mutant must be cleanly rejected — no panics, no silent acceptance —
+# and the planted stale-hash quirk must be caught.
+cargo test -q --release --test snapshot_hostile
+
 echo "== concurrent shared-cache bench smoke (2 threads, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --out /tmp/BENCH_concurrent.smoke.json
+grep -q '"warm_boot"' /tmp/BENCH_concurrent.smoke.json
+grep -q '"first_entry_dispatch"' /tmp/BENCH_concurrent.smoke.json
+
+echo "== snapshot warm-boot bench smoke (boot-only leg, test scale)"
+cargo run --release -p trace-bench --bin concurrent -- --smoke --load-snapshot \
+    --out /tmp/BENCH_concurrent_boot.smoke.json
+grep -q '"aot_replay"' /tmp/BENCH_concurrent_boot.smoke.json
+grep -q '"traces_constructed"' /tmp/BENCH_concurrent_boot.smoke.json
 
 echo "== degraded-mode bench smoke (fault injection, 2 threads, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --faults 0xFA17_BE4C \

@@ -337,6 +337,34 @@ impl BranchCorrelationGraph {
         }
     }
 
+    /// Crate-internal mutable node access for the persistence image
+    /// module ([`crate::image`]).
+    pub(crate) fn node_mut(&mut self, idx: NodeIdx) -> &mut Node {
+        &mut self.nodes[idx.index()]
+    }
+
+    /// Crate-internal [`Self::get_or_create`] alias for the image module.
+    pub(crate) fn get_or_create_node(&mut self, branch: Branch) -> NodeIdx {
+        self.get_or_create(branch)
+    }
+
+    /// Applies pending fast-path bookkeeping and disarms the budget so
+    /// the next visit takes the slow path. The image merge uses this to
+    /// put a node back under the lazy-decay discipline before folding
+    /// foreign counters in: a stale armed budget could otherwise run a
+    /// counter past saturation or skate over a newly-due decay.
+    pub(crate) fn settle_and_disarm(&mut self, idx: NodeIdx) {
+        self.sync_deferred(idx);
+        let node = &mut self.nodes[idx.index()];
+        node.fp_budget = 0;
+        node.fp_armed = 0;
+    }
+
+    /// Crate-internal stats access for the image module.
+    pub(crate) fn stats_mut(&mut self) -> &mut ProfilerStats {
+        &mut self.stats
+    }
+
     /// Gets or lazily creates the node for `branch`.
     fn get_or_create(&mut self, branch: Branch) -> NodeIdx {
         let key = PackedBranch::pack(branch);

@@ -48,6 +48,7 @@
 pub mod config;
 pub mod dot;
 pub mod graph;
+pub mod image;
 pub mod node;
 pub mod reference;
 pub mod signal;
@@ -57,6 +58,7 @@ pub mod table;
 
 pub use config::BcgConfig;
 pub use graph::{BranchCorrelationGraph, NodeIdx};
+pub use image::{BcgImage, ImageError, MergeStats, NodeImage, SuccessorImage};
 pub use node::{Node, Successor};
 pub use reference::ReferenceBcg;
 pub use signal::{Signal, SignalKind};

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! concurrent [--scale test|small|paper] [--threads N] [--repeats N]
-//!            [--workload NAME] [--smoke] [--faults SEED] [--out PATH]
+//!            [--workload NAME] [--smoke] [--faults SEED]
+//!            [--load-snapshot] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the CI setting: test scale, 2 threads, 1 repeat —
@@ -20,6 +21,10 @@
 //! and the report records eviction, quarantine, and restart counters
 //! plus the throughput retained under faults and in permanently
 //! degraded (interpreter-only) mode.
+//!
+//! `--load-snapshot` runs only the snapshot warm-boot leg (cold start vs
+//! `TracingVm::load_snapshot` vs `TracingVm::aot_replay`, single VM) —
+//! the default full run includes this leg alongside the thread ladder.
 
 use trace_bench::concurrent;
 use trace_bench::parse_scale;
@@ -32,6 +37,7 @@ fn main() {
     let mut workload: Option<String> = None;
     let mut out = String::from("BENCH_concurrent.json");
     let mut smoke = false;
+    let mut boot_only = false;
     let mut faults: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -76,6 +82,7 @@ fn main() {
                 });
             }
             "--smoke" => smoke = true,
+            "--load-snapshot" => boot_only = true,
             "--faults" => {
                 let v = args.next().unwrap_or_default();
                 let digits = v.trim_start_matches("0x").replace('_', "");
@@ -92,7 +99,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "concurrent [--scale test|small|paper] [--threads N] [--repeats N] \
-                     [--workload NAME] [--smoke] [--faults SEED] [--out PATH]"
+                     [--workload NAME] [--smoke] [--faults SEED] [--load-snapshot] [--out PATH]"
                 );
                 return;
             }
@@ -158,16 +165,22 @@ fn main() {
         return;
     }
 
-    let report = concurrent::run_filtered(scale, threads, repeats, workload.as_deref());
+    let report = if boot_only {
+        concurrent::run_boot_only(scale, repeats, workload.as_deref())
+    } else {
+        concurrent::run_filtered(scale, threads, repeats, workload.as_deref())
+    };
     print!("{}", report.render());
-    let max_t = report.threads.iter().copied().max().unwrap_or(1);
-    println!(
-        "cross-VM dedup observed on {}/{} workloads at {} threads ({} host CPUs)",
-        report.dedup_observed(max_t),
-        report.rows.len(),
-        max_t,
-        report.host_cpus,
-    );
+    if !boot_only {
+        let max_t = report.threads.iter().copied().max().unwrap_or(1);
+        println!(
+            "cross-VM dedup observed on {}/{} workloads at {} threads ({} host CPUs)",
+            report.dedup_observed(max_t),
+            report.rows.len(),
+            max_t,
+            report.host_cpus,
+        );
+    }
 
     let json = report.to_json();
     match std::fs::write(&out, &json) {

@@ -13,6 +13,13 @@
 //!   untimed run before the timed workers start (the startup win of
 //!   inheriting traces another VM already paid for).
 //!
+//! A fourth, single-VM leg measures **snapshot warm boot**: one private
+//! VM is warmed and snapshotted ([`TracingVm::snapshot`]), then fresh
+//! VMs are booted from those bytes — via [`TracingVm::load_snapshot`]
+//! (verbatim restore) and [`TracingVm::aot_replay`] (profile replayed
+//! through the constructor) — and compared against a cold start on
+//! dispatches-before-first-trace-entry and in-run construction events.
+//!
 //! Each measurement is the *minimum wall clock* over `repeats`
 //! (throughput noise is strictly downward), and reports **aggregate**
 //! instructions per second: total instructions retired by all workers
@@ -115,6 +122,60 @@ impl ConcurrentRow {
     }
 }
 
+/// One single-VM boot-mode measurement (best of `repeats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootPoint {
+    /// Minimum wall clock of the timed run, seconds. Boot itself
+    /// (loading or replaying the snapshot) is *not* timed — the point of
+    /// the leg is what serving costs after the boot mode did its work.
+    pub wall_s: f64,
+    /// Instructions retired in the best repeat.
+    pub instructions: u64,
+    /// Throughput of the best repeat: `instructions / wall_s`.
+    pub instr_per_s: f64,
+    /// Block dispatches paid before the first trace entry (0 = the run
+    /// never entered a trace) — time-to-first-trace-hit.
+    pub first_entry_dispatch: u64,
+    /// Traces constructed *during the timed run*; boot-time replay work
+    /// is subtracted out. A warm start should construct (almost) nothing.
+    pub traces_constructed: u64,
+    /// Traces entered during the run.
+    pub traces_entered: u64,
+}
+
+/// One workload's cold / warm-boot / AOT-replay comparison.
+#[derive(Debug, Clone)]
+pub struct WarmBootRow {
+    /// Workload name (registry name).
+    pub name: &'static str,
+    /// Snapshot container size in bytes.
+    pub snapshot_bytes: usize,
+    /// Traces installed verbatim by the warm boot.
+    pub boot_traces: usize,
+    /// Trace artifacts pre-built (compiled + lowered) by the warm boot.
+    pub boot_artifacts: usize,
+    /// Traces the AOT replay re-admitted through the constructor.
+    pub aot_traces: usize,
+    /// Fresh VM, no snapshot.
+    pub cold: BootPoint,
+    /// Fresh VM booted with [`TracingVm::load_snapshot`].
+    pub warm: BootPoint,
+    /// Fresh VM booted with [`TracingVm::aot_replay`].
+    pub aot: BootPoint,
+}
+
+impl WarmBootRow {
+    /// Warm-over-cold ratio of dispatches paid before the first trace
+    /// entry (&lt; 1.0 = the warm boot reached trace execution sooner).
+    /// `None` when the cold run never entered a trace.
+    pub fn warmup_ratio(&self) -> Option<f64> {
+        if self.cold.first_entry_dispatch == 0 || self.warm.first_entry_dispatch == 0 {
+            return None;
+        }
+        Some(self.warm.first_entry_dispatch as f64 / self.cold.first_entry_dispatch as f64)
+    }
+}
+
 /// Full report: one row per workload.
 #[derive(Debug, Clone)]
 pub struct ConcurrentReport {
@@ -131,6 +192,9 @@ pub struct ConcurrentReport {
     pub queue_capacity: usize,
     /// Per-workload rows.
     pub rows: Vec<ConcurrentRow>,
+    /// Single-VM snapshot warm-boot rows (cold vs warm boot vs AOT
+    /// replay), one per workload.
+    pub warm_boot: Vec<WarmBootRow>,
 }
 
 impl ConcurrentReport {
@@ -208,6 +272,41 @@ impl ConcurrentReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        fn boot_point(p: &BootPoint) -> String {
+            format!(
+                "{{\"wall_s\": {:.6}, \"instructions\": {}, \"instr_per_s\": {:.1}, \
+                 \"first_entry_dispatch\": {}, \"traces_constructed\": {}, \
+                 \"traces_entered\": {}}}",
+                p.wall_s,
+                p.instructions,
+                p.instr_per_s,
+                p.first_entry_dispatch,
+                p.traces_constructed,
+                p.traces_entered
+            )
+        }
+        out.push_str("  \"warm_boot\": [\n");
+        for (i, r) in self.warm_boot.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"snapshot_bytes\": {}, \"boot_traces\": {}, \
+                 \"boot_artifacts\": {}, \"aot_traces\": {},\n     \"cold\": {},\n     \
+                 \"warm_boot\": {},\n     \"aot_replay\": {}}}{}\n",
+                r.name,
+                r.snapshot_bytes,
+                r.boot_traces,
+                r.boot_artifacts,
+                r.aot_traces,
+                boot_point(&r.cold),
+                boot_point(&r.warm),
+                boot_point(&r.aot),
+                if i + 1 == self.warm_boot.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -216,6 +315,9 @@ impl ConcurrentReport {
     pub fn render(&self) -> String {
         let max_t = self.threads.iter().copied().max().unwrap_or(1);
         let mut out = String::new();
+        if self.rows.is_empty() {
+            return self.render_warm_boot();
+        }
         out.push_str(&format!(
             "Concurrent trace serving, aggregate Minstr/s (scale {:?}, min of {} runs, {} host CPUs)\n",
             self.scale, self.repeats, self.host_cpus
@@ -262,6 +364,58 @@ impl ConcurrentReport {
                 out.push_str(&format!(
                     "{:<10} warm-start speedup at {} threads: {:.2}x\n",
                     "", max_t, w
+                ));
+            }
+        }
+        if !self.warm_boot.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_warm_boot());
+        }
+        out
+    }
+
+    /// Renders the snapshot warm-boot table: dispatches paid before the
+    /// first trace entry (`…-fed`) and traces constructed during the
+    /// timed run (`…-cons`) for cold start, warm boot, and AOT replay.
+    pub fn render_warm_boot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Snapshot warm boot, single VM (scale {:?}, min of {} runs; fed = dispatches \
+             before first trace entry, cons = traces constructed in-run)\n",
+            self.scale, self.repeats
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>6} {:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}\n",
+            "workload",
+            "snap-B",
+            "traces",
+            "preb",
+            "cold-fed",
+            "warm-fed",
+            "aot-fed",
+            "cold-cons",
+            "warm-cons",
+            "aot-cons"
+        ));
+        for r in &self.warm_boot {
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>6} {:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}\n",
+                r.name,
+                r.snapshot_bytes,
+                r.boot_traces,
+                r.boot_artifacts,
+                r.cold.first_entry_dispatch,
+                r.warm.first_entry_dispatch,
+                r.aot.first_entry_dispatch,
+                r.cold.traces_constructed,
+                r.warm.traces_constructed,
+                r.aot.traces_constructed,
+            ));
+            if let Some(ratio) = r.warmup_ratio() {
+                out.push_str(&format!(
+                    "{:<10} warm boot reached its first trace in {:.1}% of the cold warm-up\n",
+                    "",
+                    ratio * 100.0
                 ));
             }
         }
@@ -391,6 +545,121 @@ fn measure_shared(
     }
 }
 
+/// How a [`measure_boot`] VM starts.
+#[derive(Clone, Copy)]
+enum BootMode {
+    Cold,
+    Warm,
+    Aot,
+}
+
+impl BootMode {
+    fn label(self) -> &'static str {
+        match self {
+            BootMode::Cold => "cold",
+            BootMode::Warm => "warm-boot",
+            BootMode::Aot => "aot-replay",
+        }
+    }
+}
+
+/// One single-VM boot-mode measurement: per repeat, a fresh VM boots
+/// per `mode` from `snapshot` and runs the workload once; the fastest
+/// repeat is kept. Returns the point plus that repeat's boot report
+/// (`None` for cold starts). Only the run is timed — the leg measures
+/// what serving costs *after* the boot mode did its work.
+fn measure_boot(
+    w: &Workload,
+    config: EngineConfig,
+    repeats: usize,
+    snapshot: &[u8],
+    mode: BootMode,
+) -> (BootPoint, Option<trace_exec::WarmBootReport>) {
+    let mut best: Option<(BootPoint, Option<trace_exec::WarmBootReport>)> = None;
+    for _ in 0..repeats.max(1) {
+        let mut vm = TracingVm::new(&w.program, config);
+        let boot = match mode {
+            BootMode::Cold => None,
+            BootMode::Warm => Some(vm.load_snapshot(snapshot).expect("own snapshot loads")),
+            BootMode::Aot => Some(vm.aot_replay(snapshot).expect("own snapshot replays")),
+        };
+        let replayed = vm.constructor_stats().traces_created;
+        let start = Instant::now();
+        let report = vm.run(&w.args).expect("workload runs");
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            report.checksum,
+            w.expected_checksum,
+            "{} checksum diverged after {} start",
+            w.name,
+            mode.label()
+        );
+        let point = BootPoint {
+            wall_s: wall,
+            instructions: report.exec.instructions,
+            instr_per_s: report.exec.instructions as f64 / wall.max(f64::MIN_POSITIVE),
+            first_entry_dispatch: report.traces.first_entry_dispatch,
+            traces_constructed: report.constructor.traces_created - replayed,
+            traces_entered: report.traces.entered,
+        };
+        if best.as_ref().is_none_or(|(b, _)| wall < b.wall_s) {
+            best = Some((point, boot));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Measures the snapshot warm-boot leg for every registry workload at
+/// `scale`: one private VM is warmed and snapshotted, then cold /
+/// warm-boot / AOT-replay starts are compared over `repeats`.
+pub fn run_warm_boot_filtered(
+    scale: Scale,
+    repeats: usize,
+    only: Option<&str>,
+) -> Vec<WarmBootRow> {
+    let config = EngineConfig::paper_default();
+    let mut rows = Vec::new();
+    for w in registry::all(scale) {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
+        let mut warming = TracingVm::new(&w.program, config);
+        warming.run(&w.args).expect("warming run");
+        let snapshot = warming.snapshot();
+        let (cold, _) = measure_boot(&w, config, repeats, &snapshot, BootMode::Cold);
+        let (warm, warm_report) = measure_boot(&w, config, repeats, &snapshot, BootMode::Warm);
+        let (aot, aot_report) = measure_boot(&w, config, repeats, &snapshot, BootMode::Aot);
+        let wb = warm_report.unwrap_or_default();
+        rows.push(WarmBootRow {
+            name: w.name,
+            snapshot_bytes: snapshot.len(),
+            boot_traces: wb.traces_installed,
+            boot_artifacts: wb.artifacts_prebuilt,
+            aot_traces: aot_report.unwrap_or_default().traces_installed,
+            cold,
+            warm,
+            aot,
+        });
+    }
+    rows
+}
+
+/// A boot-only report (`concurrent --load-snapshot`): just the snapshot
+/// warm-boot leg, no thread ladder.
+pub fn run_boot_only(scale: Scale, repeats: usize, only: Option<&str>) -> ConcurrentReport {
+    ConcurrentReport {
+        scale,
+        repeats,
+        threads: Vec::new(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        queue_capacity: QUEUE_CAPACITY,
+        rows: Vec::new(),
+        warm_boot: run_warm_boot_filtered(scale, repeats, only),
+    }
+}
+
 /// Default construction-queue capacity for the harness.
 pub const QUEUE_CAPACITY: usize = 64;
 
@@ -452,6 +721,7 @@ pub fn run_filtered(
         host_cpus,
         queue_capacity: QUEUE_CAPACITY,
         rows,
+        warm_boot: run_warm_boot_filtered(scale, repeats, only),
     }
 }
 
@@ -801,6 +1071,35 @@ mod tests {
         assert!(json.contains("\"degraded_retention\""));
         assert!(json.contains("\"traces_quarantined\""));
         assert!(report.render().contains("compress"));
+    }
+
+    #[test]
+    fn warm_boot_leg_measures_all_three_start_modes() {
+        let report = run_boot_only(Scale::Test, 1, Some("compress"));
+        assert!(report.rows.is_empty());
+        assert_eq!(report.warm_boot.len(), 1);
+        let r = &report.warm_boot[0];
+        assert!(r.snapshot_bytes > 0);
+        assert!(r.boot_traces > 0, "compress must snapshot some traces");
+        assert!(r.boot_artifacts > 0, "warm boot must pre-build artifacts");
+        assert!(r.aot_traces > 0, "aot replay must re-admit traces");
+        for p in [&r.cold, &r.warm, &r.aot] {
+            assert!(p.instructions > 0);
+            assert!(p.instr_per_s > 0.0);
+        }
+        // The whole point of the leg: a warm boot reaches its first
+        // trace entry no later than a cold start and constructs fewer
+        // traces while serving.
+        assert!(r.cold.first_entry_dispatch > 0, "cold run never traced");
+        assert!(r.warm.first_entry_dispatch > 0);
+        assert!(r.warm.first_entry_dispatch <= r.cold.first_entry_dispatch);
+        assert!(r.warm.traces_constructed <= r.cold.traces_constructed);
+        // JSON carries the new keys; boot-only render shows the table.
+        let json = report.to_json();
+        assert!(json.contains("\"warm_boot\""));
+        assert!(json.contains("\"first_entry_dispatch\""));
+        assert!(json.contains("\"aot_replay\""));
+        assert!(report.render().contains("Snapshot warm boot"));
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!   shared deployment (budgeted cache + supervised constructor) driven
 //!   under a deterministic [`trace_cache::FaultPlan`], with the plain
 //!   interpreter as the result oracle.
+//! * [`snapshot`] — hostile-input conformance for the persistence
+//!   boundary: a seeded mutation campaign (bit flips, truncations,
+//!   section swaps, length-field rewrites) over valid snapshot
+//!   containers, plus a warm-boot semantic oracle. The planted
+//!   [`Quirk::StaleSnapshotAccepted`] proves the campaign catches a
+//!   reader that silently accepts cross-program snapshots.
 
 pub mod chaos;
 pub mod faults;
@@ -39,8 +45,13 @@ pub mod genprog;
 pub mod invariants;
 pub mod lockstep;
 pub mod model;
+pub mod snapshot;
 
 pub use chaos::{run_campaign, run_case, ChaosConfig, CorpusCase, Perturbation};
 pub use faults::{run_fault_case, FaultCaseReport};
 pub use lockstep::{Divergence, Lockstep};
 pub use model::{ModelBcg, Quirk};
+pub use snapshot::{
+    must_reject, reader_with_quirk, run_snapshot_campaign, run_warm_boot_case, stale_hash_mutants,
+    CampaignReport, Mutation, WarmBootCaseReport,
+};

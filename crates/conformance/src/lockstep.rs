@@ -135,6 +135,12 @@ impl Lockstep {
             Quirk::EvictionLeavesStaleLink | Quirk::QuarantineForgotten => {
                 self.model_cache = ModelCache::new().with_quirk(quirk);
             }
+            Quirk::StaleSnapshotAccepted => {
+                panic!(
+                    "StaleSnapshotAccepted is a snapshot-reader quirk; plant it \
+                     via crate::snapshot::reader_with_quirk, not the lockstep model"
+                )
+            }
         }
         self
     }

@@ -54,6 +54,13 @@ pub enum Quirk {
     /// Only a chaos campaign that quarantines live traces can expose
     /// this bug.
     QuarantineForgotten,
+    /// The snapshot reader skips the program-hash staleness check, so a
+    /// profile measured against *different bytecode* is silently merged
+    /// into a live VM. Every ordinary suite reads snapshots it wrote
+    /// itself (hash always matches), so only the hostile-input campaign
+    /// in [`crate::snapshot`] — whose mutants rewrite the hash field —
+    /// can expose this bug.
+    StaleSnapshotAccepted,
 }
 
 /// A profiler signal in model coordinates (branches, not node indices).

@@ -123,6 +123,7 @@ mod tests {
                 instrs_in_completed: 80_000,
                 instrs_in_partial: 5_000,
                 blocks_outside: 2_000,
+                first_entry_dispatch: 40,
             },
             constructor: ConstructorStats {
                 traces_created: 5,

@@ -36,13 +36,16 @@ use jvm_vm::decode::{eval_f_rel, eval_i_rel, op, INTRINSIC_ORDER};
 use jvm_vm::{
     fold_checksum, DOp, DecodedProgram, ExecStats, Heap, HeapObj, OutputItem, Value, VmError,
 };
-use trace_bcg::{BranchCorrelationGraph, Signal};
-use trace_cache::{BcgSnapshot, TraceCache, TraceConstructor, TraceExecStats, TraceId};
+use trace_bcg::{BranchCorrelationGraph, NodeState, Signal, SignalKind};
+use trace_cache::{
+    BcgSnapshot, ConstructorStats, TraceCache, TraceConstructor, TraceExecStats, TraceId,
+};
 use trace_jit::{RunReport, TraceJitConfig};
+use trace_persist::{program_hash, Snapshot, SnapshotError, SnapshotReader};
 
 use crate::compile::{compile, CondKind};
 use crate::fuse::{fuse_trace, FuseStats, Fused};
-use crate::lower::{lower_trace, LoweredTrace, XInstr};
+use crate::lower::{lower_trace, lower_trace_frozen, LoweredTrace, XInstr};
 use crate::opt::{optimize_trace, OptStats};
 use crate::reg::{lower_reg, FrameImage, RBin, RInstr, RUn, RegStats, RegTrace, TraceArtifact};
 use crate::shared::SharedSession;
@@ -114,6 +117,25 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self::paper_default()
     }
+}
+
+/// What a warm boot ([`TracingVm::load_snapshot`]) or an AOT replay
+/// ([`TracingVm::aot_replay`]) accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmBootReport {
+    /// Snapshot profile nodes merged into already-live nodes.
+    pub nodes_merged: usize,
+    /// Snapshot profile nodes newly created in the live profiler.
+    pub nodes_created: usize,
+    /// Trace objects installed from the snapshot (warm boot) or
+    /// re-admitted by the constructor replay (AOT).
+    pub traces_installed: usize,
+    /// Entry links live in the cache after the operation.
+    pub links_installed: usize,
+    /// Quarantine blacklist entries restored.
+    pub quarantine_restored: usize,
+    /// Trace artifacts pre-built (compiled and lowered) before serving.
+    pub artifacts_prebuilt: usize,
 }
 
 /// One activation record. `pc` is an index into the owning function's
@@ -312,6 +334,13 @@ impl<'p> TracingVm<'p> {
         &self.decoded
     }
 
+    /// Cumulative inline-constructor counters (private mode; shared-mode
+    /// construction happens on the session's service thread). Lets a
+    /// harness separate boot-time replay work from in-run construction.
+    pub fn constructor_stats(&self) -> ConstructorStats {
+        self.constructor.stats()
+    }
+
     /// Aggregated optimizer statistics over all compiled traces.
     pub fn opt_stats(&self) -> OptStats {
         self.opt_stats
@@ -443,6 +472,11 @@ impl<'p> TracingVm<'p> {
                     },
                     None => None,
                 };
+                if ran.is_some() && self.trace_stats.first_entry_dispatch == 0 {
+                    // Warm-up marker: how many block dispatches this run
+                    // paid before the very first trace entry.
+                    self.trace_stats.first_entry_dispatch = self.stats.block_dispatches;
+                }
                 match ran {
                     Some(TraceRun::Finished(v)) => break v,
                     Some(TraceRun::SideExited { immediate: true }) => {
@@ -497,6 +531,148 @@ impl<'p> TracingVm<'p> {
     /// `dop_fusion` is off.
     pub fn dop_fusion_report(&self) -> Option<&jvm_vm::fuse::FusionReport> {
         self.dop_fusion_report.as_ref()
+    }
+
+    /// Serializes the VM's profile and trace-cache contents as a
+    /// versioned, checksummed snapshot container (see `trace-persist`).
+    /// Private mode only: in shared mode the profile/cache of record
+    /// live in the session, not in this VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM runs in shared-cache mode.
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(
+            self.shared.is_none(),
+            "snapshot() captures the private profile/cache; this VM is in shared mode"
+        );
+        Snapshot::capture(program_hash(self.program), &self.bcg, &self.cache).to_bytes()
+    }
+
+    /// Warm boot: decodes a snapshot, **merges** its profile into the
+    /// live profiler (saturating counter adds; deferred decay state
+    /// re-enters the lazy-decay discipline clamped to the window edge,
+    /// so stale counts age out at the next slow-path visit instead of
+    /// pinning predictions), restores the cache contents — budget sweep
+    /// and quarantine blacklist included — and pre-builds artifacts for
+    /// every restored trace against the frozen decoded program.
+    ///
+    /// No partial state on failure: every decode and validation error
+    /// surfaces before the profiler or cache is touched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on malformed, corrupt, version-skewed or stale
+    /// (wrong program hash) input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM runs in shared-cache mode.
+    pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<WarmBootReport, SnapshotError> {
+        assert!(
+            self.shared.is_none(),
+            "load_snapshot() targets the private profile/cache; this VM is in shared mode"
+        );
+        let snap = SnapshotReader::new().read(bytes, program_hash(self.program))?;
+        // `merge_into` validates the profile image before mutating, and
+        // the cache image was validated by the reader, so from here on
+        // nothing fails.
+        let merge = trace_bcg::image::merge_into(&mut self.bcg, &snap.bcg)?;
+        let restore = snap.cache.restore_into(&mut self.cache)?;
+        let artifacts_prebuilt = self.prebuild_artifacts();
+        Ok(WarmBootReport {
+            nodes_merged: merge.nodes_merged,
+            nodes_created: merge.nodes_created,
+            traces_installed: restore.traces_installed,
+            links_installed: restore.links_installed,
+            quarantine_restored: restore.quarantine_restored,
+            artifacts_prebuilt,
+        })
+    }
+
+    /// AOT replay: decodes a snapshot, merges its profile like
+    /// [`Self::load_snapshot`], but restores only the cache's
+    /// **admission controls** (payload budget and quarantine blacklist)
+    /// — not the trace contents. It then re-raises a hot-state signal
+    /// for every traceable node and routes the batch through the live
+    /// trace constructor, so every trace is re-derived and re-admitted
+    /// under the current budget and blacklist before serving, exactly
+    /// as it would have been built online. Artifacts are pre-built for
+    /// whatever the constructor admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] as for [`Self::load_snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM runs in shared-cache mode.
+    pub fn aot_replay(&mut self, bytes: &[u8]) -> Result<WarmBootReport, SnapshotError> {
+        assert!(
+            self.shared.is_none(),
+            "aot_replay() targets the private profile/cache; this VM is in shared mode"
+        );
+        let snap = SnapshotReader::new().read(bytes, program_hash(self.program))?;
+        let merge = trace_bcg::image::merge_into(&mut self.bcg, &snap.bcg)?;
+        self.cache.set_budget(snap.cache.budget.map(|b| b as usize));
+        let mut quarantine_restored = 0;
+        for q in &snap.cache.quarantine {
+            self.cache
+                .restore_quarantine(q.entry, q.blocks.clone(), q.cooldown);
+            quarantine_restored += 1;
+        }
+        let signals: Vec<Signal> = self
+            .bcg
+            .iter()
+            .filter(|(_, n)| n.state().is_traceable())
+            .map(|(idx, n)| Signal {
+                node: idx,
+                branch: n.branch(),
+                kind: SignalKind::StateChange {
+                    old: NodeState::NewlyCreated,
+                    new: n.state(),
+                },
+            })
+            .collect();
+        let admitted = self
+            .constructor
+            .handle_batch(&signals, &mut self.bcg, &mut self.cache);
+        let links_installed = self.cache.iter_links().count();
+        let artifacts_prebuilt = self.prebuild_artifacts();
+        Ok(WarmBootReport {
+            nodes_merged: merge.nodes_merged,
+            nodes_created: merge.nodes_created,
+            traces_installed: admitted as usize,
+            links_installed,
+            quarantine_restored,
+            artifacts_prebuilt,
+        })
+    }
+
+    /// Pre-builds artifacts for every linked trace that lacks one, using
+    /// the frozen decoded lowering for the non-register fallback (see
+    /// [`Self::build_artifact`]); traces the frozen path refuses lower
+    /// lazily at their first dispatch instead. Returns how many
+    /// artifacts were built.
+    fn prebuild_artifacts(&mut self) -> usize {
+        let mut tids: Vec<TraceId> = self
+            .cache
+            .iter_links()
+            .map(|(_, trace)| trace.id())
+            .collect();
+        tids.sort_unstable_by_key(|t| t.index());
+        tids.dedup();
+        let mut built = 0;
+        for tid in tids {
+            if self.lowered.contains_key(&tid) || self.uncompilable.contains(&tid) {
+                continue;
+            }
+            if let Some(artifact) = self.build_artifact(tid, true) {
+                self.lowered.insert(tid, Rc::new(artifact));
+                built += 1;
+            }
+        }
+        built
     }
 
     /// Fuel + instruction accounting, shared by interpreter and trace
@@ -586,54 +762,72 @@ impl<'p> TracingVm<'p> {
             return None;
         }
         if !self.lowered.contains_key(&tid) {
-            match compile(self.program, self.cache.trace(tid)) {
-                Ok(mut ct) => {
-                    if self.config.optimize {
-                        let s = optimize_trace(&mut ct);
-                        self.opt_stats.before += s.before;
-                        self.opt_stats.after += s.after;
-                        self.opt_stats.folds += s.folds;
-                        self.opt_stats.eliminations += s.eliminations;
-                        self.opt_stats.identities += s.identities;
-                        self.opt_stats.reductions += s.reductions;
-                    }
-                    let reg = if self.config.reg_ir {
-                        lower_reg(self.program, &self.decoded, &ct)
-                    } else {
-                        None
-                    };
-                    let artifact = match reg {
-                        Some(rt) => {
-                            let s = rt.stats;
-                            self.reg_stats.before += s.before;
-                            self.reg_stats.after += s.after;
-                            self.reg_stats.regs += s.regs;
-                            self.reg_stats.eliminated += s.eliminated;
-                            self.reg_stats.guards_fused += s.guards_fused;
-                            TraceArtifact::Reg(rt)
-                        }
-                        None => {
-                            if self.config.superinstructions {
-                                let s = fuse_trace(&mut ct);
-                                self.fuse_stats.before += s.before;
-                                self.fuse_stats.after += s.after;
-                                self.fuse_stats.fused_groups += s.fused_groups;
-                            }
-                            let lt = lower_trace(self.program, &mut self.decoded, &ct);
-                            TraceArtifact::Decoded(lt)
-                        }
-                    };
+            match self.build_artifact(tid, false) {
+                Some(artifact) => {
                     self.lowered.insert(tid, Rc::new(artifact));
                 }
-                Err(_) => {
-                    self.uncompilable.insert(tid);
-                    return None;
-                }
+                None => return None,
             }
         }
         let art = Rc::clone(&self.lowered[&tid]);
         self.hot_trace = Some((tid, Rc::clone(&art)));
         Some(art)
+    }
+
+    /// Compiles + lowers the artifact for a linked trace: optimize (as
+    /// configured), register-lower, or fall back to superinstruction
+    /// fusion + decoded lowering. With `frozen` the decoded fallback
+    /// refuses to mutate the decoded streams (it interns nothing) and
+    /// returns `None` when it can't — the snapshot prebuild path uses
+    /// this, leaving refused traces to lower lazily at first dispatch.
+    /// Marks the trace uncompilable (permanently) on a compile error.
+    fn build_artifact(&mut self, tid: TraceId, frozen: bool) -> Option<TraceArtifact> {
+        let mut ct = match compile(self.program, self.cache.trace(tid)) {
+            Ok(ct) => ct,
+            Err(_) => {
+                self.uncompilable.insert(tid);
+                return None;
+            }
+        };
+        if self.config.optimize {
+            let s = optimize_trace(&mut ct);
+            self.opt_stats.before += s.before;
+            self.opt_stats.after += s.after;
+            self.opt_stats.folds += s.folds;
+            self.opt_stats.eliminations += s.eliminations;
+            self.opt_stats.identities += s.identities;
+            self.opt_stats.reductions += s.reductions;
+        }
+        let reg = if self.config.reg_ir {
+            lower_reg(self.program, &self.decoded, &ct)
+        } else {
+            None
+        };
+        match reg {
+            Some(rt) => {
+                let s = rt.stats;
+                self.reg_stats.before += s.before;
+                self.reg_stats.after += s.after;
+                self.reg_stats.regs += s.regs;
+                self.reg_stats.eliminated += s.eliminated;
+                self.reg_stats.guards_fused += s.guards_fused;
+                Some(TraceArtifact::Reg(rt))
+            }
+            None => {
+                if self.config.superinstructions {
+                    let s = fuse_trace(&mut ct);
+                    self.fuse_stats.before += s.before;
+                    self.fuse_stats.after += s.after;
+                    self.fuse_stats.fused_groups += s.fused_groups;
+                }
+                if frozen {
+                    lower_trace_frozen(self.program, &self.decoded, &ct).map(TraceArtifact::Decoded)
+                } else {
+                    let lt = lower_trace(self.program, &mut self.decoded, &ct);
+                    Some(TraceArtifact::Decoded(lt))
+                }
+            }
+        }
     }
 
     /// Shared-mode analogue of [`Self::lowered_for`]: resolves a
@@ -2479,5 +2673,98 @@ mod tests {
         // Trace lowering reuses the program pools; the tiny loop adds no
         // novel constants without the optimizer.
         assert!(engine.decoded().iconsts.len() < 16);
+    }
+
+    #[test]
+    fn warm_boot_prebuilds_and_preserves_semantics() {
+        let program = loop_program();
+        let mut warm = TracingVm::new(&program, EngineConfig::paper_default());
+        let want = warm.run(&[Value::Int(20_000)]).unwrap();
+        assert!(warm.compiled_count() > 0);
+        let bytes = warm.snapshot();
+
+        let mut booted = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = booted.load_snapshot(&bytes).unwrap();
+        assert!(report.nodes_created > 0, "fresh VM: every node is new");
+        assert_eq!(report.nodes_merged, 0);
+        assert!(report.links_installed > 0);
+        assert!(
+            report.artifacts_prebuilt > 0,
+            "restored traces must pre-lower against the frozen decoded program"
+        );
+        let got = booted.run(&[Value::Int(20_000)]).unwrap();
+        assert_eq!(got.result, want.result);
+        assert_eq!(got.checksum, want.checksum);
+        assert_eq!(got.exec.instructions, want.exec.instructions);
+        // The warm boot pays measurably less warm-up: its first trace
+        // entry lands earlier in the dispatch stream than cold start's.
+        assert!(got.traces.first_entry_dispatch > 0);
+        assert!(
+            got.traces.first_entry_dispatch < want.traces.first_entry_dispatch,
+            "warm {} vs cold {}",
+            got.traces.first_entry_dispatch,
+            want.traces.first_entry_dispatch
+        );
+        // A snapshot of a freshly booted VM round-trips canonically:
+        // boot → snapshot → boot → snapshot is byte-identical.
+        let mut v1 = TracingVm::new(&program, EngineConfig::paper_default());
+        v1.load_snapshot(&bytes).unwrap();
+        let rebytes = v1.snapshot();
+        let mut v2 = TracingVm::new(&program, EngineConfig::paper_default());
+        v2.load_snapshot(&rebytes).unwrap();
+        assert_eq!(rebytes, v2.snapshot());
+    }
+
+    #[test]
+    fn aot_replay_rebuilds_traces_through_the_constructor() {
+        let program = loop_program();
+        let mut warm = TracingVm::new(&program, EngineConfig::paper_default());
+        let want = warm.run(&[Value::Int(20_000)]).unwrap();
+        let bytes = warm.snapshot();
+
+        let mut aot = TracingVm::new(&program, EngineConfig::paper_default());
+        let report = aot.aot_replay(&bytes).unwrap();
+        assert!(
+            report.traces_installed > 0,
+            "constructor replay must re-admit traces from the merged profile"
+        );
+        assert!(report.links_installed > 0);
+        assert!(report.artifacts_prebuilt > 0);
+        let got = aot.run(&[Value::Int(20_000)]).unwrap();
+        assert_eq!(got.result, want.result);
+        assert_eq!(got.checksum, want.checksum);
+        assert_eq!(got.exec.instructions, want.exec.instructions);
+        assert!(got.traces.first_entry_dispatch < want.traces.first_entry_dispatch);
+    }
+
+    #[test]
+    fn stale_and_corrupt_snapshots_are_rejected_without_state_change() {
+        let program = loop_program();
+        let mut warm = TracingVm::new(&program, EngineConfig::paper_default());
+        warm.run(&[Value::Int(20_000)]).unwrap();
+        let bytes = warm.snapshot();
+
+        // Same shape, different constant: a different program hash.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main", 1, true);
+        let b = pb.function_mut(f);
+        b.iconst(42).ret();
+        let other = pb.build(f).unwrap();
+        let mut vm = TracingVm::new(&other, EngineConfig::paper_default());
+        assert!(matches!(
+            vm.load_snapshot(&bytes),
+            Err(SnapshotError::StaleProgram { .. })
+        ));
+        assert_eq!(vm.cache().trace_count(), 0);
+
+        // A flipped payload byte fails the section CRC and leaves the
+        // target untouched.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        let mut vm = TracingVm::new(&program, EngineConfig::paper_default());
+        assert!(vm.load_snapshot(&corrupt).is_err());
+        assert_eq!(vm.cache().trace_count(), 0);
+        assert_eq!(vm.compiled_count(), 0);
     }
 }

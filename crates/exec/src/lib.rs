@@ -49,7 +49,7 @@ pub mod reg;
 pub mod shared;
 
 pub use compile::{compile, compile_blocks, CompileError, CompiledTrace, CondKind, TInstr};
-pub use engine::{EngineConfig, TracingVm};
+pub use engine::{EngineConfig, TracingVm, WarmBootReport};
 pub use fuse::{fuse_trace, FuseStats, Fused, FusedBin};
 pub use lower::{lower_trace, lower_trace_frozen, Exit, LoweredTrace, XInstr};
 pub use opt::{optimize, OptStats};

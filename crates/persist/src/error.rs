@@ -1,0 +1,113 @@
+//! Snapshot decode errors.
+//!
+//! Every way a snapshot can be unusable maps to one variant here; the
+//! decoder **returns** these — it never panics, whatever the input
+//! bytes. "No partial state applied" is structural: decoding builds a
+//! pure in-memory [`crate::Snapshot`] value, so an error mid-decode
+//! leaves nothing to roll back, and the engine applies a snapshot only
+//! after the whole value (and its semantic validation) succeeded.
+
+use std::fmt;
+
+/// Why a byte buffer is not a usable snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The first eight bytes are not the snapshot magic.
+    BadMagic,
+    /// The format version is not one this build reads.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        found: u32,
+    },
+    /// The header carries feature flags this build does not know.
+    UnsupportedFlags {
+        /// The flags field found in the header.
+        found: u32,
+    },
+    /// The snapshot was taken against a different program (program-hash
+    /// staleness check).
+    StaleProgram {
+        /// Hash of the program the loader is running.
+        expected: u64,
+        /// Hash recorded in the snapshot header.
+        found: u64,
+    },
+    /// The buffer ended before a field or payload was complete.
+    Truncated {
+        /// What the decoder was reading when the bytes ran out.
+        at: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// The section whose checksum failed.
+        section: &'static str,
+    },
+    /// A section tag out of place — sections are required, in fixed
+    /// order.
+    UnexpectedSection {
+        /// The tag found in the stream.
+        found: u32,
+        /// The tag required at this position.
+        expected: u32,
+    },
+    /// Bytes left over after a section's declared payload, or after the
+    /// final section.
+    TrailingBytes {
+        /// Where the extra bytes sit.
+        section: &'static str,
+        /// How many there are.
+        extra: usize,
+    },
+    /// A structurally well-formed field carries an invalid value
+    /// (out-of-range state tag, dangling trace index, unsorted link
+    /// table, contradictory profile state, …).
+    Malformed {
+        /// The section the bad value sits in.
+        section: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a trace-cache snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::UnsupportedFlags { found } => {
+                write!(f, "unsupported snapshot flags {found:#010x}")
+            }
+            SnapshotError::StaleProgram { expected, found } => write!(
+                f,
+                "stale snapshot: program hash {found:#018x} does not match running program {expected:#018x}"
+            ),
+            SnapshotError::Truncated { at } => write!(f, "snapshot truncated while reading {at}"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::UnexpectedSection { found, expected } => write!(
+                f,
+                "unexpected section tag {found:#010x} (expected {expected:#010x})"
+            ),
+            SnapshotError::TrailingBytes { section, extra } => {
+                write!(f, "{extra} trailing bytes after {section}")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "malformed {section} section: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<trace_bcg::ImageError> for SnapshotError {
+    fn from(e: trace_bcg::ImageError) -> Self {
+        SnapshotError::Malformed {
+            section: "bcg",
+            detail: e.to_string(),
+        }
+    }
+}

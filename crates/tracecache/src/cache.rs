@@ -422,6 +422,17 @@ impl TraceCache {
         Some(id)
     }
 
+    /// Restores a quarantine blacklist entry verbatim (snapshot load):
+    /// registers the `(entry, path)` key with `cooldown` refusals
+    /// remaining without touching any live trace or link — unlike
+    /// [`Self::quarantine`], there is nothing to tombstone, because the
+    /// offending trace died in the process that wrote the snapshot. A
+    /// zero cooldown is clamped to 1, mirroring [`Self::quarantine`].
+    pub fn restore_quarantine(&mut self, entry: Branch, blocks: Vec<BlockId>, cooldown: u32) {
+        let key = PackedBranch::pack(entry).0;
+        self.quarantined.insert(key, (blocks, cooldown.max(1)));
+    }
+
     /// Tombstones a trace: reclaims its payload bytes and removes it
     /// from the hash-cons index so a rebuild mints a fresh id.
     fn tombstone(&mut self, id: TraceId) {

@@ -24,6 +24,12 @@ pub struct TraceExecStats {
     pub instrs_in_partial: u64,
     /// Blocks dispatched outside any trace.
     pub blocks_outside: u64,
+    /// Block-dispatch count at the first trace entry of the run in which
+    /// traces were first entered (`0` = no trace has ever been entered).
+    /// Warm-up metric: a cold VM pays the full profile-build interval
+    /// before this fires; a warm-booted VM should reach it almost
+    /// immediately.
+    pub first_entry_dispatch: u64,
 }
 
 impl TraceExecStats {
@@ -88,6 +94,7 @@ mod tests {
             instrs_in_completed: 450,
             instrs_in_partial: 20,
             blocks_outside: 30,
+            first_entry_dispatch: 3,
         }
     }
 

@@ -29,6 +29,13 @@ struct Options {
     reg_ir: bool,
     dop_fusion: bool,
     out: String,
+    /// Write a snapshot of the warmed VM here after the run.
+    save_snapshot: Option<String>,
+    /// Boot the VM from this snapshot before the run.
+    load_snapshot: Option<String>,
+    /// With `--load-snapshot`: AOT-replay the profile through the
+    /// constructor instead of restoring the cache contents directly.
+    aot: bool,
 }
 
 impl Default for Options {
@@ -42,6 +49,9 @@ impl Default for Options {
             reg_ir: true,
             dop_fusion: true,
             out: ".".into(),
+            save_snapshot: None,
+            load_snapshot: None,
+            aot: false,
         }
     }
 }
@@ -50,6 +60,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]\n\
          \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg] [--no-fuse]\n\
+         \x20                        [--save-snapshot FILE] [--load-snapshot FILE [--aot]]\n\
          \x20 tracevm disasm <workload> [--scale ...]\n\
          \x20 tracevm dot <workload> [--out DIR] [--scale ...]\n\
          \x20 tracevm compare <workload> [--scale ...]\n\
@@ -97,6 +108,9 @@ fn parse_options(args: &mut std::env::Args, opts: &mut Options) -> Result<(), St
             "--no-reg" => opts.reg_ir = false,
             "--no-fuse" => opts.dop_fusion = false,
             "--out" => opts.out = need("--out")?,
+            "--save-snapshot" => opts.save_snapshot = Some(need("--save-snapshot")?),
+            "--load-snapshot" => opts.load_snapshot = Some(need("--load-snapshot")?),
+            "--aot" => opts.aot = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -150,6 +164,14 @@ fn print_report(w: &Workload, r: &RunReport) {
 }
 
 fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if (opts.save_snapshot.is_some() || opts.load_snapshot.is_some() || opts.aot)
+        && !matches!(opts.engine.as_str(), "exec" | "exec-opt")
+    {
+        return Err("snapshot options require --engine exec or exec-opt".into());
+    }
+    if opts.aot && opts.load_snapshot.is_none() {
+        return Err("--aot requires --load-snapshot".into());
+    }
     match opts.engine.as_str() {
         "interp" => {
             let mut vm = Vm::new(&w.program);
@@ -193,7 +215,34 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                     dop_fusion: opts.dop_fusion,
                 },
             );
+            if let Some(path) = &opts.load_snapshot {
+                let bytes = std::fs::read(path)?;
+                let boot = if opts.aot {
+                    engine.aot_replay(&bytes)?
+                } else {
+                    engine.load_snapshot(&bytes)?
+                };
+                println!(
+                    "{:<20}: {} nodes ({} new), {} traces, {} links, {} quarantined, {} artifacts pre-built",
+                    if opts.aot { "aot replay" } else { "warm boot" },
+                    boot.nodes_merged + boot.nodes_created,
+                    boot.nodes_created,
+                    boot.traces_installed,
+                    boot.links_installed,
+                    boot.quarantine_restored,
+                    boot.artifacts_prebuilt
+                );
+            }
             let r = engine.run(&w.args)?;
+            println!(
+                "first trace entry   : dispatch {}",
+                r.traces.first_entry_dispatch
+            );
+            if let Some(path) = &opts.save_snapshot {
+                let bytes = engine.snapshot();
+                std::fs::write(path, &bytes)?;
+                println!("snapshot            : {} bytes -> {path}", bytes.len());
+            }
             print_report(w, &r);
             let s = engine.opt_stats();
             if opts.engine == "exec-opt" {

@@ -52,4 +52,5 @@ pub use trace_cache as tracecache;
 pub use trace_conformance as conformance;
 pub use trace_exec as exec;
 pub use trace_jit as jit;
+pub use trace_persist as persist;
 pub use trace_workloads as workloads;
