@@ -26,6 +26,16 @@ echo "== conformance (lockstep + chaos campaigns + corpus replay, in-situ assert
 cargo test -p trace-conformance --features debug-invariants -q
 cargo test -p trace-conformance --features debug-invariants -q --release
 
+echo "== trace-health conformance (demotion ladder lockstep + phase-shift campaigns)"
+# The self-healing ladder against its transcribed model: phase-shift
+# workload lockstep, the chaos campaign that catches the planted
+# rotten-trace quirk, and the engine-level demotion / warm-boot
+# staleness suites — in debug (invariants on) and release.
+cargo test -p trace-conformance --features debug-invariants -q phase_shift
+cargo test -p trace-conformance --features debug-invariants -q model_health
+cargo test --features debug-invariants -q --test health --test health_staleness
+cargo test -q --release --test health --test health_staleness
+
 echo "== fault-injection conformance (supervised deployment vs interpreter oracle)"
 # Engine-level fault campaigns: corrupt artifacts, failed budget checks,
 # constructor kills, dropped/duplicated batches — results must never move.
@@ -83,6 +93,14 @@ echo "== concurrent shared-cache bench smoke (2 threads, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --out /tmp/BENCH_concurrent.smoke.json
 grep -q '"warm_boot"' /tmp/BENCH_concurrent.smoke.json
 grep -q '"first_entry_dispatch"' /tmp/BENCH_concurrent.smoke.json
+
+echo "== phase-shift self-healing bench smoke (health A/B leg, test scale)"
+cargo run --release -p trace-bench --bin concurrent -- --smoke --phase-shift \
+    --out /tmp/BENCH_concurrent_phase_shift.smoke.json
+grep -q '"phase_shift"' /tmp/BENCH_concurrent_phase_shift.smoke.json
+grep -q '"demotions"' /tmp/BENCH_concurrent_phase_shift.smoke.json
+grep -q '"readmissions"' /tmp/BENCH_concurrent_phase_shift.smoke.json
+grep -q '"throughput_retention"' /tmp/BENCH_concurrent_phase_shift.smoke.json
 
 echo "== snapshot warm-boot bench smoke (boot-only leg, test scale)"
 cargo run --release -p trace-bench --bin concurrent -- --smoke --load-snapshot \

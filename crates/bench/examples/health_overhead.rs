@@ -1,0 +1,42 @@
+//! Micro A/B of the trace-health ledger's bookkeeping cost on steady
+//! workloads (no rot, so the delta is pure recording overhead: the
+//! run-length-encoded outcome buffer plus the per-epoch ledger flush).
+//!
+//! ```text
+//! cargo run --release -p trace-bench --example health_overhead
+//! ```
+
+use std::time::Instant;
+
+use trace_exec::{EngineConfig, TracingVm};
+use trace_workloads::registry;
+use trace_workloads::Scale;
+
+fn main() {
+    println!("health-ledger bookkeeping overhead, small scale, best of 3");
+    for name in ["compress", "scimark", "mpegaudio"] {
+        let w = registry::by_name(name, Scale::Small).expect("registry workload");
+        let mut walls = [0.0f64; 2];
+        for (i, on) in [true, false].into_iter().enumerate() {
+            let config = EngineConfig::paper_default().with_health(on);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut vm = TracingVm::new(&w.program, config);
+                let t = Instant::now();
+                let r = vm.run(&w.args).expect("workload runs");
+                let wall = t.elapsed().as_secs_f64();
+                assert_eq!(r.checksum, w.expected_checksum, "{name} checksum");
+                if wall < best {
+                    best = wall;
+                }
+            }
+            walls[i] = best;
+            println!("{name:<10} health={on:<5} {best:.4}s");
+        }
+        println!(
+            "{:<10} overhead: {:+.1}%",
+            "",
+            (walls[0] / walls[1] - 1.0) * 100.0
+        );
+    }
+}

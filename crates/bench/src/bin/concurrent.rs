@@ -7,7 +7,7 @@
 //! ```text
 //! concurrent [--scale test|small|paper] [--threads N] [--repeats N]
 //!            [--workload NAME] [--smoke] [--faults SEED]
-//!            [--load-snapshot] [--out PATH]
+//!            [--load-snapshot] [--phase-shift] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the CI setting: test scale, 2 threads, 1 repeat —
@@ -25,6 +25,11 @@
 //! `--load-snapshot` runs only the snapshot warm-boot leg (cold start vs
 //! `TracingVm::load_snapshot` vs `TracingVm::aot_replay`, single VM) —
 //! the default full run includes this leg alongside the thread ladder.
+//!
+//! `--phase-shift` runs only the self-healing A/B leg: each phase-shift
+//! workload once with the trace-health ladder on (default) and once
+//! with it off, reporting demotions, re-admissions, and the throughput
+//! retained by self-healing. The default full run includes this leg.
 
 use trace_bench::concurrent;
 use trace_bench::parse_scale;
@@ -38,6 +43,7 @@ fn main() {
     let mut out = String::from("BENCH_concurrent.json");
     let mut smoke = false;
     let mut boot_only = false;
+    let mut phase_shift_only = false;
     let mut faults: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -83,6 +89,7 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--load-snapshot" => boot_only = true,
+            "--phase-shift" => phase_shift_only = true,
             "--faults" => {
                 let v = args.next().unwrap_or_default();
                 let digits = v.trim_start_matches("0x").replace('_', "");
@@ -99,7 +106,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "concurrent [--scale test|small|paper] [--threads N] [--repeats N] \
-                     [--workload NAME] [--smoke] [--faults SEED] [--load-snapshot] [--out PATH]"
+                     [--workload NAME] [--smoke] [--faults SEED] [--load-snapshot] \
+                     [--phase-shift] [--out PATH]"
                 );
                 return;
             }
@@ -167,11 +175,13 @@ fn main() {
 
     let report = if boot_only {
         concurrent::run_boot_only(scale, repeats, workload.as_deref())
+    } else if phase_shift_only {
+        concurrent::run_phase_shift_only(scale, repeats, workload.as_deref())
     } else {
         concurrent::run_filtered(scale, threads, repeats, workload.as_deref())
     };
     print!("{}", report.render());
-    if !boot_only {
+    if !boot_only && !phase_shift_only {
         let max_t = report.threads.iter().copied().max().unwrap_or(1);
         println!(
             "cross-VM dedup observed on {}/{} workloads at {} threads ({} host CPUs)",

@@ -176,6 +176,41 @@ impl WarmBootRow {
     }
 }
 
+/// One phase-shift workload's self-healing A/B: the identical run with
+/// the health ladder on (default) vs off (`--no-health`), single VM.
+#[derive(Debug, Clone)]
+pub struct PhaseShiftRow {
+    /// Workload name (registry name).
+    pub name: &'static str,
+    /// Throughput with the health ladder on, best repeat.
+    pub health_on_instr_per_s: f64,
+    /// Throughput with the ladder off (fast trigger only), best repeat.
+    pub health_off_instr_per_s: f64,
+    /// Ladder demotion decisions applied in the best health-on repeat.
+    pub demotions: u64,
+    /// Demotions fired by the consecutive-side-exit streak limit.
+    pub streak_demotions: u64,
+    /// Re-admissions at previously-demoted entries (start on probation).
+    pub readmissions: u64,
+    /// Traces quarantined (ladder demotions + fast-trigger hits).
+    pub quarantined: u64,
+    /// Healthy → probation transitions.
+    pub probations: u64,
+    /// Health epochs run.
+    pub epochs: u64,
+}
+
+impl PhaseShiftRow {
+    /// Throughput retained with self-healing on relative to off
+    /// (≥ 1.0 means demoting the rotten traces paid for itself).
+    pub fn throughput_retention(&self) -> f64 {
+        if self.health_off_instr_per_s == 0.0 {
+            return 0.0;
+        }
+        self.health_on_instr_per_s / self.health_off_instr_per_s
+    }
+}
+
 /// Full report: one row per workload.
 #[derive(Debug, Clone)]
 pub struct ConcurrentReport {
@@ -195,6 +230,9 @@ pub struct ConcurrentReport {
     /// Single-VM snapshot warm-boot rows (cold vs warm boot vs AOT
     /// replay), one per workload.
     pub warm_boot: Vec<WarmBootRow>,
+    /// Phase-shift self-healing rows (health on vs off), one per
+    /// phase-shift variant.
+    pub phase_shift: Vec<PhaseShiftRow>,
 }
 
 impl ConcurrentReport {
@@ -307,6 +345,31 @@ impl ConcurrentReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"phase_shift\": [\n");
+        for (i, r) in self.phase_shift.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"health_on_instr_per_s\": {:.1}, \
+                 \"health_off_instr_per_s\": {:.1}, \"throughput_retention\": {:.4}, \
+                 \"demotions\": {}, \"streak_demotions\": {}, \"readmissions\": {}, \
+                 \"quarantined\": {}, \"probations\": {}, \"epochs\": {}}}{}\n",
+                r.name,
+                r.health_on_instr_per_s,
+                r.health_off_instr_per_s,
+                r.throughput_retention(),
+                r.demotions,
+                r.streak_demotions,
+                r.readmissions,
+                r.quarantined,
+                r.probations,
+                r.epochs,
+                if i + 1 == self.phase_shift.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -316,7 +379,16 @@ impl ConcurrentReport {
         let max_t = self.threads.iter().copied().max().unwrap_or(1);
         let mut out = String::new();
         if self.rows.is_empty() {
-            return self.render_warm_boot();
+            if !self.warm_boot.is_empty() {
+                out.push_str(&self.render_warm_boot());
+            }
+            if !self.phase_shift.is_empty() {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&self.render_phase_shift());
+            }
+            return out;
         }
         out.push_str(&format!(
             "Concurrent trace serving, aggregate Minstr/s (scale {:?}, min of {} runs, {} host CPUs)\n",
@@ -370,6 +442,40 @@ impl ConcurrentReport {
         if !self.warm_boot.is_empty() {
             out.push('\n');
             out.push_str(&self.render_warm_boot());
+        }
+        if !self.phase_shift.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_phase_shift());
+        }
+        out
+    }
+
+    /// Renders the phase-shift self-healing table: health-on vs
+    /// health-off throughput plus the ladder counters.
+    pub fn render_phase_shift(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Phase-shift self-healing, single VM Minstr/s (scale {:?}, min of {} runs; \
+             ret = health-on throughput over health-off)\n",
+            self.scale, self.repeats
+        ));
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            "workload", "on", "off", "ret", "demot", "strk", "readm", "quar", "epochs"
+        ));
+        for r in &self.phase_shift {
+            out.push_str(&format!(
+                "{:<18} {:>9.2} {:>9.2} {:>5.0}% {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+                r.name,
+                r.health_on_instr_per_s / 1e6,
+                r.health_off_instr_per_s / 1e6,
+                r.throughput_retention() * 100.0,
+                r.demotions,
+                r.streak_demotions,
+                r.readmissions,
+                r.quarantined,
+                r.epochs,
+            ));
         }
         out
     }
@@ -646,6 +752,106 @@ pub fn run_warm_boot_filtered(
     rows
 }
 
+/// Engine parameters for the phase-shift leg. The phase-shift guard is
+/// 95% biased, which sits *below* the paper's 0.97 admission threshold —
+/// at paper defaults the constructor would cut the trace before the
+/// guard and nothing could rot. The leg therefore runs the same tuned
+/// configuration as the robustness test suite (admission 0.90, short
+/// start delay, 64-dispatch decay epoch) so the biased guard lands
+/// inside traces and the ladder has something to judge.
+fn phase_shift_config() -> EngineConfig {
+    EngineConfig {
+        jit: trace_jit::TraceJitConfig {
+            start_delay: 8,
+            decay_interval: 64,
+            ..trace_jit::TraceJitConfig::paper_default()
+        }
+        .with_threshold(0.90),
+        ..EngineConfig::paper_default()
+    }
+}
+
+/// Measures the phase-shift self-healing A/B for every phase-shift
+/// variant at `scale`: one VM with the ladder on vs one with it off,
+/// best of `repeats`, checksums asserted on every run.
+pub fn run_phase_shift_filtered(
+    scale: Scale,
+    repeats: usize,
+    only: Option<&str>,
+) -> Vec<PhaseShiftRow> {
+    use trace_workloads::registry::{phase_shift, phase_shift_early, phase_shift_late};
+
+    let mut rows = Vec::new();
+    for w in [
+        phase_shift(scale),
+        phase_shift_early(scale),
+        phase_shift_late(scale),
+    ] {
+        if let Some(name) = only {
+            if w.name != name {
+                continue;
+            }
+        }
+        let measure = |config: EngineConfig| {
+            let mut best_wall = f64::INFINITY;
+            let mut best_instr = 0u64;
+            let mut best_health = trace_cache::HealthStats::default();
+            let mut best_quarantined = 0u64;
+            for _ in 0..repeats.max(1) {
+                let mut vm = TracingVm::new(&w.program, config);
+                let start = Instant::now();
+                let report = vm.run(&w.args).expect("phase-shift run");
+                let wall = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    report.checksum, w.expected_checksum,
+                    "{} checksum diverged",
+                    w.name
+                );
+                if wall < best_wall {
+                    best_wall = wall;
+                    best_instr = report.exec.instructions;
+                    best_health = vm.health_stats();
+                    best_quarantined = report.cache.traces_quarantined;
+                }
+            }
+            (
+                best_instr as f64 / best_wall.max(f64::MIN_POSITIVE),
+                best_health,
+                best_quarantined,
+            )
+        };
+        let (on_ips, hs, quarantined) = measure(phase_shift_config());
+        let (off_ips, _, _) = measure(phase_shift_config().with_health(false));
+        rows.push(PhaseShiftRow {
+            name: w.name,
+            health_on_instr_per_s: on_ips,
+            health_off_instr_per_s: off_ips,
+            demotions: hs.demotions,
+            streak_demotions: hs.streak_demotions,
+            readmissions: hs.readmitted_watched,
+            quarantined,
+            probations: hs.probations,
+            epochs: hs.epochs,
+        });
+    }
+    rows
+}
+
+/// A phase-shift-only report (`concurrent --phase-shift`): just the
+/// self-healing A/B leg, no thread ladder, no warm boot.
+pub fn run_phase_shift_only(scale: Scale, repeats: usize, only: Option<&str>) -> ConcurrentReport {
+    ConcurrentReport {
+        scale,
+        repeats,
+        threads: Vec::new(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        queue_capacity: QUEUE_CAPACITY,
+        rows: Vec::new(),
+        warm_boot: Vec::new(),
+        phase_shift: run_phase_shift_filtered(scale, repeats, only),
+    }
+}
+
 /// A boot-only report (`concurrent --load-snapshot`): just the snapshot
 /// warm-boot leg, no thread ladder.
 pub fn run_boot_only(scale: Scale, repeats: usize, only: Option<&str>) -> ConcurrentReport {
@@ -657,6 +863,7 @@ pub fn run_boot_only(scale: Scale, repeats: usize, only: Option<&str>) -> Concur
         queue_capacity: QUEUE_CAPACITY,
         rows: Vec::new(),
         warm_boot: run_warm_boot_filtered(scale, repeats, only),
+        phase_shift: Vec::new(),
     }
 }
 
@@ -722,6 +929,7 @@ pub fn run_filtered(
         queue_capacity: QUEUE_CAPACITY,
         rows,
         warm_boot: run_warm_boot_filtered(scale, repeats, only),
+        phase_shift: run_phase_shift_filtered(scale, repeats, only),
     }
 }
 
@@ -1100,6 +1308,32 @@ mod tests {
         assert!(json.contains("\"first_entry_dispatch\""));
         assert!(json.contains("\"aot_replay\""));
         assert!(report.render().contains("Snapshot warm boot"));
+    }
+
+    #[test]
+    fn phase_shift_leg_demotes_and_reports_retention() {
+        let report = run_phase_shift_only(Scale::Test, 1, None);
+        assert!(report.rows.is_empty());
+        assert!(report.warm_boot.is_empty());
+        assert_eq!(report.phase_shift.len(), 3);
+        for r in &report.phase_shift {
+            assert!(r.health_on_instr_per_s > 0.0);
+            assert!(r.health_off_instr_per_s > 0.0);
+            assert!(r.throughput_retention() > 0.0);
+            assert!(
+                r.demotions + r.quarantined >= 1,
+                "{}: the rotten trace was never removed",
+                r.name
+            );
+            assert!(r.epochs > 0, "{}: no health epoch ran", r.name);
+        }
+        // JSON carries the self-healing keys; the table renders.
+        let json = report.to_json();
+        assert!(json.contains("\"phase_shift\""));
+        assert!(json.contains("\"demotions\""));
+        assert!(json.contains("\"readmissions\""));
+        assert!(json.contains("\"throughput_retention\""));
+        assert!(report.render().contains("Phase-shift self-healing"));
     }
 
     #[test]

@@ -288,6 +288,7 @@ fn engine_timing(
             superinstructions: true,
             reg_ir,
             dop_fusion: true,
+            health: true,
         }
     };
     let mut dop = TracingVm::new(&w.program, mk(false));

@@ -581,6 +581,7 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
             superinstructions: true,
             reg_ir: false,
             dop_fusion: true,
+            health: true,
         },
     );
     let dop_secs = min_secs(repeats, || {
@@ -596,6 +597,7 @@ fn measure_workload(w: &Workload, repeats: usize) -> InterpRow {
             superinstructions: true,
             reg_ir: true,
             dop_fusion: true,
+            health: true,
         },
     );
     let reg_secs = min_secs(repeats, || {

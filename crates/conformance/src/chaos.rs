@@ -15,7 +15,12 @@
 //!   caches while the program is still running;
 //! * **queue overload** — a signal batch is dropped on both sides (the
 //!   full-construction-queue degradation path) and must re-raise at the
-//!   next decay cycle.
+//!   next decay cycle;
+//! * **phase shift** — the trace at one live entry "rots": a burst of
+//!   mostly-side-exit dispatch outcomes lands in both health ledgers
+//!   and a health epoch follows, so the demotion ladder (probation,
+//!   streak demotion, cooldown hysteresis) must walk identically on
+//!   both sides.
 //!
 //! Campaigns can additionally run the whole case in the lockstep
 //! harness's deferred-construction mode ([`ChaosConfig::defer_window`]),
@@ -27,7 +32,7 @@
 //! shrinking its statement AST (see [`shrink`]).
 
 use trace_bcg::BcgConfig;
-use trace_cache::{trace_cost, ConstructorConfig, FaultConfig};
+use trace_cache::{trace_cost, ConstructorConfig, FaultConfig, TraceOutcome};
 use trace_workloads::prng::{seed_stream, Xoshiro256StarStar};
 
 use crate::genprog::{args_from, build_program, gen_block, Stmt};
@@ -57,11 +62,15 @@ pub enum Perturbation {
     /// Feed the next signal batch to both constructors twice (duplicated
     /// queue delivery); hash-consing must make the replay idempotent.
     DuplicateBatch,
+    /// Rot the trace at one live entry: record a mostly-side-exit
+    /// outcome burst into both health ledgers, then run a health epoch,
+    /// exercising the whole demotion ladder in lockstep.
+    PhaseShift,
 }
 
 impl Perturbation {
     /// Every class, for full-coverage campaigns.
-    pub const ALL: [Perturbation; 8] = [
+    pub const ALL: [Perturbation; 9] = [
         Perturbation::ForcedDecay,
         Perturbation::SignalReorder,
         Perturbation::CachePressure,
@@ -70,6 +79,7 @@ impl Perturbation {
         Perturbation::BudgetPressure,
         Perturbation::QuarantineTrace,
         Perturbation::DuplicateBatch,
+        Perturbation::PhaseShift,
     ];
 
     /// Stable name, used by the corpus format.
@@ -83,6 +93,7 @@ impl Perturbation {
             Perturbation::BudgetPressure => "budget-pressure",
             Perturbation::QuarantineTrace => "quarantine-trace",
             Perturbation::DuplicateBatch => "duplicate-batch",
+            Perturbation::PhaseShift => "phase-shift",
         }
     }
 
@@ -265,6 +276,34 @@ fn inject(
         }
         Perturbation::DuplicateBatch => {
             ls.duplicate_next_batch();
+        }
+        Perturbation::PhaseShift => {
+            // The trace at one live entry "rots" — its guard bias has
+            // flipped — so a burst of side exits (with a few
+            // completions mixed in) lands in both health ledgers, and
+            // the epoch that follows walks the demotion ladder on both
+            // sides. Exit counts straddle the streak limit (16) and
+            // the completion rate sits far under the probation
+            // threshold, so campaigns exercise streak demotions,
+            // probation, second-epoch demotions, and (on repeat picks
+            // of the same entry) cooldown hysteresis.
+            let entries = ls.linked_entries();
+            if !entries.is_empty() {
+                let e = entries[rng.range_usize(0, entries.len())];
+                let completions = rng.range_u32(0, 3);
+                let exits = rng.range_u32(12, 20);
+                let mut outcomes = Vec::with_capacity((completions + exits) as usize);
+                for _ in 0..completions {
+                    outcomes.push(TraceOutcome::Completed);
+                }
+                for _ in 0..exits {
+                    outcomes.push(TraceOutcome::SideExit {
+                        site: rng.range_u32(0, 4),
+                    });
+                }
+                ls.record_trace_outcomes(e, &outcomes)?;
+                ls.health_epoch()?;
+            }
         }
     }
     Ok(())
@@ -498,7 +537,7 @@ mod tests {
         assert!(parse_corpus_case("chaos=forced-decay\n").is_err());
         assert!(parse_corpus_case("seed=1\nchaos=warp-core-breach\n").is_err());
         assert!(parse_corpus_case(
-            "seed=1\nchaos=budget-pressure,quarantine-trace,duplicate-batch\n"
+            "seed=1\nchaos=budget-pressure,quarantine-trace,duplicate-batch,phase-shift\n"
         )
         .is_ok());
 

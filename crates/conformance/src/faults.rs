@@ -65,6 +65,7 @@ pub fn fault_campaign_config() -> EngineConfig {
         superinstructions: true,
         reg_ir: true,
         dop_fusion: true,
+        health: true,
     }
 }
 

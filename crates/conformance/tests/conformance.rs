@@ -347,6 +347,73 @@ fn quarantine_chaos_catches_the_forgetful_quarantine_model() {
     );
 }
 
+/// The phase-shift workload family (the trace-health fixture: a hot
+/// guard whose bias flips mid-run) must stay in lockstep like the six
+/// paper workloads — the rotting branch is a behavior change, not a
+/// profiling divergence.
+#[test]
+fn phase_shift_workloads_stay_in_lockstep() {
+    use trace_workloads::registry;
+    for w in [
+        registry::phase_shift(Scale::Test),
+        registry::phase_shift_early(Scale::Test),
+        registry::phase_shift_late(Scale::Test),
+    ] {
+        let (bcfg, ccfg) = workload_configs();
+        let mut ls = Lockstep::new(bcfg, ccfg);
+        ls.run_program(&w.program, &w.args)
+            .unwrap_or_else(|d| panic!("workload {}: {d}", w.name));
+        assert!(
+            ls.steps() > 1_000,
+            "workload {} dispatched only {} blocks — not a meaningful run",
+            w.name,
+            ls.steps()
+        );
+    }
+}
+
+/// Regression trio for the trace-health path: a model whose health
+/// epoch decides but never applies demotions
+/// (`Quirk::RottenTraceKeptLinked`) is invisible to plain lockstep —
+/// nothing feeds trace outcomes — but must be caught once the campaign
+/// injects phase-shifted outcome bursts, because the production ladder
+/// then demotes (unlink + tombstone + blacklist) while the model keeps
+/// the rotten trace linked.
+#[test]
+fn phase_shift_chaos_catches_the_rotten_trace_model() {
+    const BASE: u64 = 0x20AF_5417;
+    const CASES: u64 = 64;
+    let shift = ChaosConfig::only(Perturbation::PhaseShift);
+
+    let plain = run_campaign(
+        BASE,
+        CASES,
+        &ChaosConfig::none(),
+        Some(Quirk::RottenTraceKeptLinked),
+    );
+    assert!(
+        plain.failure.is_none(),
+        "quirk should be invisible without phase-shift chaos, but: {:?}",
+        plain.failure
+    );
+
+    let caught = run_campaign(BASE, CASES, &shift, Some(Quirk::RottenTraceKeptLinked));
+    let (seed, d) = caught
+        .failure
+        .expect("phase-shift campaign must expose the rotten-trace model");
+    assert!(
+        d.what.contains("demotions") || d.what.contains("link") || d.what.contains("quarantine"),
+        "seed {seed:#x}: unexpected divergence field: {d}"
+    );
+
+    let clean = run_campaign(BASE, CASES, &shift, None);
+    assert!(
+        clean.failure.is_none(),
+        "clean model must survive the identical phase-shift schedule, but: {:?}",
+        clean.failure
+    );
+}
+
 #[test]
 fn duplicate_batch_campaign_is_silent() {
     // Duplicated construction batches must be idempotent on both sides.

@@ -38,7 +38,8 @@ use jvm_vm::{
 };
 use trace_bcg::{BranchCorrelationGraph, NodeState, Signal, SignalKind};
 use trace_cache::{
-    BcgSnapshot, ConstructorStats, TraceCache, TraceConstructor, TraceExecStats, TraceId,
+    run_health_epoch, BcgSnapshot, ConstructorStats, HealthStats, OutcomeRecord, TraceCache,
+    TraceConstructor, TraceExecStats, TraceHealth, TraceId, TraceOutcome, TraceStore,
 };
 use trace_jit::{RunReport, TraceJitConfig};
 use trace_persist::{program_hash, Snapshot, SnapshotError, SnapshotReader};
@@ -73,6 +74,13 @@ pub struct EngineConfig {
     /// fallback interpreter transparently unfuses groups it steps
     /// through one instruction at a time. On by default.
     pub dop_fusion: bool,
+    /// Whether the lifetime trace-health subsystem runs: per-trace
+    /// dispatch outcomes feed the cache's health ledger, and at every
+    /// profiler decay epoch the demotion ladder retires traces whose
+    /// completion behavior has rotted (see
+    /// [`trace_cache::HealthLedger`]). On by default; `false` restores
+    /// the fast-trigger-only behavior (entry-exit streak quarantine).
+    pub health: bool,
 }
 
 impl EngineConfig {
@@ -85,6 +93,7 @@ impl EngineConfig {
             superinstructions: true,
             reg_ir: true,
             dop_fusion: true,
+            health: true,
         }
     }
 
@@ -109,6 +118,12 @@ impl EngineConfig {
     /// Returns this configuration with decoded-stream DOp fusion toggled.
     pub fn with_dop_fusion(mut self, on: bool) -> Self {
         self.dop_fusion = on;
+        self
+    }
+
+    /// Returns this configuration with the trace-health subsystem toggled.
+    pub fn with_health(mut self, on: bool) -> Self {
+        self.health = on;
         self
     }
 }
@@ -199,6 +214,9 @@ enum TraceRun {
         /// entry guard failed immediately. A streak of these means the
         /// link serves a path the program no longer takes.
         immediate: bool,
+        /// Guard site: how many blocks completed before the exit. Feeds
+        /// the health ledger's per-guard side-exit histogram.
+        site: u32,
     },
     Finished(Option<Value>),
 }
@@ -271,6 +289,30 @@ pub struct TracingVm<'p> {
     /// `(trace id, consecutive immediate entry side-exits)` — the
     /// engine-side quarantine trigger (see [`ENTRY_EXIT_STREAK_LIMIT`]).
     entry_exit_streak: Option<(TraceId, u32)>,
+    /// Dispatch outcomes accumulated since the last health flush,
+    /// run-length encoded: a hot loop dispatches the same trace with the
+    /// same outcome over and over, so the common case is bumping the
+    /// tail counter, not pushing. Fed to the cache's health ledger in
+    /// one batch at each decay epoch (and at run exit) — one ledger
+    /// lookup per run, not per dispatch.
+    outcome_buf: Vec<(OutcomeRecord, u64)>,
+    /// The profiler decay epoch the health ladder last ran at
+    /// ([`trace_bcg::BranchCorrelationGraph::decay_epoch`]).
+    last_health_epoch: u64,
+}
+
+/// The engine's view of whichever cache it dispatches against — the
+/// single policy path shared by private and shared modes. Takes the two
+/// fields (not `&mut self`) so callers keep disjoint borrows of the
+/// profiler and outcome buffer.
+fn store_mut<'a>(
+    shared: &'a mut Option<SharedSession>,
+    cache: &'a mut TraceCache,
+) -> &'a mut dyn TraceStore {
+    match shared {
+        Some(sess) => &mut sess.cache,
+        None => cache,
+    }
 }
 
 impl<'p> TracingVm<'p> {
@@ -305,6 +347,8 @@ impl<'p> TracingVm<'p> {
             shared_lowered: HashMap::new(),
             hot_shared: None,
             entry_exit_streak: None,
+            outcome_buf: Vec::new(),
+            last_health_epoch: 0,
         }
     }
 
@@ -382,6 +426,48 @@ impl<'p> TracingVm<'p> {
         &self.output
     }
 
+    /// Health-ledger counters of whichever cache this VM dispatches
+    /// against (private or shared) — recorded outcomes, epochs judged,
+    /// probations, demotions, re-admissions under watch.
+    pub fn health_stats(&self) -> HealthStats {
+        let store: &dyn TraceStore = match &self.shared {
+            Some(sess) => &sess.cache,
+            None => &self.cache,
+        };
+        store.health_stats()
+    }
+
+    /// Lifetime health telemetry for one tracked trace (a snapshot).
+    pub fn trace_health(&self, tid: TraceId) -> Option<TraceHealth> {
+        let store: &dyn TraceStore = match &self.shared {
+            Some(sess) => &sess.cache,
+            None => &self.cache,
+        };
+        store.trace_health(tid)
+    }
+
+    /// Construction-service health gauges (shared mode only).
+    pub fn service_health(&self) -> Option<trace_cache::ServiceHealthSnapshot> {
+        self.shared.as_ref().map(|sess| sess.health.snapshot())
+    }
+
+    /// Machine-readable reason the runtime is running degraded, if it
+    /// is: `"constructor-degraded"` when the shared construction service
+    /// is permanently down (dispatch keeps interpreting, never wrong),
+    /// `"health-off"` when the trace-health subsystem is disabled by
+    /// configuration. `None` means fully healthy.
+    pub fn degraded_reason(&self) -> Option<&'static str> {
+        if let Some(sess) = &self.shared {
+            if sess.health.is_degraded() {
+                return Some("constructor-degraded");
+            }
+        }
+        if !self.config.health {
+            return Some("health-off");
+        }
+        None
+    }
+
     /// Executes the program, returning the same [`RunReport`] the base
     /// system produces.
     ///
@@ -433,6 +519,16 @@ impl<'p> TracingVm<'p> {
                 let bid = BlockId::new(func_id, d.b);
                 let node = self.bcg.observe(bid);
                 self.dispatch_signals();
+                if self.config.health {
+                    // The health ladder is synced to the profiler's decay
+                    // window: flush outcomes + run the demotion epoch when
+                    // the dispatch count crosses an epoch boundary.
+                    let epoch = self.bcg.decay_epoch();
+                    if epoch != self.last_health_epoch {
+                        self.last_health_epoch = epoch;
+                        self.flush_health_epoch();
+                    }
+                }
                 let prev = self.prev_block.replace(bid);
                 // Entry check through the BCG node's trace-link slot: a
                 // version compare against the cache, no hashing. (In
@@ -441,16 +537,13 @@ impl<'p> TracingVm<'p> {
                 // slot revalidates on the version bump. In shared mode the
                 // slot stamp makes the lock-free probe one version
                 // compare on the steady state.)
-                let tid = match (node, prev) {
-                    (Some(n), Some(_)) => match &self.shared {
-                        Some(sess) => sess.cache.lookup_entry_cached(&mut self.bcg, n),
-                        None => self.cache.lookup_entry_cached(&mut self.bcg, n),
-                    },
-                    (None, Some(p)) => match &self.shared {
-                        Some(sess) => sess.cache.lookup_entry((p, bid)),
-                        None => self.cache.lookup_entry((p, bid)),
-                    },
-                    (_, None) => None,
+                let tid = {
+                    let store = store_mut(&mut self.shared, &mut self.cache);
+                    match (node, prev) {
+                        (Some(n), Some(_)) => store.lookup_entry_cached(&mut self.bcg, n),
+                        (None, Some(p)) => store.lookup_entry((p, bid)),
+                        (_, None) => None,
+                    }
                 };
                 let ran = match tid {
                     Some(tid) if self.shared.is_some() => {
@@ -478,12 +571,32 @@ impl<'p> TracingVm<'p> {
                     self.trace_stats.first_entry_dispatch = self.stats.block_dispatches;
                 }
                 match ran {
-                    Some(TraceRun::Finished(v)) => break v,
-                    Some(TraceRun::SideExited { immediate: true }) => {
+                    Some(TraceRun::Finished(v)) => {
                         let entry = (prev.expect("linked entry has a source block"), bid);
-                        self.note_immediate_entry_exit(tid.expect("trace ran"), entry);
+                        self.note_outcome(tid.expect("trace ran"), entry, TraceOutcome::Completed);
+                        break v;
                     }
-                    Some(TraceRun::Completed | TraceRun::SideExited { immediate: false }) => {
+                    Some(TraceRun::SideExited {
+                        immediate: true,
+                        site,
+                    }) => {
+                        let entry = (prev.expect("linked entry has a source block"), bid);
+                        let t = tid.expect("trace ran");
+                        self.note_outcome(t, entry, TraceOutcome::SideExit { site });
+                        self.note_immediate_entry_exit(t, entry);
+                    }
+                    Some(TraceRun::SideExited {
+                        immediate: false,
+                        site,
+                    }) => {
+                        let entry = (prev.expect("linked entry has a source block"), bid);
+                        let t = tid.expect("trace ran");
+                        self.note_outcome(t, entry, TraceOutcome::SideExit { site });
+                        self.entry_exit_streak = None;
+                    }
+                    Some(TraceRun::Completed) => {
+                        let entry = (prev.expect("linked entry has a source block"), bid);
+                        self.note_outcome(tid.expect("trace ran"), entry, TraceOutcome::Completed);
                         self.entry_exit_streak = None;
                     }
                     None => self.trace_stats.blocks_outside += 1,
@@ -500,6 +613,15 @@ impl<'p> TracingVm<'p> {
 
         if profile_fusion {
             self.apply_dop_fusion();
+        }
+
+        // Settle pending outcomes so health telemetry read between runs
+        // reflects everything this run dispatched. The demotion epoch
+        // itself only runs at decay boundaries.
+        if !self.outcome_buf.is_empty() {
+            let store = store_mut(&mut self.shared, &mut self.cache);
+            store.record_outcome_runs(&self.outcome_buf);
+            self.outcome_buf.clear();
         }
 
         Ok(RunReport {
@@ -731,18 +853,58 @@ impl<'p> TracingVm<'p> {
         };
         if streak >= ENTRY_EXIT_STREAK_LIMIT {
             self.entry_exit_streak = None;
-            match &self.shared {
-                Some(sess) => {
-                    sess.cache.quarantine(entry, QUARANTINE_COOLDOWN);
-                    self.hot_shared = None;
-                }
-                None => {
-                    self.cache.quarantine(entry, QUARANTINE_COOLDOWN);
-                    self.hot_trace = None;
-                }
-            }
+            store_mut(&mut self.shared, &mut self.cache).quarantine(entry, QUARANTINE_COOLDOWN);
+            self.hot_trace = None;
+            self.hot_shared = None;
         } else {
             self.entry_exit_streak = Some((tid, streak));
+        }
+    }
+
+    /// Buffers one trace-dispatch outcome for the health ledger (no-op
+    /// with health off). The buffer is run-length encoded: an outcome
+    /// matching a recent record bumps that record's counter instead of
+    /// pushing. The ledger's streak logic only depends on each trace's
+    /// *own* outcome subsequence, so merging across records of *other*
+    /// traces is sound — the backward scan stops at the first record of
+    /// the same trace (its order must be preserved) and is capped at a
+    /// few slots so loop nests that alternate between traces still
+    /// coalesce. Flushed at epoch boundaries and run exit.
+    #[inline]
+    fn note_outcome(&mut self, tid: TraceId, entry: trace_bcg::Branch, outcome: TraceOutcome) {
+        if self.config.health {
+            let rec = OutcomeRecord {
+                tid,
+                entry,
+                outcome,
+            };
+            for (slot, n) in self.outcome_buf.iter_mut().rev().take(4) {
+                if slot.tid == rec.tid {
+                    if *slot == rec {
+                        *n += 1;
+                        return;
+                    }
+                    break;
+                }
+            }
+            self.outcome_buf.push((rec, 1));
+        }
+    }
+
+    /// Epoch boundary: feed buffered outcomes to the health ledger and
+    /// run the demotion ladder through the unified [`TraceStore`] path.
+    /// Any applied demotion invalidates the monomorphic hot-trace memos
+    /// and the streak counter — the retired trace must not be served
+    /// from a stale handle.
+    fn flush_health_epoch(&mut self) {
+        let store = store_mut(&mut self.shared, &mut self.cache);
+        store.record_outcome_runs(&self.outcome_buf);
+        let applied = run_health_epoch(store);
+        self.outcome_buf.clear();
+        if applied > 0 {
+            self.hot_trace = None;
+            self.hot_shared = None;
+            self.entry_exit_streak = None;
         }
     }
 
@@ -855,30 +1017,38 @@ impl<'p> TracingVm<'p> {
             self.hot_shared = Some((tid, Arc::clone(&art)));
             return Some(art);
         }
-        let sess = self.shared.as_ref().expect("shared mode");
-        let resolved = match sess.cache.artifact_checked(tid) {
-            Ok(artifact) => {
-                #[cfg(feature = "debug-invariants")]
-                if let Some(art) = &artifact {
-                    assert_eq!(
-                        art.src_blocks().first().copied(),
-                        Some(entry.1),
-                        "published artifact must start at the linked entry's target"
-                    );
+        let mut corrupt = false;
+        let resolved = {
+            let sess = self.shared.as_ref().expect("shared mode");
+            match sess.cache.artifact_checked(tid) {
+                Ok(artifact) => {
+                    #[cfg(feature = "debug-invariants")]
+                    if let Some(art) = &artifact {
+                        assert_eq!(
+                            art.src_blocks().first().copied(),
+                            Some(entry.1),
+                            "published artifact must start at the linked entry's target"
+                        );
+                    }
+                    artifact
                 }
-                artifact
+                Err(trace_cache::TraceCacheError::CorruptArtifact(_)) => {
+                    corrupt = true;
+                    None
+                }
+                // Evicted (link outlived its trace by one probe) or
+                // unknown: ids are never reused, so "no artifact" is
+                // permanent.
+                Err(_) => None,
             }
-            Err(trace_cache::TraceCacheError::CorruptArtifact(_)) => {
-                // Never execute a corrupt artifact: retire the trace for
-                // everyone and blacklist its key until the cooldown
-                // decays.
-                sess.cache.quarantine(entry, QUARANTINE_COOLDOWN);
-                None
-            }
-            // Evicted (link outlived its trace by one probe) or unknown:
-            // ids are never reused, so "no artifact" is permanent.
-            Err(_) => None,
         };
+        if corrupt {
+            // Never execute a corrupt artifact: retire the trace for
+            // everyone — through the same policy path every other
+            // quarantine takes — and blacklist its key until the
+            // cooldown decays.
+            store_mut(&mut self.shared, &mut self.cache).quarantine(entry, QUARANTINE_COOLDOWN);
+        }
         let art = self.shared_lowered.entry(tid).or_insert(resolved).clone()?;
         self.hot_shared = Some((tid, Arc::clone(&art)));
         Some(art)
@@ -931,6 +1101,7 @@ impl<'p> TracingVm<'p> {
                 self.trace_stats.blocks_outside += 1;
                 return Ok(TraceRun::SideExited {
                     immediate: blocks_done == 0,
+                    site: u32::try_from(blocks_done).unwrap_or(u32::MAX),
                 });
             }};
         }
@@ -1297,8 +1468,9 @@ impl<'p> TracingVm<'p> {
                 self.prev_block = Some(bid);
                 self.trace_stats.blocks_outside += 1;
                 let immediate = exit.blocks_done == 0;
+                let site = exit.blocks_done;
                 self.reg_file = regs;
-                return Ok(TraceRun::SideExited { immediate });
+                return Ok(TraceRun::SideExited { immediate, site });
             }};
         }
 

@@ -7,6 +7,7 @@ use trace_bcg::node::NO_TRACE_LINK;
 use trace_bcg::{Branch, BranchCorrelationGraph, BranchTable, NodeIdx, PackedBranch};
 
 use crate::error::TraceCacheError;
+use crate::health::HealthLedger;
 use crate::trace::{Trace, TraceId};
 
 /// Fixed per-trace bookkeeping charge in the byte-budget accounting:
@@ -126,6 +127,9 @@ pub struct TraceCache {
     stats: CacheStats,
     /// Bumped on every link mutation; lets executors cache lookups.
     version: u64,
+    /// Whole-lifetime trace-health telemetry and demotion ladder; fed
+    /// and scored through the [`crate::TraceStore`] trait.
+    health: HealthLedger,
 }
 
 impl TraceCache {
@@ -156,6 +160,17 @@ impl TraceCache {
         let mut s = self.stats;
         s.links_live = self.by_entry.len();
         s
+    }
+
+    /// The health ledger (telemetry + demotion ladder).
+    pub fn health(&self) -> &HealthLedger {
+        &self.health
+    }
+
+    /// Mutable health-ledger access (the [`crate::TraceStore`] impl
+    /// records outcomes and runs epochs through this).
+    pub fn health_mut(&mut self) -> &mut HealthLedger {
+        &mut self.health
     }
 
     /// Sets (or clears) the payload byte budget and immediately enforces
@@ -346,6 +361,7 @@ impl TraceCache {
         if !self.entry_keys[id.index()].contains(&key) {
             self.entry_keys[id.index()].push(key);
         }
+        self.health.note_admission(id, entry);
         self.version += 1;
         self.enforce_budget(key);
         #[cfg(feature = "debug-invariants")]
@@ -443,6 +459,7 @@ impl TraceCache {
         let blocks = std::mem::take(&mut self.traces[i].blocks);
         self.by_blocks.remove(&blocks);
         self.stats.traces_evicted += 1;
+        self.health.forget(id);
     }
 
     /// In budget mode an unlinked trace can never be chosen by the

@@ -43,10 +43,12 @@ pub mod constructor;
 pub mod dot;
 pub mod error;
 pub mod faults;
+pub mod health;
 pub mod metrics;
 pub mod offthread;
 pub mod runtime;
 pub mod shared;
+pub mod store;
 pub mod trace;
 
 pub use cache::{trace_cost, CacheStats, TraceCache, TRACE_BYTES_OVERHEAD};
@@ -56,6 +58,10 @@ pub use constructor::{
 };
 pub use error::TraceCacheError;
 pub use faults::{FaultConfig, FaultPlan, FaultSite, FaultStats};
+pub use health::{
+    Demotion, DemotionCause, HealthLedger, HealthPolicy, HealthState, HealthStats, OutcomeRecord,
+    TraceHealth, TraceOutcome, GUARD_SITES_TRACKED,
+};
 pub use metrics::TraceExecStats;
 pub use offthread::{
     construction_channel, run_constructor_service, run_supervised_constructor_service, BcgSnapshot,
@@ -64,4 +70,5 @@ pub use offthread::{
 };
 pub use runtime::TraceRuntime;
 pub use shared::{SharedCacheStats, SharedTrace, SharedTraceCache};
+pub use store::{run_health_epoch, TraceStore};
 pub use trace::{Trace, TraceId};

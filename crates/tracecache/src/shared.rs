@@ -82,6 +82,7 @@ use trace_bcg::{Branch, BranchCorrelationGraph, NodeIdx, PackedBranch};
 use crate::cache::trace_cost;
 use crate::error::TraceCacheError;
 use crate::faults::{FaultPlan, FaultSite};
+use crate::health::{Demotion, HealthLedger, HealthStats, OutcomeRecord, TraceHealth};
 use crate::trace::TraceId;
 
 /// Empty-slot key marker; `PackedBranch` cannot produce it for a real
@@ -469,6 +470,10 @@ pub struct SharedTraceCache<A> {
     cons: Mutex<ConsState<A>>,
     stats: StatsAtomic,
     faults: OnceLock<Arc<FaultPlan>>,
+    /// Whole-lifetime trace-health telemetry and demotion ladder.
+    /// Locked after `cons` when both are needed (admission, tombstone);
+    /// outcome batches and epoch scoring take only this lock.
+    health: Mutex<HealthLedger>,
 }
 
 impl<A> Default for SharedTraceCache<A> {
@@ -494,6 +499,7 @@ impl<A> SharedTraceCache<A> {
             cons: Mutex::new(ConsState::new()),
             stats: StatsAtomic::default(),
             faults: OnceLock::new(),
+            health: Mutex::new(HealthLedger::default()),
         }
     }
 
@@ -692,6 +698,7 @@ impl<A> SharedTraceCache<A> {
         if !cons.entry_keys[id.index()].contains(&key) {
             cons.entry_keys[id.index()].push(key);
         }
+        lock_recover(&self.health).note_admission(id, entry);
         let budget = if self
             .faults
             .get()
@@ -822,6 +829,43 @@ impl<A> SharedTraceCache<A> {
             .collect()
     }
 
+    /// Ingests a batch of dispatch outcomes into the health ledger.
+    /// Takes only the health lock — never the construction mutex — so
+    /// dispatch threads flushing batches don't contend with the
+    /// constructor.
+    pub fn record_outcomes(&self, batch: &[OutcomeRecord]) {
+        let mut h = lock_recover(&self.health);
+        for rec in batch {
+            h.record(rec);
+        }
+    }
+
+    /// Run-length-encoded variant of [`SharedTraceCache::record_outcomes`]:
+    /// each `(record, n)` entry stands for `n` identical consecutive
+    /// outcomes. Takes the health lock once for the whole batch.
+    pub fn record_outcome_runs(&self, runs: &[(OutcomeRecord, u64)]) {
+        let mut h = lock_recover(&self.health);
+        for (rec, n) in runs {
+            h.record_run(rec, *n);
+        }
+    }
+
+    /// Closes the health epoch and returns the demotion decisions (see
+    /// [`crate::run_health_epoch`] for how they are applied).
+    pub fn epoch_demotions(&self) -> Vec<Demotion> {
+        lock_recover(&self.health).epoch()
+    }
+
+    /// Health ledger counters.
+    pub fn health_stats(&self) -> HealthStats {
+        lock_recover(&self.health).stats()
+    }
+
+    /// Health telemetry snapshot for one tracked trace.
+    pub fn trace_health(&self, id: TraceId) -> Option<TraceHealth> {
+        lock_recover(&self.health).health_of(id).cloned()
+    }
+
     fn tombstone(&self, cons: &mut ConsState<A>, id: TraceId) {
         let i = id.index();
         debug_assert!(cons.entry_keys[i].is_empty());
@@ -831,6 +875,7 @@ impl<A> SharedTraceCache<A> {
             cons.by_blocks.remove(&t.blocks[..]);
         }
         self.stats.traces_evicted.fetch_add(1, Relaxed);
+        lock_recover(&self.health).forget(id);
     }
 
     /// In budget mode an unlinked trace can never be chosen by the

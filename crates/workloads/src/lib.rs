@@ -38,6 +38,7 @@ pub mod compress;
 pub mod javac;
 pub mod lcg;
 pub mod mpegaudio;
+pub mod phase_shift;
 pub mod prng;
 pub mod raytrace;
 pub mod registry;

@@ -67,6 +67,24 @@ pub fn scimark(scale: Scale) -> Workload {
     crate::scimark::build(scale)
 }
 
+/// Builds the phase-shift robustness workload (branch bias flips at
+/// n/2). Not part of [`all`] — it models pathological behavior, not a
+/// paper benchmark; the chaos campaigns, staleness regressions and the
+/// `phase_shift` bench leg request it explicitly.
+pub fn phase_shift(scale: Scale) -> Workload {
+    crate::phase_shift::build(scale)
+}
+
+/// Phase-shift variant flipping at n/4 (demotion latency dominates).
+pub fn phase_shift_early(scale: Scale) -> Workload {
+    crate::phase_shift::build_early(scale)
+}
+
+/// Phase-shift variant flipping at 3n/4 (long healthy history first).
+pub fn phase_shift_late(scale: Scale) -> Workload {
+    crate::phase_shift::build_late(scale)
+}
+
 /// All six workloads in the paper's column order.
 pub fn all(scale: Scale) -> Vec<Workload> {
     vec![
@@ -88,6 +106,9 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
         "mpegaudio" => Some(mpegaudio(scale)),
         "soot" => Some(soot(scale)),
         "scimark" => Some(scimark(scale)),
+        "phase_shift" => Some(phase_shift(scale)),
+        "phase_shift_early" => Some(phase_shift_early(scale)),
+        "phase_shift_late" => Some(phase_shift_late(scale)),
         _ => None,
     }
 }

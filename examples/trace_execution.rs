@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             superinstructions: true,
             reg_ir: false,
             dop_fusion: true,
+            health: true,
         },
     );
     engine.run(&w.args)?;
@@ -73,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             superinstructions: true,
             reg_ir: false,
             dop_fusion: true,
+            health: true,
         },
     );
     opt_engine.run(&w.args)?;
@@ -90,6 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             superinstructions: true,
             reg_ir: true,
             dop_fusion: true,
+            health: true,
         },
     );
     reg_engine.run(&w.args)?;

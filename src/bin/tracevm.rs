@@ -28,6 +28,9 @@ struct Options {
     unroll: usize,
     reg_ir: bool,
     dop_fusion: bool,
+    /// Lifetime trace-health subsystem (demotion ladder); `--no-health`
+    /// restores fast-trigger-only quarantining.
+    health: bool,
     out: String,
     /// Write a snapshot of the warmed VM here after the run.
     save_snapshot: Option<String>,
@@ -48,6 +51,7 @@ impl Default for Options {
             unroll: 1,
             reg_ir: true,
             dop_fusion: true,
+            health: true,
             out: ".".into(),
             save_snapshot: None,
             load_snapshot: None,
@@ -59,7 +63,7 @@ impl Default for Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracevm run <workload> [--scale test|small|paper] [--engine interp|trace|exec|exec-opt]\n\
-         \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg] [--no-fuse]\n\
+         \x20                        [--threshold T] [--delay D] [--unroll N] [--no-reg] [--no-fuse] [--no-health]\n\
          \x20                        [--save-snapshot FILE] [--load-snapshot FILE [--aot]]\n\
          \x20 tracevm disasm <workload> [--scale ...]\n\
          \x20 tracevm dot <workload> [--out DIR] [--scale ...]\n\
@@ -107,6 +111,7 @@ fn parse_options(args: &mut std::env::Args, opts: &mut Options) -> Result<(), St
             }
             "--no-reg" => opts.reg_ir = false,
             "--no-fuse" => opts.dop_fusion = false,
+            "--no-health" => opts.health = false,
             "--out" => opts.out = need("--out")?,
             "--save-snapshot" => opts.save_snapshot = Some(need("--save-snapshot")?),
             "--load-snapshot" => opts.load_snapshot = Some(need("--load-snapshot")?),
@@ -213,6 +218,7 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                     superinstructions: true,
                     reg_ir: opts.reg_ir,
                     dop_fusion: opts.dop_fusion,
+                    health: opts.health,
                 },
             );
             if let Some(path) = &opts.load_snapshot {
@@ -286,6 +292,22 @@ fn cmd_run(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Error
                 m.pool_bytes
             );
             println!("lowered traces      : {} bytes", engine.lowered_memory());
+            let hs = engine.health_stats();
+            println!(
+                "trace health        : {} outcomes, {} epochs, {} probations ({} recovered), {} demotions ({} streak), {} re-admissions watched, {} tracked",
+                hs.recorded,
+                hs.epochs,
+                hs.probations,
+                hs.recoveries,
+                hs.demotions,
+                hs.streak_demotions,
+                hs.readmitted_watched,
+                hs.tracked
+            );
+            println!(
+                "degraded            : {}",
+                engine.degraded_reason().unwrap_or("no")
+            );
         }
         other => return Err(format!("unknown engine `{other}`").into()),
     }

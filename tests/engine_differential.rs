@@ -18,6 +18,7 @@ fn engine_config() -> EngineConfig {
         superinstructions: true,
         reg_ir: false,
         dop_fusion: true,
+        health: true,
     }
 }
 

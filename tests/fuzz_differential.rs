@@ -95,6 +95,7 @@ fn engines_agree_on_random_programs() {
                 superinstructions: true,
                 reg_ir: true,
                 dop_fusion: true,
+                health: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");
@@ -112,6 +113,7 @@ fn engines_agree_on_random_programs() {
                 superinstructions: true,
                 reg_ir: true,
                 dop_fusion: true,
+                health: true,
             },
         );
         let r = opt.run(&args).expect("optimizing engine runs");
@@ -152,6 +154,7 @@ fn unrolling_preserves_semantics_on_random_programs() {
                 superinstructions: true,
                 reg_ir: true,
                 dop_fusion: true,
+                health: true,
             },
         );
         let r = engine.run(&args).expect("engine runs");

@@ -34,6 +34,7 @@ fn reg_config() -> EngineConfig {
         superinstructions: true,
         reg_ir: true,
         dop_fusion: true,
+        health: true,
     }
 }
 
@@ -47,6 +48,7 @@ fn chaos_config() -> EngineConfig {
         superinstructions: true,
         reg_ir: true,
         dop_fusion: true,
+        health: true,
     }
 }
 
